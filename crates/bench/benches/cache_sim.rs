@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the memory-system substrate: cache-simulator
+//! access throughput and the NUMA effective-memory computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llmsim_hw::{presets, Bytes, NumaConfig};
+use llmsim_mem::numa::MemSystem;
+use llmsim_mem::{CacheSim, HierarchySim};
+use std::hint::black_box;
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let accesses = 100_000u64;
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(accesses));
+    g.bench_function("single_level_stream", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(1024, 8, 64);
+            for i in 0..accesses {
+                sim.access(black_box(i * 64), false);
+            }
+            sim.stats().misses
+        });
+    });
+    g.bench_function("hierarchy_mixed", |b| {
+        b.iter(|| {
+            let mut h = HierarchySim::new(
+                CacheSim::new(64, 8, 64),
+                CacheSim::new(512, 8, 64),
+                CacheSim::new(4096, 12, 64),
+            );
+            for i in 0..accesses {
+                // 75% stream / 25% hot-set reuse.
+                let addr = if i % 4 == 0 { (i % 64) * 64 } else { i * 64 };
+                h.access(black_box(addr), i % 7 == 0);
+            }
+            h.dram_accesses()
+        });
+    });
+    g.finish();
+}
+
+fn bench_numa_model(c: &mut Criterion) {
+    let sys = MemSystem::new(presets::spr_max_9468(), NumaConfig::QUAD_FLAT);
+    c.bench_function("numa_effective_memory", |b| {
+        b.iter(|| sys.effective(black_box(48), black_box(Bytes::from_gib(130.0))));
+    });
+}
+
+criterion_group!(benches, bench_cache_sim, bench_numa_model);
+criterion_main!(benches);

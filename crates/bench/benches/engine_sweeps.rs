@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the inference engine itself: single-run cost for
+//! small and large models on each backend, graph construction, and the
+//! parallel grid runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim_bench::runner::run_sweep;
+use llmsim_core::{Backend, CpuBackend, GpuBackend, Request};
+use llmsim_model::{decode_step_graph, families, prefill_graph, DType};
+use llmsim_workload::sweep;
+use std::hint::black_box;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let spr = CpuBackend::paper_spr();
+    let a100 = GpuBackend::paper_a100();
+    let req = Request::paper_default(8);
+    let small = families::opt_1_3b();
+    let large = families::llama2_70b();
+
+    c.bench_function("cpu_run_opt1_3b_b8", |b| {
+        b.iter(|| spr.run(black_box(&small), black_box(&req)).unwrap());
+    });
+    c.bench_function("cpu_run_llama70b_b8", |b| {
+        b.iter(|| spr.run(black_box(&large), black_box(&req)).unwrap());
+    });
+    c.bench_function("gpu_offloaded_run_llama70b_b8", |b| {
+        b.iter(|| a100.run(black_box(&large), black_box(&req)).unwrap());
+    });
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let m = families::llama2_13b();
+    c.bench_function("prefill_graph_build", |b| {
+        b.iter(|| prefill_graph(black_box(&m), 8, 128, DType::Bf16));
+    });
+    c.bench_function("decode_graph_build", |b| {
+        b.iter(|| decode_step_graph(black_box(&m), 8, 160, DType::Bf16));
+    });
+}
+
+fn bench_parallel_grid(c: &mut Criterion) {
+    let spr = CpuBackend::paper_spr();
+    let grid = sweep::paper_grid();
+    let mut g = c.benchmark_group("paper_grid_48pts");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| run_sweep(&spr, black_box(&grid), 1).unwrap());
+    });
+    g.bench_function("8_workers", |b| {
+        b.iter(|| run_sweep(&spr, black_box(&grid), 8).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_graph_construction, bench_parallel_grid);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the ISA substrate: emulated AMX GEMM, the
+//! AVX-512 functional kernel, the scalar reference, BF16 conversion, and
+//! the closed-form timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmsim_isa::avx512::avx512_gemm_bf16;
+use llmsim_isa::bf16::{quantize_slice, Bf16};
+use llmsim_isa::gemm::{amx_gemm_bf16, reference_gemm_f32};
+use llmsim_isa::timing::{amx_timing, gemm_efficiency, EngineKind, GemmShape};
+use std::hint::black_box;
+
+fn inputs(m: usize, n: usize, k: usize) -> (Vec<Bf16>, Vec<Bf16>, Vec<f32>, Vec<f32>) {
+    let a_f: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 31) as f32 - 15.0) / 16.0).collect();
+    let b_f: Vec<f32> = (0..k * n).map(|i| ((i * 13 % 29) as f32 - 14.0) / 16.0).collect();
+    (quantize_slice(&a_f), quantize_slice(&b_f), a_f, b_f)
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_kernels");
+    for &size in &[32usize, 64, 128] {
+        let (a_bf, b_bf, a_f, b_f) = inputs(size, size, size);
+        g.bench_with_input(BenchmarkId::new("amx_emulated", size), &size, |bench, _| {
+            bench.iter(|| amx_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size));
+        });
+        g.bench_with_input(BenchmarkId::new("avx512_emulated", size), &size, |bench, _| {
+            bench.iter(|| avx512_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size));
+        });
+        g.bench_with_input(BenchmarkId::new("scalar_reference", size), &size, |bench, _| {
+            bench.iter(|| reference_gemm_f32(black_box(&a_f), black_box(&b_f), size, size, size));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bf16(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..65536).map(|i| i as f32 * 0.37 - 9000.0).collect();
+    c.bench_function("bf16_quantize_64k", |b| {
+        b.iter(|| quantize_slice(black_box(&xs)));
+    });
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    c.bench_function("closed_form_amx_timing", |b| {
+        b.iter(|| amx_timing(black_box(GemmShape::new(4096, 4096, 4096))));
+    });
+    c.bench_function("gemm_efficiency_lookup", |b| {
+        b.iter(|| {
+            gemm_efficiency(EngineKind::AmxBf16, black_box(GemmShape::new(32, 13824, 5120)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_gemm_kernels, bench_bf16, bench_timing_model);
+criterion_main!(benches);

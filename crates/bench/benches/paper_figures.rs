@@ -1,0 +1,46 @@
+//! Criterion benchmarks of every figure regenerator — both a performance
+//! check (the whole paper should regenerate in seconds) and a smoke test
+//! that each experiment stays runnable under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim_bench::experiments as exp;
+use std::hint::black_box;
+
+fn bench_cheap_figures(c: &mut Criterion) {
+    c.bench_function("fig01_gemm_sweep", |b| {
+        b.iter(|| black_box(exp::fig01_gemm::run()));
+    });
+    c.bench_function("fig06_07_footprints", |b| {
+        b.iter(|| {
+            black_box(exp::fig06_07_footprints::render_fig6());
+            black_box(exp::fig06_07_footprints::fig7_grid());
+        });
+    });
+    c.bench_function("fig18_offload_breakdown", |b| {
+        b.iter(|| black_box(exp::fig18_offload::run()));
+    });
+    c.bench_function("fig17_cpu_vs_gpu_b1", |b| {
+        b.iter(|| black_box(exp::fig17_19_cpu_vs_gpu::run(1)));
+    });
+}
+
+fn bench_grid_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_figures");
+    g.sample_size(10);
+    g.bench_function("fig08_10_cpu_comparison", |b| {
+        b.iter(|| black_box(exp::fig08_10_cpu_comparison::CpuComparison::run()));
+    });
+    g.bench_function("fig13_numa_sweep", |b| {
+        b.iter(|| black_box(exp::fig13_15_numa::run_fig13()));
+    });
+    g.bench_function("fig14_core_sweep", |b| {
+        b.iter(|| black_box(exp::fig14_16_cores::run_fig14()));
+    });
+    g.bench_function("fig20_seqlen_b1", |b| {
+        b.iter(|| black_box(exp::fig20_21_seqlen::run(1)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cheap_figures, bench_grid_figures);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Runs the ablation suite (§VI optimizations + design choices).
+fn main() {
+    print!("{}", llmsim_bench::experiments::ablations::render());
+}

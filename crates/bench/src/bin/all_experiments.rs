@@ -1,0 +1,25 @@
+//! Regenerates every table and figure in paper order; with `--out <dir>`
+//! also writes one artifact file per experiment.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(flag) = args.next() {
+        if flag == "--out" {
+            let dir = args.next().unwrap_or_else(|| "results".to_owned());
+            match llmsim_bench::artifacts::write_all(std::path::Path::new(&dir)) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("failed to write artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("usage: all_experiments [--out <dir>]");
+        std::process::exit(2);
+    }
+    print!("{}", llmsim_bench::experiments::render_all());
+}

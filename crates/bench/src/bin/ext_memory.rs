@@ -1,0 +1,4 @@
+//! Runs the CXL capacity and roofline placement studies.
+fn main() {
+    print!("{}", llmsim_bench::experiments::ext_memory::render());
+}

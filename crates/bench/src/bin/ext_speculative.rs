@@ -1,0 +1,4 @@
+//! Runs the speculative-decoding study.
+fn main() {
+    print!("{}", llmsim_bench::experiments::ext_speculative::render());
+}

@@ -1,0 +1,5 @@
+//! Runs the extension experiments (INT8 quantization, GH200, cost
+//! efficiency, continuous batching, Fig. 21 sensitivity).
+fn main() {
+    print!("{}", llmsim_bench::experiments::extensions::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (GEMM throughput sweep).
+fn main() {
+    print!("{}", llmsim_bench::experiments::fig01_gemm::render());
+}

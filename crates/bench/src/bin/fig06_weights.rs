@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (weight footprints).
+fn main() {
+    print!("{}", llmsim_bench::experiments::fig06_07_footprints::render_fig6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (KV-cache footprint grid).
+fn main() {
+    print!("{}", llmsim_bench::experiments::fig06_07_footprints::render_fig7());
+}

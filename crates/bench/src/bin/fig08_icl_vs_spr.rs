@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (ICL vs SPR end-to-end).
+use llmsim_bench::experiments::fig08_10_cpu_comparison as cmp;
+fn main() {
+    let c = cmp::CpuComparison::run();
+    print!("{}", cmp::render_fig8(&c));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (phase latency comparison).
+use llmsim_bench::experiments::fig08_10_cpu_comparison as cmp;
+fn main() {
+    let c = cmp::CpuComparison::run();
+    print!("{}", cmp::render_fig9(&c));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (counters vs batch, LLaMA2-13B).
+use llmsim_bench::experiments::fig11_12_counters as c;
+fn main() {
+    print!("{}", c::render(&c::run_fig11(), "Fig. 11"));
+}

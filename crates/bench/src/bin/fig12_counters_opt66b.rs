@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 (counters vs batch, OPT-66B).
+use llmsim_bench::experiments::fig11_12_counters as c;
+fn main() {
+    print!("{}", c::render(&c::run_fig12(), "Fig. 12"));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (NUMA mode comparison).
+use llmsim_bench::experiments::fig13_15_numa as numa;
+fn main() {
+    print!("{}", numa::render_fig13(&numa::run_fig13()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (core-count sweep).
+use llmsim_bench::experiments::fig14_16_cores as cores;
+fn main() {
+    print!("{}", cores::render_fig14(&cores::run_fig14()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15 (counters per NUMA config).
+use llmsim_bench::experiments::fig13_15_numa as numa;
+fn main() {
+    print!("{}", numa::render_fig15(&numa::run_fig15()));
+}

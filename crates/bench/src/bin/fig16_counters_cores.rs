@@ -1,0 +1,5 @@
+//! Regenerates Fig. 16 (counters vs core count).
+use llmsim_bench::experiments::fig14_16_cores as cores;
+fn main() {
+    print!("{}", cores::render_fig16(&cores::run_fig16()));
+}

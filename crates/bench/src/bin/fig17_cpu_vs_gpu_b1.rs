@@ -1,0 +1,5 @@
+//! Regenerates Fig. 17 (CPU vs GPUs, batch 1).
+use llmsim_bench::experiments::fig17_19_cpu_vs_gpu as x;
+fn main() {
+    print!("{}", x::render(&x::run(1), "Fig. 17", 1));
+}

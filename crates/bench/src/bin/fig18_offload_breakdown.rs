@@ -1,0 +1,5 @@
+//! Regenerates Fig. 18 (offload execution breakdown).
+use llmsim_bench::experiments::fig18_offload as x;
+fn main() {
+    print!("{}", x::render(&x::run()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 19 (CPU vs GPUs, batch 16).
+use llmsim_bench::experiments::fig17_19_cpu_vs_gpu as x;
+fn main() {
+    print!("{}", x::render(&x::run(16), "Fig. 19", 16));
+}

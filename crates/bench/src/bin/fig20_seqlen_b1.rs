@@ -1,0 +1,5 @@
+//! Regenerates Fig. 20 (sequence-length sweep, batch 1).
+use llmsim_bench::experiments::fig20_21_seqlen as x;
+fn main() {
+    print!("{}", x::render(&x::run(1), "Fig. 20"));
+}

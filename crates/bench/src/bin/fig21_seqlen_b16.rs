@@ -1,0 +1,5 @@
+//! Regenerates Fig. 21 (sequence-length sweep, batch 16).
+use llmsim_bench::experiments::fig20_21_seqlen as x;
+fn main() {
+    print!("{}", x::render(&x::run(16), "Fig. 21"));
+}

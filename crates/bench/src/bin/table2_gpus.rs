@@ -1,0 +1,4 @@
+//! Regenerates Table II.
+fn main() {
+    print!("{}", llmsim_bench::experiments::tables::render_table2());
+}

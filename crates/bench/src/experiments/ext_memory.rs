@@ -1,0 +1,214 @@
+//! Memory-expansion and roofline extension experiments.
+//!
+//! 1. **CXL capacity expansion** (§III: "DRAM capacity on these platforms
+//!    can also be further expanded using recent technologies such as CXL"):
+//!    models a CXL.mem pool behind the SPR socket and asks whether serving a
+//!    350 GB-class model from CXL beats offloading it to a GPU.
+//! 2. **Operator roofline chart**: places every phase of every model on the
+//!    SPR roofline (arithmetic intensity vs attainable throughput), making
+//!    the paper's compute-bound-prefill / memory-bound-decode dichotomy
+//!    visible in one plot.
+
+use llmsim_core::calib;
+use llmsim_hw::presets;
+use llmsim_model::{decode_step_graph, families, prefill_graph, DType, Phase};
+use llmsim_report::Table;
+
+/// One row of the CXL capacity study.
+#[derive(Debug, Clone)]
+pub struct CxlRow {
+    /// Model name.
+    pub model: String,
+    /// Weights footprint (GB).
+    pub weights_gb: f64,
+    /// Decode bandwidth without CXL (weights truncated to fit) — `None`
+    /// when the model simply does not fit DDR+HBM.
+    pub fits_without_cxl: bool,
+    /// Effective decode bandwidth with the CXL tier (GB/s).
+    pub bw_with_cxl: f64,
+    /// Estimated TPOT with CXL (s).
+    pub tpot_with_cxl: f64,
+}
+
+/// Runs the CXL study for the models that stress capacity.
+#[must_use]
+pub fn cxl_study() -> Vec<CxlRow> {
+    let spr = presets::spr_max_9468();
+    let machine = spr.total_memory_capacity().as_f64() / 1e9; // 640 GB-ish
+    let hbm = 128.0 * 1.073_741_824; // GiB → GB
+    let ddr = 512.0 * 1.073_741_824;
+    let cxl_capacity = 512.0; // GB of expansion
+    let cxl_bw = 48.0; // GB/s sustained
+
+    // A hypothetical 500B-class model (3x OPT-175B depth) stands in for
+    // the "industry models are even larger" point of §I: its ~1 TB of
+    // BF16 weights exceed the SPR machine and land on the CXL tier.
+    let mut opt_500b = families::opt_175b();
+    opt_500b.name = "OPT-500B (hypothetical)".into();
+    opt_500b.n_layers *= 3;
+
+    [families::opt_66b(), families::opt_175b(), opt_500b]
+        .into_iter()
+        .map(|m| {
+            let weights_gb = m.weight_bytes(DType::Bf16).as_f64() / 1e9;
+            let fits = weights_gb <= machine;
+            // Tiered placement: HBM first, DDR next, CXL last; decode
+            // streams everything once per token.
+            let in_hbm = weights_gb.min(hbm);
+            let in_ddr = (weights_gb - in_hbm).clamp(0.0, ddr);
+            let in_cxl = (weights_gb - in_hbm - in_ddr).clamp(0.0, cxl_capacity);
+            let f_hbm = in_hbm / weights_gb;
+            let f_ddr = in_ddr / weights_gb;
+            let f_cxl = in_cxl / weights_gb;
+            // Harmonic mix over the three tiers (two-socket bandwidths).
+            let hbm_bw = 2.0 * 588.0 * calib::CPU_DECODE_BW_DERATE_HBM;
+            let ddr_bw = 2.0 * 233.8 * calib::CPU_DECODE_BW_DERATE_DDR;
+            let t = f_hbm / hbm_bw + f_ddr / ddr_bw + f_cxl / cxl_bw;
+            let bw = 1.0 / t;
+            CxlRow {
+                model: m.name.clone(),
+                weights_gb,
+                fits_without_cxl: fits,
+                bw_with_cxl: bw,
+                tpot_with_cxl: weights_gb / bw,
+            }
+        })
+        .collect()
+}
+
+/// One point on the SPR roofline.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Label, e.g. "LLaMA2-13B prefill b=8".
+    pub label: String,
+    /// Phase.
+    pub phase: Phase,
+    /// Arithmetic intensity (FLOP/byte).
+    pub intensity: f64,
+    /// Attainable TFLOPS under the SPR roofline.
+    pub attainable_tflops: f64,
+    /// Whether the point sits on the bandwidth slope (memory-bound).
+    pub memory_bound: bool,
+}
+
+/// Places prefill and decode of every paper model on the SPR roofline
+/// (AMX peak, quad_flat 48-core HBM bandwidth) at the given batch.
+#[must_use]
+pub fn roofline_points(batch: u64) -> Vec<RooflinePoint> {
+    let peak_tflops = 206.4 * llmsim_core::calib::CPU_PARALLEL_EFF
+        * llmsim_isa::timing::software_efficiency(llmsim_isa::timing::EngineKind::AmxBf16);
+    let bw = 588.0 * calib::CPU_PREFILL_BW_DERATE; // GB/s
+    let mut out = Vec::new();
+    for m in families::all_paper_models() {
+        for (phase, totals) in [
+            (Phase::Prefill, prefill_graph(&m, batch, 128, DType::Bf16).totals()),
+            (Phase::Decode, decode_step_graph(&m, batch, 160, DType::Bf16).totals()),
+        ] {
+            let ai = totals.arithmetic_intensity();
+            let slope = ai * bw / 1e3; // (FLOP/B × GB/s) → TFLOPS
+            let attainable = slope.min(peak_tflops);
+            out.push(RooflinePoint {
+                label: format!("{} {phase} b={batch}", m.name),
+                phase,
+                intensity: ai,
+                attainable_tflops: attainable,
+                memory_bound: slope < peak_tflops,
+            });
+        }
+    }
+    out
+}
+
+/// Renders both studies.
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::from("Memory extension studies\n\nCXL capacity expansion (§III):\n");
+    let mut t = Table::new(vec![
+        "model".into(),
+        "weights (GB)".into(),
+        "fits w/o CXL".into(),
+        "BW w/ CXL (GB/s)".into(),
+        "TPOT w/ CXL (s)".into(),
+    ]);
+    for r in cxl_study() {
+        t.row(vec![
+            r.model.clone(),
+            format!("{:.0}", r.weights_gb),
+            if r.fits_without_cxl { "yes".into() } else { "no".into() },
+            format!("{:.0}", r.bw_with_cxl),
+            format!("{:.2}", r.tpot_with_cxl),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nSPR roofline placement (batch 8):\n");
+    let mut rt = Table::new(vec![
+        "workload".into(),
+        "AI (FLOP/B)".into(),
+        "attainable TFLOPS".into(),
+        "bound".into(),
+    ]);
+    for p in roofline_points(8) {
+        rt.row(vec![
+            p.label.clone(),
+            format!("{:.2}", p.intensity),
+            format!("{:.1}", p.attainable_tflops),
+            if p.memory_bound { "memory".into() } else { "compute".into() },
+        ]);
+    }
+    out.push_str(&rt.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_350b_class_needs_cxl() {
+        let rows = cxl_study();
+        let fits = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().fits_without_cxl;
+        assert!(fits("OPT-66B"));
+        assert!(fits("OPT-175B")); // 350 GB < 640 GB machine memory
+        assert!(!fits("OPT-500B"), "~1 TB must exceed the machine");
+    }
+
+    #[test]
+    fn cxl_tier_collapses_bandwidth_in_proportion_to_spill() {
+        let rows = cxl_study();
+        let bw = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().bw_with_cxl;
+        // No CXL traffic → healthy; CXL-resident slice dominates the
+        // harmonic mix (48 GB/s tier).
+        assert!(bw("OPT-66B") > 300.0, "{}", bw("OPT-66B"));
+        assert!(bw("OPT-500B") < 250.0, "{}", bw("OPT-500B"));
+        let tpot = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().tpot_with_cxl;
+        assert!(tpot("OPT-500B") > 4.0 * tpot("OPT-175B"), "{} vs {}", tpot("OPT-500B"), tpot("OPT-175B"));
+    }
+
+    #[test]
+    fn roofline_separates_phases() {
+        // The §II-B dichotomy: every decode point is memory-bound; prefill
+        // points at batch 8 (1024 tokens) are compute-bound.
+        for p in roofline_points(8) {
+            match p.phase {
+                Phase::Decode => assert!(p.memory_bound, "{}", p.label),
+                Phase::Prefill => assert!(!p.memory_bound, "{}", p.label),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_intensity_is_single_digit() {
+        for p in roofline_points(1) {
+            if p.phase == Phase::Decode {
+                assert!(p.intensity < 10.0, "{}: {}", p.label, p.intensity);
+            }
+        }
+    }
+
+    #[test]
+    fn render_covers_both_studies() {
+        let s = render();
+        assert!(s.contains("CXL"));
+        assert!(s.contains("roofline") || s.contains("Roofline") || s.contains("SPR roofline"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Extension experiments beyond the paper's figures:
+//!
+//! 1. **INT8 weight-only quantization** (§VII-B, Shen et al. — the paper's
+//!    cited path to efficient CPU inference),
+//! 2. **Grace-Hopper offloading** (§V-B's forward-looking discussion),
+//! 3. **cost efficiency** (footnote 1's price argument, quantified),
+//! 4. **continuous-batching serving** (§VII-C's batching systems),
+//! 5. **Fig. 21 sensitivity** — the attention-overhead term that produces
+//!    the paper's H100 crossover (DESIGN.md "Known limitations").
+
+use llmsim_core::serving::{self, SchedulingPolicy, ServingConfig, ServingRequest};
+use llmsim_core::{Backend, CpuBackend, GpuBackend, Request};
+use llmsim_hw::{presets, pricing, Bytes, Seconds};
+use llmsim_model::{families, DType};
+use llmsim_report::Table;
+use llmsim_workload::ArrivalTrace;
+
+/// 1. INT8 weight-only quantization: decode throughput across models,
+///    BF16 vs INT8 weights on the paper SPR configuration.
+#[must_use]
+pub fn quantization_table() -> Table {
+    let bf16 = CpuBackend::paper_spr();
+    let int8 = CpuBackend::paper_spr().with_weight_dtype(DType::Int8);
+    let req = Request::paper_default(1);
+    let mut t = Table::new(vec![
+        "model".into(),
+        "BF16 TPOT (ms)".into(),
+        "INT8-w TPOT (ms)".into(),
+        "decode speedup".into(),
+    ]);
+    for m in families::all_paper_models() {
+        let a = bf16.run(&m, &req).expect("fits");
+        let b = int8.run(&m, &req).expect("fits");
+        t.row(vec![
+            m.name.clone(),
+            format!("{:.1}", a.tpot.as_millis()),
+            format!("{:.1}", b.tpot.as_millis()),
+            format!("{:.2}x", a.tpot.as_f64() / b.tpot.as_f64()),
+        ]);
+    }
+    t
+}
+
+/// 2. GH200 (§V-B): the same offloaded OPT-66B workload with the host link
+///    swapped from PCIe 5.0 to NVLink-C2C. Returns
+///    `(h100_tput, gh200_tput, cpu_tput)` at batch 1.
+#[must_use]
+pub fn gh200_offload_comparison() -> (f64, f64, f64) {
+    let m = families::opt_66b();
+    let req = Request::paper_default(1);
+    let h100 = GpuBackend::paper_h100().run(&m, &req).expect("host fits");
+    let gh200 = GpuBackend::new(presets::gh200_96gb(), DType::Bf16, Bytes::from_gib(480.0))
+        .run(&m, &req)
+        .expect("host fits");
+    let cpu = CpuBackend::paper_spr().run(&m, &req).expect("fits");
+    (h100.e2e_throughput(), gh200.e2e_throughput(), cpu.e2e_throughput())
+}
+
+/// 3. Cost efficiency: tokens/s per thousand dollars of list price
+///    (footnote 1), for a resident-size model and an offloaded one.
+#[must_use]
+pub fn cost_efficiency_table() -> Table {
+    let cpu = CpuBackend::paper_spr();
+    let a100 = GpuBackend::paper_a100();
+    let h100 = GpuBackend::paper_h100();
+    let req = Request::paper_default(16);
+    let mut t = Table::new(vec![
+        "model".into(),
+        "SPR tok/s/k$".into(),
+        "A100 tok/s/k$".into(),
+        "H100 tok/s/k$".into(),
+    ]);
+    for m in [families::opt_13b(), families::opt_66b()] {
+        let per_kd = |tput: f64, price: llmsim_hw::UsDollars| tput / (price.get() / 1000.0);
+        let c = per_kd(cpu.run(&m, &req).expect("fits").e2e_throughput(), pricing::spr_max_9468_price());
+        let a = per_kd(a100.run(&m, &req).expect("fits").e2e_throughput(), pricing::a100_40gb_price());
+        let h = per_kd(h100.run(&m, &req).expect("fits").e2e_throughput(), pricing::h100_80gb_price());
+        t.row(vec![
+            m.name.clone(),
+            format!("{c:.2}"),
+            format!("{a:.2}"),
+            format!("{h:.2}"),
+        ]);
+    }
+    t
+}
+
+/// 3b. Energy efficiency: tokens per kilojoule of board energy, using the
+///     utilization-scaled power model (one SPR socket vs one GPU board + a
+///     lightly-loaded host socket).
+#[must_use]
+pub fn energy_efficiency_table() -> Table {
+    use llmsim_hw::power;
+    let cpu = CpuBackend::paper_spr();
+    let a100 = GpuBackend::paper_a100();
+    let h100 = GpuBackend::paper_h100();
+    let req = Request::paper_default(16);
+    let mut t = Table::new(vec![
+        "model".into(),
+        "SPR tok/kJ".into(),
+        "A100 tok/kJ".into(),
+        "H100 tok/kJ".into(),
+    ]);
+    for m in [families::opt_13b(), families::opt_66b()] {
+        let c = cpu.run(&m, &req).expect("fits");
+        let a = a100.run(&m, &req).expect("fits");
+        let h = h100.run(&m, &req).expect("fits");
+        let tokens = req.generated_tokens() as f64;
+        let cpu_e = power::spr_max_9468_socket()
+            .energy_joules(c.e2e_latency, c.counters.core_utilization.max(0.3));
+        // GPU servers burn the board plus a host socket feeding it
+        // (especially under offloading, where the host streams weights).
+        let host = power::spr_max_9468_socket();
+        let gpu_util = |r: &llmsim_core::InferenceReport| if r.offload.is_some() { 0.35 } else { 0.75 };
+        let a_e = power::a100_40gb_board().energy_joules(a.e2e_latency, gpu_util(&a))
+            + host.energy_joules(a.e2e_latency, 0.3);
+        let h_e = power::h100_80gb_board().energy_joules(h.e2e_latency, gpu_util(&h))
+            + host.energy_joules(h.e2e_latency, 0.3);
+        t.row(vec![
+            m.name.clone(),
+            format!("{:.1}", tokens / (cpu_e / 1e3)),
+            format!("{:.1}", tokens / (a_e / 1e3)),
+            format!("{:.1}", tokens / (h_e / 1e3)),
+        ]);
+    }
+    t
+}
+
+/// 4. Continuous batching on the SPR CPU: static vs iteration-level
+///    scheduling on a Poisson arrival trace. Returns
+///    `(static_tput, orca_tput, static_p99, orca_p99)`.
+#[must_use]
+pub fn serving_comparison() -> (f64, f64, f64, f64) {
+    let model = families::opt_6_7b();
+    let backend = CpuBackend::paper_spr();
+    let arrivals = ArrivalTrace::poisson(7, 32, 4.0);
+    let requests: Vec<ServingRequest> = arrivals
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| ServingRequest {
+            id: i as u64,
+            arrival_s: t,
+            prompt_len: 64 + 64 * (i as u64 % 3),
+            gen_len: 8 + 24 * (i as u64 % 4),
+        })
+        .collect();
+    let run = |policy| {
+        serving::simulate(&backend, &model, &ServingConfig { max_batch: 8, policy }, &requests)
+    };
+    let st = run(SchedulingPolicy::Static);
+    let it = run(SchedulingPolicy::IterationLevel);
+    (st.throughput(), it.throughput(), st.e2e_percentile(99.0), it.e2e_percentile(99.0))
+}
+
+/// 5. Fig. 21 sensitivity: sweep the per-sequence attention overhead and
+///    report the first sequence length (batch 16, LLaMA2-70B) at which the
+///    offloading H100 beats the CPU. Returns `(overhead_ms, crossover_seq)`
+///    pairs (`None` = no crossover within 1024).
+#[must_use]
+pub fn fig21_crossover_sensitivity() -> Vec<(f64, Option<u64>)> {
+    let m = families::llama2_70b();
+    let h100 = GpuBackend::paper_h100();
+    [0.0f64, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&ms| {
+            let cpu = CpuBackend::paper_spr()
+                .with_attention_overhead(Seconds::new(ms * 1e-3));
+            let crossover = [128u64, 256, 512, 1024].into_iter().find(|&seq| {
+                let req = Request::new(16, seq, 32);
+                let c = cpu.run(&m, &req).expect("fits");
+                let h = h100.run(&m, &req).expect("host fits");
+                h.e2e_latency < c.e2e_latency
+            });
+            (ms, crossover)
+        })
+        .collect()
+}
+
+/// 6. H2O-style KV-cache compression (the paper's ref. \[58\]): TPOT at a
+///    long context as the keep-ratio shrinks. Returns `(keep_ratio, tpot_s)`
+///    points for LLaMA2-13B at batch 8, context 8192.
+#[must_use]
+pub fn kv_compression_sweep() -> Vec<(f64, f64)> {
+    let m = families::llama2_13b();
+    [1.0f64, 0.5, 0.25, 0.125]
+        .iter()
+        .map(|&r| {
+            let backend = CpuBackend::paper_spr().with_kv_keep_ratio(r);
+            // Long-context decode: 8192 prompt tokens, batch 8.
+            let step = backend.decode_step_time(&m, 8, 8192).as_f64();
+            (r, step)
+        })
+        .collect()
+}
+
+/// Renders all extension experiments.
+#[must_use]
+pub fn render() -> String {
+    let (h100, gh200, cpu) = gh200_offload_comparison();
+    let (st_tput, it_tput, st_p99, it_p99) = serving_comparison();
+    let mut out = String::from("Extension experiments (beyond the paper's figures)\n\n");
+    out.push_str("1. INT8 weight-only quantization (SPR, batch 1):\n");
+    out.push_str(&quantization_table().render());
+    out.push_str(&format!(
+        "\n2. GH200 offloading (§V-B), OPT-66B b=1 tok/s:\n   H100/PCIe5 {h100:.2}  GH200/NVLink {gh200:.2}  SPR CPU {cpu:.2}\n"
+    ));
+    out.push_str("\n3. Cost efficiency (footnote 1), tokens/s per k$ at batch 16:\n");
+    out.push_str(&cost_efficiency_table().render());
+    out.push_str("\n3b. Energy efficiency, tokens per kilojoule at batch 16:\n");
+    out.push_str(&energy_efficiency_table().render());
+    out.push_str(&format!(
+        "\n4. Continuous batching (OPT-6.7B on SPR, Poisson 4 req/s):\n   static {st_tput:.1} tok/s (p99 {st_p99:.2}s)  iteration-level {it_tput:.1} tok/s (p99 {it_p99:.2}s)\n"
+    ));
+    out.push_str("\n5. H2O-style KV compression (LLaMA2-13B, b=8, ctx 8192) TPOT:\n");
+    for (r, tpot) in kv_compression_sweep() {
+        out.push_str(&format!("   keep {:>5.1}% -> {:.1} ms/step\n", r * 100.0, tpot * 1e3));
+    }
+    out.push_str("\n6. Fig. 21 crossover vs CPU attention overhead (LLaMA2-70B, b=16):\n");
+    for (ms, seq) in fig21_crossover_sensitivity() {
+        match seq {
+            Some(s) => out.push_str(&format!("   {ms:.2} ms/seq/layer -> H100 wins from seq {s}\n")),
+            None => out.push_str(&format!("   {ms:.2} ms/seq/layer -> CPU wins through seq 1024\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_table_shows_near_2x_decode() {
+        let t = quantization_table();
+        let s = t.render();
+        assert!(s.contains("OPT-66B"));
+        // At least one row should show >1.7x.
+        assert!(s.contains("1.9") || s.contains("1.8") || s.contains("2.0"), "{s}");
+    }
+
+    #[test]
+    fn gh200_moves_offloading_back_ahead_of_cpu() {
+        // §V-B's point: NVLink-C2C (900 GB/s vs PCIe's 128) removes the
+        // offloading bottleneck, putting the superchip ahead of the CPU.
+        let (h100, gh200, cpu) = gh200_offload_comparison();
+        assert!(gh200 > 5.0 * h100, "gh200 {gh200} vs h100 {h100}");
+        assert!(gh200 > cpu, "gh200 {gh200} vs cpu {cpu}");
+        assert!(cpu > h100, "Key Finding #4 still holds for PCIe");
+    }
+
+    #[test]
+    fn cost_efficiency_favors_cpu_once_offloading() {
+        // Footnote 1 + KF#4 combined: per dollar, the CPU wins the
+        // offloaded model decisively and becomes competitive overall.
+        let t = cost_efficiency_table();
+        let tsv = t.to_tsv();
+        let opt66: Vec<&str> = tsv
+            .lines()
+            .find(|l| l.starts_with("OPT-66B"))
+            .expect("row exists")
+            .split('\t')
+            .collect();
+        let spr: f64 = opt66[1].parse().unwrap();
+        let a100: f64 = opt66[2].parse().unwrap();
+        let h100: f64 = opt66[3].parse().unwrap();
+        assert!(spr > 3.0 * a100, "spr {spr} vs a100 {a100}");
+        assert!(spr > 3.0 * h100, "spr {spr} vs h100 {h100}");
+    }
+
+    #[test]
+    fn energy_story_mirrors_cost_story() {
+        // Offloaded big models burn GPU+host power while PCIe crawls, so
+        // the CPU wins tokens/kJ there; resident small models favor GPUs.
+        let t = energy_efficiency_table();
+        let tsv = t.to_tsv();
+        let row = |name: &str| -> Vec<f64> {
+            tsv.lines()
+                .find(|l| l.starts_with(name))
+                .unwrap()
+                .split('\t')
+                .skip(1)
+                .map(|v| v.parse().unwrap())
+                .collect()
+        };
+        let opt66 = row("OPT-66B");
+        assert!(opt66[0] > opt66[1] && opt66[0] > opt66[2], "{opt66:?}");
+        // Resident small models: the H100's speed roughly cancels its board
+        // power — tokens/kJ land within 2x of the CPU either way.
+        let opt13 = row("OPT-13B");
+        let ratio = opt13[2] / opt13[0];
+        assert!((0.5..2.0).contains(&ratio), "{opt13:?}");
+    }
+
+    #[test]
+    fn iteration_level_serving_wins() {
+        let (st, it, st_p99, it_p99) = serving_comparison();
+        assert!(it > st, "{it} vs {st}");
+        assert!(it_p99 <= st_p99 * 1.05, "{it_p99} vs {st_p99}");
+    }
+
+    #[test]
+    fn attention_overhead_produces_paper_crossover() {
+        // With zero overhead the CPU holds through 1024 (our documented
+        // deviation); with a realistic unfused-kernel overhead the paper's
+        // seq>=256-ish crossover emerges, monotonically earlier as the
+        // overhead grows.
+        let sens = fig21_crossover_sensitivity();
+        assert_eq!(sens[0].1, None, "no crossover at zero overhead");
+        let last = sens.last().unwrap();
+        assert!(last.1.is_some(), "1 ms overhead must produce a crossover");
+        let mut prev = u64::MAX;
+        for (_, seq) in &sens {
+            if let Some(s) = seq {
+                assert!(*s <= prev, "crossover must move earlier");
+                prev = *s;
+            }
+        }
+    }
+
+    #[test]
+    fn kv_compression_cuts_long_context_tpot() {
+        let sweep = kv_compression_sweep();
+        let full = sweep[0].1;
+        let eighth = sweep.last().unwrap().1;
+        // At 8k context x batch 8, KV reads are a large share of decode
+        // traffic; keeping 1/8 of the cache must cut TPOT noticeably but
+        // not below the weight-streaming floor.
+        assert!(eighth < 0.75 * full, "{eighth} vs {full}");
+        assert!(eighth > 0.2 * full, "{eighth} vs {full}");
+        // Monotone.
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_five_studies() {
+        let s = render();
+        for needle in ["INT8", "GH200", "Cost", "Continuous", "crossover"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig. 1 — GEMM throughput across matrix dimensions on ICL (AVX-512),
+//! SPR Max (AMX), A100 and H100.
+//!
+//! CPU points come from the closed-form ISA timing model (validated against
+//! the functional AMX emulator); GPU points from the Table II roofline with
+//! a per-kernel launch overhead that suppresses small sizes.
+
+use llmsim_core::calib;
+use llmsim_hw::{presets, GpuSpec};
+use llmsim_isa::timing::{amx_timing, avx512_timing, GemmShape};
+use llmsim_report::{Series, Table};
+
+/// Square matrix sizes swept (paper's x-axis spans small to large GEMMs).
+pub const SIZES: [u64; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// One platform's modeled GEMM throughput curve.
+#[derive(Debug, Clone)]
+pub struct GemmCurve {
+    /// Platform name.
+    pub platform: String,
+    /// `(size, TFLOPS)` per swept square size.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Modeled TFLOPS of an `n³` GEMM on a CPU using all cores of one socket.
+///
+/// The ISA timing model gives single-core kernel cycles; a socket-parallel
+/// GEMM divides the tile space across cores (with the parallel-efficiency
+/// calibration) and is additionally capped by socket memory bandwidth.
+fn cpu_gemm_tflops(n: u64, amx: bool) -> f64 {
+    let shape = GemmShape::new(n, n, n);
+    let (cycles, cores, freq, bw) = if amx {
+        let spr = presets::spr_max_9468();
+        let bw = spr.hbm.as_ref().expect("SPR has HBM").bandwidth_per_socket;
+        (amx_timing(shape).cycles, 48.0, spr.frequency.as_f64(), bw)
+    } else {
+        let icl = presets::icl_8352y();
+        (avx512_timing(shape).cycles, 32.0, icl.frequency.as_f64(), icl.ddr.bandwidth_per_socket)
+    };
+    let time_compute = cycles / freq / (cores * calib::CPU_PARALLEL_EFF);
+    let bytes = 3.0 * (n * n) as f64 * 2.0; // A, B, C in BF16
+    let time_mem = bytes / (bw.bytes_per_sec() * calib::CPU_PREFILL_BW_DERATE);
+    shape.flops() / time_compute.max(time_mem) / 1e12
+}
+
+/// Modeled TFLOPS of an `n³` GEMM on a GPU.
+fn gpu_gemm_tflops(gpu: &GpuSpec, n: u64) -> f64 {
+    let flops = 2.0 * (n as f64).powi(3);
+    let time_compute = flops / (gpu.bf16_peak.as_f64() * calib::GPU_GEMM_EFF);
+    let bytes = 3.0 * (n * n) as f64 * 2.0;
+    let time_mem = bytes / (gpu.memory_bandwidth.bytes_per_sec() * calib::GPU_BW_DERATE);
+    // Launch + tail-quantization overhead dominates small kernels.
+    let overhead = calib::GPU_KERNEL_OVERHEAD_S * 3.0;
+    flops / (time_compute.max(time_mem) + overhead) / 1e12
+}
+
+/// Runs the Fig. 1 sweep for all four platforms.
+#[must_use]
+pub fn run() -> Vec<GemmCurve> {
+    let a100 = presets::a100_40gb();
+    let h100 = presets::h100_80gb();
+    let curve = |platform: &str, f: &dyn Fn(u64) -> f64| GemmCurve {
+        platform: platform.to_owned(),
+        points: SIZES.iter().map(|&n| (n, f(n))).collect(),
+    };
+    vec![
+        curve("ICL 8352Y (AVX-512)", &|n| cpu_gemm_tflops(n, false)),
+        curve("SPR Max 9468 (AMX)", &|n| cpu_gemm_tflops(n, true)),
+        curve("A100", &|n| gpu_gemm_tflops(&a100, n)),
+        curve("H100", &|n| gpu_gemm_tflops(&h100, n)),
+    ]
+}
+
+/// Renders the sweep as a table plus bar chart.
+#[must_use]
+pub fn render() -> String {
+    let curves = run();
+    let mut headers = vec!["size".to_owned()];
+    headers.extend(curves.iter().map(|c| c.platform.clone()));
+    let mut table = Table::new(headers);
+    for (i, &n) in SIZES.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        row.extend(curves.iter().map(|c| format!("{:.1}", c.points[i].1)));
+        table.row(row);
+    }
+    let series: Vec<Series> = curves
+        .iter()
+        .map(|c| {
+            let mut s = Series::new(c.platform.clone());
+            for (n, t) in &c.points {
+                s.push(n.to_string(), *t);
+            }
+            s
+        })
+        .collect();
+    format!(
+        "Fig. 1 — GEMM throughput (TFLOPS, modeled) vs square matrix size\n\n{}\n{}",
+        table.render(),
+        llmsim_report::grouped_bars(&series, 50)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_fig1_at_large_sizes() {
+        // Paper: GPUs on top, AMX SPR far above AVX-512 ICL.
+        let curves = run();
+        let at = |name: &str, n: u64| {
+            curves
+                .iter()
+                .find(|c| c.platform.contains(name))
+                .unwrap()
+                .points
+                .iter()
+                .find(|(s, _)| *s == n)
+                .unwrap()
+                .1
+        };
+        let n = 8192;
+        assert!(at("H100", n) > at("A100", n));
+        assert!(at("A100", n) > at("AMX", n));
+        assert!(at("AMX", n) > 5.0 * at("AVX-512", n));
+    }
+
+    #[test]
+    fn amx_peak_band_is_plausible() {
+        // oneDNN AMX BF16 on SPR Max sustains ~80–120 TFLOPS on large GEMMs.
+        let curves = run();
+        let spr = curves.iter().find(|c| c.platform.contains("AMX")).unwrap();
+        let max = spr.points.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+        assert!((60.0..140.0).contains(&max), "{max}");
+    }
+
+    #[test]
+    fn small_gemms_underutilize_everything() {
+        let curves = run();
+        for c in &curves {
+            let small = c.points[0].1;
+            let large = c.points.last().unwrap().1;
+            assert!(small < large, "{}: {small} !< {large}", c.platform);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_platforms() {
+        let s = render();
+        for name in ["ICL", "SPR", "A100", "H100"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

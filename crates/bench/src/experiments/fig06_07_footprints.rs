@@ -1,0 +1,87 @@
+//! Figs. 6 & 7 — weight and KV-cache memory footprints.
+
+use llmsim_model::footprint::{kv_footprint_grid, weight_footprints, KvFootprint};
+use llmsim_model::{families, DType};
+use llmsim_report::Table;
+
+/// Fig. 7's sequence-length axis.
+pub const FIG7_SEQ_LENS: [u64; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
+/// Fig. 7's batch-size axis.
+pub const FIG7_BATCHES: [u64; 4] = [1, 8, 16, 32];
+
+/// Renders Fig. 6: FP16 weight footprint per model.
+#[must_use]
+pub fn render_fig6() -> String {
+    let mut models = families::all_paper_models();
+    models.push(families::opt_175b());
+    let fps = weight_footprints(&models, DType::Fp16);
+    let mut t = Table::new(vec!["model".into(), "params (B)".into(), "weights (GB)".into()]);
+    for f in &fps {
+        t.row(vec![
+            f.model.clone(),
+            format!("{:.1}", f.params as f64 / 1e9),
+            format!("{:.1}", f.bytes.as_f64() / 1e9),
+        ]);
+    }
+    format!("Fig. 6 — model weight memory footprint (FP16)\n\n{}", t.render())
+}
+
+/// Computes the Fig. 7 grid for LLaMA2-13B.
+#[must_use]
+pub fn fig7_grid() -> Vec<KvFootprint> {
+    kv_footprint_grid(&families::llama2_13b(), &FIG7_SEQ_LENS, &FIG7_BATCHES, DType::Fp16)
+}
+
+/// Renders Fig. 7: KV-cache footprint vs sequence length and batch for
+/// LLaMA2-13B, marking cells that exceed the model size (the dotted line).
+#[must_use]
+pub fn render_fig7() -> String {
+    let grid = fig7_grid();
+    let model_gb = families::llama2_13b().weight_bytes(DType::Fp16).as_f64() / 1e9;
+    let mut headers = vec!["seq_len".to_owned()];
+    headers.extend(FIG7_BATCHES.iter().map(|b| format!("b={b} (GB)")));
+    let mut t = Table::new(headers);
+    for &s in &FIG7_SEQ_LENS {
+        let mut row = vec![s.to_string()];
+        for &b in &FIG7_BATCHES {
+            let cell = grid.iter().find(|c| c.seq_len == s && c.batch == b).unwrap();
+            let mark = if cell.exceeds_model { "*" } else { "" };
+            row.push(format!("{:.1}{mark}", cell.bytes.as_f64() / 1e9));
+        }
+        t.row(row);
+    }
+    format!(
+        "Fig. 7 — LLaMA2-13B KV-cache footprint (FP16); '*' exceeds the\nmodel's own {model_gb:.1} GB (the paper's dotted line)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shows_two_h100_class_models() {
+        let s = render_fig6();
+        assert!(s.contains("OPT-66B"));
+        assert!(s.contains("LLaMA2-70B"));
+        assert!(s.contains("OPT-175B"));
+    }
+
+    #[test]
+    fn fig7_large_corner_exceeds_model() {
+        let grid = fig7_grid();
+        let big = grid.iter().find(|c| c.seq_len == 32768 && c.batch == 32).unwrap();
+        assert!(big.exceeds_model);
+        // §III's observation is visible: KV overtakes the model well before
+        // the extreme corner.
+        let mid = grid.iter().find(|c| c.seq_len == 8192 && c.batch == 32).unwrap();
+        assert!(mid.exceeds_model);
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(render_fig6().lines().count() > 8);
+        assert!(render_fig7().contains('*'));
+    }
+}

@@ -1,0 +1,133 @@
+//! Figs. 11 & 12 — hardware counters vs batch size on the SPR CPU for
+//! LLaMA2-13B (Fig. 11) and OPT-66B (Fig. 12): LLC MPKI falls, core
+//! utilization rises, load/store counts grow.
+
+use llmsim_core::{Backend, CpuBackend, Request};
+use llmsim_model::{families, ModelConfig};
+use llmsim_report::Table;
+use llmsim_workload::sweep::PAPER_BATCHES;
+
+/// Counter series for one model across the batch sweep.
+#[derive(Debug, Clone)]
+pub struct CounterSweep {
+    /// Model name.
+    pub model: String,
+    /// Per batch size: (batch, mpki, core_util, loads, stores).
+    pub points: Vec<CounterPoint>,
+}
+
+/// One batch size's counters.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterPoint {
+    /// Batch size.
+    pub batch: u64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Core utilization in [0, 1].
+    pub core_util: f64,
+    /// Loads normalized to batch 1.
+    pub loads_norm: f64,
+    /// Stores normalized to batch 1.
+    pub stores_norm: f64,
+}
+
+/// Runs the counter sweep for `model` on the paper SPR configuration.
+///
+/// # Panics
+///
+/// Panics if a grid point fails (paper models fit SPR memory).
+#[must_use]
+pub fn run(model: &ModelConfig) -> CounterSweep {
+    let spr = CpuBackend::paper_spr();
+    let reports: Vec<_> = PAPER_BATCHES
+        .iter()
+        .map(|&b| spr.run(model, &Request::paper_default(b)).expect("fits"))
+        .collect();
+    let base_loads = reports[0].counters.loads;
+    let base_stores = reports[0].counters.stores;
+    let points = reports
+        .iter()
+        .map(|r| CounterPoint {
+            batch: r.request.batch,
+            llc_mpki: r.counters.llc_mpki,
+            core_util: r.counters.core_utilization,
+            loads_norm: r.counters.loads / base_loads,
+            stores_norm: r.counters.stores / base_stores,
+        })
+        .collect();
+    CounterSweep { model: model.name.clone(), points }
+}
+
+/// Runs Fig. 11 (LLaMA2-13B).
+#[must_use]
+pub fn run_fig11() -> CounterSweep {
+    run(&families::llama2_13b())
+}
+
+/// Runs Fig. 12 (OPT-66B).
+#[must_use]
+pub fn run_fig12() -> CounterSweep {
+    run(&families::opt_66b())
+}
+
+/// Renders one counter sweep.
+#[must_use]
+pub fn render(sweep: &CounterSweep, figure: &str) -> String {
+    let mut t = Table::new(vec![
+        "batch".into(),
+        "LLC MPKI".into(),
+        "core util".into(),
+        "loads (norm)".into(),
+        "stores (norm)".into(),
+    ]);
+    for p in &sweep.points {
+        t.row(vec![
+            p.batch.to_string(),
+            format!("{:.2}", p.llc_mpki),
+            format!("{:.2}", p.core_util),
+            format!("{:.2}", p.loads_norm),
+            format!("{:.2}", p.stores_norm),
+        ]);
+    }
+    format!("{figure} — HW counters vs batch, {} on SPR\n\n{}", sweep.model, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_trends(s: &CounterSweep) {
+        // Fig. 11/12: "With larger batch sizes, both models exhibit a
+        // decrease in LLC MPKI and an increase in core utilization."
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        assert!(last.llc_mpki < first.llc_mpki, "{}: MPKI {} !< {}", s.model, last.llc_mpki, first.llc_mpki);
+        assert!(last.core_util > first.core_util, "{}: util", s.model);
+        // Loads grow with batch, sublinearly: the dominant weight stream is
+        // batch-independent; activations and KV traffic scale with batch.
+        assert!(last.loads_norm > 1.05, "{}: loads {}", s.model, last.loads_norm);
+        assert!(last.loads_norm < 32.0, "{}: loads {}", s.model, last.loads_norm);
+        for w in s.points.windows(2) {
+            assert!(w[1].loads_norm >= w[0].loads_norm, "{}: loads not monotone", s.model);
+        }
+        assert!((first.loads_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig11_trends() {
+        check_trends(&run_fig11());
+    }
+
+    #[test]
+    fn fig12_trends() {
+        check_trends(&run_fig12());
+    }
+
+    #[test]
+    fn render_has_all_batches() {
+        let s = render(&run_fig11(), "Fig. 11");
+        for b in PAPER_BATCHES {
+            assert!(s.lines().any(|l| l.trim_start().starts_with(&b.to_string())), "b={b}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Figs. 13 & 15 — NUMA memory/clustering mode comparison (Key Finding #2).
+//!
+//! Fig. 13 averages seven latency/throughput metrics over all models and
+//! batch sizes, normalized to `quad_cache`; Fig. 15 shows counters for
+//! LLaMA2-13B at batch 8 across the four configurations.
+
+use crate::runner::run_sweep;
+use llmsim_core::{Backend, CpuBackend, Request};
+use llmsim_hw::NumaConfig;
+use llmsim_model::{families, DType};
+use llmsim_report::{Series, Table};
+use llmsim_workload::sweep::paper_grid;
+
+/// The metric names of Fig. 13, in display order.
+pub const FIG13_METRICS: [&str; 7] = [
+    "E2E latency",
+    "TTFT",
+    "TPOT",
+    "E2E throughput",
+    "prefill throughput",
+    "decode throughput",
+    "tokens/s/core",
+];
+
+/// Average metrics for one NUMA configuration.
+#[derive(Debug, Clone)]
+pub struct NumaResult {
+    /// The configuration.
+    pub numa: NumaConfig,
+    /// Metric values in [`FIG13_METRICS`] order (raw, not normalized).
+    pub metrics: [f64; 7],
+}
+
+fn backend(numa: NumaConfig) -> CpuBackend {
+    CpuBackend::new(llmsim_hw::presets::spr_max_9468(), numa, 48, DType::Bf16)
+        .expect("SPR supports all four paper NUMA configs")
+}
+
+/// Runs the Fig. 13 sweep: all four configurations over the full paper grid.
+///
+/// # Panics
+///
+/// Panics if a grid point fails.
+#[must_use]
+pub fn run_fig13() -> Vec<NumaResult> {
+    NumaConfig::PAPER_SWEEP
+        .iter()
+        .map(|&numa| {
+            let reports = run_sweep(&backend(numa), &paper_grid(), 8).expect("grid runs");
+            let n = reports.len() as f64;
+            let avg = |f: &dyn Fn(&llmsim_core::InferenceReport) -> f64| {
+                reports.iter().map(f).sum::<f64>() / n
+            };
+            NumaResult {
+                numa,
+                metrics: [
+                    avg(&|r| r.e2e_latency.as_f64()),
+                    avg(&|r| r.ttft.as_f64()),
+                    avg(&|r| r.tpot.as_f64()),
+                    avg(&|r| r.e2e_throughput()),
+                    avg(&|r| r.prefill_throughput()),
+                    avg(&|r| r.decode_throughput()),
+                    avg(&|r| r.e2e_throughput() / 48.0),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 13 normalized to `quad_cache` (the paper's convention).
+#[must_use]
+pub fn render_fig13(results: &[NumaResult]) -> String {
+    let base = results
+        .iter()
+        .find(|r| r.numa == NumaConfig::QUAD_CACHE)
+        .expect("quad_cache present");
+    let mut headers = vec!["metric".to_owned()];
+    headers.extend(results.iter().map(|r| r.numa.to_string()));
+    let mut t = Table::new(headers);
+    for (i, name) in FIG13_METRICS.iter().enumerate() {
+        let mut row = vec![(*name).to_owned()];
+        for r in results {
+            row.push(format!("{:.3}", r.metrics[i] / base.metrics[i]));
+        }
+        t.row(row);
+    }
+    let mut tp = Series::new("E2E throughput (normalized)");
+    for r in results {
+        tp.push(r.numa.to_string(), r.metrics[3] / base.metrics[3]);
+    }
+    format!(
+        "Fig. 13 — SPR NUMA configurations, all metrics normalized to quad_cache\n\
+         (averaged over all models and batch sizes 1-32)\n\n{}\n{}",
+        t.render(),
+        llmsim_report::grouped_bars(&[tp], 40)
+    )
+}
+
+/// Fig. 15's counters: LLaMA2-13B, batch 8, per configuration.
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// Configuration.
+    pub numa: NumaConfig,
+    /// LLC MPKI.
+    pub llc_mpki: f64,
+    /// Core utilization.
+    pub core_util: f64,
+    /// Remote LLC accesses per kilo-instruction.
+    pub remote_llc_pki: f64,
+}
+
+/// Runs Fig. 15.
+///
+/// # Panics
+///
+/// Panics if the run fails (LLaMA2-13B at batch 8 always fits).
+#[must_use]
+pub fn run_fig15() -> Vec<Fig15Row> {
+    let model = families::llama2_13b();
+    let req = Request::paper_default(8);
+    NumaConfig::PAPER_SWEEP
+        .iter()
+        .map(|&numa| {
+            let r = backend(numa).run(&model, &req).expect("fits");
+            Fig15Row {
+                numa,
+                llc_mpki: r.counters.llc_mpki,
+                core_util: r.counters.core_utilization,
+                remote_llc_pki: r.counters.remote_llc_pki,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 15.
+#[must_use]
+pub fn render_fig15(rows: &[Fig15Row]) -> String {
+    let mut t = Table::new(vec![
+        "config".into(),
+        "LLC MPKI".into(),
+        "core util".into(),
+        "remote LLC/kinstr".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.numa.to_string(),
+            format!("{:.2}", r.llc_mpki),
+            format!("{:.2}", r.core_util),
+            format!("{:.2}", r.remote_llc_pki),
+        ]);
+    }
+    format!("Fig. 15 — counters per NUMA config, LLaMA2-13B b=8\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_finding_2_quad_flat_wins_every_metric() {
+        let results = run_fig13();
+        let get = |numa: NumaConfig| {
+            results.iter().find(|r| r.numa == numa).unwrap().metrics
+        };
+        let best = get(NumaConfig::QUAD_FLAT);
+        for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_CACHE, NumaConfig::SNC_FLAT] {
+            let m = get(other);
+            // Latency metrics (0–2): lower is better; throughput (3–6):
+            // higher is better.
+            for i in 0..3 {
+                assert!(best[i] <= m[i], "{other} metric {i}");
+            }
+            for i in 3..7 {
+                assert!(best[i] >= m[i], "{other} metric {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn snc_shows_remote_accesses_quad_does_not() {
+        // Fig. 15: snc suffers frequent remote cache accesses.
+        let rows = run_fig15();
+        for r in &rows {
+            let is_snc = r.numa.to_string().starts_with("snc");
+            if is_snc {
+                assert!(r.remote_llc_pki > 0.0, "{}", r.numa);
+            } else {
+                assert_eq!(r.remote_llc_pki, 0.0, "{}", r.numa);
+            }
+        }
+    }
+
+    #[test]
+    fn fig15_mpki_ordering_quad_flat_cleanest() {
+        // Cache-mode fills and SNC snoops inflate LLC-level traffic, so
+        // quad_flat shows the lowest MPKI and snc_cache the highest.
+        let rows = run_fig15();
+        let mpki = |numa: NumaConfig| rows.iter().find(|r| r.numa == numa).unwrap().llc_mpki;
+        assert!(mpki(NumaConfig::QUAD_FLAT) < mpki(NumaConfig::QUAD_CACHE));
+        assert!(mpki(NumaConfig::QUAD_FLAT) < mpki(NumaConfig::SNC_FLAT));
+        assert!(mpki(NumaConfig::SNC_CACHE) > mpki(NumaConfig::QUAD_CACHE));
+    }
+
+    #[test]
+    fn renders_mention_all_configs() {
+        let f13 = render_fig13(&run_fig13());
+        let f15 = render_fig15(&run_fig15());
+        for c in ["quad_cache", "quad_flat", "snc_cache", "snc_flat"] {
+            assert!(f13.contains(c), "fig13 missing {c}");
+            assert!(f15.contains(c), "fig15 missing {c}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Figs. 14 & 16 — core-count scaling on the SPR CPU (Key Finding #3):
+//! 48 cores (one full socket) is the sweet spot; 96 cores cross sockets
+//! and regress.
+
+use crate::runner::run_sweep;
+use llmsim_core::{Backend, CpuBackend, Request};
+use llmsim_hw::NumaConfig;
+use llmsim_model::{families, DType};
+use llmsim_report::Table;
+use llmsim_workload::sweep::{paper_grid, PAPER_CORE_COUNTS};
+
+/// Average metrics for one core count (same metric set as Fig. 13).
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// Active cores.
+    pub cores: u32,
+    /// [e2e latency, ttft, tpot, e2e tput, prefill tput, decode tput].
+    pub metrics: [f64; 6],
+}
+
+fn backend(cores: u32) -> CpuBackend {
+    CpuBackend::new(llmsim_hw::presets::spr_max_9468(), NumaConfig::QUAD_FLAT, cores, DType::Bf16)
+        .expect("valid core count")
+}
+
+/// Runs the Fig. 14 sweep over the paper grid.
+///
+/// # Panics
+///
+/// Panics if a grid point fails.
+#[must_use]
+pub fn run_fig14() -> Vec<CoreResult> {
+    PAPER_CORE_COUNTS
+        .iter()
+        .map(|&cores| {
+            let reports = run_sweep(&backend(cores), &paper_grid(), 8).expect("grid runs");
+            let n = reports.len() as f64;
+            let avg = |f: &dyn Fn(&llmsim_core::InferenceReport) -> f64| {
+                reports.iter().map(f).sum::<f64>() / n
+            };
+            CoreResult {
+                cores,
+                metrics: [
+                    avg(&|r| r.e2e_latency.as_f64()),
+                    avg(&|r| r.ttft.as_f64()),
+                    avg(&|r| r.tpot.as_f64()),
+                    avg(&|r| r.e2e_throughput()),
+                    avg(&|r| r.prefill_throughput()),
+                    avg(&|r| r.decode_throughput()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 14 normalized to 12 cores (the paper's convention).
+#[must_use]
+pub fn render_fig14(results: &[CoreResult]) -> String {
+    let base = &results[0];
+    assert_eq!(base.cores, 12, "normalization baseline is 12 cores");
+    let names = ["E2E latency", "TTFT", "TPOT", "E2E tput", "prefill tput", "decode tput"];
+    let mut headers = vec!["metric".to_owned()];
+    headers.extend(results.iter().map(|r| format!("{}c", r.cores)));
+    let mut t = Table::new(headers);
+    for (i, n) in names.iter().enumerate() {
+        let mut row = vec![(*n).to_owned()];
+        for r in results {
+            row.push(format!("{:.3}", r.metrics[i] / base.metrics[i]));
+        }
+        t.row(row);
+    }
+    format!(
+        "Fig. 14 — SPR core-count sweep, normalized to 12 cores\n\
+         (averaged over all models and batch sizes 1-32)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 16's counters: LLaMA2-7B, batch 8, per core count.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Active cores.
+    pub cores: u32,
+    /// LLC MPKI.
+    pub llc_mpki: f64,
+    /// Core utilization.
+    pub core_util: f64,
+    /// UPI utilization.
+    pub upi_util: f64,
+}
+
+/// Runs Fig. 16.
+///
+/// # Panics
+///
+/// Panics if the run fails.
+#[must_use]
+pub fn run_fig16() -> Vec<Fig16Row> {
+    let model = families::llama2_7b();
+    let req = Request::paper_default(8);
+    PAPER_CORE_COUNTS
+        .iter()
+        .map(|&cores| {
+            let r = backend(cores).run(&model, &req).expect("fits");
+            Fig16Row {
+                cores,
+                llc_mpki: r.counters.llc_mpki,
+                core_util: r.counters.core_utilization,
+                upi_util: r.counters.upi_utilization,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 16.
+#[must_use]
+pub fn render_fig16(rows: &[Fig16Row]) -> String {
+    let mut t = Table::new(vec![
+        "cores".into(),
+        "LLC MPKI".into(),
+        "core util".into(),
+        "UPI util".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.cores.to_string(),
+            format!("{:.2}", r.llc_mpki),
+            format!("{:.2}", r.core_util),
+            format!("{:.2}", r.upi_util),
+        ]);
+    }
+    format!("Fig. 16 — counters vs core count, LLaMA2-7B b=8\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_finding_3_48_cores_is_best() {
+        let results = run_fig14();
+        let get = |c: u32| results.iter().find(|r| r.cores == c).unwrap().metrics;
+        let (m12, m48, m96) = (get(12), get(48), get(96));
+        // 48 cores beats 12 and 96 on E2E latency and E2E throughput.
+        assert!(m48[0] < m12[0] && m48[0] < m96[0], "latency: 12={} 48={} 96={}", m12[0], m48[0], m96[0]);
+        assert!(m48[3] > m12[3] && m48[3] > m96[3], "throughput");
+    }
+
+    #[test]
+    fn paper_magnitudes_for_48_vs_12() {
+        // Fig. 14: 48 cores cut E2E latency ~59.8% vs 12 and raise overall
+        // throughput ~1.8×; prefill −65.9%, decode −54.6%. Assert widened
+        // bands around those points.
+        let results = run_fig14();
+        let get = |c: u32| results.iter().find(|r| r.cores == c).unwrap().metrics;
+        let (m12, m48) = (get(12), get(48));
+        let e2e_red = (1.0 - m48[0] / m12[0]) * 100.0;
+        assert!((40.0..75.0).contains(&e2e_red), "E2E reduction {e2e_red}");
+        let tput_gain = m48[3] / m12[3];
+        assert!((1.4..3.2).contains(&tput_gain), "tput gain {tput_gain}");
+        let prefill_red = (1.0 - m48[1] / m12[1]) * 100.0;
+        assert!((50.0..85.0).contains(&prefill_red), "prefill reduction {prefill_red}");
+        let decode_red = (1.0 - m48[2] / m12[2]) * 100.0;
+        assert!((30.0..70.0).contains(&decode_red), "decode reduction {decode_red}");
+    }
+
+    #[test]
+    fn fig16_upi_appears_only_at_96_cores() {
+        let rows = run_fig16();
+        for r in &rows {
+            if r.cores <= 48 {
+                assert_eq!(r.upi_util, 0.0, "{}c", r.cores);
+            } else {
+                assert!(r.upi_util > 0.3, "{}c: {}", r.cores, r.upi_util);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_core_counts() {
+        let s = render_fig14(&run_fig14());
+        for c in PAPER_CORE_COUNTS {
+            assert!(s.contains(&format!("{c}c")), "{c}");
+        }
+        assert!(render_fig16(&run_fig16()).contains("UPI"));
+    }
+}

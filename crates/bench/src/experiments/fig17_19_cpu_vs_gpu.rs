@@ -1,0 +1,169 @@
+//! Figs. 17 & 19 — CPU (SPR Max) vs GPU (A100, H100) end-to-end latency and
+//! throughput at batch 1 (Fig. 17) and batch 16 (Fig. 19), all paper models
+//! (Key Finding #4).
+
+use llmsim_core::{Backend, CpuBackend, GpuBackend, InferenceReport, Request};
+use llmsim_model::families;
+use llmsim_report::Table;
+
+/// One model's three-platform comparison.
+#[derive(Debug, Clone)]
+pub struct PlatformRow {
+    /// Model name.
+    pub model: String,
+    /// SPR CPU result.
+    pub cpu: InferenceReport,
+    /// A100 result.
+    pub a100: InferenceReport,
+    /// H100 result.
+    pub h100: InferenceReport,
+}
+
+impl PlatformRow {
+    /// Whether the A100 ran offloaded.
+    #[must_use]
+    pub fn a100_offloaded(&self) -> bool {
+        self.a100.offload.is_some()
+    }
+
+    /// Whether the H100 ran offloaded.
+    #[must_use]
+    pub fn h100_offloaded(&self) -> bool {
+        self.h100.offload.is_some()
+    }
+}
+
+/// Runs the comparison at one batch size.
+///
+/// # Panics
+///
+/// Panics if any run fails (all paper models fit the 512 GB host).
+#[must_use]
+pub fn run(batch: u64) -> Vec<PlatformRow> {
+    let cpu = CpuBackend::paper_spr();
+    let a100 = GpuBackend::paper_a100();
+    let h100 = GpuBackend::paper_h100();
+    let req = Request::paper_default(batch);
+    families::all_paper_models()
+        .into_iter()
+        .map(|m| PlatformRow {
+            model: m.name.clone(),
+            cpu: cpu.run(&m, &req).expect("CPU fits"),
+            a100: a100.run(&m, &req).expect("A100 host fits"),
+            h100: h100.run(&m, &req).expect("H100 host fits"),
+        })
+        .collect()
+}
+
+/// Renders the figure: latency and throughput normalized to the SPR CPU
+/// (the paper's convention), with offloaded GPU runs marked `*`.
+#[must_use]
+pub fn render(rows: &[PlatformRow], figure: &str, batch: u64) -> String {
+    let mut t = Table::new(vec![
+        "model".into(),
+        "CPU lat".into(),
+        "A100 lat".into(),
+        "H100 lat".into(),
+        "CPU tput".into(),
+        "A100 tput".into(),
+        "H100 tput".into(),
+    ]);
+    for r in rows {
+        let mark = |off: bool| if off { "*" } else { "" };
+        t.row(vec![
+            r.model.clone(),
+            "1.00".into(),
+            format!(
+                "{:.2}{}",
+                r.a100.e2e_latency.as_f64() / r.cpu.e2e_latency.as_f64(),
+                mark(r.a100_offloaded())
+            ),
+            format!(
+                "{:.2}{}",
+                r.h100.e2e_latency.as_f64() / r.cpu.e2e_latency.as_f64(),
+                mark(r.h100_offloaded())
+            ),
+            "1.00".into(),
+            format!("{:.2}{}", r.a100.e2e_throughput() / r.cpu.e2e_throughput(), mark(r.a100_offloaded())),
+            format!("{:.2}{}", r.h100.e2e_throughput() / r.cpu.e2e_throughput(), mark(r.h100_offloaded())),
+        ]);
+    }
+    format!(
+        "{figure} — CPU vs GPU at batch {batch}, normalized to SPR Max CPU\n\
+         ('*' = GPU ran offloading over PCIe)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [PlatformRow], model: &str) -> &'a PlatformRow {
+        rows.iter().find(|r| r.model == model).unwrap()
+    }
+
+    #[test]
+    fn key_finding_4_crossover_at_batch_1() {
+        let rows = run(1);
+        // Small models: GPUs win both metrics.
+        for m in ["OPT-1.3B", "OPT-6.7B", "LLaMA2-7B", "OPT-13B", "LLaMA2-13B"] {
+            let r = row(&rows, m);
+            assert!(r.a100.e2e_latency < r.cpu.e2e_latency, "{m} a100");
+            assert!(r.h100.e2e_latency < r.cpu.e2e_latency, "{m} h100");
+        }
+        // OPT-30B: offloads on A100 (CPU wins) but fits the H100 (H100 wins).
+        let r30 = row(&rows, "OPT-30B");
+        assert!(r30.a100_offloaded() && !r30.h100_offloaded());
+        assert!(r30.cpu.e2e_latency < r30.a100.e2e_latency);
+        assert!(r30.h100.e2e_latency < r30.cpu.e2e_latency);
+        // OPT-66B and LLaMA2-70B offload on both; CPU wins everywhere.
+        for m in ["OPT-66B", "LLaMA2-70B"] {
+            let r = row(&rows, m);
+            assert!(r.a100_offloaded() && r.h100_offloaded(), "{m}");
+            assert!(r.cpu.e2e_latency < r.a100.e2e_latency, "{m} vs a100");
+            assert!(r.cpu.e2e_latency < r.h100.e2e_latency, "{m} vs h100");
+        }
+    }
+
+    #[test]
+    fn paper_magnitudes_opt13b_and_offload_wins() {
+        let rows = run(1);
+        // §V-B: OPT-13B — A100 cuts latency ~65.5%, H100 ~72.8%;
+        // throughput 2.9× / 3.7×. Widened bands.
+        let r13 = row(&rows, "OPT-13B");
+        let a_red = (1.0 - r13.a100.e2e_latency.as_f64() / r13.cpu.e2e_latency.as_f64()) * 100.0;
+        let h_red = (1.0 - r13.h100.e2e_latency.as_f64() / r13.cpu.e2e_latency.as_f64()) * 100.0;
+        assert!((50.0..80.0).contains(&a_red), "A100 reduction {a_red}");
+        assert!((60.0..85.0).contains(&h_red), "H100 reduction {h_red}");
+        assert!(h_red > a_red);
+        // §V-B: OPT-30B on A100 — CPU cuts latency ~92.1%, throughput ~12.7×.
+        let r30 = row(&rows, "OPT-30B");
+        let cpu_gain = r30.cpu.e2e_throughput() / r30.a100.e2e_throughput();
+        assert!((6.0..25.0).contains(&cpu_gain), "CPU gain over offloaded A100: {cpu_gain}");
+        // §V-B: OPT-66B on H100 — CPU ~5× throughput.
+        let r66 = row(&rows, "OPT-66B");
+        let gain66 = r66.cpu.e2e_throughput() / r66.h100.e2e_throughput();
+        assert!((2.5..10.0).contains(&gain66), "CPU gain over offloaded H100: {gain66}");
+    }
+
+    #[test]
+    fn batch_16_widens_gpu_lead_on_small_models() {
+        // Key Finding #5 direction: at batch 16 GPUs pull further ahead on
+        // models that fit.
+        let b1 = run(1);
+        let b16 = run(16);
+        let gain = |rows: &[PlatformRow], m: &str| {
+            let r = row(rows, m);
+            r.h100.e2e_throughput() / r.cpu.e2e_throughput()
+        };
+        assert!(gain(&b16, "OPT-6.7B") > gain(&b1, "OPT-6.7B"));
+    }
+
+    #[test]
+    fn render_marks_offloaded_runs() {
+        let s = render(&run(1), "Fig. 17", 1);
+        assert!(s.contains('*'));
+        assert!(s.contains("OPT-66B"));
+    }
+}

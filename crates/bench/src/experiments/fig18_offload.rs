@@ -1,0 +1,124 @@
+//! Fig. 18 — GPU execution-time breakdown under offloading: data loading
+//! over PCIe vs compute, for OPT-30B on A100 and OPT-66B on H100, batch
+//! sizes 1–32.
+
+use llmsim_core::{Backend, GpuBackend, Request};
+use llmsim_model::{families, ModelConfig};
+use llmsim_report::Table;
+use llmsim_workload::sweep::PAPER_BATCHES;
+
+/// One batch size's breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakdownPoint {
+    /// Batch size.
+    pub batch: u64,
+    /// Fraction of execution time spent loading data over PCIe.
+    pub loading_fraction: f64,
+    /// Exposed transfer seconds.
+    pub transfer_s: f64,
+    /// Compute (GPU + CPU) seconds.
+    pub compute_s: f64,
+}
+
+/// A full Fig. 18 panel (one GPU/model pair).
+#[derive(Debug, Clone)]
+pub struct BreakdownPanel {
+    /// Panel title, e.g. "A100 / OPT-30B".
+    pub title: String,
+    /// Points across the batch sweep.
+    pub points: Vec<BreakdownPoint>,
+}
+
+fn panel(gpu: GpuBackend, model: &ModelConfig, title: &str) -> BreakdownPanel {
+    let points = PAPER_BATCHES
+        .iter()
+        .map(|&b| {
+            let r = gpu.run(model, &Request::paper_default(b)).expect("host fits");
+            let off = r.offload.expect("model offloads on this GPU");
+            BreakdownPoint {
+                batch: b,
+                loading_fraction: off.data_loading_fraction(),
+                transfer_s: off.exposed_transfer.as_f64(),
+                compute_s: (off.gpu_compute + off.cpu_compute).as_f64(),
+            }
+        })
+        .collect();
+    BreakdownPanel { title: title.to_owned(), points }
+}
+
+/// Runs both Fig. 18 panels.
+#[must_use]
+pub fn run() -> Vec<BreakdownPanel> {
+    vec![
+        panel(GpuBackend::paper_a100(), &families::opt_30b(), "A100 / OPT-30B"),
+        panel(GpuBackend::paper_h100(), &families::opt_66b(), "H100 / OPT-66B"),
+    ]
+}
+
+/// Renders the breakdown tables.
+#[must_use]
+pub fn render(panels: &[BreakdownPanel]) -> String {
+    let mut out = String::from("Fig. 18 — offloaded GPU execution-time breakdown\n\n");
+    for p in panels {
+        let mut t = Table::new(vec![
+            "batch".into(),
+            "loading %".into(),
+            "transfer (s)".into(),
+            "compute (s)".into(),
+        ]);
+        for pt in &p.points {
+            t.row(vec![
+                pt.batch.to_string(),
+                format!("{:.1}", pt.loading_fraction * 100.0),
+                format!("{:.2}", pt.transfer_s),
+                format!("{:.2}", pt.compute_s),
+            ]);
+        }
+        out.push_str(&format!("({})\n{}\n", p.title, t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bands_for_loading_fraction() {
+        // Fig. 18: A100/OPT-30B spends 67–95% on loading; H100/OPT-66B
+        // 59–92%, both decreasing with batch.
+        let panels = run();
+        let a100 = &panels[0];
+        let h100 = &panels[1];
+        let first = |p: &BreakdownPanel| p.points.first().unwrap().loading_fraction;
+        let last = |p: &BreakdownPanel| p.points.last().unwrap().loading_fraction;
+        assert!((0.85..0.99).contains(&first(a100)), "{}", first(a100));
+        assert!((0.55..0.80).contains(&last(a100)), "{}", last(a100));
+        assert!((0.82..0.99).contains(&first(h100)), "{}", first(h100));
+        assert!((0.45..0.75).contains(&last(h100)), "{}", last(h100));
+    }
+
+    #[test]
+    fn loading_fraction_is_monotone_decreasing() {
+        for p in run() {
+            for w in p.points.windows(2) {
+                assert!(
+                    w[1].loading_fraction <= w[0].loading_fraction + 1e-9,
+                    "{}: b={} {} -> b={} {}",
+                    p.title,
+                    w[0].batch,
+                    w[0].loading_fraction,
+                    w[1].batch,
+                    w[1].loading_fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_both_panels() {
+        let s = render(&run());
+        assert!(s.contains("A100 / OPT-30B"));
+        assert!(s.contains("H100 / OPT-66B"));
+    }
+}

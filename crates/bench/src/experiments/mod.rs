@@ -1,0 +1,71 @@
+//! One module per paper table/figure plus ablations; each exposes `run()`
+//! returning structured results and `render()` producing the printable
+//! artifact. The DESIGN.md experiment index maps figures to these modules.
+
+pub mod ablations;
+pub mod ext_memory;
+pub mod ext_speculative;
+pub mod extensions;
+pub mod fig01_gemm;
+pub mod fig06_07_footprints;
+pub mod fig08_10_cpu_comparison;
+pub mod fig11_12_counters;
+pub mod fig13_15_numa;
+pub mod fig14_16_cores;
+pub mod fig17_19_cpu_vs_gpu;
+pub mod fig18_offload;
+pub mod fig20_21_seqlen;
+pub mod tables;
+
+/// Renders every experiment in paper order (the `all_experiments` binary).
+#[must_use]
+pub fn render_all() -> String {
+    let mut out = String::new();
+    out.push_str(&tables::render_table1());
+    out.push('\n');
+    out.push_str(&tables::render_table2());
+    out.push('\n');
+    out.push_str(&fig01_gemm::render());
+    out.push('\n');
+    out.push_str(&fig06_07_footprints::render_fig6());
+    out.push('\n');
+    out.push_str(&fig06_07_footprints::render_fig7());
+    out.push('\n');
+    let cmp = fig08_10_cpu_comparison::CpuComparison::run();
+    out.push_str(&fig08_10_cpu_comparison::render_fig8(&cmp));
+    out.push('\n');
+    out.push_str(&fig08_10_cpu_comparison::render_fig9(&cmp));
+    out.push('\n');
+    out.push_str(&fig08_10_cpu_comparison::render_fig10(&cmp));
+    out.push('\n');
+    out.push_str(&fig11_12_counters::render(&fig11_12_counters::run_fig11(), "Fig. 11"));
+    out.push('\n');
+    out.push_str(&fig11_12_counters::render(&fig11_12_counters::run_fig12(), "Fig. 12"));
+    out.push('\n');
+    out.push_str(&fig13_15_numa::render_fig13(&fig13_15_numa::run_fig13()));
+    out.push('\n');
+    out.push_str(&fig14_16_cores::render_fig14(&fig14_16_cores::run_fig14()));
+    out.push('\n');
+    out.push_str(&fig13_15_numa::render_fig15(&fig13_15_numa::run_fig15()));
+    out.push('\n');
+    out.push_str(&fig14_16_cores::render_fig16(&fig14_16_cores::run_fig16()));
+    out.push('\n');
+    out.push_str(&fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(1), "Fig. 17", 1));
+    out.push('\n');
+    out.push_str(&fig18_offload::render(&fig18_offload::run()));
+    out.push('\n');
+    out.push_str(&fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(16), "Fig. 19", 16));
+    out.push('\n');
+    out.push_str(&fig20_21_seqlen::render(&fig20_21_seqlen::run(1), "Fig. 20"));
+    out.push('\n');
+    out.push_str(&fig20_21_seqlen::render(&fig20_21_seqlen::run(16), "Fig. 21"));
+    out.push('\n');
+    out.push_str(&ablations::render());
+    out.push('\n');
+    out.push_str(&extensions::render());
+    out.push('\n');
+    out.push_str(&ext_memory::render());
+    out.push('\n');
+    out.push_str(&ext_speculative::render());
+    out
+}

@@ -1,0 +1,70 @@
+//! Parallel sweep execution across worker threads.
+
+use crossbeam::thread;
+use llmsim_core::{Backend, InferenceReport, Request, SimError};
+use llmsim_workload::SweepPoint;
+use parking_lot::Mutex;
+
+/// Runs every sweep point against `backend` across `workers` threads,
+/// preserving input order in the output.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered (remaining points still run).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a worker thread panics.
+pub fn run_sweep<B: Backend + Sync>(
+    backend: &B,
+    points: &[SweepPoint],
+    workers: usize,
+) -> Result<Vec<InferenceReport>, SimError> {
+    assert!(workers > 0, "need at least one worker");
+    let results: Mutex<Vec<Option<Result<InferenceReport, SimError>>>> =
+        Mutex::new(vec![None; points.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        for _ in 0..workers.min(points.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let p = &points[i];
+                let model = llmsim_workload::sweep::resolve_model(p);
+                let out = Request::try_new(p.batch, p.prompt_len, p.gen_len)
+                    .and_then(|req| backend.run(&model, &req));
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every point was visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_core::CpuBackend;
+    use llmsim_workload::sweep;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let backend = CpuBackend::paper_spr();
+        let points: Vec<_> = sweep::paper_grid().into_iter().take(6).collect();
+        let par = run_sweep(&backend, &points, 4).unwrap();
+        let ser = run_sweep(&backend, &points, 1).unwrap();
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.model, b.model);
+            assert!((a.e2e_latency.as_f64() - b.e2e_latency.as_f64()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Calibration constants of the performance model.
+//!
+//! Every constant here closes the gap between *theoretical* hardware limits
+//! (Tables I/II, the ISA cycle models) and what measured software stacks
+//! (IPEX on CPUs, PyTorch/FlexGen on GPUs) sustain. Each carries the paper
+//! band or external measurement it is tuned against; the integration tests
+//! in `tests/key_findings.rs` pin the resulting end-to-end ratios to the
+//! paper's reported ranges, so any drift here is caught.
+
+/// Parallel efficiency of multi-threaded kernels within one socket
+/// (OpenMP fork/join, load imbalance). IPEX scales GEMMs near-linearly to a
+/// socket; ~5 % is lost to synchronization.
+pub const CPU_PARALLEL_EFF: f64 = 0.95;
+
+/// Compute-throughput derate applied when a run spans two sockets: shared
+/// activations bounce over UPI between layers and collective synchronization
+/// stretches; the paper's Fig. 14/16 show 96 cores *slower* than 48 even for
+/// the compute-bound prefill phase. 96 cores × 0.45 ≈ 0.9× the effective
+/// throughput of 48 single-socket cores.
+pub const CROSS_SOCKET_COMPUTE_DERATE: f64 = 0.45;
+
+/// Fraction of STREAM bandwidth that decode-phase weight/KV streaming
+/// sustains out of **HBM** (GEMV-like access needs deep miss concurrency;
+/// calibrated so SPR-vs-GPU decode ratios match Fig. 17's OPT-13B points:
+/// A100 2.9×, H100 3.7×).
+pub const CPU_DECODE_BW_DERATE_HBM: f64 = 0.65;
+
+/// Fraction of STREAM bandwidth decode streaming sustains out of **DDR**
+/// (DDR channels saturate with far less concurrency, so GEMV gets closer
+/// to STREAM).
+pub const CPU_DECODE_BW_DERATE_DDR: f64 = 0.85;
+
+/// Fraction of STREAM bandwidth that prefill-phase streaming sustains on
+/// CPUs (blocked GEMM prefetches well).
+pub const CPU_PREFILL_BW_DERATE: f64 = 0.85;
+
+/// Per-operator dispatch overhead of the CPU inference stack (IPEX graph
+/// executor), seconds. ~5–15 µs per fused op is typical; 8 µs keeps small
+/// models' decode latency realistic.
+pub const CPU_OP_OVERHEAD_S: f64 = 8e-6;
+
+/// Fraction of peak tensor-core throughput large GEMMs reach on GPUs
+/// (cuBLAS BF16 on A100/H100 sustains 65–80 % of dense peak).
+pub const GPU_GEMM_EFF: f64 = 0.70;
+
+/// Fraction of theoretical HBM bandwidth GPU memory-bound kernels sustain
+/// (calibrated with CPU_DECODE_BW_DERATE against Fig. 17's small-model
+/// latency gaps).
+pub const GPU_BW_DERATE: f64 = 0.85;
+
+/// Per-kernel launch overhead on the GPU, seconds.
+pub const GPU_KERNEL_OVERHEAD_S: f64 = 4e-6;
+
+/// Efficiency floor for skinny GPU GEMMs (m = batch during decode): tensor
+/// cores need m ≥ 64 tiles; below that the achievable compute fraction
+/// scales with m / 64.
+pub const GPU_SKINNY_M_TILE: f64 = 64.0;
+
+/// FlexGen CPU-delegated work per sequence, per layer, per decode step,
+/// seconds: attention-score computation on the host plus per-sequence
+/// sampling/bookkeeping. Calibrated against Fig. 18: the data-loading share
+/// falls from ~95 % (b=1) to ~67 % (b=32) on A100/OPT-30B and from ~92 % to
+/// ~59 % on H100/OPT-66B.
+pub const OFFLOAD_CPU_S_PER_LAYER_PER_SEQ: f64 = 0.35e-3;
+
+/// Fraction of compute time FlexGen's zig-zag block schedule can hide PCIe
+/// transfer under (§V-B). Weight streaming per layer pipelines under the
+/// *previous* layer's compute, so only a modest share overlaps; the Fig. 18
+/// share of loading time falls with batch mainly because compute grows.
+pub const OFFLOAD_OVERLAP_EFF: f64 = 0.30;
+
+/// Architectural FLOPs retired per dynamic instruction for instruction-count
+/// synthesis (Figs. 11/12): one `TDPBF16PS` = 16 384 FLOPs.
+pub const AMX_FLOPS_PER_INSTR: f64 = 16_384.0;
+/// One `VDPBF16PS` = 128 FLOPs.
+pub const AVX512_BF16_FLOPS_PER_INSTR: f64 = 128.0;
+/// One FP32 FMA vector instruction = 32 FLOPs.
+pub const AVX512_F32_FLOPS_PER_INSTR: f64 = 32.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derates_are_fractions() {
+        for &c in &[
+            CPU_PARALLEL_EFF,
+            CROSS_SOCKET_COMPUTE_DERATE,
+            CPU_DECODE_BW_DERATE_HBM,
+            CPU_DECODE_BW_DERATE_DDR,
+            CPU_PREFILL_BW_DERATE,
+            GPU_GEMM_EFF,
+            GPU_BW_DERATE,
+            OFFLOAD_OVERLAP_EFF,
+        ] {
+            assert!(c > 0.0 && c <= 1.0, "{c}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn overheads_are_microseconds_scale() {
+        assert!(CPU_OP_OVERHEAD_S < 1e-3);
+        assert!(GPU_KERNEL_OVERHEAD_S < 1e-3);
+    }
+}

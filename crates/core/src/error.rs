@@ -1,0 +1,63 @@
+//! Engine error types.
+
+use llmsim_hw::Bytes;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The model + KV cache does not fit the backend's memory at all
+    /// (even offloading has to fit in host memory).
+    ModelTooLarge {
+        /// Backend description.
+        backend: String,
+        /// Bytes required.
+        required: Bytes,
+        /// Bytes available.
+        available: Bytes,
+    },
+    /// The request is malformed (zero batch, zero lengths, …).
+    InvalidRequest(String),
+    /// The hardware/backend combination is unsupported.
+    UnsupportedConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ModelTooLarge { backend, required, available } => write!(
+                f,
+                "model state of {required} exceeds the {available} available on {backend}"
+            ),
+            SimError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            SimError::UnsupportedConfig(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ModelTooLarge {
+            backend: "NVIDIA A100".into(),
+            required: Bytes::from_gib(60.0),
+            available: Bytes::from_gib(38.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("A100") && s.contains("60.00 GiB"), "{s}");
+        assert!(SimError::InvalidRequest("x".into()).to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared phase-execution accumulation used by the CPU and GPU backends.
+
+use crate::report::PhaseReport;
+use crate::roofline::OpTime;
+use llmsim_hw::Seconds;
+
+/// Running totals while executing a phase's operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PhaseAccum {
+    pub time: Seconds,
+    pub flops: f64,
+    pub dram_bytes: f64,
+    pub load_bytes: f64,
+    pub store_bytes: f64,
+    pub instructions: f64,
+    pub compute_busy: Seconds,
+    pub memory_bound_time: Seconds,
+}
+
+impl PhaseAccum {
+    /// Adds one operator execution (already multiplied by its repeat count
+    /// by the caller).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add(
+        &mut self,
+        t: OpTime,
+        repeat: f64,
+        flops: f64,
+        dram_bytes: f64,
+        load_bytes: f64,
+        store_bytes: f64,
+        instructions: f64,
+    ) {
+        let total = t.total().scale(repeat);
+        self.time += total;
+        self.flops += flops;
+        self.dram_bytes += dram_bytes;
+        self.load_bytes += load_bytes;
+        self.store_bytes += store_bytes;
+        self.instructions += instructions;
+        self.compute_busy += t.compute_time.scale(repeat);
+        if t.memory_bound() {
+            self.memory_bound_time += total;
+        }
+    }
+
+    /// Merges another accumulator (e.g. one decode step into the phase).
+    pub fn merge(&mut self, other: &PhaseAccum) {
+        self.time += other.time;
+        self.flops += other.flops;
+        self.dram_bytes += other.dram_bytes;
+        self.load_bytes += other.load_bytes;
+        self.store_bytes += other.store_bytes;
+        self.instructions += other.instructions;
+        self.compute_busy += other.compute_busy;
+        self.memory_bound_time += other.memory_bound_time;
+    }
+
+    /// Converts to the public phase report.
+    pub fn report(&self) -> PhaseReport {
+        PhaseReport {
+            time: self.time,
+            flops: self.flops,
+            dram_bytes: self.dram_bytes,
+            memory_bound_fraction: self.memory_bound_time.ratio(self.time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = PhaseAccum::default();
+        let t = OpTime {
+            compute_time: Seconds::new(0.002),
+            memory_time: Seconds::new(0.001),
+            overhead: Seconds::ZERO,
+        };
+        a.add(t, 2.0, 100.0, 64.0, 64.0, 0.0, 10.0);
+        assert!((a.time.as_f64() - 0.004).abs() < 1e-12);
+        assert_eq!(a.flops, 100.0);
+        assert_eq!(a.memory_bound_time, Seconds::ZERO); // compute-bound
+
+        let mut b = PhaseAccum::default();
+        let tm = OpTime {
+            compute_time: Seconds::new(0.001),
+            memory_time: Seconds::new(0.003),
+            overhead: Seconds::ZERO,
+        };
+        b.add(tm, 1.0, 0.0, 128.0, 128.0, 0.0, 5.0);
+        a.merge(&b);
+        assert!((a.time.as_f64() - 0.007).abs() < 1e-12);
+        let rep = a.report();
+        assert!((rep.memory_bound_fraction - 0.003 / 0.007).abs() < 1e-9);
+    }
+}

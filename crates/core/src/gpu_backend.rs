@@ -1,0 +1,250 @@
+//! The GPU execution model: A100/H100 resident inference, falling back to
+//! FlexGen-style offloading (weights/KV/activations in host memory, streamed
+//! over PCIe) when model state exceeds device memory — the machine model
+//! behind Figs. 17–21.
+
+use crate::backend::Backend;
+use crate::calib;
+use crate::error::SimError;
+use crate::exec::PhaseAccum;
+use crate::offload::{self, OffloadPlan};
+use crate::report::InferenceReport;
+use crate::request::Request;
+use crate::roofline::{op_time, Resources};
+use llmsim_hw::{Bytes, GpuSpec, Seconds};
+use llmsim_mem::analytic::{dram_traffic, instruction_count};
+use llmsim_mem::{synthesize, CounterInputs};
+use llmsim_model::{DType, ModelConfig, OpClass, OpGraph};
+
+/// GPU inference backend with automatic offloading.
+///
+/// # Examples
+///
+/// ```
+/// use llmsim_core::{GpuBackend, Request, Backend};
+/// use llmsim_model::families;
+///
+/// let h100 = GpuBackend::paper_h100();
+/// // OPT-13B fits; runs resident.
+/// let fits = h100.run(&families::opt_13b(), &Request::paper_default(1))?;
+/// assert!(fits.offload.is_none());
+/// // OPT-66B (132 GB of BF16 weights) exceeds 80 GB; offloads.
+/// let big = h100.run(&families::opt_66b(), &Request::paper_default(1))?;
+/// assert!(big.offload.is_some());
+/// # Ok::<(), llmsim_core::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuBackend {
+    gpu: GpuSpec,
+    dtype: DType,
+    /// Host memory available for offloaded state.
+    host_memory: Bytes,
+}
+
+impl GpuBackend {
+    /// Creates a backend with `host_memory` bytes of CPU DRAM behind it.
+    #[must_use]
+    pub fn new(gpu: GpuSpec, dtype: DType, host_memory: Bytes) -> Self {
+        GpuBackend { gpu, dtype, host_memory }
+    }
+
+    /// The paper's A100-40GB server (Table II) with 512 GB of host DRAM.
+    #[must_use]
+    pub fn paper_a100() -> Self {
+        Self::new(llmsim_hw::presets::a100_40gb(), DType::Bf16, Bytes::from_gib(512.0))
+    }
+
+    /// The paper's H100-80GB server (Table II) with 512 GB of host DRAM.
+    #[must_use]
+    pub fn paper_h100() -> Self {
+        Self::new(llmsim_hw::presets::h100_80gb(), DType::Bf16, Bytes::from_gib(512.0))
+    }
+
+    /// The GPU spec.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Model state (weights + final KV + activations) for a request.
+    #[must_use]
+    pub fn footprint(&self, model: &ModelConfig, request: &Request) -> Bytes {
+        model.weight_bytes(self.dtype)
+            + model.kv_cache_bytes(request.final_context(), request.batch, self.dtype)
+            + model.activation_bytes(
+                request.batch * request.prompt_len,
+                request.prompt_len,
+                self.dtype,
+            )
+    }
+
+    /// Whether this model/request runs device-resident.
+    #[must_use]
+    pub fn fits_resident(&self, model: &ModelConfig, request: &Request) -> bool {
+        self.gpu.fits(self.footprint(model, request))
+    }
+
+    /// Executes one phase graph device-resident.
+    fn run_phase_resident(&self, graph: &OpGraph) -> PhaseAccum {
+        let bandwidth = self.gpu.memory_bandwidth.scale(calib::GPU_BW_DERATE);
+        let cache = self.gpu.l2_capacity;
+        let mut acc = PhaseAccum::default();
+        for op in &graph.ops {
+            let rate = match op.class() {
+                OpClass::Gemm | OpClass::Attention => {
+                    let m_eff = op
+                        .matmul_shape()
+                        .map(|s| (s.m as f64 / calib::GPU_SKINNY_M_TILE).min(1.0))
+                        .unwrap_or(1.0);
+                    self.gpu.bf16_peak.scale(calib::GPU_GEMM_EFF * m_eff)
+                }
+                // Elementwise/normalization kernels are bandwidth-bound on
+                // GPUs; give them a nominal high compute rate so the memory
+                // term dominates.
+                _ => self.gpu.bf16_peak.scale(0.1),
+            };
+            let streamed =
+                Bytes::new(op.weight_bytes() + op.kv_read_bytes() + op.kv_write_bytes());
+            let reused = Bytes::new(op.act_bytes());
+            let dram = dram_traffic(streamed, reused, cache);
+            let res = Resources {
+                compute: rate,
+                bandwidth,
+                overhead: Seconds::new(calib::GPU_KERNEL_OVERHEAD_S),
+            };
+            let t = op_time(&res, op.flops(), dram);
+            let r = op.repeat as f64;
+            let instrs = instruction_count(op.flops(), 512.0, op.total_bytes()) * r;
+            acc.add(
+                t,
+                r,
+                op.flops() * r,
+                dram.as_f64() * r,
+                (op.weight_bytes() + op.kv_read_bytes()) as f64 * r,
+                op.kv_write_bytes() as f64 * r,
+                instrs,
+            );
+        }
+        acc
+    }
+}
+
+impl Backend for GpuBackend {
+    fn name(&self) -> String {
+        self.gpu.name.clone()
+    }
+
+    fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
+        model.validate().map_err(SimError::InvalidRequest)?;
+        let footprint = self.footprint(model, request);
+
+        if self.fits_resident(model, request) {
+            // --- resident path ---
+            let prefill_graph =
+                llmsim_model::prefill_graph(model, request.batch, request.prompt_len, self.dtype);
+            let prefill = self.run_phase_resident(&prefill_graph);
+            let mut decode = PhaseAccum::default();
+            for step in 0..request.decode_steps() {
+                let kv_len = request.prompt_len + 1 + step;
+                let g = llmsim_model::decode_step_graph(model, request.batch, kv_len, self.dtype);
+                decode.merge(&self.run_phase_resident(&g));
+            }
+            let ttft = prefill.time;
+            let tpot = if request.decode_steps() == 0 {
+                Seconds::ZERO
+            } else {
+                Seconds::new(decode.time.as_f64() / request.decode_steps() as f64)
+            };
+            let e2e = prefill.time + decode.time;
+            let total_dram = prefill.dram_bytes + decode.dram_bytes;
+            let counters = synthesize(&CounterInputs {
+                instructions: prefill.instructions + decode.instructions,
+                dram_read_bytes: total_dram * 0.85,
+                dram_write_bytes: total_dram * 0.15,
+                load_bytes: prefill.load_bytes + decode.load_bytes,
+                store_bytes: prefill.store_bytes + decode.store_bytes,
+                compute_busy: prefill.compute_busy + decode.compute_busy,
+                elapsed: e2e,
+                upi_bytes: 0.0,
+                upi_capacity_bytes_per_sec: 0.0,
+                remote_fraction: 0.0,
+            });
+            return Ok(InferenceReport {
+                model: model.name.clone(),
+                backend: self.name(),
+                request: *request,
+                ttft,
+                tpot,
+                e2e_latency: e2e,
+                prefill: prefill.report(),
+                decode: decode.report(),
+                counters,
+                offload: None,
+            });
+        }
+
+        // --- offload path ---
+        if footprint > self.host_memory {
+            return Err(SimError::ModelTooLarge {
+                backend: format!("{} + host", self.name()),
+                required: footprint,
+                available: self.host_memory,
+            });
+        }
+        let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
+        offload::run_offloaded(self, &plan, model, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_model::families;
+
+    #[test]
+    fn small_models_run_resident_and_fast() {
+        let a100 = GpuBackend::paper_a100();
+        let r = a100.run(&families::opt_6_7b(), &Request::paper_default(1)).unwrap();
+        assert!(r.offload.is_none());
+        // A 6.7B model decodes well under 20 ms/token on an A100.
+        assert!(r.tpot.as_f64() < 0.02, "{}", r.tpot);
+    }
+
+    #[test]
+    fn a100_offloads_opt30b_h100_keeps_it_resident() {
+        // §V-B: "while the H100 GPU could accommodate the entire OPT-30B
+        // model ... the A100 GPU needs to offload".
+        let req = Request::paper_default(1);
+        let m = families::opt_30b();
+        assert!(!GpuBackend::paper_a100().fits_resident(&m, &req));
+        assert!(GpuBackend::paper_h100().fits_resident(&m, &req));
+    }
+
+    #[test]
+    fn offloaded_run_reports_breakdown() {
+        let a100 = GpuBackend::paper_a100();
+        let r = a100.run(&families::opt_30b(), &Request::paper_default(1)).unwrap();
+        let b = r.offload.expect("offloaded run must carry a breakdown");
+        assert!(b.data_loading_fraction() > 0.5);
+    }
+
+    #[test]
+    fn h100_outpaces_a100_resident() {
+        let m = families::opt_13b();
+        let req = Request::paper_default(1);
+        let a = GpuBackend::paper_a100().run(&m, &req).unwrap();
+        let h = GpuBackend::paper_h100().run(&m, &req).unwrap();
+        assert!(h.e2e_latency < a.e2e_latency);
+    }
+
+    #[test]
+    fn beyond_host_memory_errors() {
+        let tiny_host = GpuBackend::new(
+            llmsim_hw::presets::a100_40gb(),
+            DType::Bf16,
+            Bytes::from_gib(64.0),
+        );
+        let err = tiny_host.run(&families::opt_66b(), &Request::paper_default(1)).unwrap_err();
+        assert!(matches!(err, SimError::ModelTooLarge { .. }));
+    }
+}

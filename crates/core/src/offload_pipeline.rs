@@ -1,0 +1,239 @@
+//! A discrete-event simulation of the FlexGen zig-zag layer pipeline.
+//!
+//! [`crate::offload`] costs offloaded passes with a closed-form overlap
+//! factor. This module simulates the actual pipeline — per-layer weight
+//! transfers racing per-layer compute under a bounded prefetch depth — and
+//! is used to *validate* that closed form: tests check the event-driven
+//! exposed-transfer time brackets the analytic one, and that deeper
+//! prefetch monotonically improves overlap (the zig-zag design argument).
+
+use llmsim_hw::{Bytes, GpuSpec, Seconds};
+use llmsim_model::{DType, ModelConfig};
+
+/// Configuration of the layer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// How many layers ahead the transfer engine may run (1 = strict
+    /// double buffering; 0 = fully serialized, no overlap).
+    pub prefetch_depth: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { prefetch_depth: 1 }
+    }
+}
+
+/// Timeline of one offloaded forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTimeline {
+    /// Per-layer compute start times (seconds).
+    pub compute_start: Vec<f64>,
+    /// Per-layer compute end times.
+    pub compute_end: Vec<f64>,
+    /// Total wall-clock of the pass.
+    pub makespan: Seconds,
+    /// Sum of raw per-layer transfer times.
+    pub raw_transfer: Seconds,
+    /// Wall-clock the compute engine spent idle waiting on transfers.
+    pub exposed_transfer: Seconds,
+}
+
+/// Simulates one forward pass: `n_layers` layers, each needing its weight
+/// slice transferred (unless resident) before its compute can start.
+///
+/// Two engines run concurrently: the DMA engine transfers layer weights in
+/// order, at most `prefetch_depth` layers ahead of compute; the compute
+/// engine processes layers in order.
+///
+/// # Panics
+///
+/// Panics if `model.n_layers` is zero (model validation guarantees not).
+#[must_use]
+pub fn simulate_pass(
+    gpu: &GpuSpec,
+    model: &ModelConfig,
+    dtype: DType,
+    resident_fraction: f64,
+    per_layer_compute: Seconds,
+    config: &PipelineConfig,
+) -> PipelineTimeline {
+    let layers = model.n_layers as usize;
+    assert!(layers > 0, "model must have layers");
+    let per_layer_bytes =
+        Bytes::new(model.params_per_layer() * dtype.bytes());
+    // The resident fraction pins the *first* layers (FlexGen pins from the
+    // bottom); those transfer in zero time.
+    let resident_layers = ((layers as f64) * resident_fraction.clamp(0.0, 1.0)).floor() as usize;
+    let transfer_one = gpu.host_link.transfer_time(per_layer_bytes).as_f64();
+    let compute_one = per_layer_compute.as_f64();
+
+    let mut transfer_end = vec![0.0f64; layers];
+    let mut compute_start = vec![0.0f64; layers];
+    let mut compute_end = vec![0.0f64; layers];
+    let mut dma_free = 0.0f64;
+    let mut compute_free = 0.0f64;
+    let mut raw_transfer = 0.0f64;
+
+    for l in 0..layers {
+        // DMA engine: may start once it's free and compute is within
+        // `prefetch_depth` layers (bounded lookahead = bounded GPU staging
+        // buffers).
+        if l < resident_layers {
+            transfer_end[l] = 0.0;
+        } else {
+            let gate = if config.prefetch_depth == 0 {
+                // No overlap: transfer waits for the previous layer's compute.
+                if l == 0 { 0.0 } else { compute_end[l - 1] }
+            } else {
+                let window = l.saturating_sub(config.prefetch_depth as usize);
+                if l == 0 || window == 0 { 0.0 } else { compute_end[window - 1] }
+            };
+            let start = dma_free.max(gate);
+            transfer_end[l] = start + transfer_one;
+            dma_free = transfer_end[l];
+            raw_transfer += transfer_one;
+        }
+        // Compute engine: needs its weights and the previous layer done.
+        let ready = transfer_end[l].max(compute_free);
+        compute_start[l] = ready;
+        compute_end[l] = ready + compute_one;
+        compute_free = compute_end[l];
+    }
+
+    let makespan = compute_end[layers - 1];
+    let total_compute = compute_one * layers as f64;
+    PipelineTimeline {
+        compute_start,
+        compute_end,
+        makespan: Seconds::new(makespan),
+        raw_transfer: Seconds::new(raw_transfer),
+        exposed_transfer: Seconds::new((makespan - total_compute).max(0.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_model::families;
+
+    fn setup() -> (GpuSpec, ModelConfig) {
+        (llmsim_hw::presets::a100_40gb(), families::opt_30b())
+    }
+
+    #[test]
+    fn transfer_bound_pass_is_dma_limited() {
+        let (gpu, m) = setup();
+        // Tiny compute per layer → makespan ≈ total transfer time.
+        let t = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.0,
+            Seconds::from_micros(10.0),
+            &PipelineConfig::default(),
+        );
+        let per_layer = gpu
+            .host_link
+            .transfer_time(Bytes::new(m.params_per_layer() * 2))
+            .as_f64();
+        let expect = per_layer * m.n_layers as f64;
+        assert!((t.makespan.as_f64() - expect) / expect < 0.02, "{} vs {expect}", t.makespan);
+        assert!(t.exposed_transfer.as_f64() > 0.9 * t.raw_transfer.as_f64());
+    }
+
+    #[test]
+    fn compute_bound_pass_hides_all_but_first_transfer() {
+        let (gpu, m) = setup();
+        // Compute per layer far above transfer → only layer 0's transfer
+        // is exposed.
+        let per_layer = gpu
+            .host_link
+            .transfer_time(Bytes::new(m.params_per_layer() * 2))
+            .as_f64();
+        let compute = Seconds::new(per_layer * 5.0);
+        let t = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
+        assert!(
+            t.exposed_transfer.as_f64() < 1.5 * per_layer,
+            "exposed {} vs per-layer {per_layer}",
+            t.exposed_transfer
+        );
+    }
+
+    #[test]
+    fn prefetch_depth_monotonically_helps() {
+        let (gpu, m) = setup();
+        let compute = Seconds::from_millis(25.0);
+        let mut last = f64::INFINITY;
+        for depth in [0u32, 1, 2, 4] {
+            let t = simulate_pass(
+                &gpu,
+                &m,
+                DType::Bf16,
+                0.0,
+                compute,
+                &PipelineConfig { prefetch_depth: depth },
+            );
+            assert!(
+                t.makespan.as_f64() <= last + 1e-12,
+                "depth {depth}: {} > {last}",
+                t.makespan
+            );
+            last = t.makespan.as_f64();
+        }
+    }
+
+    #[test]
+    fn resident_layers_cut_raw_transfer_proportionally() {
+        let (gpu, m) = setup();
+        let compute = Seconds::from_millis(5.0);
+        let full = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
+        let half = simulate_pass(&gpu, &m, DType::Bf16, 0.5, compute, &PipelineConfig::default());
+        let ratio = half.raw_transfer.as_f64() / full.raw_transfer.as_f64();
+        assert!((ratio - 0.5).abs() < 0.05, "{ratio}");
+        assert!(half.makespan < full.makespan);
+    }
+
+    #[test]
+    fn event_driven_brackets_closed_form_overlap() {
+        // The closed-form model in `offload.rs` assumes a fixed
+        // OFFLOAD_OVERLAP_EFF share of compute hides transfer. The
+        // event-driven pipeline's hidden share must land in a plausible
+        // band around it for decode-like ratios (compute ≪ transfer).
+        let (gpu, m) = setup();
+        let per_layer_transfer = gpu
+            .host_link
+            .transfer_time(Bytes::new(m.params_per_layer() * 2))
+            .as_f64();
+        // Decode-like: compute is ~20% of transfer per layer.
+        let compute = Seconds::new(per_layer_transfer * 0.2);
+        let t = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
+        let hidden = t.raw_transfer.as_f64() + compute.as_f64() * m.n_layers as f64
+            - t.makespan.as_f64();
+        let hidden_share_of_compute = hidden / (compute.as_f64() * m.n_layers as f64);
+        // Strict double buffering hides transfer under (most) compute.
+        assert!(
+            (0.5..=1.0).contains(&hidden_share_of_compute),
+            "hidden share {hidden_share_of_compute}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_causally_ordered() {
+        let (gpu, m) = setup();
+        let t = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.25,
+            Seconds::from_millis(1.0),
+            &PipelineConfig::default(),
+        );
+        for l in 0..m.n_layers as usize {
+            assert!(t.compute_end[l] > t.compute_start[l]);
+            if l > 0 {
+                assert!(t.compute_start[l] >= t.compute_end[l - 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-operator roofline timing.
+//!
+//! Every operator's execution time is
+//! `max(compute_time, memory_time) + dispatch_overhead`: compute and memory
+//! streams overlap (hardware prefetch / double buffering), and whichever
+//! resource saturates determines the duration — the classical roofline
+//! model applied operator-by-operator.
+
+use llmsim_hw::{Bytes, FlopsPerSec, GbPerSec, Seconds};
+
+/// Resources available to one operator execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resources {
+    /// Sustained compute rate for this operator (peak × shape efficiency ×
+    /// parallel efficiency).
+    pub compute: FlopsPerSec,
+    /// Sustained memory bandwidth for this operator's DRAM traffic.
+    pub bandwidth: GbPerSec,
+    /// Fixed dispatch overhead per execution.
+    pub overhead: Seconds,
+}
+
+/// Timing breakdown of one operator execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpTime {
+    /// Time the compute ports would need alone.
+    pub compute_time: Seconds,
+    /// Time the memory system would need alone.
+    pub memory_time: Seconds,
+    /// Dispatch overhead.
+    pub overhead: Seconds,
+}
+
+impl OpTime {
+    /// Total duration under compute/memory overlap.
+    #[must_use]
+    pub fn total(&self) -> Seconds {
+        self.compute_time.max(self.memory_time) + self.overhead
+    }
+
+    /// Whether the operator is memory-bound.
+    #[must_use]
+    pub fn memory_bound(&self) -> bool {
+        self.memory_time > self.compute_time
+    }
+}
+
+/// Applies the roofline to one operator: `flops` of arithmetic and
+/// `dram_bytes` of DRAM traffic.
+#[must_use]
+pub fn op_time(resources: &Resources, flops: f64, dram_bytes: Bytes) -> OpTime {
+    let compute_time = if flops == 0.0 {
+        Seconds::ZERO
+    } else {
+        resources.compute.execution_time(llmsim_hw::Flops::new(flops))
+    };
+    let memory_time = resources.bandwidth.transfer_time(dram_bytes);
+    OpTime { compute_time, memory_time, overhead: resources.overhead }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> Resources {
+        Resources {
+            compute: FlopsPerSec::from_tflops(100.0),
+            bandwidth: GbPerSec::new(500.0),
+            overhead: Seconds::from_micros(5.0),
+        }
+    }
+
+    #[test]
+    fn compute_bound_region() {
+        // 1 TFLOP, 1 GB → compute 10 ms vs memory 2 ms.
+        let t = op_time(&res(), 1e12, Bytes::new(1_000_000_000));
+        assert!(!t.memory_bound());
+        assert!((t.total().as_f64() - (0.01 + 5e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_region() {
+        // 0.01 TFLOP, 10 GB → compute 0.1 ms vs memory 20 ms.
+        let t = op_time(&res(), 1e10, Bytes::new(10_000_000_000));
+        assert!(t.memory_bound());
+        assert!((t.total().as_f64() - (0.02 + 5e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_costs_only_overhead() {
+        let t = op_time(&res(), 0.0, Bytes::ZERO);
+        assert_eq!(t.total(), Seconds::from_micros(5.0));
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let slow = op_time(&res(), 1e11, Bytes::new(5_000_000_000)).total();
+        let mut fast_res = res();
+        fast_res.bandwidth = GbPerSec::new(1000.0);
+        let fast = op_time(&fast_res, 1e11, Bytes::new(5_000_000_000)).total();
+        assert!(fast <= slow);
+    }
+}

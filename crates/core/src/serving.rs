@@ -1,0 +1,599 @@
+//! A continuous-batching serving simulator — the §VII-C extension.
+//!
+//! The paper's related work contrasts *static* batching (FasterTransformer:
+//! a batch runs to completion before the next is admitted) with
+//! *iteration-level* scheduling (Orca/vLLM: requests join and leave the
+//! running batch at token-step granularity). This module simulates both
+//! policies on top of the CPU backend's phase-cost primitives and reports
+//! per-request latency plus system throughput.
+
+use crate::cpu_backend::CpuBackend;
+use llmsim_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One request arriving at a serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingRequest {
+    /// Caller-assigned id.
+    pub id: u64,
+    /// Arrival time offset from simulation start, seconds.
+    pub arrival_s: f64,
+    /// Prompt length.
+    pub prompt_len: u64,
+    /// Tokens to generate.
+    pub gen_len: u64,
+}
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Whole batches run to completion (FasterTransformer-style). Short
+    /// requests wait for the batch's longest generation.
+    Static,
+    /// Requests join/leave at token-step granularity (Orca-style
+    /// iteration-level scheduling).
+    IterationLevel,
+    /// Iteration-level with Sarathi-style chunked prefill: new prompts are
+    /// processed `chunk_tokens` at a time, fused with ongoing decode
+    /// iterations, bounding the decode stall a long prompt can cause.
+    ChunkedPrefill {
+        /// Prompt tokens processed per fused iteration.
+        chunk_tokens: u64,
+    },
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingPolicy::Static => f.write_str("static"),
+            SchedulingPolicy::IterationLevel => f.write_str("iteration-level"),
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens } => {
+                write!(f, "chunked-prefill({chunk_tokens})")
+            }
+        }
+    }
+}
+
+/// Serving-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Maximum concurrent sequences in one batch.
+    pub max_batch: u64,
+    /// Batching policy.
+    pub policy: SchedulingPolicy,
+}
+
+/// Per-request outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// Queue wait before the prefill started, seconds.
+    pub queue_delay_s: f64,
+    /// Time from arrival to first token, seconds.
+    pub ttft_s: f64,
+    /// Time from arrival to final token, seconds.
+    pub e2e_s: f64,
+}
+
+/// Whole-run serving metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Policy used.
+    pub policy: SchedulingPolicy,
+    /// Per-request outcomes, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Wall-clock of the whole run, seconds.
+    pub makespan_s: f64,
+    /// Total tokens generated.
+    pub generated_tokens: u64,
+    /// Longest gap between consecutive tokens experienced by any decoding
+    /// request (the TBT stall Sarathi-Serve targets), seconds.
+    pub max_decode_stall_s: f64,
+}
+
+impl ServingReport {
+    /// System throughput: generated tokens / makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.generated_tokens as f64 / self.makespan_s
+    }
+
+    /// Mean time-to-first-token across requests.
+    #[must_use]
+    pub fn mean_ttft(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.ttft_s).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// A latency percentile over E2E times (`p` in 0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no outcomes or `p` is outside 0..=100.
+    #[must_use]
+    pub fn e2e_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        assert!(!self.outcomes.is_empty(), "no outcomes");
+        let mut v: Vec<f64> = self.outcomes.iter().map(|o| o.e2e_s).collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx]
+    }
+}
+
+/// Simulates serving `requests` (sorted by arrival) on `backend`.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty, unsorted, has zero-length fields, or
+/// `config.max_batch` is zero.
+#[must_use]
+pub fn simulate(
+    backend: &CpuBackend,
+    model: &ModelConfig,
+    config: &ServingConfig,
+    requests: &[ServingRequest],
+) -> ServingReport {
+    assert!(!requests.is_empty(), "need at least one request");
+    assert!(config.max_batch > 0, "max batch must be positive");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival"
+    );
+    assert!(
+        requests.iter().all(|r| r.prompt_len > 0 && r.gen_len > 0),
+        "request lengths must be positive"
+    );
+    match config.policy {
+        SchedulingPolicy::Static => simulate_static(backend, model, config, requests),
+        SchedulingPolicy::IterationLevel => simulate_iteration(backend, model, config, requests),
+        SchedulingPolicy::ChunkedPrefill { chunk_tokens } => {
+            assert!(chunk_tokens > 0, "chunk size must be positive");
+            simulate_chunked(backend, model, config, requests, chunk_tokens)
+        }
+    }
+}
+
+fn simulate_static(
+    backend: &CpuBackend,
+    model: &ModelConfig,
+    config: &ServingConfig,
+    requests: &[ServingRequest],
+) -> ServingReport {
+    let mut now = 0.0f64;
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut generated = 0u64;
+    let mut max_stall = 0.0f64;
+    let mut i = 0usize;
+    while i < requests.len() {
+        let end = (i + config.max_batch as usize).min(requests.len());
+        let batch = &requests[i..end];
+        // The batch starts when the server is free and every member arrived.
+        let start = now.max(batch.iter().map(|r| r.arrival_s).fold(0.0, f64::max));
+        let b = batch.len() as u64;
+        // Padding semantics: everyone pays the longest prompt and the
+        // longest generation in the batch.
+        let max_prompt = batch.iter().map(|r| r.prompt_len).max().unwrap_or(1);
+        let max_gen = batch.iter().map(|r| r.gen_len).max().unwrap_or(1);
+        let prefill = backend.prefill_time(model, b, max_prompt).as_f64();
+        let first_token = start + prefill;
+        let mut t = first_token;
+        let mut finish = vec![first_token; batch.len()];
+        for step in 0..max_gen.saturating_sub(1) {
+            let kv = max_prompt + 1 + step;
+            let dt = backend.decode_step_time(model, b, kv).as_f64();
+            max_stall = max_stall.max(dt);
+            t += dt;
+            for (j, r) in batch.iter().enumerate() {
+                // Token 1 came from prefill; decode step `s` yields token
+                // `s + 2`, so a request finishes after step `gen_len - 2`.
+                if r.gen_len >= 2 && step == r.gen_len - 2 {
+                    finish[j] = t;
+                }
+            }
+        }
+        for (j, r) in batch.iter().enumerate() {
+            let done = finish[j].max(first_token);
+            outcomes.push(RequestOutcome {
+                id: r.id,
+                queue_delay_s: start - r.arrival_s,
+                ttft_s: first_token - r.arrival_s,
+                e2e_s: done - r.arrival_s,
+            });
+            generated += r.gen_len;
+        }
+        now = t;
+        i = end;
+    }
+    let makespan = outcomes.iter().map(|o| o.e2e_s).zip(requests).map(|(e, r)| e + r.arrival_s).fold(0.0, f64::max);
+    ServingReport {
+        policy: SchedulingPolicy::Static,
+        outcomes,
+        makespan_s: makespan,
+        generated_tokens: generated,
+        max_decode_stall_s: max_stall,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    id: u64,
+    arrival_s: f64,
+    context: u64,
+    remaining: u64,
+    first_token_s: f64,
+}
+
+fn simulate_iteration(
+    backend: &CpuBackend,
+    model: &ModelConfig,
+    config: &ServingConfig,
+    requests: &[ServingRequest],
+) -> ServingReport {
+    let mut waiting: VecDeque<ServingRequest> = requests.iter().copied().collect();
+    let mut active: Vec<Active> = Vec::new();
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut generated = 0u64;
+    let mut now = 0.0f64;
+    let mut max_stall = 0.0f64;
+
+    while !waiting.is_empty() || !active.is_empty() {
+        // Admit arrived requests up to the batch cap; a full prefill pass
+        // stalls ongoing decodes for its whole duration (the problem
+        // chunked prefill solves).
+        let mut admitted: Vec<ServingRequest> = Vec::new();
+        while active.len() + admitted.len() < config.max_batch as usize {
+            match waiting.front() {
+                Some(r) if r.arrival_s <= now || active.is_empty() && admitted.is_empty() => {
+                    let r = waiting.pop_front().expect("front exists");
+                    admitted.push(r);
+                }
+                _ => break,
+            }
+        }
+        if !admitted.is_empty() {
+            let start =
+                now.max(admitted.iter().map(|r| r.arrival_s).fold(0.0, f64::max));
+            let max_prompt = admitted.iter().map(|r| r.prompt_len).max().unwrap_or(1);
+            let t_prefill =
+                backend.prefill_time(model, admitted.len() as u64, max_prompt).as_f64();
+            if !active.is_empty() {
+                max_stall = max_stall.max(t_prefill);
+            }
+            now = start + t_prefill;
+            for r in admitted {
+                generated += 1; // prefill produced the first token
+                active.push(Active {
+                    id: r.id,
+                    arrival_s: r.arrival_s,
+                    context: r.prompt_len + 1,
+                    remaining: r.gen_len - 1,
+                    first_token_s: now,
+                });
+            }
+        }
+        if active.is_empty() {
+            continue;
+        }
+        // One decode iteration for the whole running batch.
+        let b = active.len() as u64;
+        let kv = active.iter().map(|a| a.context).max().unwrap_or(1);
+        // Requests with nothing left to generate complete immediately.
+        let mut still_running = Vec::with_capacity(active.len());
+        let step = backend.decode_step_time(model, b, kv).as_f64();
+        max_stall = max_stall.max(step);
+        now += step;
+        for mut a in active.drain(..) {
+            if a.remaining > 0 {
+                a.remaining -= 1;
+                a.context += 1;
+                generated += 1;
+            }
+            if a.remaining == 0 {
+                outcomes.push(RequestOutcome {
+                    id: a.id,
+                    queue_delay_s: (a.first_token_s - a.arrival_s).max(0.0),
+                    ttft_s: a.first_token_s - a.arrival_s,
+                    e2e_s: now - a.arrival_s,
+                });
+            } else {
+                still_running.push(a);
+            }
+        }
+        active = still_running;
+    }
+    ServingReport {
+        policy: SchedulingPolicy::IterationLevel,
+        outcomes,
+        makespan_s: now,
+        generated_tokens: generated,
+        max_decode_stall_s: max_stall,
+    }
+}
+
+/// A request whose prompt is still being chunk-prefilled.
+#[derive(Debug, Clone, Copy)]
+struct Prefilling {
+    req: ServingRequest,
+    remaining_prompt: u64,
+}
+
+fn simulate_chunked(
+    backend: &CpuBackend,
+    model: &ModelConfig,
+    config: &ServingConfig,
+    requests: &[ServingRequest],
+    chunk_tokens: u64,
+) -> ServingReport {
+    let mut waiting: VecDeque<ServingRequest> = requests.iter().copied().collect();
+    let mut active: Vec<Active> = Vec::new();
+    let mut prefilling: Option<Prefilling> = None;
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut generated = 0u64;
+    let mut now = 0.0f64;
+    let mut max_stall = 0.0f64;
+
+    while !waiting.is_empty() || !active.is_empty() || prefilling.is_some() {
+        // Admit one request into the prefilling slot when there is room.
+        if prefilling.is_none() && active.len() < config.max_batch as usize {
+            if let Some(r) = waiting.front().copied() {
+                if r.arrival_s <= now || active.is_empty() {
+                    waiting.pop_front();
+                    now = now.max(r.arrival_s);
+                    prefilling = Some(Prefilling { req: r, remaining_prompt: r.prompt_len });
+                }
+            }
+        }
+        if prefilling.is_none() && active.is_empty() {
+            continue; // jump handled at admission
+        }
+
+        // One fused iteration: a prompt chunk (if any) plus one decode step
+        // for the running batch. Decode tokens piggyback on the chunk's
+        // GEMMs, paying a modest interference surcharge.
+        let decode_b = active.len() as u64;
+        let iter_cost = match (&mut prefilling, decode_b) {
+            (Some(p), b) => {
+                let chunk = p.remaining_prompt.min(chunk_tokens);
+                let chunk_cost = backend.prefill_time(model, 1, chunk).as_f64();
+                let piggyback = if b > 0 {
+                    0.25 * backend.decode_step_time(model, b, 1 + p.req.prompt_len).as_f64()
+                } else {
+                    0.0
+                };
+                p.remaining_prompt -= chunk;
+                chunk_cost + piggyback
+            }
+            (None, b) => {
+                let kv = active.iter().map(|a| a.context).max().unwrap_or(1);
+                backend.decode_step_time(model, b.max(1), kv).as_f64()
+            }
+        };
+        if !active.is_empty() {
+            max_stall = max_stall.max(iter_cost);
+        }
+        now += iter_cost;
+
+        // Prefill completion → join the decode batch with its first token.
+        if let Some(p) = prefilling {
+            if p.remaining_prompt == 0 {
+                generated += 1;
+                active.push(Active {
+                    id: p.req.id,
+                    arrival_s: p.req.arrival_s,
+                    context: p.req.prompt_len + 1,
+                    remaining: p.req.gen_len - 1,
+                    first_token_s: now,
+                });
+                prefilling = None;
+            }
+        }
+
+        // Decode progress for everyone who was active this iteration.
+        let mut still = Vec::with_capacity(active.len());
+        for mut a in active.drain(..) {
+            if a.first_token_s >= now {
+                // Joined at the end of this iteration; decodes next time.
+                still.push(a);
+                continue;
+            }
+            if a.remaining > 0 {
+                a.remaining -= 1;
+                a.context += 1;
+                generated += 1;
+            }
+            if a.remaining == 0 {
+                outcomes.push(RequestOutcome {
+                    id: a.id,
+                    queue_delay_s: (a.first_token_s - a.arrival_s).max(0.0),
+                    ttft_s: a.first_token_s - a.arrival_s,
+                    e2e_s: now - a.arrival_s,
+                });
+            } else {
+                still.push(a);
+            }
+        }
+        active = still;
+    }
+    ServingReport {
+        policy: SchedulingPolicy::ChunkedPrefill { chunk_tokens },
+        outcomes,
+        makespan_s: now,
+        generated_tokens: generated,
+    max_decode_stall_s: max_stall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_model::families;
+
+    fn requests(n: u64, gap: f64) -> Vec<ServingRequest> {
+        (0..n)
+            .map(|i| ServingRequest {
+                id: i,
+                arrival_s: i as f64 * gap,
+                // Heterogeneous lengths: the regime where iteration-level
+                // scheduling wins.
+                prompt_len: 64 + 64 * (i % 3),
+                gen_len: 8 + 24 * (i % 4),
+            })
+            .collect()
+    }
+
+    fn backend() -> CpuBackend {
+        CpuBackend::paper_spr()
+    }
+
+    #[test]
+    fn all_requests_complete_under_both_policies() {
+        let model = families::opt_6_7b();
+        let reqs = requests(12, 0.05);
+        for policy in [SchedulingPolicy::Static, SchedulingPolicy::IterationLevel] {
+            let cfg = ServingConfig { max_batch: 4, policy };
+            let rep = simulate(&backend(), &model, &cfg, &reqs);
+            assert_eq!(rep.outcomes.len(), 12, "{policy}");
+            let expected: u64 = reqs.iter().map(|r| r.gen_len).sum();
+            assert_eq!(rep.generated_tokens, expected, "{policy}");
+            assert!(rep.outcomes.iter().all(|o| o.e2e_s >= o.ttft_s && o.ttft_s > 0.0));
+        }
+    }
+
+    #[test]
+    fn iteration_level_beats_static_on_heterogeneous_lengths() {
+        // The Orca/vLLM claim (§VII-C): token-level admission avoids
+        // padding to the batch's longest generation.
+        let model = families::opt_6_7b();
+        let reqs = requests(16, 0.02);
+        let static_rep = simulate(
+            &backend(),
+            &model,
+            &ServingConfig { max_batch: 4, policy: SchedulingPolicy::Static },
+            &reqs,
+        );
+        let orca_rep = simulate(
+            &backend(),
+            &model,
+            &ServingConfig { max_batch: 4, policy: SchedulingPolicy::IterationLevel },
+            &reqs,
+        );
+        assert!(
+            orca_rep.throughput() > static_rep.throughput(),
+            "orca {} vs static {}",
+            orca_rep.throughput(),
+            static_rep.throughput()
+        );
+        assert!(orca_rep.makespan_s < static_rep.makespan_s);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let model = families::opt_1_3b();
+        let rep = simulate(
+            &backend(),
+            &model,
+            &ServingConfig { max_batch: 8, policy: SchedulingPolicy::IterationLevel },
+            &requests(20, 0.01),
+        );
+        let p50 = rep.e2e_percentile(50.0);
+        let p99 = rep.e2e_percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(rep.mean_ttft() > 0.0);
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_decode_stalls() {
+        // The Sarathi-Serve claim: a long prompt arriving mid-decode stalls
+        // running requests for a full prefill under plain iteration-level
+        // scheduling, but only for one chunk under chunked prefill.
+        let model = families::opt_6_7b();
+        let reqs = vec![
+            ServingRequest { id: 0, arrival_s: 0.0, prompt_len: 64, gen_len: 48 },
+            ServingRequest { id: 1, arrival_s: 0.05, prompt_len: 2048, gen_len: 8 },
+        ];
+        let run = |policy| {
+            simulate(&backend(), &model, &ServingConfig { max_batch: 4, policy }, &reqs)
+        };
+        let plain = run(SchedulingPolicy::IterationLevel);
+        let chunked = run(SchedulingPolicy::ChunkedPrefill { chunk_tokens: 128 });
+        assert!(
+            chunked.max_decode_stall_s < 0.5 * plain.max_decode_stall_s,
+            "chunked {} vs plain {}",
+            chunked.max_decode_stall_s,
+            plain.max_decode_stall_s
+        );
+        // Both complete everything.
+        assert_eq!(chunked.outcomes.len(), 2);
+        assert_eq!(chunked.generated_tokens, plain.generated_tokens);
+    }
+
+    #[test]
+    fn chunked_prefill_completes_heterogeneous_load() {
+        let model = families::opt_1_3b();
+        let reqs = requests(10, 0.03);
+        let rep = simulate(
+            &backend(),
+            &model,
+            &ServingConfig {
+                max_batch: 4,
+                policy: SchedulingPolicy::ChunkedPrefill { chunk_tokens: 64 },
+            },
+            &reqs,
+        );
+        assert_eq!(rep.outcomes.len(), 10);
+        let expected: u64 = reqs.iter().map(|r| r.gen_len).sum();
+        assert_eq!(rep.generated_tokens, expected);
+        assert!(rep.max_decode_stall_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        let model = families::opt_1_3b();
+        let reqs = requests(2, 0.1);
+        let _ = simulate(
+            &backend(),
+            &model,
+            &ServingConfig {
+                max_batch: 2,
+                policy: SchedulingPolicy::ChunkedPrefill { chunk_tokens: 0 },
+            },
+            &reqs,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_panic() {
+        let model = families::opt_1_3b();
+        let reqs = vec![
+            ServingRequest { id: 0, arrival_s: 1.0, prompt_len: 8, gen_len: 2 },
+            ServingRequest { id: 1, arrival_s: 0.5, prompt_len: 8, gen_len: 2 },
+        ];
+        let _ = simulate(
+            &backend(),
+            &model,
+            &ServingConfig { max_batch: 2, policy: SchedulingPolicy::Static },
+            &reqs,
+        );
+    }
+
+    #[test]
+    fn bigger_batch_cap_raises_throughput() {
+        let model = families::opt_6_7b();
+        let reqs = requests(24, 0.005);
+        let tput = |cap| {
+            simulate(
+                &backend(),
+                &model,
+                &ServingConfig { max_batch: cap, policy: SchedulingPolicy::IterationLevel },
+                &reqs,
+            )
+            .throughput()
+        };
+        assert!(tput(8) > tput(1), "batching should help");
+    }
+}

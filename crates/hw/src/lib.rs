@@ -1,0 +1,45 @@
+//! # llmsim-hw — hardware specifications for the LLM-on-CPU simulator
+//!
+//! Strongly-typed descriptions of the CPU and GPU servers characterized in
+//! *"Understanding Performance Implications of LLM Inference on CPUs"*
+//! (IISWC 2024): units, memory devices, cache hierarchies, interconnects,
+//! NUMA topology/modes, and presets encoding the paper's Tables I and II.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmsim_hw::presets;
+//! use llmsim_hw::cpu::ComputeEngine;
+//!
+//! let spr = presets::spr_max_9468();
+//! let icl = presets::icl_8352y();
+//!
+//! // SPR's AMX peak is an order of magnitude above ICL's AVX-512 peak.
+//! let spr_amx = spr.peak_flops(ComputeEngine::Amx, 48);
+//! let icl_avx = icl.peak_flops(ComputeEngine::Avx512, 32);
+//! assert!(spr_amx.as_tflops() / icl_avx.as_tflops() > 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod interconnect;
+pub mod memory;
+pub mod presets;
+pub mod power;
+pub mod pricing;
+pub mod topology;
+pub mod units;
+
+pub use cache::{CacheHierarchy, CacheLevel, CacheSpec};
+pub use cpu::{ComputeEngine, CpuGeneration, CpuSpec};
+pub use gpu::GpuSpec;
+pub use interconnect::{LinkKind, LinkSpec};
+pub use memory::{MemoryDeviceSpec, MemoryKind};
+pub use power::PowerSpec;
+pub use pricing::UsDollars;
+pub use topology::{ClusteringMode, MemoryMode, NumaConfig, Topology};
+pub use units::{Bytes, Flops, FlopsPerSec, GbPerSec, Hertz, Seconds};

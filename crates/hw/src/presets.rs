@@ -1,0 +1,218 @@
+//! Hardware presets encoding Tables I and II of the paper.
+//!
+//! Every number here is taken directly from the paper's tables; derived
+//! quantities (latencies, protocol efficiencies) carry comments explaining
+//! their provenance.
+
+use crate::cache::{CacheHierarchy, CacheLevel, CacheSpec};
+use crate::cpu::{CpuGeneration, CpuSpec};
+use crate::gpu::GpuSpec;
+use crate::interconnect::{LinkKind, LinkSpec};
+use crate::memory::{MemoryDeviceSpec, MemoryKind};
+use crate::topology::Topology;
+use crate::units::{Bytes, FlopsPerSec, GbPerSec, Hertz, Seconds};
+
+/// CPU 1 of Table I: Intel Xeon 3rd-gen 8352Y ("ICL CPU").
+///
+/// 32 cores/socket × 2 sockets @ 2.20 GHz, AVX-512 BF16 18.0 TFLOPS,
+/// DDR4 256 GB @ 156.2 GB/s (STREAM, single socket).
+#[must_use]
+pub fn icl_8352y() -> CpuSpec {
+    CpuSpec {
+        name: "Xeon 3rd 8352Y".to_owned(),
+        generation: CpuGeneration::IceLake,
+        frequency: Hertz::from_ghz(2.20),
+        topology: Topology::new(2, 32),
+        caches: CacheHierarchy::new(
+            CacheSpec::new(CacheLevel::L1d, Bytes::from_kib(48), 12, 64),
+            CacheSpec::new(CacheLevel::L2, Bytes::from_kib(1280), 20, 64),
+            CacheSpec::new(CacheLevel::L3, Bytes::from_mib(48), 12, 64),
+        ),
+        avx512_bf16_per_socket: FlopsPerSec::from_tflops(18.0),
+        amx_bf16_per_socket: None,
+        ddr: MemoryDeviceSpec::new(
+            MemoryKind::Ddr4,
+            Bytes::from_gib(256.0),
+            GbPerSec::new(156.2),
+            // Typical loaded-idle DDR4 latency on ICL (Intel MLC measurements).
+            Seconds::from_nanos(85.0),
+        ),
+        hbm: None,
+        upi: upi_link(),
+    }
+}
+
+/// CPU 2 of Table I: Intel Xeon 4th-gen Max 9468 ("SPR CPU").
+///
+/// 48 cores/socket × 2 sockets @ 2.10 GHz, BF16 25.6 TFLOPS (AVX-512) /
+/// 206.4 TFLOPS (AMX), DDR5 512 GB @ 233.8 GB/s + HBM 128 GB @ 588 GB/s
+/// (STREAM, single socket).
+#[must_use]
+pub fn spr_max_9468() -> CpuSpec {
+    CpuSpec {
+        name: "Xeon 4th Max 9468".to_owned(),
+        generation: CpuGeneration::SapphireRapids,
+        frequency: Hertz::from_ghz(2.10),
+        topology: Topology::new(2, 48),
+        caches: CacheHierarchy::new(
+            CacheSpec::new(CacheLevel::L1d, Bytes::from_kib(48), 12, 64),
+            CacheSpec::new(CacheLevel::L2, Bytes::from_mib(2), 16, 64),
+            CacheSpec::new(CacheLevel::L3, Bytes::from_kib(105 * 1024), 15, 64),
+        ),
+        avx512_bf16_per_socket: FlopsPerSec::from_tflops(25.6),
+        amx_bf16_per_socket: Some(FlopsPerSec::from_tflops(206.4)),
+        ddr: MemoryDeviceSpec::new(
+            MemoryKind::Ddr5,
+            Bytes::from_gib(512.0),
+            GbPerSec::new(233.8),
+            // SPR DDR5 idle latency is slightly above ICL's DDR4.
+            Seconds::from_nanos(110.0),
+        ),
+        hbm: Some(MemoryDeviceSpec::new(
+            MemoryKind::Hbm,
+            Bytes::from_gib(128.0),
+            GbPerSec::new(588.0),
+            // HBM2e on SPR Max has *higher* idle latency than DDR5 but far
+            // more bandwidth (Reguly, SC'23 workshops).
+            Seconds::from_nanos(130.0),
+        )),
+        upi: upi_link(),
+    }
+}
+
+/// The socket-to-socket UPI link shared by both Table I servers.
+///
+/// 3 UPI 2.0 links × 16 GT/s × ~2 B/T ≈ 96 GB/s aggregate per direction
+/// pair; cross-socket coherent sharing sustains well under half of that,
+/// captured by the protocol efficiency.
+#[must_use]
+pub fn upi_link() -> LinkSpec {
+    LinkSpec::new(
+        LinkKind::Upi,
+        GbPerSec::new(96.0),
+        0.5,
+        0.75,
+        Seconds::from_nanos(140.0),
+    )
+}
+
+/// GPU 1 of Table II: NVIDIA A100-40GB on PCIe 4.0.
+///
+/// 108 SMs, 312 TFLOPS dense BF16, 40 MB L2, 40 GB HBM @ 1299.9 GB/s
+/// (STREAM), PCIe 4.0 @ 64 GB/s aggregate.
+#[must_use]
+pub fn a100_40gb() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA A100".to_owned(),
+        sms: 108,
+        bf16_peak: FlopsPerSec::from_tflops(312.0),
+        l2_capacity: Bytes::from_mib(40),
+        memory_capacity: Bytes::from_gib(40.0),
+        memory_bandwidth: GbPerSec::new(1299.9),
+        host_link: pcie4_x16(),
+    }
+}
+
+/// GPU 2 of Table II: NVIDIA H100-80GB on PCIe 5.0.
+///
+/// 132 SMs, 756 TFLOPS dense BF16, 50 MB L2, 80 GB HBM @ 1754.4 GB/s
+/// (STREAM), PCIe 5.0 @ 128 GB/s aggregate.
+#[must_use]
+pub fn h100_80gb() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA H100".to_owned(),
+        sms: 132,
+        bf16_peak: FlopsPerSec::from_tflops(756.0),
+        l2_capacity: Bytes::from_mib(50),
+        memory_capacity: Bytes::from_gib(80.0),
+        memory_bandwidth: GbPerSec::new(1754.4),
+        host_link: pcie5_x16(),
+    }
+}
+
+/// PCIe 4.0 x16: 64 GB/s aggregate bidirectional (Table II), ~0.78 DMA
+/// efficiency (~25 GB/s sustained host-to-device, matching `nvbandwidth`
+/// measurements on A100 PCIe systems).
+#[must_use]
+pub fn pcie4_x16() -> LinkSpec {
+    LinkSpec::new(LinkKind::Pcie4, GbPerSec::new(64.0), 0.5, 0.78, Seconds::from_micros(9.0))
+}
+
+/// PCIe 5.0 x16: 128 GB/s aggregate bidirectional (Table II), ~0.78 DMA
+/// efficiency (~50 GB/s sustained host-to-device).
+#[must_use]
+pub fn pcie5_x16() -> LinkSpec {
+    LinkSpec::new(LinkKind::Pcie5, GbPerSec::new(128.0), 0.5, 0.78, Seconds::from_micros(7.0))
+}
+
+/// NVLink-C2C as on Grace-Hopper (900 GB/s), used by the §V-B discussion of
+/// how a GH200 would shrink offload overheads.
+#[must_use]
+pub fn nvlink_c2c() -> LinkSpec {
+    LinkSpec::new(LinkKind::NvLinkC2c, GbPerSec::new(900.0), 0.5, 0.85, Seconds::from_micros(2.0))
+}
+
+/// Grace-Hopper GH200: the H100 die with its host link replaced by
+/// NVLink-C2C and 96 GB of HBM3 (§V-B: "the new Grace-Hopper Superchip
+/// would see lower overheads for offloading ... albeit at a cost of ~4x of
+/// the SPR CPU and DDR5").
+#[must_use]
+pub fn gh200_96gb() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA GH200".to_owned(),
+        sms: 132,
+        bf16_peak: FlopsPerSec::from_tflops(756.0),
+        l2_capacity: Bytes::from_mib(50),
+        memory_capacity: Bytes::from_gib(96.0),
+        memory_bandwidth: GbPerSec::new(3100.0),
+        host_link: nvlink_c2c(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_icl_numbers() {
+        let icl = icl_8352y();
+        assert_eq!(icl.topology.total_cores(), 64);
+        assert!((icl.frequency.as_ghz() - 2.2).abs() < 1e-12);
+        assert!((icl.avx512_bf16_per_socket.as_tflops() - 18.0).abs() < 1e-12);
+        assert_eq!(icl.ddr.capacity, Bytes::from_gib(256.0));
+        assert!((icl.ddr.bandwidth_per_socket.as_f64() - 156.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_spr_numbers() {
+        let spr = spr_max_9468();
+        assert_eq!(spr.topology.total_cores(), 96);
+        assert!((spr.frequency.as_ghz() - 2.1).abs() < 1e-12);
+        assert!((spr.amx_bf16_per_socket.unwrap().as_tflops() - 206.4).abs() < 1e-12);
+        let hbm = spr.hbm.as_ref().unwrap();
+        assert_eq!(hbm.capacity, Bytes::from_gib(128.0));
+        assert!((hbm.bandwidth_per_socket.as_f64() - 588.0).abs() < 1e-12);
+        assert_eq!(spr.total_memory_capacity(), Bytes::from_gib(640.0));
+    }
+
+    #[test]
+    fn table2_gpu_numbers() {
+        let a100 = a100_40gb();
+        let h100 = h100_80gb();
+        assert_eq!(a100.sms, 108);
+        assert_eq!(h100.sms, 132);
+        assert!((a100.bf16_peak.as_tflops() - 312.0).abs() < 1e-12);
+        assert!((h100.bf16_peak.as_tflops() - 756.0).abs() < 1e-12);
+        assert!((a100.memory_bandwidth.as_f64() - 1299.9).abs() < 1e-12);
+        assert!((h100.memory_bandwidth.as_f64() - 1754.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcie_effective_bandwidth_is_realistic() {
+        // Sustained h2d on PCIe4 x16 is ~25 GB/s in practice.
+        let eff4 = pcie4_x16().effective_bandwidth().as_f64();
+        assert!((20.0..30.0).contains(&eff4), "{eff4}");
+        let eff5 = pcie5_x16().effective_bandwidth().as_f64();
+        assert!((40.0..60.0).contains(&eff5), "{eff5}");
+    }
+}

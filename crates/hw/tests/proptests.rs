@@ -1,0 +1,70 @@
+//! Property-based tests of the unit types and link math.
+
+use llmsim_hw::interconnect::{LinkKind, LinkSpec};
+use llmsim_hw::units::{Bytes, FlopsPerSec, GbPerSec, Seconds};
+use llmsim_hw::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is additive in data size.
+    #[test]
+    fn transfer_time_additive(bw in 1.0f64..5000.0, a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let link = GbPerSec::new(bw);
+        let t_ab = link.transfer_time(Bytes::new(a + b)).as_f64();
+        let t_sum = link.transfer_time(Bytes::new(a)).as_f64()
+            + link.transfer_time(Bytes::new(b)).as_f64();
+        prop_assert!((t_ab - t_sum).abs() < 1e-9 * t_sum.max(1.0));
+    }
+
+    /// Execution time is antitone in rate: a faster engine never takes longer.
+    #[test]
+    fn faster_engine_never_slower(f in 1.0f64..1e15, r1 in 1.0f64..1e15, r2 in 1.0f64..1e15) {
+        let work = llmsim_hw::Flops::new(f);
+        let slow = FlopsPerSec::new(r1.min(r2)).execution_time(work);
+        let fast = FlopsPerSec::new(r1.max(r2)).execution_time(work);
+        prop_assert!(fast <= slow);
+    }
+
+    /// Seconds saturating subtraction never goes negative; min/max are
+    /// consistent.
+    #[test]
+    fn seconds_lattice(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        prop_assert!(x.saturating_sub(y).as_f64() >= 0.0);
+        prop_assert!(x.min(y) <= x.max(y));
+        prop_assert!((x.min(y) + x.max(y)).as_f64() - (a + b) < 1e-9);
+    }
+
+    /// Link effective bandwidth never exceeds the advertised aggregate.
+    #[test]
+    fn link_effective_below_advertised(
+        adv in 1.0f64..2000.0,
+        share in 0.01f64..1.0,
+        eff in 0.01f64..1.0,
+    ) {
+        let link = LinkSpec::new(LinkKind::Pcie5, GbPerSec::new(adv), share, eff, Seconds::ZERO);
+        prop_assert!(link.effective_bandwidth().as_f64() <= adv + 1e-9);
+    }
+
+    /// Socket spanning is monotone in cores and bounded by the socket count.
+    #[test]
+    fn sockets_spanned_monotone(sockets in 1u32..4, per in 1u32..64, c1 in 1u32..256, c2 in 1u32..256) {
+        let t = Topology::new(sockets, per);
+        let total = t.total_cores();
+        let a = c1.min(total).max(1);
+        let b = c2.min(total).max(1);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(t.sockets_spanned(lo) <= t.sockets_spanned(hi));
+        prop_assert!(t.sockets_spanned(hi) <= sockets);
+    }
+
+    /// Byte formatting picks a sensible unit and never panics.
+    #[test]
+    fn bytes_display_total(v in 0u64..u64::MAX / 2) {
+        let s = Bytes::new(v).to_string();
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.ends_with('B'));
+    }
+}

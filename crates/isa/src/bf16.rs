@@ -1,0 +1,188 @@
+//! Software BF16 (brain floating point) arithmetic.
+//!
+//! AMX and AVX-512 BF16 instructions operate on 16-bit brain floats and
+//! accumulate in FP32. This module implements the format in software with
+//! the same rounding (round-to-nearest-even on conversion from FP32) so the
+//! emulated kernels are numerically faithful.
+
+use std::fmt;
+
+/// A 16-bit brain floating point number (1 sign, 8 exponent, 7 mantissa).
+///
+/// # Examples
+///
+/// ```
+/// use llmsim_isa::bf16::Bf16;
+///
+/// let x = Bf16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // BF16 keeps FP32's range but only 8 bits of precision:
+/// let y = Bf16::from_f32(1.0 + 1.0 / 512.0);
+/// assert_eq!(y.to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Creates a BF16 from its raw bit pattern.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from FP32 with round-to-nearest-even (the hardware behaviour
+    /// of `VCVTNEPS2BF16` and the AMX load path).
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve sign, force a quiet NaN.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+        Bf16(((bits.wrapping_add(rounding_bias)) >> 16) as u16)
+    }
+
+    /// Converts to FP32 exactly (every BF16 value is representable).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Whether the value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// Fused multiply-add in FP32 precision: `acc + self * rhs`, matching
+    /// the TMUL datapath (BF16 products accumulate into FP32 without
+    /// intermediate rounding to BF16).
+    #[must_use]
+    pub fn mul_add_f32(self, rhs: Bf16, acc: f32) -> f32 {
+        self.to_f32().mul_add(rhs.to_f32(), acc)
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Converts an `f32` slice to BF16.
+#[must_use]
+pub fn quantize_slice(xs: &[f32]) -> Vec<Bf16> {
+    xs.iter().map(|&x| Bf16::from_f32(x)).collect()
+}
+
+/// Converts a BF16 slice back to `f32`.
+#[must_use]
+pub fn dequantize_slice(xs: &[Bf16]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+/// Upper bound on the relative error introduced by one f32→bf16 rounding
+/// (half ULP of a 7-bit mantissa).
+pub const BF16_RELATIVE_EPS: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -256..=256 {
+            let x = i as f32;
+            assert_eq!(Bf16::from_f32(x).to_f32(), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        for e in -120..120 {
+            let x = (2.0f32).powi(e);
+            assert_eq!(Bf16::from_f32(x).to_f32(), x);
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // representable value; ties go to even (1.0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+    }
+
+    #[test]
+    fn nan_is_preserved_and_quiet() {
+        let q = Bf16::from_f32(f32::NAN);
+        assert!(q.is_nan());
+    }
+
+    #[test]
+    fn infinities_survive() {
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn relative_error_bound_holds_on_grid() {
+        let mut x = 1.0e-30f32;
+        while x < 1.0e30 {
+            let rt = Bf16::from_f32(x).to_f32();
+            let rel = ((rt - x) / x).abs();
+            assert!(rel <= BF16_RELATIVE_EPS, "x={x} rel={rel}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn fma_accumulates_in_f32() {
+        // 256 * (1/256) accumulated 1000 times: bf16 accumulation would lose
+        // increments; f32 accumulation keeps them.
+        let a = Bf16::from_f32(1.0);
+        let b = Bf16::from_f32(1.0 / 256.0);
+        let mut acc = 256.0f32;
+        for _ in 0..1000 {
+            acc = a.mul_add_f32(b, acc);
+        }
+        assert!((acc - (256.0 + 1000.0 / 256.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let xs = [0.0, -1.0, 3.25, 1e10, -7.5e-5];
+        let there = quantize_slice(&xs);
+        let back = dequantize_slice(&there);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!(((a - b) / a.abs().max(1e-30)).abs() <= BF16_RELATIVE_EPS);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # llmsim-isa — functional Intel AMX / AVX-512 emulation and GEMM timing
+//!
+//! The paper's CPU results hinge on Sapphire Rapids' AMX tile unit (§II-D).
+//! Real AMX silicon is a hardware gate for reproduction, so this crate
+//! provides the substitution: a bit-faithful functional emulator of the tile
+//! ISA (`LDTILECFG`/`TILELOADD`/`TDPBF16PS`/`TDPBSSD`/…) with per-instruction
+//! cycle accounting calibrated to the Table I peaks, plus an AVX-512 BF16
+//! model and closed-form GEMM timing used by the inference engine.
+//!
+//! # Examples
+//!
+//! Run a real (emulated) AMX GEMM and inspect both numerics and throughput:
+//!
+//! ```
+//! use llmsim_isa::gemm::amx_gemm_f32_inputs;
+//!
+//! let a = vec![0.25f32; 32 * 64];
+//! let b = vec![2.0f32; 64 * 32];
+//! let res = amx_gemm_f32_inputs(&a, &b, 32, 32, 64);
+//! assert_eq!(res.c[0], 32.0); // 64 × (0.25 × 2.0)
+//! assert!(res.unit.flops_per_cycle() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amx;
+pub mod avx512;
+pub mod bf16;
+pub mod gemm;
+pub mod quant;
+pub mod tile;
+pub mod timing;
+pub mod tmul;
+
+pub use amx::{AmxCostModel, AmxStats, AmxUnit};
+pub use avx512::{AvxCostModel, AvxUnit};
+pub use bf16::Bf16;
+pub use quant::QuantizedMatrix;
+pub use tile::{Tile, TileConfig, TileShape};
+pub use timing::{gemm_efficiency, EngineKind, GemmShape, GemmTiming};

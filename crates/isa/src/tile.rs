@@ -1,0 +1,330 @@
+//! AMX tile registers and tile configuration.
+//!
+//! Intel AMX defines eight 2-D tile registers (`tmm0`–`tmm7`), each holding
+//! up to 16 rows × 64 bytes (1 KiB), plus a `TILECFG` state configured by
+//! `LDTILECFG` that fixes each tile's active rows and bytes-per-row
+//! (§II-D / Fig. 4 of the paper).
+
+use std::fmt;
+
+/// Hardware limits of one tile register.
+pub const MAX_ROWS: usize = 16;
+/// Maximum bytes per tile row.
+pub const MAX_COLSB: usize = 64;
+/// Number of tile registers.
+pub const NUM_TILES: usize = 8;
+
+/// Per-tile geometry from `TILECFG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileShape {
+    /// Active rows (0..=16).
+    pub rows: u8,
+    /// Active bytes per row (0..=64).
+    pub colsb: u8,
+}
+
+impl TileShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape exceeds the 16×64-byte hardware limit.
+    #[must_use]
+    pub fn new(rows: u8, colsb: u8) -> Self {
+        assert!(usize::from(rows) <= MAX_ROWS, "tile rows {rows} > {MAX_ROWS}");
+        assert!(usize::from(colsb) <= MAX_COLSB, "tile colsb {colsb} > {MAX_COLSB}");
+        TileShape { rows, colsb }
+    }
+
+    /// Active bytes in the tile.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        usize::from(self.rows) * usize::from(self.colsb)
+    }
+}
+
+/// The `TILECFG` palette: shapes for all eight tiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileConfig {
+    shapes: [TileShape; NUM_TILES],
+}
+
+impl TileConfig {
+    /// An all-zero (empty) configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        TileConfig::default()
+    }
+
+    /// Sets the shape of tile `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    pub fn set(&mut self, idx: usize, shape: TileShape) -> &mut Self {
+        assert!(idx < NUM_TILES, "tile index {idx} out of range");
+        self.shapes[idx] = shape;
+        self
+    }
+
+    /// The shape of tile `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[must_use]
+    pub fn shape(&self, idx: usize) -> TileShape {
+        assert!(idx < NUM_TILES, "tile index {idx} out of range");
+        self.shapes[idx]
+    }
+
+    /// The standard GEMM configuration used by BF16 kernels: accumulators
+    /// 16×64 B (16×16 FP32), A tiles 16×64 B (16×32 BF16), B tiles
+    /// 16×64 B (VNNI-packed 16×16×2 BF16).
+    #[must_use]
+    pub fn gemm_bf16() -> Self {
+        let mut cfg = TileConfig::new();
+        let full = TileShape::new(16, 64);
+        for i in 0..NUM_TILES {
+            cfg.set(i, full);
+        }
+        cfg
+    }
+}
+
+/// One tile register: raw byte storage plus its configured shape.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tile {
+    shape: TileShape,
+    data: [u8; MAX_ROWS * MAX_COLSB],
+}
+
+impl Tile {
+    /// A zeroed tile with the given shape.
+    #[must_use]
+    pub fn zeroed(shape: TileShape) -> Self {
+        Tile { shape, data: [0; MAX_ROWS * MAX_COLSB] }
+    }
+
+    /// The configured shape.
+    #[must_use]
+    pub fn shape(&self) -> TileShape {
+        self.shape
+    }
+
+    /// Zeroes the tile contents (`TILEZERO`).
+    pub fn zero(&mut self) {
+        self.data = [0; MAX_ROWS * MAX_COLSB];
+    }
+
+    /// Reads row `r` as bytes (active columns only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[u8] {
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        let start = r * MAX_COLSB;
+        &self.data[start..start + usize::from(self.shape.colsb)]
+    }
+
+    /// Writes row `r` from bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows or `bytes` is not exactly
+    /// one active row wide.
+    pub fn set_row(&mut self, r: usize, bytes: &[u8]) {
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert_eq!(bytes.len(), usize::from(self.shape.colsb), "row width mismatch");
+        let start = r * MAX_COLSB;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Interprets element `(r, c)` as BF16 (2-byte elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    #[must_use]
+    pub fn bf16_at(&self, r: usize, c: usize) -> crate::bf16::Bf16 {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 2 + 1 < colsb, "bf16 column {c} outside active row of {colsb} bytes");
+        let row = self.row(r);
+        crate::bf16::Bf16::from_bits(u16::from_le_bytes([row[c * 2], row[c * 2 + 1]]))
+    }
+
+    /// Writes element `(r, c)` as BF16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    pub fn set_bf16(&mut self, r: usize, c: usize, v: crate::bf16::Bf16) {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 2 + 1 < colsb, "bf16 column {c} outside active row of {colsb} bytes");
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        let start = r * MAX_COLSB + c * 2;
+        self.data[start..start + 2].copy_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Interprets element `(r, c)` as FP32 (4-byte elements; accumulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    #[must_use]
+    pub fn f32_at(&self, r: usize, c: usize) -> f32 {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 4 + 3 < colsb, "f32 column {c} outside active row of {colsb} bytes");
+        let row = self.row(r);
+        f32::from_le_bytes([row[c * 4], row[c * 4 + 1], row[c * 4 + 2], row[c * 4 + 3]])
+    }
+
+    /// Writes element `(r, c)` as FP32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    pub fn set_f32(&mut self, r: usize, c: usize, v: f32) {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 4 + 3 < colsb, "f32 column {c} outside active row of {colsb} bytes");
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        let start = r * MAX_COLSB + c * 4;
+        self.data[start..start + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Interprets element `(r, c)` as i8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    #[must_use]
+    pub fn i8_at(&self, r: usize, c: usize) -> i8 {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c < colsb, "i8 column {c} outside active row");
+        self.row(r)[c] as i8
+    }
+
+    /// Writes element `(r, c)` as i8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    pub fn set_i8(&mut self, r: usize, c: usize, v: i8) {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c < colsb, "i8 column {c} outside active row");
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        self.data[r * MAX_COLSB + c] = v as u8;
+    }
+
+    /// Interprets element `(r, c)` as i32 (INT8 accumulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    #[must_use]
+    pub fn i32_at(&self, r: usize, c: usize) -> i32 {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 4 + 3 < colsb, "i32 column {c} outside active row");
+        let row = self.row(r);
+        i32::from_le_bytes([row[c * 4], row[c * 4 + 1], row[c * 4 + 2], row[c * 4 + 3]])
+    }
+
+    /// Writes element `(r, c)` as i32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the active region.
+    pub fn set_i32(&mut self, r: usize, c: usize, v: i32) {
+        let colsb = usize::from(self.shape.colsb);
+        assert!(c * 4 + 3 < colsb, "i32 column {c} outside active row");
+        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        let start = r * MAX_COLSB + c * 4;
+        self.data[start..start + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl fmt::Debug for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tile({}x{}B)", self.shape.rows, self.shape.colsb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf16::Bf16;
+
+    #[test]
+    fn tile_capacity_is_1kib() {
+        let t = Tile::zeroed(TileShape::new(16, 64));
+        assert_eq!(t.shape().bytes(), 1024);
+    }
+
+    #[test]
+    fn bf16_tile_holds_32_elements_per_row() {
+        // §II-D: each tile stores 32 BF16 elements (per 64 B row).
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        for c in 0..32 {
+            t.set_bf16(0, c, Bf16::from_f32(c as f32));
+        }
+        for c in 0..32 {
+            assert_eq!(t.bf16_at(0, c).to_f32(), c as f32);
+        }
+    }
+
+    #[test]
+    fn int8_tile_holds_64_elements_per_row() {
+        // §II-D: 64 INT8 elements per 64 B row.
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        for c in 0..64 {
+            t.set_i8(3, c, (c as i8) - 32);
+        }
+        for c in 0..64 {
+            assert_eq!(t.i8_at(3, c), (c as i8) - 32);
+        }
+    }
+
+    #[test]
+    fn f32_elements_round_trip() {
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        t.set_f32(7, 15, -3.75);
+        assert_eq!(t.f32_at(7, 15), -3.75);
+        t.set_i32(2, 0, -123456);
+        assert_eq!(t.i32_at(2, 0), -123456);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside active rows")]
+    fn row_out_of_shape_panics() {
+        let t = Tile::zeroed(TileShape::new(8, 64));
+        let _ = t.row(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile rows")]
+    fn oversized_shape_panics() {
+        let _ = TileShape::new(17, 64);
+    }
+
+    #[test]
+    fn config_palette() {
+        let cfg = TileConfig::gemm_bf16();
+        for i in 0..NUM_TILES {
+            assert_eq!(cfg.shape(i), TileShape::new(16, 64));
+        }
+        let mut cfg2 = TileConfig::new();
+        cfg2.set(3, TileShape::new(4, 32));
+        assert_eq!(cfg2.shape(3), TileShape::new(4, 32));
+        assert_eq!(cfg2.shape(0), TileShape::default());
+    }
+
+    #[test]
+    fn zero_clears_contents() {
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        t.set_f32(0, 0, 9.0);
+        t.zero();
+        assert_eq!(t.f32_at(0, 0), 0.0);
+    }
+}

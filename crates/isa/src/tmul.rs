@@ -1,0 +1,257 @@
+//! TMUL instruction semantics: `TDPBF16PS` (BF16) and `TDPBSSD` (INT8).
+//!
+//! Implementations follow the Intel ISA Extensions Programming Reference
+//! pseudo-code. Both instructions consume VNNI-packed operands: the B tile
+//! stores consecutive K-elements of one output column adjacent in memory
+//! (pairs for BF16, quads for INT8).
+
+use crate::tile::Tile;
+
+/// `TDPBF16PS dst, a, b` — dot-product of BF16 pairs, accumulating FP32.
+///
+/// For every output element `(m, n)`:
+/// `dst[m][n] += Σ_k a[m][2k]·b[k][2n] + a[m][2k+1]·b[k][2n+1]`
+///
+/// Shapes: `dst` is `M×N` FP32 (`colsb = 4N`), `a` is `M×2K` BF16
+/// (`colsb = 4K`... i.e. `2K` two-byte elements), `b` is `K×2N` BF16 in
+/// VNNI layout.
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent
+/// (`dst.rows != a.rows`, `a.colsb != 4·b.rows`, or `b.colsb != dst.colsb`).
+pub fn tdpbf16ps(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let m_rows = usize::from(dst.shape().rows);
+    let n_cols = usize::from(dst.shape().colsb) / 4;
+    let k_pairs = usize::from(a.shape().colsb) / 4; // pairs of bf16 per A row
+    assert_eq!(
+        usize::from(a.shape().rows),
+        m_rows,
+        "A rows must match accumulator rows"
+    );
+    assert_eq!(
+        usize::from(b.shape().rows),
+        k_pairs,
+        "B rows must equal A's K-pair count"
+    );
+    assert_eq!(
+        usize::from(b.shape().colsb),
+        usize::from(dst.shape().colsb),
+        "B row bytes must match accumulator row bytes"
+    );
+
+    for m in 0..m_rows {
+        for n in 0..n_cols {
+            let mut acc = dst.f32_at(m, n);
+            for k in 0..k_pairs {
+                let a0 = a.bf16_at(m, 2 * k);
+                let a1 = a.bf16_at(m, 2 * k + 1);
+                let b0 = b.bf16_at(k, 2 * n);
+                let b1 = b.bf16_at(k, 2 * n + 1);
+                // The TMUL datapath multiplies BF16 and accumulates the pair
+                // sum into FP32.
+                acc = a0.mul_add_f32(b0, acc);
+                acc = a1.mul_add_f32(b1, acc);
+            }
+            dst.set_f32(m, n, acc);
+        }
+    }
+}
+
+/// `TDPBSSD dst, a, b` — dot-product of signed INT8 quads, accumulating i32.
+///
+/// For every output element `(m, n)`:
+/// `dst[m][n] += Σ_k Σ_{j<4} a[m][4k+j]·b[k][4n+j]`
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent.
+pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let m_rows = usize::from(dst.shape().rows);
+    let n_cols = usize::from(dst.shape().colsb) / 4;
+    let k_quads = usize::from(a.shape().colsb) / 4; // quads of i8 per A row
+    assert_eq!(usize::from(a.shape().rows), m_rows, "A rows must match accumulator rows");
+    assert_eq!(usize::from(b.shape().rows), k_quads, "B rows must equal A's K-quad count");
+    assert_eq!(
+        usize::from(b.shape().colsb),
+        usize::from(dst.shape().colsb),
+        "B row bytes must match accumulator row bytes"
+    );
+
+    for m in 0..m_rows {
+        for n in 0..n_cols {
+            let mut acc = dst.i32_at(m, n);
+            for k in 0..k_quads {
+                for j in 0..4 {
+                    let av = i32::from(a.i8_at(m, 4 * k + j));
+                    let bv = i32::from(b.i8_at(k, 4 * n + j));
+                    acc = acc.wrapping_add(av.wrapping_mul(bv));
+                }
+            }
+            dst.set_i32(m, n, acc);
+        }
+    }
+}
+
+/// Packs a row-major `K×N` BF16 matrix block into the VNNI layout expected
+/// by the `b` operand of [`tdpbf16ps`]: element `(k, n)` lands in tile row
+/// `k/2`, BF16 column `2n + (k % 2)`.
+///
+/// `src` must hold `k_dim × n_dim` elements; `k_dim` must be even (pad odd
+/// K with zeros before calling).
+///
+/// # Panics
+///
+/// Panics if `k_dim` is odd, dims exceed tile capacity, or `src` is too
+/// small.
+pub fn pack_b_vnni_bf16(tile: &mut Tile, src: &[crate::bf16::Bf16], k_dim: usize, n_dim: usize) {
+    assert!(k_dim.is_multiple_of(2), "VNNI packing requires even K, got {k_dim}");
+    assert!(k_dim / 2 <= usize::from(tile.shape().rows), "K/2 exceeds tile rows");
+    assert!(2 * n_dim * 2 <= usize::from(tile.shape().colsb), "2N exceeds tile row bytes");
+    assert!(src.len() >= k_dim * n_dim, "source block too small");
+    for k in 0..k_dim {
+        for n in 0..n_dim {
+            tile.set_bf16(k / 2, 2 * n + (k % 2), src[k * n_dim + n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf16::Bf16;
+    use crate::tile::{Tile, TileShape};
+
+    fn full_tile() -> Tile {
+        Tile::zeroed(TileShape::new(16, 64))
+    }
+
+    /// Reference f64 GEMM for a 16x16x32 block.
+    fn reference(a: &[f32], b: &[f32]) -> Vec<f64> {
+        let (m, n, k) = (16, 16, 32);
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    c[i * n + j] += f64::from(a[i * k + l]) * f64::from(b[l * n + j]);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tdpbf16ps_matches_reference_within_bf16_error() {
+        // Deterministic pseudo-random inputs.
+        let mut seed = 0x12345678u32;
+        let mut next = || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((seed >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+        };
+        let a_f: Vec<f32> = (0..16 * 32).map(|_| next()).collect();
+        let b_f: Vec<f32> = (0..32 * 16).map(|_| next()).collect();
+        let a_bf: Vec<Bf16> = a_f.iter().map(|&x| Bf16::from_f32(x)).collect();
+        let b_bf: Vec<Bf16> = b_f.iter().map(|&x| Bf16::from_f32(x)).collect();
+        // Quantized reference (what the hardware actually computes).
+        let a_q: Vec<f32> = a_bf.iter().map(|x| x.to_f32()).collect();
+        let b_q: Vec<f32> = b_bf.iter().map(|x| x.to_f32()).collect();
+
+        let mut at = full_tile();
+        for m in 0..16 {
+            for kk in 0..32 {
+                at.set_bf16(m, kk, a_bf[m * 32 + kk]);
+            }
+        }
+        let mut bt = full_tile();
+        pack_b_vnni_bf16(&mut bt, &b_bf, 32, 16);
+        let mut ct = full_tile();
+        tdpbf16ps(&mut ct, &at, &bt);
+
+        let expect = reference(&a_q, &b_q);
+        for m in 0..16 {
+            for n in 0..16 {
+                let got = f64::from(ct.f32_at(m, n));
+                let want = expect[m * 16 + n];
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "({m},{n}): got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tdpbf16ps_accumulates_into_existing_dst() {
+        let mut at = full_tile();
+        let mut bt = full_tile();
+        // A = all ones (K=32), B = identity-ish: b[k][n] = 1 if k==n else 0.
+        for m in 0..16 {
+            for kk in 0..32 {
+                at.set_bf16(m, kk, Bf16::ONE);
+            }
+        }
+        let mut b_src = vec![Bf16::ZERO; 32 * 16];
+        for n in 0..16 {
+            b_src[n * 16 + n] = Bf16::ONE;
+        }
+        pack_b_vnni_bf16(&mut bt, &b_src, 32, 16);
+        let mut ct = full_tile();
+        ct.set_f32(0, 0, 100.0);
+        tdpbf16ps(&mut ct, &at, &bt);
+        // Row of ones · identity column = 1, plus the pre-existing 100.
+        assert_eq!(ct.f32_at(0, 0), 101.0);
+        assert_eq!(ct.f32_at(5, 3), 1.0);
+    }
+
+    #[test]
+    fn tdpbssd_int8_exact() {
+        let mut at = full_tile();
+        let mut bt = full_tile();
+        // a[m][k] = (m + k) % 7 - 3 ; b in VNNI: b[k][n] = (k*2 + n) % 5 - 2
+        let mut b_plain = vec![0i8; 64 * 16];
+        for kk in 0..64 {
+            for n in 0..16 {
+                b_plain[kk * 16 + n] = ((kk * 2 + n) % 5) as i8 - 2;
+            }
+        }
+        for m in 0..16 {
+            for kk in 0..64 {
+                at.set_i8(m, kk, ((m + kk) % 7) as i8 - 3);
+            }
+        }
+        // VNNI pack INT8: element (k, n) → row k/4, byte column 4n + k%4.
+        for kk in 0..64 {
+            for n in 0..16 {
+                bt.set_i8(kk / 4, 4 * n + kk % 4, b_plain[kk * 16 + n]);
+            }
+        }
+        let mut ct = full_tile();
+        tdpbssd(&mut ct, &at, &bt);
+        for m in 0..16 {
+            for n in 0..16 {
+                let mut want = 0i32;
+                for kk in 0..64 {
+                    want += i32::from(((m + kk) % 7) as i8 - 3)
+                        * i32::from(b_plain[kk * 16 + n]);
+                }
+                assert_eq!(ct.i32_at(m, n), want, "({m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A rows")]
+    fn mismatched_shapes_panic() {
+        let mut dst = full_tile();
+        let a = Tile::zeroed(TileShape::new(8, 64));
+        let b = full_tile();
+        tdpbf16ps(&mut dst, &a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even K")]
+    fn odd_k_vnni_pack_panics() {
+        let mut t = full_tile();
+        pack_b_vnni_bf16(&mut t, &[Bf16::ZERO; 16], 1, 16);
+    }
+}

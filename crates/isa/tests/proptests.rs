@@ -1,0 +1,113 @@
+//! Property-based tests of the ISA substrate: the emulated kernels must
+//! track the scalar reference for *arbitrary* shapes and values, and the
+//! numeric formats must obey their error bounds.
+
+use llmsim_isa::avx512::avx512_gemm_bf16;
+use llmsim_isa::bf16::{Bf16, BF16_RELATIVE_EPS};
+use llmsim_isa::gemm::{amx_gemm_f32_inputs, reference_gemm_f32};
+use llmsim_isa::quant::QuantizedMatrix;
+use llmsim_isa::timing::{gemm_efficiency, EngineKind, GemmShape};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BF16 round-trip keeps relative error within half a ULP.
+    #[test]
+    fn bf16_round_trip_error_bound(x in -1e30f32..1e30) {
+        let rt = Bf16::from_f32(x).to_f32();
+        let denom = x.abs().max(f32::MIN_POSITIVE);
+        prop_assert!(((rt - x) / denom).abs() <= BF16_RELATIVE_EPS);
+    }
+
+    /// BF16 conversion is monotone: a ≤ b ⇒ bf16(a) ≤ bf16(b).
+    #[test]
+    fn bf16_is_monotone(a in -1e20f32..1e20, b in -1e20f32..1e20) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+    }
+
+    /// The emulated AMX GEMM matches the scalar reference on random shapes
+    /// and values, within the accumulated BF16 error bound.
+    #[test]
+    fn amx_gemm_matches_reference(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let gen = |len: usize, salt: u64| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u64 ^ seed ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+                })
+                .collect()
+        };
+        let a = gen(m * k, 1);
+        let b = gen(k * n, 2);
+        let got = amx_gemm_f32_inputs(&a, &b, m, n, k);
+        // Reference over the bf16-quantized operands.
+        let aq: Vec<f32> = a.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
+        let bq: Vec<f32> = b.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
+        let want = reference_gemm_f32(&aq, &bq, m, n, k);
+        for (g, w) in got.c.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-2, "{g} vs {w} at ({m},{n},{k})");
+        }
+    }
+
+    /// AVX-512 and AMX functional kernels agree with each other.
+    #[test]
+    fn avx512_and_amx_agree(m in 1usize..12, n in 1usize..20, k2 in 1usize..16) {
+        let k = k2 * 2; // AVX kernel requires even K
+        let a: Vec<Bf16> = (0..m * k).map(|i| Bf16::from_f32(((i % 13) as f32 - 6.0) / 4.0)).collect();
+        let b: Vec<Bf16> = (0..k * n).map(|i| Bf16::from_f32(((i % 11) as f32 - 5.0) / 8.0)).collect();
+        let (avx, _) = avx512_gemm_bf16(&a, &b, m, n, k);
+        let amx = llmsim_isa::gemm::amx_gemm_bf16(&a, &b, m, n, k);
+        for (x, y) in avx.iter().zip(&amx.c) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// GEMM efficiency is always in (0, 1] and never decreases when a
+    /// dimension snaps up to the next tile multiple boundary.
+    #[test]
+    fn gemm_efficiency_in_unit_interval(
+        m in 1u64..4096,
+        n in 1u64..4096,
+        k in 1u64..4096,
+    ) {
+        for engine in [EngineKind::AmxBf16, EngineKind::Avx512Bf16] {
+            let e = gemm_efficiency(engine, GemmShape::new(m, n, k));
+            prop_assert!(e > 0.0 && e <= 1.0, "{engine:?} {m}x{n}x{k}: {e}");
+        }
+    }
+
+    /// INT8 symmetric quantization keeps per-element error within half a
+    /// quantization step of the row maximum.
+    #[test]
+    fn int8_quantization_error_bound(
+        rows in 1usize..8,
+        cols in 1usize..32,
+        vals in proptest::collection::vec(finite_f32(), 1..256),
+    ) {
+        let len = rows * cols;
+        let src: Vec<f32> = (0..len).map(|i| vals[i % vals.len()]).collect();
+        let q = QuantizedMatrix::quantize(&src, rows, cols);
+        let back = q.dequantize();
+        for r in 0..rows {
+            let row_max = src[r * cols..(r + 1) * cols]
+                .iter()
+                .fold(0.0f32, |m, &x| m.max(x.abs()));
+            let step = if row_max == 0.0 { 1.0 } else { row_max / 127.0 };
+            for c in 0..cols {
+                let err = (src[r * cols + c] - back[r * cols + c]).abs();
+                prop_assert!(err <= step * 0.5001, "err {err} step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Bandwidth saturation and mixing models.
+
+use llmsim_hw::{Bytes, GbPerSec};
+
+/// Fraction of a socket's peak STREAM bandwidth that `cores` active cores
+/// can draw, following the standard saturation curve
+/// `cores / (cores + half_cores)` scaled so the full socket reaches 1.0.
+///
+/// DDR saturates with few cores (a handful of cores can fill the DDR
+/// channels); HBM needs many more outstanding misses, hence a larger
+/// `half_cores` (Reguly, SC'23 workshop measurements on Xeon Max).
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or exceeds `socket_cores`.
+#[must_use]
+pub fn core_saturation(cores: u32, socket_cores: u32, half_cores: f64) -> f64 {
+    assert!(cores > 0, "need at least one core");
+    assert!(cores <= socket_cores, "cores exceed socket");
+    let raw = |c: f64| c / (c + half_cores);
+    raw(f64::from(cores)) / raw(f64::from(socket_cores))
+}
+
+/// Saturation half-point for DDR memory (cores).
+pub const DDR_HALF_CORES: f64 = 5.0;
+/// Saturation half-point for HBM memory (cores). HBM2e on Xeon Max needs
+/// most of a socket's cores worth of outstanding misses to saturate
+/// (Fig. 14's 12→48-core decode gains imply ~2× bandwidth headroom at 12
+/// cores).
+pub const HBM_HALF_CORES: f64 = 28.0;
+
+/// Harmonic mix of two bandwidth pools serving fractions `f_a` and
+/// `1 − f_a` of the traffic: the sustained rate of a stream that splits
+/// across devices (time adds, bytes add).
+///
+/// # Panics
+///
+/// Panics if `f_a` is outside `[0, 1]` or a selected pool has zero bandwidth.
+#[must_use]
+pub fn mixed_bandwidth(f_a: f64, bw_a: GbPerSec, bw_b: GbPerSec) -> GbPerSec {
+    assert!((0.0..=1.0).contains(&f_a), "traffic fraction must be in [0,1], got {f_a}");
+    if f_a == 1.0 {
+        return bw_a;
+    }
+    if f_a == 0.0 {
+        return bw_b;
+    }
+    assert!(bw_a.as_f64() > 0.0 && bw_b.as_f64() > 0.0, "mixed pools must have bandwidth");
+    let t = f_a / bw_a.as_f64() + (1.0 - f_a) / bw_b.as_f64();
+    GbPerSec::new(1.0 / t)
+}
+
+/// Traffic fraction landing in the first `pool_capacity` bytes of an
+/// allocation of `footprint` bytes, under uniform per-byte access
+/// (weights and KV cache are each touched once per token step, so traffic
+/// is proportional to placement).
+#[must_use]
+pub fn capacity_split_fraction(footprint: Bytes, pool_capacity: Bytes) -> f64 {
+    if footprint == Bytes::ZERO {
+        return 1.0;
+    }
+    (pool_capacity.as_f64() / footprint.as_f64()).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_socket_reaches_peak() {
+        assert!((core_saturation(48, 48, HBM_HALF_CORES) - 1.0).abs() < 1e-12);
+        assert!((core_saturation(32, 32, DDR_HALF_CORES) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddr_saturates_faster_than_hbm() {
+        let ddr12 = core_saturation(12, 48, DDR_HALF_CORES);
+        let hbm12 = core_saturation(12, 48, HBM_HALF_CORES);
+        assert!(ddr12 > hbm12);
+        assert!(ddr12 > 0.75, "{ddr12}");
+        assert!(hbm12 < 0.65, "{hbm12}");
+    }
+
+    #[test]
+    fn saturation_is_monotone() {
+        let mut last = 0.0;
+        for c in [6, 12, 24, 36, 48] {
+            let s = core_saturation(c, 48, HBM_HALF_CORES);
+            assert!(s > last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn harmonic_mix_between_pools() {
+        let hbm = GbPerSec::new(588.0);
+        let ddr = GbPerSec::new(233.8);
+        let half = mixed_bandwidth(0.5, hbm, ddr);
+        assert!(half.as_f64() > ddr.as_f64() && half.as_f64() < hbm.as_f64());
+        assert_eq!(mixed_bandwidth(1.0, hbm, ddr), hbm);
+        assert_eq!(mixed_bandwidth(0.0, hbm, ddr), ddr);
+        // Harmonic, not arithmetic: skewed toward the slow pool.
+        assert!(half.as_f64() < (588.0 + 233.8) / 2.0);
+    }
+
+    #[test]
+    fn capacity_split() {
+        assert_eq!(capacity_split_fraction(Bytes::from_gib(128.0), Bytes::from_gib(64.0)), 0.5);
+        assert_eq!(capacity_split_fraction(Bytes::from_gib(32.0), Bytes::from_gib(64.0)), 1.0);
+        assert_eq!(capacity_split_fraction(Bytes::ZERO, Bytes::from_gib(64.0)), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! A set-associative, LRU, write-allocate cache simulator.
+//!
+//! The inference engine itself uses closed-form traffic models (simulating
+//! every access of a 70B-parameter forward pass is infeasible), but this
+//! simulator grounds them: micro-validation tests replay small GEMM and
+//! streaming access patterns through a real cache hierarchy and check that
+//! the analytic working-set rules in [`crate::analytic`] predict the same
+//! miss behaviour.
+
+use llmsim_hw::cache::CacheSpec;
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Hit in this cache.
+    Hit,
+    /// Missed; line was (re)filled.
+    Miss,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (fills).
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Writebacks of dirty lines.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1]; 0 when idle.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_shift: u32,
+    sets: u64,
+    ways: usize,
+    /// `tags[set]` = (tag, dirty), most-recently-used last.
+    tags: Vec<Vec<(u64, bool)>>,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Builds a simulator from a hardware cache spec.
+    #[must_use]
+    pub fn from_spec(spec: &CacheSpec) -> Self {
+        Self::new(spec.sets(), spec.ways as usize, spec.line_bytes)
+    }
+
+    /// Builds a simulator from raw geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(sets: u64, ways: usize, line_bytes: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        CacheSim {
+            line_shift: line_bytes.trailing_zeros(),
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Performs one access at byte address `addr`; `write` marks the line
+    /// dirty. Returns whether it hit.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = ways.remove(pos);
+            ways.push((t, d || write));
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        if ways.len() == self.ways {
+            let (_, dirty) = ways.remove(0);
+            self.stats.evictions += 1;
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        ways.push((tag, write));
+        AccessOutcome::Miss
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets * self.ways as u64 * (1u64 << self.line_shift)
+    }
+}
+
+/// A three-level hierarchy (L1 → L2 → L3) with inclusive fill.
+#[derive(Debug, Clone)]
+pub struct HierarchySim {
+    /// L1 data cache.
+    pub l1: CacheSim,
+    /// L2 cache.
+    pub l2: CacheSim,
+    /// L3 / LLC.
+    pub l3: CacheSim,
+    dram_accesses: u64,
+}
+
+impl HierarchySim {
+    /// Builds from three cache simulators.
+    #[must_use]
+    pub fn new(l1: CacheSim, l2: CacheSim, l3: CacheSim) -> Self {
+        HierarchySim { l1, l2, l3, dram_accesses: 0 }
+    }
+
+    /// One load/store walking the hierarchy; returns true if DRAM was hit.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        if self.l1.access(addr, write) == AccessOutcome::Hit {
+            return false;
+        }
+        if self.l2.access(addr, write) == AccessOutcome::Hit {
+            return false;
+        }
+        if self.l3.access(addr, write) == AccessOutcome::Hit {
+            return false;
+        }
+        self.dram_accesses += 1;
+        true
+    }
+
+    /// Accesses that reached DRAM.
+    #[must_use]
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// LLC misses per kilo-access (the µ-level analogue of LLC MPKI).
+    #[must_use]
+    pub fn llc_mpka(&self) -> f64 {
+        let total = self.l1.stats().accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l3.stats().misses as f64 / total as f64 * 1000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        CacheSim::new(4, 2, 64)
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x40, false), AccessOutcome::Miss);
+        assert_eq!(c.access(0x40, false), AccessOutcome::Hit);
+        assert_eq!(c.access(0x7F, false), AccessOutcome::Hit); // same line
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line numbers 0, 4, 8 → addresses 0, 1024, 2048.
+        c.access(0, false);
+        c.access(1024, false);
+        c.access(0, false); // refresh line 0
+        c.access(2048, false); // evicts line 4 (1024)
+        assert_eq!(c.access(0, false), AccessOutcome::Hit);
+        assert_eq!(c.access(1024, false), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(1024, false);
+        c.access(2048, false); // evicts dirty line 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn streaming_larger_than_capacity_always_misses() {
+        let mut c = tiny();
+        // Two sweeps over 4 KiB (8× capacity): zero reuse survives.
+        let mut misses_second_sweep = 0;
+        for sweep in 0..2 {
+            for addr in (0..4096).step_by(64) {
+                let out = c.access(addr, false);
+                if sweep == 1 && out == AccessOutcome::Miss {
+                    misses_second_sweep += 1;
+                }
+            }
+        }
+        assert_eq!(misses_second_sweep, 64);
+    }
+
+    #[test]
+    fn working_set_within_capacity_fully_hits_on_reuse() {
+        let mut c = tiny();
+        for addr in (0..512).step_by(64) {
+            c.access(addr, false);
+        }
+        for addr in (0..512).step_by(64) {
+            assert_eq!(c.access(addr, false), AccessOutcome::Hit);
+        }
+    }
+
+    #[test]
+    fn hierarchy_filters_accesses_level_by_level() {
+        let l1 = CacheSim::new(8, 2, 64); // 1 KiB
+        let l2 = CacheSim::new(32, 4, 64); // 8 KiB
+        let l3 = CacheSim::new(128, 8, 64); // 64 KiB
+        let mut h = HierarchySim::new(l1, l2, l3);
+        // Stream 32 KiB twice: fits L3 only.
+        for _ in 0..2 {
+            for addr in (0..32 * 1024).step_by(64) {
+                h.access(addr, false);
+            }
+        }
+        assert_eq!(h.dram_accesses(), 512); // first sweep only
+        assert!(h.l1.stats().miss_ratio() > 0.9);
+        assert!(h.llc_mpka() < 510.0);
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(tiny().capacity_bytes(), 512);
+    }
+}

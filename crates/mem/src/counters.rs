@@ -1,0 +1,161 @@
+//! Hardware performance-counter synthesis (Figs. 11, 12, 15, 16).
+//!
+//! The paper reports Linux `perf` / VTune counters — LLC MPKI, physical core
+//! utilization, UPI utilization, remote-LLC accesses, and load/store counts.
+//! The simulator derives the same counters from the quantities that drive
+//! its timing model, so counter trends and performance trends stay mutually
+//! consistent exactly as they do on hardware.
+
+use llmsim_hw::Seconds;
+
+/// Synthesized hardware counters for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HwCounters {
+    /// Retired instructions.
+    pub instructions: f64,
+    /// Load µops.
+    pub loads: f64,
+    /// Store µops.
+    pub stores: f64,
+    /// Last-level-cache misses.
+    pub llc_misses: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Physical core utilization in [0, 1] (compute-port busy fraction).
+    pub core_utilization: f64,
+    /// UPI link utilization in [0, 1] (0 on single-socket runs).
+    pub upi_utilization: f64,
+    /// Remote (other NUMA domain) LLC accesses per kilo-instruction.
+    pub remote_llc_pki: f64,
+}
+
+/// Inputs for counter synthesis, all produced by the engine's timing pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterInputs {
+    /// Retired instructions (from [`crate::analytic::instruction_count`]).
+    pub instructions: f64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: f64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: f64,
+    /// Total bytes touched by loads (cache hits included).
+    pub load_bytes: f64,
+    /// Total bytes touched by stores.
+    pub store_bytes: f64,
+    /// Time the compute ports were busy.
+    pub compute_busy: Seconds,
+    /// Wall-clock time of the run.
+    pub elapsed: Seconds,
+    /// Bytes that crossed UPI.
+    pub upi_bytes: f64,
+    /// Sustained UPI bandwidth available (bytes/sec).
+    pub upi_capacity_bytes_per_sec: f64,
+    /// Fraction of accesses to remote NUMA domains (SNC or socket).
+    pub remote_fraction: f64,
+}
+
+/// Synthesizes the counter set from timing-model quantities.
+///
+/// # Panics
+///
+/// Panics if `elapsed` is zero while any activity is reported.
+#[must_use]
+pub fn synthesize(inputs: &CounterInputs) -> HwCounters {
+    let line = 64.0;
+    let llc_misses = (inputs.dram_read_bytes + inputs.dram_write_bytes) / line;
+    let loads = inputs.load_bytes / line;
+    let stores = inputs.store_bytes / line;
+    let kinstr = (inputs.instructions / 1000.0).max(f64::MIN_POSITIVE);
+    let llc_mpki = llc_misses / kinstr;
+    let core_utilization = if inputs.elapsed == Seconds::ZERO {
+        assert!(inputs.instructions == 0.0, "activity with zero elapsed time");
+        0.0
+    } else {
+        (inputs.compute_busy.as_f64() / inputs.elapsed.as_f64()).clamp(0.0, 1.0)
+    };
+    let upi_utilization = if inputs.upi_capacity_bytes_per_sec > 0.0
+        && inputs.elapsed.as_f64() > 0.0
+    {
+        (inputs.upi_bytes / (inputs.upi_capacity_bytes_per_sec * inputs.elapsed.as_f64()))
+            .clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    // Remote LLC accesses: the remote share of LLC-level traffic.
+    let remote_llc_pki = llc_mpki * inputs.remote_fraction;
+    HwCounters {
+        instructions: inputs.instructions,
+        loads,
+        stores,
+        llc_misses,
+        llc_mpki,
+        core_utilization,
+        upi_utilization,
+        remote_llc_pki,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CounterInputs {
+        CounterInputs {
+            instructions: 1e9,
+            dram_read_bytes: 64e6 * 64.0,
+            dram_write_bytes: 0.0,
+            load_bytes: 1e9,
+            store_bytes: 5e8,
+            compute_busy: Seconds::new(0.5),
+            elapsed: Seconds::new(1.0),
+            upi_bytes: 0.0,
+            upi_capacity_bytes_per_sec: 36e9,
+            remote_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn mpki_definition() {
+        let c = synthesize(&base());
+        // 64e6 misses / 1e6 kinstr = 64 MPKI.
+        assert!((c.llc_mpki - 64.0).abs() < 1e-9);
+        assert!((c.core_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(c.upi_utilization, 0.0);
+        assert_eq!(c.remote_llc_pki, 0.0);
+    }
+
+    #[test]
+    fn more_instructions_at_same_traffic_lowers_mpki() {
+        // The Fig. 11/12 trend: batching raises instructions faster than
+        // misses, so MPKI falls.
+        let mut i = base();
+        let low_batch = synthesize(&i);
+        i.instructions *= 8.0;
+        i.dram_read_bytes *= 1.5;
+        let high_batch = synthesize(&i);
+        assert!(high_batch.llc_mpki < low_batch.llc_mpki);
+    }
+
+    #[test]
+    fn upi_utilization_saturates_at_one() {
+        let mut i = base();
+        i.upi_bytes = 1e12;
+        let c = synthesize(&i);
+        assert_eq!(c.upi_utilization, 1.0);
+    }
+
+    #[test]
+    fn remote_accesses_follow_remote_fraction() {
+        let mut i = base();
+        i.remote_fraction = 0.75;
+        let c = synthesize(&i);
+        assert!((c.remote_llc_pki - c.llc_mpki * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_and_stores_are_line_granular() {
+        let c = synthesize(&base());
+        assert!((c.loads - 1e9 / 64.0).abs() < 1e-6);
+        assert!((c.stores - 5e8 / 64.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,38 @@
+//! # llmsim-mem — memory-system simulation for the LLM-on-CPU study
+//!
+//! Three layers, from concrete to analytic:
+//!
+//! 1. [`cache_sim`] — a real set-associative LRU cache simulator used for
+//!    micro-validation of the analytic rules.
+//! 2. [`analytic`] + [`bandwidth`] — closed-form cache-residency, DRAM
+//!    traffic, instruction-count, and bandwidth-saturation/mixing rules.
+//! 3. [`numa`] — the NUMA model covering the paper's memory modes (flat /
+//!    cache / HBM-only), clustering modes (quadrant / SNC-4), core-count
+//!    saturation, and cross-socket UPI effects, with [`counters`] turning
+//!    the same quantities into the perf/VTune counters of Figs. 11–16.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmsim_hw::{presets, NumaConfig, Bytes};
+//! use llmsim_mem::numa::MemSystem;
+//!
+//! let sys = MemSystem::new(presets::spr_max_9468(), NumaConfig::QUAD_FLAT);
+//! let eff = sys.effective(48, Bytes::from_gib(26.0));
+//! assert_eq!(eff.hbm_traffic_fraction, 1.0); // fits in one socket's HBM
+//! assert!(eff.bandwidth.as_f64() > 500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod bandwidth;
+pub mod cache_sim;
+pub mod counters;
+pub mod numa;
+pub mod trace;
+
+pub use cache_sim::{AccessOutcome, CacheSim, CacheStats, HierarchySim};
+pub use counters::{synthesize, CounterInputs, HwCounters};
+pub use numa::{EffectiveMemory, MemSystem};

@@ -1,0 +1,297 @@
+//! The NUMA memory-system model: memory modes (flat/cache/HBM-only),
+//! clustering modes (quadrant/SNC-4), core-count saturation, and
+//! cross-socket UPI effects (§II-E and Figs. 13–16 of the paper).
+
+use crate::bandwidth::{
+    capacity_split_fraction, core_saturation, mixed_bandwidth, DDR_HALF_CORES, HBM_HALF_CORES,
+};
+use llmsim_hw::topology::{ClusteringMode, MemoryMode};
+use llmsim_hw::{Bytes, CpuSpec, GbPerSec, NumaConfig, Seconds};
+
+/// HBM bandwidth derate in cache mode (memory-side-cache tag and fill
+/// overheads observed on Xeon Max; Reguly SC'23 reports cache mode a few
+/// percent to ~15% behind flat mode on bandwidth-bound kernels).
+pub const CACHE_MODE_HBM_DERATE: f64 = 0.90;
+/// DDR bandwidth derate for the cache-mode miss path (misses move data
+/// twice: DDR → HBM fill, HBM → core).
+pub const CACHE_MODE_MISS_DERATE: f64 = 0.82;
+/// Bandwidth multiplier for accesses to a *remote* SNC-4 sub-NUMA domain.
+pub const SNC_REMOTE_DERATE: f64 = 0.70;
+/// Bandwidth bonus for accesses kept local to an SNC-4 domain (shorter
+/// on-die paths; the reason SNC exists).
+pub const SNC_LOCAL_BONUS: f64 = 1.05;
+/// Fraction of accesses that land in a remote sub-NUMA domain when software
+/// does not manage placement (uniform spread over 4 domains — what the
+/// paper observed with unmanaged allocation in snc mode).
+pub const SNC_UNMANAGED_REMOTE_FRACTION: f64 = 0.75;
+/// Extra latency for an SNC-remote access.
+pub const SNC_REMOTE_LATENCY: Seconds = Seconds::ZERO; // folded into derate; kept for counters
+/// Fraction of accesses that cross the socket boundary when a run spans two
+/// sockets with interleaved shared data.
+pub const CROSS_SOCKET_REMOTE_FRACTION: f64 = 0.5;
+
+/// Sustained-memory-system view for one run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectiveMemory {
+    /// Sustained bandwidth available to the run.
+    pub bandwidth: GbPerSec,
+    /// Average access latency.
+    pub latency: Seconds,
+    /// Fraction of traffic served by HBM.
+    pub hbm_traffic_fraction: f64,
+    /// Fraction of accesses to a remote SNC domain.
+    pub snc_remote_fraction: f64,
+    /// Fraction of accesses crossing sockets over UPI.
+    pub cross_socket_fraction: f64,
+    /// Sockets the run spans.
+    pub sockets_spanned: u32,
+}
+
+/// The memory system of a CPU server under a specific NUMA configuration.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cpu: CpuSpec,
+    numa: NumaConfig,
+}
+
+impl MemSystem {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `numa` requests an HBM mode on a CPU without HBM.
+    #[must_use]
+    pub fn new(cpu: CpuSpec, numa: NumaConfig) -> Self {
+        if numa.memory == MemoryMode::HbmOnly {
+            assert!(cpu.has_hbm(), "{}: HBM-only mode requires HBM", cpu.name);
+        }
+        MemSystem { cpu, numa }
+    }
+
+    /// The underlying CPU spec.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// The NUMA configuration.
+    #[must_use]
+    pub fn numa(&self) -> NumaConfig {
+        self.numa
+    }
+
+    /// Computes the sustained memory behaviour for a run using `cores`
+    /// cores over a resident footprint of `footprint` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds the machine, or if the footprint
+    /// exceeds total machine memory.
+    #[must_use]
+    pub fn effective(&self, cores: u32, footprint: Bytes) -> EffectiveMemory {
+        let topo = &self.cpu.topology;
+        let sockets = topo.sockets_spanned(cores);
+        assert!(
+            footprint <= self.cpu.total_memory_capacity(),
+            "footprint {} exceeds machine memory {}",
+            footprint,
+            self.cpu.total_memory_capacity()
+        );
+        let cores_per_socket = (cores / sockets).max(1);
+        let fp_per_socket = Bytes::new(footprint.get() / u64::from(sockets));
+
+        // --- device-level sustained bandwidth on one socket ---
+        let ddr_bw = self
+            .cpu
+            .ddr
+            .bandwidth_per_socket
+            .scale(core_saturation(cores_per_socket, topo.cores_per_socket, DDR_HALF_CORES));
+        let (socket_bw, hbm_fraction, latency) = match (&self.cpu.hbm, self.numa.memory) {
+            (None, _) => (ddr_bw, 0.0, self.cpu.ddr.idle_latency),
+            (Some(hbm), mode) => {
+                let hbm_bw = hbm.bandwidth_per_socket.scale(core_saturation(
+                    cores_per_socket,
+                    topo.cores_per_socket,
+                    HBM_HALF_CORES,
+                ));
+                let hbm_cap = hbm.capacity_per_socket(topo.sockets);
+                match mode {
+                    MemoryMode::HbmOnly => {
+                        assert!(
+                            fp_per_socket <= hbm_cap,
+                            "HBM-only: per-socket footprint {fp_per_socket} exceeds HBM {hbm_cap}"
+                        );
+                        (hbm_bw, 1.0, hbm.idle_latency)
+                    }
+                    MemoryMode::Flat => {
+                        // HBM-first allocation, DDR spill past 64 GB/socket.
+                        let f = capacity_split_fraction(fp_per_socket, hbm_cap);
+                        let bw = mixed_bandwidth(f, hbm_bw, ddr_bw);
+                        let lat = Seconds::new(
+                            f * hbm.idle_latency.as_f64()
+                                + (1.0 - f) * self.cpu.ddr.idle_latency.as_f64(),
+                        );
+                        (bw, f, lat)
+                    }
+                    MemoryMode::Cache => {
+                        // HBM as memory-side cache: hit rate ≈ resident
+                        // fraction of the streamed footprint, with tag/fill
+                        // derates on both paths.
+                        let hit = capacity_split_fraction(fp_per_socket, hbm_cap);
+                        let bw = mixed_bandwidth(
+                            hit,
+                            hbm_bw.scale(CACHE_MODE_HBM_DERATE),
+                            ddr_bw.scale(CACHE_MODE_MISS_DERATE),
+                        );
+                        let lat = Seconds::new(
+                            hit * hbm.idle_latency.as_f64()
+                                + (1.0 - hit)
+                                    * (self.cpu.ddr.idle_latency.as_f64()
+                                        + hbm.idle_latency.as_f64() * 0.3),
+                        );
+                        (bw, hit, lat)
+                    }
+                }
+            }
+        };
+
+        // --- clustering mode ---
+        let (socket_bw, snc_remote, latency) = match self.numa.clustering {
+            ClusteringMode::Quadrant => (socket_bw, 0.0, latency),
+            ClusteringMode::Snc4 => {
+                let remote = SNC_UNMANAGED_REMOTE_FRACTION;
+                let factor = (1.0 - remote) * SNC_LOCAL_BONUS + remote * SNC_REMOTE_DERATE;
+                (socket_bw.scale(factor), remote, latency.scale(1.0 + 0.25 * remote))
+            }
+        };
+
+        // --- socket spanning ---
+        if sockets == 1 {
+            EffectiveMemory {
+                bandwidth: socket_bw,
+                latency,
+                hbm_traffic_fraction: hbm_fraction,
+                snc_remote_fraction: snc_remote,
+                cross_socket_fraction: 0.0,
+                sockets_spanned: 1,
+            }
+        } else {
+            // Shared weights/KV interleave across sockets: half of each
+            // socket's accesses traverse UPI.
+            let upi = self.cpu.upi.effective_bandwidth();
+            let per_socket = mixed_bandwidth(
+                1.0 - CROSS_SOCKET_REMOTE_FRACTION,
+                socket_bw,
+                upi.min(socket_bw),
+            );
+            let total = GbPerSec::new(per_socket.as_f64() * f64::from(sockets));
+            let lat = Seconds::new(
+                latency.as_f64()
+                    + CROSS_SOCKET_REMOTE_FRACTION * self.cpu.upi.latency.as_f64(),
+            );
+            EffectiveMemory {
+                bandwidth: total,
+                latency: lat,
+                hbm_traffic_fraction: hbm_fraction,
+                snc_remote_fraction: snc_remote,
+                cross_socket_fraction: CROSS_SOCKET_REMOTE_FRACTION,
+                sockets_spanned: sockets,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_hw::presets;
+
+    fn spr(numa: NumaConfig) -> MemSystem {
+        MemSystem::new(presets::spr_max_9468(), numa)
+    }
+
+    #[test]
+    fn quad_flat_beats_all_other_modes_when_fitting_hbm() {
+        // Fig. 13 / Key Finding #2: quad_flat is the best configuration.
+        let fp = Bytes::from_gib(30.0); // fits one socket's HBM
+        let bw = |n: NumaConfig| spr(n).effective(48, fp).bandwidth.as_f64();
+        let quad_flat = bw(NumaConfig::QUAD_FLAT);
+        for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_CACHE, NumaConfig::SNC_FLAT] {
+            assert!(quad_flat > bw(other), "{other}: {} vs quad_flat {quad_flat}", bw(other));
+        }
+    }
+
+    #[test]
+    fn flat_mode_spills_to_ddr_past_hbm_capacity() {
+        let small = spr(NumaConfig::QUAD_FLAT).effective(48, Bytes::from_gib(40.0));
+        let large = spr(NumaConfig::QUAD_FLAT).effective(48, Bytes::from_gib(130.0));
+        assert_eq!(small.hbm_traffic_fraction, 1.0);
+        assert!(large.hbm_traffic_fraction < 1.0);
+        assert!(large.bandwidth.as_f64() < small.bandwidth.as_f64());
+    }
+
+    #[test]
+    fn snc_unmanaged_pays_remote_penalty() {
+        let q = spr(NumaConfig::QUAD_FLAT).effective(48, Bytes::from_gib(30.0));
+        let s = spr(NumaConfig::SNC_FLAT).effective(48, Bytes::from_gib(30.0));
+        assert!(s.snc_remote_fraction > 0.5);
+        assert!(s.bandwidth.as_f64() < q.bandwidth.as_f64());
+        assert!(s.latency.as_f64() > q.latency.as_f64());
+    }
+
+    #[test]
+    fn two_socket_runs_are_upi_bound() {
+        // Fig. 16 / Key Finding #3: 96 cores cross sockets and lose.
+        let one = spr(NumaConfig::QUAD_FLAT).effective(48, Bytes::from_gib(30.0));
+        let two = spr(NumaConfig::QUAD_FLAT).effective(96, Bytes::from_gib(30.0));
+        assert_eq!(two.sockets_spanned, 2);
+        assert!(two.cross_socket_fraction > 0.0);
+        assert!(
+            two.bandwidth.as_f64() < one.bandwidth.as_f64(),
+            "96-core {} should be below 48-core {}",
+            two.bandwidth,
+            one.bandwidth
+        );
+    }
+
+    #[test]
+    fn bandwidth_grows_with_cores_within_socket() {
+        let sys = spr(NumaConfig::QUAD_FLAT);
+        let mut last = 0.0;
+        for c in [12u32, 24, 36, 48] {
+            let bw = sys.effective(c, Bytes::from_gib(30.0)).bandwidth.as_f64();
+            assert!(bw > last, "{c} cores: {bw}");
+            last = bw;
+        }
+    }
+
+    #[test]
+    fn icl_ignores_memory_modes() {
+        let icl = MemSystem::new(presets::icl_8352y(), NumaConfig::QUAD_FLAT);
+        let e = icl.effective(32, Bytes::from_gib(30.0));
+        assert_eq!(e.hbm_traffic_fraction, 0.0);
+        assert!(e.bandwidth.as_f64() <= 156.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "HBM-only mode requires HBM")]
+    fn hbm_only_on_icl_panics() {
+        let _ = MemSystem::new(
+            presets::icl_8352y(),
+            NumaConfig::new(ClusteringMode::Quadrant, MemoryMode::HbmOnly),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine memory")]
+    fn oversized_footprint_panics() {
+        let _ = spr(NumaConfig::QUAD_FLAT).effective(48, Bytes::from_gib(1000.0));
+    }
+
+    #[test]
+    fn hbm_only_requires_fitting_footprint() {
+        let sys = spr(NumaConfig::new(ClusteringMode::Quadrant, MemoryMode::HbmOnly));
+        let e = sys.effective(48, Bytes::from_gib(60.0));
+        assert_eq!(e.hbm_traffic_fraction, 1.0);
+    }
+}

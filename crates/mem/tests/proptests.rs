@@ -1,0 +1,108 @@
+//! Property-based tests of the memory-system substrate.
+
+use llmsim_hw::{Bytes, GbPerSec};
+use llmsim_mem::analytic::{cache_resident_fraction, dram_traffic};
+use llmsim_mem::bandwidth::{capacity_split_fraction, core_saturation, mixed_bandwidth};
+use llmsim_mem::{AccessOutcome, CacheSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Misses never exceed accesses, and evictions never exceed misses.
+    #[test]
+    fn cache_stats_are_consistent(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..2000),
+        writes in proptest::collection::vec(any::<bool>(), 1..2000),
+    ) {
+        let mut sim = CacheSim::new(16, 4, 64);
+        for (i, &a) in addrs.iter().enumerate() {
+            sim.access(a, writes[i % writes.len()]);
+        }
+        let s = sim.stats();
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(s.writebacks <= s.evictions);
+        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+    }
+
+    /// A second identical sweep over a working set that fits the cache
+    /// produces zero additional misses (LRU residency).
+    #[test]
+    fn fitting_working_set_fully_reuses(lines in 1u64..64) {
+        // 64-line (4 KiB) cache; working set ≤ capacity.
+        let mut sim = CacheSim::new(8, 8, 64);
+        for l in 0..lines {
+            sim.access(l * 64, false);
+        }
+        let before = sim.stats().misses;
+        for l in 0..lines {
+            let out = sim.access(l * 64, false);
+            prop_assert_eq!(out, AccessOutcome::Hit);
+        }
+        prop_assert_eq!(sim.stats().misses, before);
+    }
+
+    /// Same-line accesses always hit after the first, regardless of offset.
+    #[test]
+    fn line_granularity(base in 0u64..1_000_000, off1 in 0u64..64, off2 in 0u64..64) {
+        let mut sim = CacheSim::new(32, 4, 64);
+        let line_base = base & !63;
+        sim.access(line_base + off1, false);
+        prop_assert_eq!(sim.access(line_base + off2, true), AccessOutcome::Hit);
+    }
+
+    /// The residency rule is within [0,1], monotone in capacity and
+    /// antitone in working-set size.
+    #[test]
+    fn residency_rule_monotonicity(ws in 1u64..1_000_000_000, cap in 1u64..1_000_000_000) {
+        let f = cache_resident_fraction(Bytes::new(ws), Bytes::new(cap));
+        prop_assert!((0.0..=1.0).contains(&f));
+        let f_bigger_cache = cache_resident_fraction(Bytes::new(ws), Bytes::new(cap * 2));
+        prop_assert!(f_bigger_cache >= f);
+        let f_bigger_ws = cache_resident_fraction(Bytes::new(ws * 2), Bytes::new(cap));
+        prop_assert!(f_bigger_ws <= f);
+    }
+
+    /// DRAM traffic includes at least the streamed bytes and at most
+    /// streamed + reused.
+    #[test]
+    fn dram_traffic_bounds(
+        streamed in 0u64..1_000_000_000,
+        reused in 0u64..1_000_000_000,
+        cap in 1u64..1_000_000_000,
+    ) {
+        let t = dram_traffic(Bytes::new(streamed), Bytes::new(reused), Bytes::new(cap)).get();
+        prop_assert!(t >= streamed);
+        prop_assert!(t <= streamed + reused + 1);
+    }
+
+    /// Core saturation is in (0,1] and monotone in core count.
+    #[test]
+    fn saturation_properties(c1 in 1u32..48, c2 in 1u32..48, half in 1.0f64..40.0) {
+        let s1 = core_saturation(c1.min(c2), 48, half);
+        let s2 = core_saturation(c1.max(c2), 48, half);
+        prop_assert!(s1 > 0.0 && s2 <= 1.0 + 1e-12);
+        prop_assert!(s2 >= s1);
+    }
+
+    /// Mixed bandwidth always lies between its two pools.
+    #[test]
+    fn mixed_bandwidth_between_pools(
+        f in 0.0f64..1.0,
+        a in 1.0f64..2000.0,
+        b in 1.0f64..2000.0,
+    ) {
+        let m = mixed_bandwidth(f, GbPerSec::new(a), GbPerSec::new(b)).as_f64();
+        prop_assert!(m >= a.min(b) - 1e-9 && m <= a.max(b) + 1e-9);
+    }
+
+    /// Capacity split fraction is a valid fraction and antitone in footprint.
+    #[test]
+    fn split_fraction_valid(fp in 1u64..1_000_000_000, pool in 1u64..1_000_000_000) {
+        let f = capacity_split_fraction(Bytes::new(fp), Bytes::new(pool));
+        prop_assert!((0.0..=1.0).contains(&f));
+        let f2 = capacity_split_fraction(Bytes::new(fp * 2), Bytes::new(pool));
+        prop_assert!(f2 <= f);
+    }
+}

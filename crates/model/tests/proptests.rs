@@ -1,0 +1,101 @@
+//! Property-based tests of the model substrate: footprint scaling laws and
+//! operator-graph invariants hold for every paper model and workload shape.
+
+use llmsim_model::{decode_step_graph, families, prefill_graph, DType, OpClass};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = llmsim_model::ModelConfig> {
+    (0usize..8).prop_map(|i| families::all_paper_models().swap_remove(i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// KV cache scales exactly linearly in sequence length and batch
+    /// (the §II-B formula).
+    #[test]
+    fn kv_cache_bilinear(m in any_model(), s in 1u64..8192, b in 1u64..64) {
+        let base = m.kv_cache_bytes(s, b, DType::Bf16).get();
+        prop_assert_eq!(m.kv_cache_bytes(2 * s, b, DType::Bf16).get(), 2 * base);
+        prop_assert_eq!(m.kv_cache_bytes(s, 2 * b, DType::Bf16).get(), 2 * base);
+        // INT8 halves it; FP32 doubles it.
+        prop_assert_eq!(m.kv_cache_bytes(s, b, DType::Int8).get(), base / 2);
+        prop_assert_eq!(m.kv_cache_bytes(s, b, DType::Fp32).get(), base * 2);
+    }
+
+    /// Prefill FLOPs grow superlinearly in sequence length (the attention
+    /// s² term) but linearly in batch.
+    #[test]
+    fn prefill_flop_scaling(m in any_model(), s in 16u64..512, b in 1u64..16) {
+        let f1 = prefill_graph(&m, b, s, DType::Bf16).totals().flops;
+        let f2 = prefill_graph(&m, b, 2 * s, DType::Bf16).totals().flops;
+        prop_assert!(f2 > 2.0 * f1 * 0.999, "seq doubling: {f2} vs {f1}");
+        let fb = prefill_graph(&m, 2 * b, s, DType::Bf16).totals().flops;
+        // Batch doubling: attention also doubles (per-sequence), so exactly 2x
+        // up to the constant lm-head/embedding terms.
+        prop_assert!((fb / f1 - 2.0).abs() < 0.02, "batch doubling ratio {}", fb / f1);
+    }
+
+    /// Decode KV reads are exactly linear in context length and batch.
+    #[test]
+    fn decode_kv_read_linear(m in any_model(), t in 1u64..4096, b in 1u64..32) {
+        let g1 = decode_step_graph(&m, b, t, DType::Bf16).totals().kv_read_bytes;
+        let g2 = decode_step_graph(&m, b, 2 * t, DType::Bf16).totals().kv_read_bytes;
+        prop_assert_eq!(g2, 2 * g1);
+    }
+
+    /// Every operator in every graph has non-negative costs and a
+    /// consistent total-bytes decomposition.
+    #[test]
+    fn operator_cost_consistency(m in any_model(), s in 1u64..256, b in 1u64..16) {
+        for g in [
+            prefill_graph(&m, b, s, DType::Bf16),
+            decode_step_graph(&m, b, s, DType::Bf16),
+        ] {
+            for op in &g.ops {
+                prop_assert!(op.flops() >= 0.0);
+                let total = op.total_bytes();
+                let parts = op.weight_bytes() + op.act_bytes()
+                    + op.kv_read_bytes() + op.kv_write_bytes();
+                prop_assert_eq!(total, parts, "{}", op.name);
+            }
+            // Class totals partition the graph totals.
+            let whole = g.totals().total_bytes();
+            let sum: u64 = [
+                OpClass::Gemm,
+                OpClass::Attention,
+                OpClass::Normalization,
+                OpClass::Elementwise,
+                OpClass::Memory,
+            ]
+            .iter()
+            .map(|c| g.totals_for_class(*c).total_bytes())
+            .sum();
+            prop_assert_eq!(whole, sum);
+        }
+    }
+
+    /// Weight-only quantization never changes FLOPs, activations or KV.
+    #[test]
+    fn weight_dtype_isolation(m in any_model(), s in 1u64..128, b in 1u64..8) {
+        let g = decode_step_graph(&m, b, s, DType::Bf16);
+        let q = g.clone().with_weight_dtype(DType::Int8);
+        let (gt, qt) = (g.totals(), q.totals());
+        prop_assert_eq!(gt.flops, qt.flops);
+        prop_assert_eq!(gt.act_bytes, qt.act_bytes);
+        prop_assert_eq!(gt.kv_read_bytes, qt.kv_read_bytes);
+        prop_assert!(qt.weight_bytes < gt.weight_bytes);
+    }
+
+    /// Weight footprint is layer-dominated: doubling layers roughly doubles
+    /// parameters (embeddings are the remainder).
+    #[test]
+    fn params_scale_with_layers(m in any_model()) {
+        let mut double = m.clone();
+        double.n_layers *= 2;
+        let p1 = m.param_count();
+        let p2 = double.param_count();
+        prop_assert!(p2 > 2 * m.n_layers * m.params_per_layer());
+        prop_assert!(p2 < 2 * p1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Terminal bar charts so every regenerated figure is eyeballable without a
+//! plotting stack.
+
+use crate::series::Series;
+
+/// Renders grouped horizontal bars for several series sharing x-labels.
+///
+/// Bars are scaled so the global maximum spans `width` characters.
+///
+/// # Panics
+///
+/// Panics if no series has any point, or `width` is zero.
+#[must_use]
+pub fn grouped_bars(series: &[Series], width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let max = series
+        .iter()
+        .flat_map(|s| s.values())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(max.is_finite() && max > 0.0, "need at least one positive point");
+
+    let label_w = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| x.len()))
+        .max()
+        .unwrap_or(1)
+        .max(4);
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(1);
+
+    let xs: Vec<&String> = series[0].points.iter().map(|(x, _)| x).collect();
+    let mut out = String::new();
+    for x in xs {
+        for s in series {
+            let y = s
+                .points
+                .iter()
+                .find(|(sx, _)| sx == x)
+                .map_or(0.0, |(_, y)| *y);
+            let bars = ((y / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{x:<label_w$} {name:<name_w$} |{bar:<width$}| {y:.3}\n",
+                name = s.name,
+                bar = "#".repeat(bars.min(width)),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, vals: &[f64]) -> Series {
+        let mut s = Series::new(name);
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(format!("b{}", 1 << i), v);
+        }
+        s
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let a = series("ICL", &[1.0, 2.0]);
+        let b = series("SPR", &[4.0, 8.0]);
+        let chart = grouped_bars(&[a, b], 40);
+        // The global max (8.0) gets the full width.
+        assert!(chart.contains(&"#".repeat(40)), "{chart}");
+        // Every (x, series) combination is present.
+        assert_eq!(chart.matches("ICL").count(), 2);
+        assert_eq!(chart.matches("SPR").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive point")]
+    fn empty_series_panics() {
+        let _ = grouped_bars(&[Series::new("empty")], 10);
+    }
+}

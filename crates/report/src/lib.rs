@@ -1,0 +1,29 @@
+//! # llmsim-report — experiment result presentation
+//!
+//! ASCII tables, named data series with the paper's normalization
+//! conventions, and terminal bar charts used by every figure regenerator in
+//! `llmsim-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmsim_report::series::Series;
+//!
+//! let mut icl = Series::new("ICL");
+//! let mut spr = Series::new("SPR");
+//! icl.push("b=1", 10.0);
+//! spr.push("b=1", 3.0);
+//! let norm = spr.normalized_to(&icl);
+//! assert_eq!(norm.values(), vec![0.3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barchart;
+pub mod series;
+pub mod table;
+
+pub use barchart::grouped_bars;
+pub use series::Series;
+pub use table::Table;

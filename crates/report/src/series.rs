@@ -1,0 +1,151 @@
+//! Named data series with the normalization conventions the paper's figures
+//! use ("each bar normalized to X").
+
+use std::fmt;
+
+/// A labelled sequence of `(x-label, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (legend entry).
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) -> &mut Self {
+        self.points.push((x.into(), y));
+        self
+    }
+
+    /// Values only.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, y)| *y).collect()
+    }
+
+    /// Divides every value by the matching value of `baseline`
+    /// (the paper's "normalized to the ICL CPU" convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is missing one of this series' x-labels or the
+    /// baseline value is zero.
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &Series) -> Series {
+        let mut out = Series::new(format!("{} / {}", self.name, baseline.name));
+        for (x, y) in &self.points {
+            let base = baseline
+                .points
+                .iter()
+                .find(|(bx, _)| bx == x)
+                .unwrap_or_else(|| panic!("baseline '{}' missing x={x}", baseline.name))
+                .1;
+            assert!(base != 0.0, "baseline value at x={x} is zero");
+            out.push(x.clone(), y / base);
+        }
+        out
+    }
+
+    /// Arithmetic mean of the values (`NaN` for an empty series).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let v = self.values();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// Geometric mean of the values (`NaN` for an empty series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-positive.
+    #[must_use]
+    pub fn geomean(&self) -> f64 {
+        let v = self.values();
+        let log_sum: f64 = v
+            .iter()
+            .map(|&x| {
+                assert!(x > 0.0, "geomean requires positive values, got {x}");
+                x.ln()
+            })
+            .sum();
+        (log_sum / v.len() as f64).exp()
+    }
+
+    /// Minimum value (`None` if empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values().into_iter().reduce(f64::min)
+    }
+
+    /// Maximum value (`None` if empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values().into_iter().reduce(f64::max)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}={y:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(name: &str, ys: &[f64]) -> Series {
+        let mut s = Series::new(name);
+        for (i, &y) in ys.iter().enumerate() {
+            s.push(format!("x{i}"), y);
+        }
+        s
+    }
+
+    #[test]
+    fn normalization_matches_paper_convention() {
+        let icl = make("ICL", &[10.0, 20.0]);
+        let spr = make("SPR", &[2.0, 4.0]);
+        let norm = spr.normalized_to(&icl);
+        assert_eq!(norm.values(), vec![0.2, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing x=")]
+    fn mismatched_baseline_panics() {
+        let a = make("a", &[1.0]);
+        let mut b = Series::new("b");
+        b.push("other", 2.0);
+        let _ = a.normalized_to(&b);
+    }
+
+    #[test]
+    fn stats() {
+        let s = make("s", &[1.0, 4.0, 16.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert!((s.geomean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(16.0));
+    }
+
+    #[test]
+    fn display_shows_points() {
+        let s = make("tp", &[1.5]);
+        assert!(s.to_string().contains("x0=1.5"));
+    }
+}

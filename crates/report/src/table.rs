@@ -1,0 +1,166 @@
+//! ASCII table rendering for experiment output.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use llmsim_report::table::Table;
+///
+/// let mut t = Table::new(vec!["model".into(), "tok/s".into()]);
+/// t.row(vec!["OPT-13B".into(), "412.3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("OPT-13B"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with a header separator; first column left-aligned, the rest
+    /// right-aligned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let align = |i: usize| if i == 0 { Align::Left } else { Align::Right };
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                match align(i) {
+                    Align::Left => line.push_str(&format!("{c:<w$}", w = widths[i])),
+                    Align::Right => line.push_str(&format!("{c:>w$}", w = widths[i])),
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (for piping into plotting tools).
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["beta-long-name".into(), "23.45".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn tsv_roundtrip_structure() {
+        let tsv = sample().to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("name\tvalue\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new(vec!["x".into()]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

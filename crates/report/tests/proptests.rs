@@ -1,0 +1,71 @@
+//! Property-based tests of the reporting primitives.
+
+use llmsim_report::{Series, Table};
+use proptest::prelude::*;
+
+fn series_from(vals: &[f64], name: &str) -> Series {
+    let mut s = Series::new(name);
+    for (i, &v) in vals.iter().enumerate() {
+        s.push(format!("x{i}"), v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Normalizing a series to itself yields all ones.
+    #[test]
+    fn self_normalization_is_identity(vals in proptest::collection::vec(0.001f64..1e9, 1..32)) {
+        let s = series_from(&vals, "s");
+        let norm = s.normalized_to(&s);
+        for v in norm.values() {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Normalization round-trips: (a/b) × b = a.
+    #[test]
+    fn normalization_inverts(
+        a in proptest::collection::vec(0.001f64..1e6, 1..16),
+        b in proptest::collection::vec(0.001f64..1e6, 16..17),
+    ) {
+        let n = a.len();
+        let sa = series_from(&a, "a");
+        let sb = series_from(&b[..1].repeat(n), "b");
+        let norm = sa.normalized_to(&sb);
+        for (i, v) in norm.values().iter().enumerate() {
+            prop_assert!((v * b[0] - a[i]).abs() < 1e-6 * a[i].max(1.0));
+        }
+    }
+
+    /// Geomean ≤ mean (AM–GM), and both lie within [min, max].
+    #[test]
+    fn am_gm_inequality(vals in proptest::collection::vec(0.001f64..1e6, 1..32)) {
+        let s = series_from(&vals, "s");
+        let (mean, geo) = (s.mean(), s.geomean());
+        prop_assert!(geo <= mean * (1.0 + 1e-12));
+        prop_assert!(geo >= s.min().unwrap() * (1.0 - 1e-12));
+        prop_assert!(mean <= s.max().unwrap() * (1.0 + 1e-12));
+    }
+
+    /// Rendered tables are rectangular: all data lines have equal width.
+    #[test]
+    fn tables_are_rectangular(
+        cells in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9]{1,12}", 3..4),
+            1..10,
+        ),
+    ) {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        for row in &cells {
+            t.row(row.clone());
+        }
+        let rendered = t.render();
+        let widths: Vec<usize> = rendered.lines().map(str::len).collect();
+        // Header, separator, and all rows share one width.
+        prop_assert!(widths.windows(2).all(|w| w[0] == w[1]), "{rendered}");
+        // TSV has exactly rows + 1 lines.
+        prop_assert_eq!(t.to_tsv().lines().count(), cells.len() + 1);
+    }
+}

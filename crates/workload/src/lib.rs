@@ -1,0 +1,29 @@
+//! # llmsim-workload — workload shapes, sweeps and generators
+//!
+//! The paper's methodology grids (§IV-A: all models × batch 1–32 at
+//! input 128 / output 32; §V-C: sequence lengths 128–1024), the §II-C
+//! serving scenarios, and randomized/Poisson request generation for tests
+//! and serving-style extensions.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmsim_workload::sweep;
+//!
+//! let grid = sweep::paper_grid();
+//! assert_eq!(grid.len(), 48); // 8 models × 6 batch sizes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod scenarios;
+pub mod sweep;
+
+pub use generator::{
+    sharegpt_like_lengths, ArrivalTrace, GeneratedRequest, LogNormalLengths, RequestBounds,
+    RequestGenerator,
+};
+pub use scenarios::{PrimaryMetric, Scenario};
+pub use sweep::SweepPoint;

@@ -1,0 +1,115 @@
+//! Serving scenarios from §II-C of the paper: different use cases
+//! prioritize different metrics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The metric a use case optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimaryMetric {
+    /// Time to first token.
+    Ttft,
+    /// Time per output token.
+    Tpot,
+    /// End-to-end latency.
+    E2eLatency,
+    /// Tokens generated per second.
+    Throughput,
+}
+
+impl fmt::Display for PrimaryMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimaryMetric::Ttft => "TTFT",
+            PrimaryMetric::Tpot => "TPOT",
+            PrimaryMetric::E2eLatency => "E2E latency",
+            PrimaryMetric::Throughput => "throughput",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named serving scenario with its workload shape and priority metric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// What matters most (§II-C).
+    pub metric: PrimaryMetric,
+    /// Typical prompt length.
+    pub prompt_len: u64,
+    /// Typical generation length.
+    pub gen_len: u64,
+    /// Typical batch size.
+    pub batch: u64,
+}
+
+impl Scenario {
+    /// Real-time chatbot: users expect a fast first token (§II-C).
+    #[must_use]
+    pub fn chatbot() -> Self {
+        Scenario { name: "chatbot".into(), metric: PrimaryMetric::Ttft, prompt_len: 256, gen_len: 64, batch: 1 }
+    }
+
+    /// Live translation: a slight startup delay is fine, but TPOT must keep
+    /// pace with speech (§II-C).
+    #[must_use]
+    pub fn live_translation() -> Self {
+        Scenario {
+            name: "live-translation".into(),
+            metric: PrimaryMetric::Tpot,
+            prompt_len: 64,
+            gen_len: 64,
+            batch: 4,
+        }
+    }
+
+    /// Batch sentiment analysis: finish the whole job as fast as possible;
+    /// system throughput wins (§II-C).
+    #[must_use]
+    pub fn batch_analytics() -> Self {
+        Scenario {
+            name: "batch-analytics".into(),
+            metric: PrimaryMetric::Throughput,
+            prompt_len: 128,
+            gen_len: 32,
+            batch: 32,
+        }
+    }
+
+    /// All three §II-C scenarios.
+    #[must_use]
+    pub fn all() -> Vec<Scenario> {
+        vec![Self::chatbot(), Self::live_translation(), Self::batch_analytics()]
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (optimizes {}, b={} in={} out={})",
+            self.name, self.metric, self.batch, self.prompt_len, self.gen_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_cover_distinct_metrics() {
+        let all = Scenario::all();
+        assert_eq!(all.len(), 3);
+        let metrics: std::collections::HashSet<_> = all.iter().map(|s| s.metric).collect();
+        assert_eq!(metrics.len(), 3);
+    }
+
+    #[test]
+    fn chatbot_is_interactive() {
+        let c = Scenario::chatbot();
+        assert_eq!(c.metric, PrimaryMetric::Ttft);
+        assert_eq!(c.batch, 1);
+    }
+}

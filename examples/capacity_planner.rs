@@ -1,0 +1,62 @@
+//! Capacity planner: the §III arithmetic as a tool. For every paper model
+//! and a chosen workload, prints weight/KV footprints, how many GPUs the
+//! weights alone need, whether the state fits each platform, and the
+//! simulated throughput of the viable options.
+//!
+//! ```sh
+//! cargo run --example capacity_planner -- 32 4096
+//! ```
+//! (arguments: batch size, sequence length; defaults 32 and 4096)
+
+use llmsim::core::{Backend, CpuBackend, GpuBackend, Request, SimError};
+use llmsim::hw::presets;
+use llmsim::model::{families, footprint, DType};
+use llmsim::report::Table;
+
+fn main() -> Result<(), SimError> {
+    let mut args = std::env::args().skip(1);
+    let batch: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let seq: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
+
+    let cpu = CpuBackend::paper_spr();
+    let h100 = GpuBackend::paper_h100();
+    let h100_mem = presets::h100_80gb().memory_capacity;
+
+    println!("Capacity plan for batch {batch}, context {seq} (BF16)\n");
+    let mut table = Table::new(vec![
+        "model".into(),
+        "weights".into(),
+        "KV cache".into(),
+        "min H100s".into(),
+        "fits SPR".into(),
+        "SPR tok/s".into(),
+        "H100 tok/s".into(),
+    ]);
+
+    for model in families::all_paper_models() {
+        let weights = model.weight_bytes(DType::Bf16);
+        let kv = model.kv_cache_bytes(seq, batch, DType::Bf16);
+        let gpus = footprint::min_gpus_for_weights(&model, DType::Bf16, h100_mem);
+        // Plan against a realistic request: most of the context is prompt.
+        let req = Request::new(batch, seq.saturating_sub(32).max(1), 32);
+        let spr_run = cpu.run(&model, &req);
+        let h100_run = h100.run(&model, &req);
+        let show = |r: &Result<llmsim::core::InferenceReport, SimError>| match r {
+            Ok(rep) if rep.offload.is_some() => format!("{:.1}*", rep.e2e_throughput()),
+            Ok(rep) => format!("{:.1}", rep.e2e_throughput()),
+            Err(_) => "-".to_owned(),
+        };
+        table.row(vec![
+            model.name.clone(),
+            format!("{weights}"),
+            format!("{kv}"),
+            gpus.to_string(),
+            if spr_run.is_ok() { "yes".into() } else { "no".into() },
+            show(&spr_run),
+            show(&h100_run),
+        ]);
+    }
+    print!("{table}");
+    println!("\n'*' = H100 ran offloading; '-' = state exceeds the platform's memory.");
+    Ok(())
+}

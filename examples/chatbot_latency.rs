@@ -1,0 +1,73 @@
+//! Scenario study (§II-C of the paper): different serving use cases weight
+//! metrics differently. Runs the chatbot / live-translation /
+//! batch-analytics scenarios on the CPU and both GPUs and shows which
+//! platform wins each scenario's *primary* metric.
+//!
+//! ```sh
+//! cargo run --example chatbot_latency
+//! ```
+
+use llmsim::core::{Backend, CpuBackend, GpuBackend, InferenceReport, Request, SimError};
+use llmsim::model::families;
+use llmsim::report::Table;
+use llmsim::workload::{PrimaryMetric, Scenario};
+
+/// Extracts a scenario's primary metric; for latency metrics smaller is
+/// better, so invert to "score" where bigger wins.
+fn score(metric: PrimaryMetric, r: &InferenceReport) -> f64 {
+    match metric {
+        PrimaryMetric::Ttft => 1.0 / r.ttft.as_f64(),
+        PrimaryMetric::Tpot => 1.0 / r.tpot.as_f64(),
+        PrimaryMetric::E2eLatency => 1.0 / r.e2e_latency.as_f64(),
+        PrimaryMetric::Throughput => r.e2e_throughput(),
+    }
+}
+
+fn main() -> Result<(), SimError> {
+    let model = families::llama2_13b();
+    let cpu = CpuBackend::paper_spr();
+    let a100 = GpuBackend::paper_a100();
+    let h100 = GpuBackend::paper_h100();
+
+    println!("Scenario study on {model}\n");
+    let mut table = Table::new(vec![
+        "scenario".into(),
+        "primary metric".into(),
+        "CPU".into(),
+        "A100".into(),
+        "H100".into(),
+        "winner".into(),
+    ]);
+
+    for scenario in Scenario::all() {
+        let req = Request::new(scenario.batch, scenario.prompt_len, scenario.gen_len);
+        let rc = cpu.run(&model, &req)?;
+        let ra = a100.run(&model, &req)?;
+        let rh = h100.run(&model, &req)?;
+        let display = |r: &InferenceReport| match scenario.metric {
+            PrimaryMetric::Ttft => format!("{:.1} ms", r.ttft.as_millis()),
+            PrimaryMetric::Tpot => format!("{:.1} ms", r.tpot.as_millis()),
+            PrimaryMetric::E2eLatency => format!("{:.2} s", r.e2e_latency.as_f64()),
+            PrimaryMetric::Throughput => format!("{:.0} tok/s", r.e2e_throughput()),
+        };
+        let winner = [("CPU", &rc), ("A100", &ra), ("H100", &rh)]
+            .into_iter()
+            .max_by(|a, b| {
+                score(scenario.metric, a.1).total_cmp(&score(scenario.metric, b.1))
+            })
+            .map(|(n, _)| n)
+            .unwrap_or("?");
+        table.row(vec![
+            scenario.name.clone(),
+            scenario.metric.to_string(),
+            display(&rc),
+            display(&ra),
+            display(&rh),
+            winner.to_owned(),
+        ]);
+    }
+    print!("{table}");
+    println!("\nFor a 13B model that fits GPU memory the GPUs win every scenario —");
+    println!("the CPU case (Key Finding #4) appears once models outgrow the GPU.");
+    Ok(())
+}

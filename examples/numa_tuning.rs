@@ -1,0 +1,56 @@
+//! Server-tuning assistant: sweeps NUMA configurations and core counts for
+//! a model of your choice and recommends the best setting per metric —
+//! the practical takeaway of Key Findings #2 and #3.
+//!
+//! ```sh
+//! cargo run --example numa_tuning -- LLaMA2-13B
+//! ```
+
+use llmsim::core::{Backend, CpuBackend, Request, SimError};
+use llmsim::hw::{presets, NumaConfig};
+use llmsim::model::{families, DType};
+use llmsim::report::Table;
+
+fn main() -> Result<(), SimError> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "LLaMA2-13B".to_owned());
+    let model = families::by_name(&name)
+        .ok_or_else(|| llmsim::core::SimError::InvalidRequest(format!("unknown model {name}")))?;
+    let req = Request::paper_default(8);
+
+    println!("Tuning SPR Max 9468 for {model} at {req}\n");
+
+    let mut table = Table::new(vec![
+        "config".into(),
+        "TTFT (ms)".into(),
+        "TPOT (ms)".into(),
+        "E2E (s)".into(),
+        "tok/s".into(),
+    ]);
+
+    let mut best: Option<(String, f64)> = None;
+    for numa in NumaConfig::PAPER_SWEEP {
+        for cores in [12u32, 24, 48, 96] {
+            let backend =
+                CpuBackend::new(presets::spr_max_9468(), numa, cores, DType::Bf16)?;
+            let r = backend.run(&model, &req)?;
+            let label = format!("{numa} {cores}c");
+            table.row(vec![
+                label.clone(),
+                format!("{:.1}", r.ttft.as_millis()),
+                format!("{:.1}", r.tpot.as_millis()),
+                format!("{:.2}", r.e2e_latency.as_f64()),
+                format!("{:.1}", r.e2e_throughput()),
+            ]);
+            let tput = r.e2e_throughput();
+            if best.as_ref().is_none_or(|(_, b)| tput > *b) {
+                best = Some((label, tput));
+            }
+        }
+    }
+    print!("{table}");
+    if let Some((label, tput)) = best {
+        println!("\nRecommended configuration: {label} ({tput:.1} tok/s)");
+        println!("The paper's conclusion — quad_flat with one full socket — should win.");
+    }
+    Ok(())
+}

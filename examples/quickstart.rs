@@ -1,0 +1,37 @@
+//! Quickstart: simulate LLaMA2-13B inference on the paper's tuned SPR Max
+//! configuration and print the full metric set.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use llmsim::core::{Backend, CpuBackend, Request, SimError};
+use llmsim::model::families;
+
+fn main() -> Result<(), SimError> {
+    // The paper's best CPU configuration: Xeon Max 9468, quad_flat NUMA
+    // mode, 48 cores, BF16 (Key Findings #2 and #3).
+    let spr = CpuBackend::paper_spr();
+    let model = families::llama2_13b();
+
+    println!("backend : {}", spr.name());
+    println!("model   : {model}");
+    println!();
+
+    for batch in [1, 8, 32] {
+        // The paper's standard workload: 128 input tokens, 32 output tokens.
+        let report = spr.run(&model, &Request::paper_default(batch))?;
+        println!("batch {batch:>2}:");
+        println!("  TTFT            {}", report.ttft);
+        println!("  TPOT            {}", report.tpot);
+        println!("  E2E latency     {}", report.e2e_latency);
+        println!("  throughput      {:.1} tok/s", report.e2e_throughput());
+        println!(
+            "  decode memory-bound fraction {:.0}%",
+            report.decode.memory_bound_fraction * 100.0
+        );
+        println!("  LLC MPKI        {:.1}", report.counters.llc_mpki);
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Continuous-batching extension (§VII-C): replay a Poisson arrival trace
+//! with ShareGPT-like heavy-tailed lengths against the SPR CPU under three
+//! scheduling policies — static batching (FasterTransformer), iteration-
+//! level (Orca/vLLM), and chunked prefill (Sarathi-Serve) — and compare
+//! throughput, tail latency, and the worst decode stall.
+//!
+//! ```sh
+//! cargo run --example serving_policies -- 6.0
+//! ```
+//! (argument: arrival rate in requests/second, default 4.0)
+
+use llmsim::core::serving::{simulate, SchedulingPolicy, ServingConfig, ServingRequest};
+use llmsim::core::CpuBackend;
+use llmsim::model::families;
+use llmsim::report::Table;
+use llmsim::workload::{sharegpt_like_lengths, ArrivalTrace};
+
+fn main() {
+    let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let model = families::opt_6_7b();
+    let backend = CpuBackend::paper_spr();
+
+    // 48 requests with ShareGPT-like heavy-tailed lengths.
+    let n = 48;
+    let arrivals = ArrivalTrace::poisson(42, n, rate);
+    let lengths = sharegpt_like_lengths(42, n);
+    let requests: Vec<ServingRequest> = arrivals
+        .arrivals
+        .iter()
+        .zip(&lengths)
+        .enumerate()
+        .map(|(i, (&t, &(prompt_len, gen_len)))| ServingRequest {
+            id: i as u64,
+            arrival_s: t,
+            prompt_len,
+            gen_len,
+        })
+        .collect();
+
+    println!(
+        "Serving {} on SPR Max 9468 (quad_flat, 48c) — {n} ShareGPT-like requests at {rate:.1} req/s\n",
+        model.name,
+    );
+
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "tok/s".into(),
+        "mean TTFT (s)".into(),
+        "p99 E2E (s)".into(),
+        "max decode stall (s)".into(),
+    ]);
+    for policy in [
+        SchedulingPolicy::Static,
+        SchedulingPolicy::IterationLevel,
+        SchedulingPolicy::ChunkedPrefill { chunk_tokens: 256 },
+    ] {
+        let rep = simulate(
+            &backend,
+            &model,
+            &ServingConfig { max_batch: 8, policy },
+            &requests,
+        );
+        table.row(vec![
+            policy.to_string(),
+            format!("{:.1}", rep.throughput()),
+            format!("{:.2}", rep.mean_ttft()),
+            format!("{:.2}", rep.e2e_percentile(99.0)),
+            format!("{:.3}", rep.max_decode_stall_s),
+        ]);
+    }
+    print!("{table}");
+    println!("\nIteration-level scheduling avoids padding to the batch's longest");
+    println!("generation; chunked prefill additionally bounds the decode stall a");
+    println!("long prompt causes — the Orca and Sarathi-Serve results the paper's");
+    println!("related-work section describes.");
+}

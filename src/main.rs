@@ -1,0 +1,290 @@
+//! `llmsim` — command-line front end to the simulator.
+//!
+//! ```sh
+//! llmsim models
+//! llmsim run --model LLaMA2-13B --backend spr --batch 8
+//! llmsim run --model OPT-66B --backend h100 --in 512 --out 64
+//! llmsim footprint --model OPT-66B --seq 4096 --batch 32
+//! ```
+
+use llmsim::core::{Backend, CpuBackend, GpuBackend, Request, SimError};
+use llmsim::hw::{presets, NumaConfig};
+use llmsim::model::{families, DType};
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    /// List the available models.
+    Models,
+    /// List the available backends.
+    Backends,
+    /// Print footprint arithmetic for a model/workload.
+    Footprint { model: String, seq: u64, batch: u64 },
+    /// Simulate one request.
+    Run {
+        model: String,
+        backend: String,
+        batch: u64,
+        prompt: u64,
+        gen: u64,
+        cores: u32,
+        numa: String,
+        int8: bool,
+    },
+}
+
+fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let mut flags = std::collections::HashMap::new();
+    let mut bools = std::collections::HashSet::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", rest[i]))?;
+        if key == "int8" {
+            bools.insert(key.to_owned());
+            i += 1;
+        } else {
+            let val = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_owned(), (*val).clone());
+            i += 2;
+        }
+    }
+    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.to_owned());
+    let get_u64 = |k: &str, d: u64| -> Result<u64, String> {
+        flags
+            .get(k)
+            .map_or(Ok(d), |v| v.parse().map_err(|_| format!("--{k} must be a number, got '{v}'")))
+    };
+    match cmd.as_str() {
+        "models" => Ok(Command::Models),
+        "backends" => Ok(Command::Backends),
+        "footprint" => Ok(Command::Footprint {
+            model: get("model", "LLaMA2-13B"),
+            seq: get_u64("seq", 4096)?,
+            batch: get_u64("batch", 32)?,
+        }),
+        "run" => Ok(Command::Run {
+            model: get("model", "LLaMA2-13B"),
+            backend: get("backend", "spr"),
+            batch: get_u64("batch", 1)?,
+            prompt: get_u64("in", 128)?,
+            gen: get_u64("out", 32)?,
+            cores: u32::try_from(get_u64("cores", 48)?).map_err(|_| "--cores too large".to_owned())?,
+            numa: get("numa", "quad_flat"),
+            int8: bools.contains("int8"),
+        }),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  llmsim models\n  llmsim backends\n  llmsim footprint --model <name> [--seq N] [--batch N]\n  llmsim run --model <name> --backend spr|icl|a100|h100 [--batch N] [--in N] [--out N] [--cores N] [--numa quad_flat|quad_cache|snc_flat|snc_cache] [--int8]".to_owned()
+}
+
+fn numa_by_name(name: &str) -> Result<NumaConfig, String> {
+    Ok(match name {
+        "quad_flat" => NumaConfig::QUAD_FLAT,
+        "quad_cache" => NumaConfig::QUAD_CACHE,
+        "snc_flat" => NumaConfig::SNC_FLAT,
+        "snc_cache" => NumaConfig::SNC_CACHE,
+        other => return Err(format!("unknown NUMA config '{other}'")),
+    })
+}
+
+fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Models => {
+            let mut out = String::from("available models:\n");
+            for m in families::all_paper_models() {
+                out.push_str(&format!("  {m}\n"));
+            }
+            out.push_str(&format!("  {}\n  {}\n", families::llama3_8b(), families::llama3_70b()));
+            Ok(out)
+        }
+        Command::Backends => Ok("available backends:\n  spr   — Xeon Max 9468 (AMX + HBM), paper-tuned quad_flat/48c\n  icl   — Xeon 8352Y (AVX-512, DDR4)\n  a100  — NVIDIA A100-40GB (PCIe 4.0 offloading when oversized)\n  h100  — NVIDIA H100-80GB (PCIe 5.0 offloading when oversized)\n".to_owned()),
+        Command::Footprint { model, seq, batch } => {
+            let m = lookup_model(&model)?;
+            let w = m.weight_bytes(DType::Bf16);
+            let kv = m.kv_cache_bytes(seq, batch, DType::Bf16);
+            let gpus = llmsim::model::footprint::min_gpus_for_weights(
+                &m,
+                DType::Bf16,
+                presets::h100_80gb().memory_capacity,
+            );
+            Ok(format!(
+                "{m}\n  weights (BF16): {w}\n  KV cache @ seq {seq} x batch {batch}: {kv}\n  min H100-80GB for weights: {gpus}\n"
+            ))
+        }
+        Command::Run { model, backend, batch, prompt, gen, cores, numa, int8 } => {
+            let m = lookup_model(&model)?;
+            let req = Request::try_new(batch, prompt, gen).map_err(|e| e.to_string())?;
+            let report = run_backend(&backend, &numa, cores, int8, &m, &req)
+                .map_err(|e| e.to_string())?;
+            let mut out = format!("{report}\n");
+            out.push_str(&format!(
+                "  prefill: {}  decode: {} ({:.0}% memory-bound)\n",
+                report.prefill.time,
+                report.decode.time,
+                report.decode.memory_bound_fraction * 100.0
+            ));
+            if let Some(off) = &report.offload {
+                out.push_str(&format!(
+                    "  offloading: {:.0}% of time loading data over the host link\n",
+                    off.data_loading_fraction() * 100.0
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn lookup_model(name: &str) -> Result<llmsim::model::ModelConfig, String> {
+    if name == "Llama3-8B" {
+        return Ok(families::llama3_8b());
+    }
+    if name == "Llama3-70B" {
+        return Ok(families::llama3_70b());
+    }
+    families::by_name(name).ok_or_else(|| format!("unknown model '{name}' (see `llmsim models`)"))
+}
+
+fn run_backend(
+    backend: &str,
+    numa: &str,
+    cores: u32,
+    int8: bool,
+    m: &llmsim::model::ModelConfig,
+    req: &Request,
+) -> Result<llmsim::core::InferenceReport, SimError> {
+    match backend {
+        "spr" => {
+            let numa = numa_by_name(numa).map_err(SimError::InvalidRequest)?;
+            let mut b = CpuBackend::new(presets::spr_max_9468(), numa, cores, DType::Bf16)?;
+            if int8 {
+                b = b.with_weight_dtype(DType::Int8);
+            }
+            b.run(m, req)
+        }
+        "icl" => {
+            let cores = cores.min(presets::icl_8352y().topology.total_cores());
+            let mut b = CpuBackend::new(
+                presets::icl_8352y(),
+                NumaConfig::QUAD_FLAT,
+                cores,
+                DType::Bf16,
+            )?;
+            if int8 {
+                b = b.with_weight_dtype(DType::Int8);
+            }
+            b.run(m, req)
+        }
+        "a100" => GpuBackend::paper_a100().run(m, req),
+        "h100" => GpuBackend::paper_h100().run(m, req),
+        other => Err(SimError::UnsupportedConfig(format!(
+            "unknown backend '{other}' (see `llmsim backends`)"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args).and_then(execute) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_run_with_flags() {
+        let cmd = parse(&args(
+            "run --model OPT-66B --backend h100 --batch 4 --in 256 --out 16 --int8",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                model: "OPT-66B".into(),
+                backend: "h100".into(),
+                batch: 4,
+                prompt: 256,
+                gen: 16,
+                cores: 48,
+                numa: "quad_flat".into(),
+                int8: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = parse(&args("run")).unwrap();
+        match cmd {
+            Command::Run { model, backend, batch, .. } => {
+                assert_eq!(model, "LLaMA2-13B");
+                assert_eq!(backend, "spr");
+                assert_eq!(batch, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&args("explode")).is_err());
+        assert!(parse(&args("run --batch nope")).is_err());
+        assert!(parse(&args("run --model")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn execute_models_and_backends() {
+        let models = execute(Command::Models).unwrap();
+        assert!(models.contains("LLaMA2-70B") && models.contains("Llama3-8B"));
+        let backends = execute(Command::Backends).unwrap();
+        assert!(backends.contains("spr") && backends.contains("h100"));
+    }
+
+    #[test]
+    fn execute_footprint() {
+        let out = execute(Command::Footprint { model: "OPT-66B".into(), seq: 4096, batch: 32 })
+            .unwrap();
+        assert!(out.contains("min H100-80GB for weights: 2"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_cpu_and_offloaded_gpu() {
+        let cpu = execute(parse(&args("run --model OPT-13B --backend spr --batch 2")).unwrap())
+            .unwrap();
+        assert!(cpu.contains("TTFT"), "{cpu}");
+        let gpu = execute(parse(&args("run --model OPT-66B --backend a100")).unwrap()).unwrap();
+        assert!(gpu.contains("offloading:"), "{gpu}");
+    }
+
+    #[test]
+    fn execute_rejects_unknown_model_and_backend() {
+        assert!(execute(Command::Footprint { model: "GPT-5".into(), seq: 1, batch: 1 }).is_err());
+        let bad = parse(&args("run --backend tpu")).unwrap();
+        assert!(execute(bad).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests (proptest) on engine-level invariants: monotonicity
+//! and sanity properties that must hold for *any* valid workload, not just
+//! the paper's grid.
+
+use llmsim::core::{Backend, CpuBackend, GpuBackend, Request};
+use llmsim::hw::{presets, NumaConfig};
+use llmsim::model::{families, DType};
+use proptest::prelude::*;
+
+fn small_models() -> impl Strategy<Value = usize> {
+    // Index into the cheaper half of the model list to keep runtime sane.
+    0..4usize
+}
+
+fn model(idx: usize) -> llmsim::model::ModelConfig {
+    families::all_paper_models().swap_remove(idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TTFT grows (weakly) with prompt length, all else equal.
+    #[test]
+    fn ttft_monotone_in_prompt(idx in small_models(), batch in 1u64..8, p1 in 16u64..256, dp in 1u64..512) {
+        let m = model(idx);
+        let spr = CpuBackend::paper_spr();
+        let a = spr.run(&m, &Request::new(batch, p1, 8)).unwrap();
+        let b = spr.run(&m, &Request::new(batch, p1 + dp, 8)).unwrap();
+        prop_assert!(b.ttft >= a.ttft, "{} vs {}", b.ttft, a.ttft);
+    }
+
+    /// E2E latency grows (weakly) with batch size; total throughput does not
+    /// shrink below a single sequence's.
+    #[test]
+    fn batch_monotonicity(idx in small_models(), b1 in 1u64..16, db in 1u64..16) {
+        let m = model(idx);
+        let spr = CpuBackend::paper_spr();
+        let small = spr.run(&m, &Request::new(b1, 64, 8)).unwrap();
+        let large = spr.run(&m, &Request::new(b1 + db, 64, 8)).unwrap();
+        prop_assert!(large.e2e_latency >= small.e2e_latency);
+        prop_assert!(large.e2e_throughput() >= 0.9 * small.e2e_throughput());
+    }
+
+    /// E2E latency always equals prefill + decode time, and TPOT × steps
+    /// equals the decode phase.
+    #[test]
+    fn report_internal_consistency(idx in small_models(), batch in 1u64..8, gen in 2u64..16) {
+        let m = model(idx);
+        let spr = CpuBackend::paper_spr();
+        let r = spr.run(&m, &Request::new(batch, 64, gen)).unwrap();
+        let sum = r.prefill.time.as_f64() + r.decode.time.as_f64();
+        prop_assert!((r.e2e_latency.as_f64() - sum).abs() < 1e-9);
+        let tpot_sum = r.tpot.as_f64() * (gen - 1) as f64;
+        prop_assert!((r.decode.time.as_f64() - tpot_sum).abs() < 1e-6 * tpot_sum.max(1.0));
+        prop_assert!(r.counters.core_utilization >= 0.0 && r.counters.core_utilization <= 1.0);
+        prop_assert!(r.counters.llc_mpki >= 0.0);
+    }
+
+    /// Adding cores within one socket never slows a run down.
+    #[test]
+    fn cores_monotone_within_socket(idx in small_models(), c1 in 1u32..24, dc in 1u32..24) {
+        let m = model(idx);
+        let mk = |c| CpuBackend::new(presets::spr_max_9468(), NumaConfig::QUAD_FLAT, c, DType::Bf16).unwrap();
+        let req = Request::new(2, 64, 4);
+        let few = mk(c1).run(&m, &req).unwrap();
+        let many = mk((c1 + dc).min(48)).run(&m, &req).unwrap();
+        prop_assert!(many.e2e_latency <= few.e2e_latency.scale(1.0 + 1e-9));
+    }
+
+    /// A GPU run is either resident (no breakdown) or offloaded (breakdown
+    /// whose parts sum to the decode+prefill wall-clock).
+    #[test]
+    fn gpu_offload_accounting(idx in 0usize..8, batch in 1u64..8) {
+        let m = model(idx);
+        let gpu = GpuBackend::paper_a100();
+        let r = gpu.run(&m, &Request::new(batch, 64, 4)).unwrap();
+        match &r.offload {
+            None => prop_assert!(gpu.fits_resident(&m, &r.request)),
+            Some(b) => {
+                prop_assert!(!gpu.fits_resident(&m, &r.request));
+                let total = b.total().as_f64();
+                prop_assert!((total - r.e2e_latency.as_f64()).abs() < 1e-6 * total.max(1.0));
+                prop_assert!(b.exposed_transfer <= b.raw_transfer);
+            }
+        }
+    }
+
+    /// The SPR always beats the ICL (Key Finding #1 holds pointwise over
+    /// random workloads, not only the paper grid).
+    #[test]
+    fn spr_dominates_icl_everywhere(idx in small_models(), batch in 1u64..32, prompt in 16u64..512) {
+        let m = model(idx);
+        let req = Request::new(batch, prompt, 8);
+        let s = CpuBackend::paper_spr().run(&m, &req).unwrap();
+        let i = CpuBackend::paper_icl().run(&m, &req).unwrap();
+        prop_assert!(s.e2e_latency < i.e2e_latency);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the two implemented §VI/§VII system extensions:
+//! the CPU-GPU hybrid backend and the continuous-batching serving
+//! simulator, exercised together through the public facade.
+
+use llmsim::core::serving::{simulate, SchedulingPolicy, ServingConfig, ServingRequest};
+use llmsim::core::{Backend, CpuBackend, HybridBackend, Request};
+use llmsim::model::families;
+use llmsim::workload::{sharegpt_like_lengths, ArrivalTrace};
+
+fn sharegpt_requests(n: usize, rate: f64) -> Vec<ServingRequest> {
+    let arrivals = ArrivalTrace::poisson(3, n, rate);
+    let lengths = sharegpt_like_lengths(3, n);
+    arrivals
+        .arrivals
+        .iter()
+        .zip(&lengths)
+        .enumerate()
+        .map(|(i, (&t, &(prompt_len, gen_len)))| ServingRequest {
+            id: i as u64,
+            arrival_s: t,
+            prompt_len,
+            gen_len,
+        })
+        .collect()
+}
+
+/// The §VII-C policy ladder holds on realistic heavy-tailed traffic:
+/// static ≤ iteration-level ≤ chunked-prefill on throughput, and chunked
+/// prefill has the smallest decode stall of the two continuous policies.
+#[test]
+fn policy_ladder_on_sharegpt_traffic() {
+    let model = families::opt_6_7b();
+    let backend = CpuBackend::paper_spr();
+    let requests = sharegpt_requests(32, 4.0);
+    let run = |policy| {
+        simulate(&backend, &model, &ServingConfig { max_batch: 8, policy }, &requests)
+    };
+    let st = run(SchedulingPolicy::Static);
+    let it = run(SchedulingPolicy::IterationLevel);
+    let ch = run(SchedulingPolicy::ChunkedPrefill { chunk_tokens: 256 });
+
+    assert!(it.throughput() > st.throughput(), "{} vs {}", it.throughput(), st.throughput());
+    assert!(ch.throughput() > 0.9 * it.throughput());
+    assert!(ch.max_decode_stall_s < it.max_decode_stall_s);
+    // All three serve every request and the same token count.
+    assert_eq!(st.outcomes.len(), 32);
+    assert_eq!(it.generated_tokens, st.generated_tokens);
+    assert_eq!(ch.generated_tokens, st.generated_tokens);
+}
+
+/// Serving on an INT8-quantized backend is strictly faster than BF16 —
+/// the extensions compose.
+#[test]
+fn quantized_backend_composes_with_serving()  {
+    let model = families::llama2_13b();
+    let requests = sharegpt_requests(12, 2.0);
+    let cfg = ServingConfig { max_batch: 4, policy: SchedulingPolicy::IterationLevel };
+    let bf16 = simulate(&CpuBackend::paper_spr(), &model, &cfg, &requests);
+    let int8 = simulate(
+        &CpuBackend::paper_spr().with_weight_dtype(llmsim::model::DType::Int8),
+        &model,
+        &cfg,
+        &requests,
+    );
+    assert!(int8.throughput() > 1.2 * bf16.throughput());
+    assert!(int8.mean_ttft() <= bf16.mean_ttft() * 1.01);
+}
+
+/// The hybrid backend implements §VI faithfully: never worse than pure
+/// CPU, and strictly better on long-prompt offloaded models.
+#[test]
+fn hybrid_backend_end_to_end() {
+    let hybrid = HybridBackend::paper_spr_h100();
+    let cpu = CpuBackend::paper_spr();
+    let m = families::llama2_70b();
+    for (b, s) in [(1u64, 128u64), (8, 2048)] {
+        let req = Request::new(b, s, 16);
+        let h = hybrid.run(&m, &req).unwrap();
+        let c = cpu.run(&m, &req).unwrap();
+        assert!(h.e2e_latency.as_f64() <= c.e2e_latency.as_f64() * 1.000001, "b={b} s={s}");
+    }
+    // Long prompt: strict win via GPU prefill.
+    let req = Request::new(8, 2048, 16);
+    let h = hybrid.run(&m, &req).unwrap();
+    let c = cpu.run(&m, &req).unwrap();
+    assert!(h.ttft.as_f64() < 0.9 * c.ttft.as_f64(), "hybrid TTFT {} vs {}", h.ttft, c.ttft);
+}
