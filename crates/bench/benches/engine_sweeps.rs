@@ -51,5 +51,10 @@ fn bench_parallel_grid(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_runs, bench_graph_construction, bench_parallel_grid);
+criterion_group!(
+    benches,
+    bench_single_runs,
+    bench_graph_construction,
+    bench_parallel_grid
+);
 criterion_main!(benches);

@@ -10,8 +10,12 @@ use llmsim_isa::timing::{amx_timing, gemm_efficiency, EngineKind, GemmShape};
 use std::hint::black_box;
 
 fn inputs(m: usize, n: usize, k: usize) -> (Vec<Bf16>, Vec<Bf16>, Vec<f32>, Vec<f32>) {
-    let a_f: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 31) as f32 - 15.0) / 16.0).collect();
-    let b_f: Vec<f32> = (0..k * n).map(|i| ((i * 13 % 29) as f32 - 14.0) / 16.0).collect();
+    let a_f: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 7 % 31) as f32 - 15.0) / 16.0)
+        .collect();
+    let b_f: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 13 % 29) as f32 - 14.0) / 16.0)
+        .collect();
     (quantize_slice(&a_f), quantize_slice(&b_f), a_f, b_f)
 }
 
@@ -22,12 +26,24 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("amx_emulated", size), &size, |bench, _| {
             bench.iter(|| amx_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size));
         });
-        g.bench_with_input(BenchmarkId::new("avx512_emulated", size), &size, |bench, _| {
-            bench.iter(|| avx512_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size));
-        });
-        g.bench_with_input(BenchmarkId::new("scalar_reference", size), &size, |bench, _| {
-            bench.iter(|| reference_gemm_f32(black_box(&a_f), black_box(&b_f), size, size, size));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("avx512_emulated", size),
+            &size,
+            |bench, _| {
+                bench.iter(|| {
+                    avx512_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scalar_reference", size),
+            &size,
+            |bench, _| {
+                bench.iter(|| {
+                    reference_gemm_f32(black_box(&a_f), black_box(&b_f), size, size, size)
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -45,7 +61,10 @@ fn bench_timing_model(c: &mut Criterion) {
     });
     c.bench_function("gemm_efficiency_lookup", |b| {
         b.iter(|| {
-            gemm_efficiency(EngineKind::AmxBf16, black_box(GemmShape::new(32, 13824, 5120)))
+            gemm_efficiency(
+                EngineKind::AmxBf16,
+                black_box(GemmShape::new(32, 13824, 5120)),
+            )
         });
     });
 }

@@ -15,8 +15,14 @@ fn producers() -> Vec<Producer> {
         ("table1_cpus.txt", Box::new(exp::tables::render_table1)),
         ("table2_gpus.txt", Box::new(exp::tables::render_table2)),
         ("fig01_gemm.txt", Box::new(exp::fig01_gemm::render)),
-        ("fig06_weights.txt", Box::new(exp::fig06_07_footprints::render_fig6)),
-        ("fig07_kvcache.txt", Box::new(exp::fig06_07_footprints::render_fig7)),
+        (
+            "fig06_weights.txt",
+            Box::new(exp::fig06_07_footprints::render_fig6),
+        ),
+        (
+            "fig07_kvcache.txt",
+            Box::new(exp::fig06_07_footprints::render_fig7),
+        ),
         (
             "fig08_10_cpu_comparison.txt",
             Box::new(|| {
@@ -61,12 +67,19 @@ fn producers() -> Vec<Producer> {
         ),
         (
             "fig17_cpu_vs_gpu_b1.txt",
-            Box::new(|| exp::fig17_19_cpu_vs_gpu::render(&exp::fig17_19_cpu_vs_gpu::run(1), "Fig. 17", 1)),
+            Box::new(|| {
+                exp::fig17_19_cpu_vs_gpu::render(&exp::fig17_19_cpu_vs_gpu::run(1), "Fig. 17", 1)
+            }),
         ),
-        ("fig18_offload.txt", Box::new(|| exp::fig18_offload::render(&exp::fig18_offload::run()))),
+        (
+            "fig18_offload.txt",
+            Box::new(|| exp::fig18_offload::render(&exp::fig18_offload::run())),
+        ),
         (
             "fig19_cpu_vs_gpu_b16.txt",
-            Box::new(|| exp::fig17_19_cpu_vs_gpu::render(&exp::fig17_19_cpu_vs_gpu::run(16), "Fig. 19", 16)),
+            Box::new(|| {
+                exp::fig17_19_cpu_vs_gpu::render(&exp::fig17_19_cpu_vs_gpu::run(16), "Fig. 19", 16)
+            }),
         ),
         (
             "fig20_seqlen_b1.txt",
@@ -79,7 +92,11 @@ fn producers() -> Vec<Producer> {
         ("ablations.txt", Box::new(exp::ablations::render)),
         ("extensions.txt", Box::new(exp::extensions::render)),
         ("ext_memory.txt", Box::new(exp::ext_memory::render)),
-        ("ext_speculative.txt", Box::new(exp::ext_speculative::render)),
+        (
+            "ext_speculative.txt",
+            Box::new(exp::ext_speculative::render),
+        ),
+        ("ext_resilience.txt", Box::new(exp::ext_resilience::render)),
     ]
 }
 
@@ -108,7 +125,7 @@ mod tests {
     fn writes_every_artifact() {
         let dir = std::env::temp_dir().join(format!("llmsim_artifacts_{}", std::process::id()));
         let paths = write_all(&dir).expect("artifacts write");
-        assert_eq!(paths.len(), 18);
+        assert_eq!(paths.len(), 19);
         for p in &paths {
             let content = std::fs::read_to_string(p).expect("readable");
             assert!(content.len() > 100, "{} too small", p.display());

@@ -1,0 +1,4 @@
+//! Runs the resilient-serving sweep (fault rate × arrival rate × policy).
+fn main() {
+    print!("{}", llmsim_bench::experiments::ext_resilience::render());
+}

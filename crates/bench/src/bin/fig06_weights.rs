@@ -1,4 +1,7 @@
 //! Regenerates Fig. 6 (weight footprints).
 fn main() {
-    print!("{}", llmsim_bench::experiments::fig06_07_footprints::render_fig6());
+    print!(
+        "{}",
+        llmsim_bench::experiments::fig06_07_footprints::render_fig6()
+    );
 }

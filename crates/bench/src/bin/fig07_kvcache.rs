@@ -1,4 +1,7 @@
 //! Regenerates Fig. 7 (KV-cache footprint grid).
 fn main() {
-    print!("{}", llmsim_bench::experiments::fig06_07_footprints::render_fig7());
+    print!(
+        "{}",
+        llmsim_bench::experiments::fig06_07_footprints::render_fig7()
+    );
 }

@@ -107,7 +107,9 @@ pub fn hbm_ablation(model: &ModelConfig, batch: u64) -> Vec<Ablation> {
 #[must_use]
 pub fn overlap_ablation() -> Ablation {
     let gpu = GpuBackend::paper_a100();
-    let r = gpu.run(&families::opt_30b(), &Request::paper_default(8)).expect("host fits");
+    let r = gpu
+        .run(&families::opt_30b(), &Request::paper_default(8))
+        .expect("host fits");
     let off = r.offload.expect("offloaded");
     let with_overlap = r.e2e_latency.as_f64();
     let hidden = off.raw_transfer.as_f64() - off.exposed_transfer.as_f64();
@@ -205,7 +207,10 @@ mod tests {
         let prefill_gain = abls[0].feature_gain();
         let decode_gain = abls[1].feature_gain();
         assert!(prefill_gain > 2.0, "prefill gain {prefill_gain}");
-        assert!(prefill_gain > 1.5 * decode_gain, "prefill {prefill_gain} vs decode {decode_gain}");
+        assert!(
+            prefill_gain > 1.5 * decode_gain,
+            "prefill {prefill_gain} vs decode {decode_gain}"
+        );
     }
 
     #[test]
@@ -217,7 +222,10 @@ mod tests {
         let decode_gain = abls[0].feature_gain();
         let prefill_gain = abls[1].feature_gain();
         assert!(decode_gain > 1.6, "decode gain {decode_gain}");
-        assert!(decode_gain > prefill_gain, "{decode_gain} vs {prefill_gain}");
+        assert!(
+            decode_gain > prefill_gain,
+            "{decode_gain} vs {prefill_gain}"
+        );
     }
 
     #[test]
@@ -242,7 +250,12 @@ mod tests {
         // Long prompts: GPU prefill streams weights once and beats the CPU,
         // so the hybrid strictly improves on pure CPU (§VI's motivation).
         let long = hybrid_execution_estimate(&families::opt_66b(), &Request::new(4, 1024, 32));
-        assert!(long.1 < 0.95 * long.0, "hybrid {} vs cpu {}", long.1, long.0);
+        assert!(
+            long.1 < 0.95 * long.0,
+            "hybrid {} vs cpu {}",
+            long.1,
+            long.0
+        );
     }
 
     #[test]

@@ -95,14 +95,21 @@ pub struct RooflinePoint {
 /// (AMX peak, quad_flat 48-core HBM bandwidth) at the given batch.
 #[must_use]
 pub fn roofline_points(batch: u64) -> Vec<RooflinePoint> {
-    let peak_tflops = 206.4 * llmsim_core::calib::CPU_PARALLEL_EFF
+    let peak_tflops = 206.4
+        * llmsim_core::calib::CPU_PARALLEL_EFF
         * llmsim_isa::timing::software_efficiency(llmsim_isa::timing::EngineKind::AmxBf16);
     let bw = 588.0 * calib::CPU_PREFILL_BW_DERATE; // GB/s
     let mut out = Vec::new();
     for m in families::all_paper_models() {
         for (phase, totals) in [
-            (Phase::Prefill, prefill_graph(&m, batch, 128, DType::Bf16).totals()),
-            (Phase::Decode, decode_step_graph(&m, batch, 160, DType::Bf16).totals()),
+            (
+                Phase::Prefill,
+                prefill_graph(&m, batch, 128, DType::Bf16).totals(),
+            ),
+            (
+                Phase::Decode,
+                decode_step_graph(&m, batch, 160, DType::Bf16).totals(),
+            ),
         ] {
             let ai = totals.arithmetic_intensity();
             let slope = ai * bw / 1e3; // (FLOP/B × GB/s) → TFLOPS
@@ -134,7 +141,11 @@ pub fn render() -> String {
         t.row(vec![
             r.model.clone(),
             format!("{:.0}", r.weights_gb),
-            if r.fits_without_cxl { "yes".into() } else { "no".into() },
+            if r.fits_without_cxl {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             format!("{:.0}", r.bw_with_cxl),
             format!("{:.2}", r.tpot_with_cxl),
         ]);
@@ -152,7 +163,11 @@ pub fn render() -> String {
             p.label.clone(),
             format!("{:.2}", p.intensity),
             format!("{:.1}", p.attainable_tflops),
-            if p.memory_bound { "memory".into() } else { "compute".into() },
+            if p.memory_bound {
+                "memory".into()
+            } else {
+                "compute".into()
+            },
         ]);
     }
     out.push_str(&rt.render());
@@ -166,7 +181,12 @@ mod tests {
     #[test]
     fn only_the_350b_class_needs_cxl() {
         let rows = cxl_study();
-        let fits = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().fits_without_cxl;
+        let fits = |name: &str| {
+            rows.iter()
+                .find(|r| r.model.starts_with(name))
+                .unwrap()
+                .fits_without_cxl
+        };
         assert!(fits("OPT-66B"));
         assert!(fits("OPT-175B")); // 350 GB < 640 GB machine memory
         assert!(!fits("OPT-500B"), "~1 TB must exceed the machine");
@@ -175,13 +195,28 @@ mod tests {
     #[test]
     fn cxl_tier_collapses_bandwidth_in_proportion_to_spill() {
         let rows = cxl_study();
-        let bw = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().bw_with_cxl;
+        let bw = |name: &str| {
+            rows.iter()
+                .find(|r| r.model.starts_with(name))
+                .unwrap()
+                .bw_with_cxl
+        };
         // No CXL traffic → healthy; CXL-resident slice dominates the
         // harmonic mix (48 GB/s tier).
         assert!(bw("OPT-66B") > 300.0, "{}", bw("OPT-66B"));
         assert!(bw("OPT-500B") < 250.0, "{}", bw("OPT-500B"));
-        let tpot = |name: &str| rows.iter().find(|r| r.model.starts_with(name)).unwrap().tpot_with_cxl;
-        assert!(tpot("OPT-500B") > 4.0 * tpot("OPT-175B"), "{} vs {}", tpot("OPT-500B"), tpot("OPT-175B"));
+        let tpot = |name: &str| {
+            rows.iter()
+                .find(|r| r.model.starts_with(name))
+                .unwrap()
+                .tpot_with_cxl
+        };
+        assert!(
+            tpot("OPT-500B") > 4.0 * tpot("OPT-175B"),
+            "{} vs {}",
+            tpot("OPT-500B"),
+            tpot("OPT-175B")
+        );
     }
 
     #[test]

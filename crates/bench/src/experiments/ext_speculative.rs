@@ -36,7 +36,10 @@ pub struct SpecPoint {
 /// Panics if `alpha` is not in `[0, 1)`.
 #[must_use]
 pub fn expected_accepted(alpha: f64, k: u32) -> f64 {
-    assert!((0.0..1.0).contains(&alpha), "acceptance rate must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "acceptance rate must be in [0,1)"
+    );
     (1.0 - alpha.powi(k as i32 + 1)) / (1.0 - alpha)
 }
 
@@ -83,11 +86,25 @@ pub fn run() -> Vec<(String, Vec<SpecPoint>)> {
     vec![
         (
             "OPT-1.3B -> LLaMA2-13B".to_owned(),
-            sweep(&backend, &families::opt_1_3b(), &families::llama2_13b(), 0.7, 1, 256),
+            sweep(
+                &backend,
+                &families::opt_1_3b(),
+                &families::llama2_13b(),
+                0.7,
+                1,
+                256,
+            ),
         ),
         (
             "OPT-6.7B -> OPT-66B".to_owned(),
-            sweep(&backend, &families::opt_6_7b(), &families::opt_66b(), 0.7, 1, 256),
+            sweep(
+                &backend,
+                &families::opt_6_7b(),
+                &families::opt_66b(),
+                0.7,
+                1,
+                256,
+            ),
         ),
     ]
 }
@@ -95,9 +112,8 @@ pub fn run() -> Vec<(String, Vec<SpecPoint>)> {
 /// Renders the study.
 #[must_use]
 pub fn render() -> String {
-    let mut out = String::from(
-        "Speculative decoding on the SPR CPU (ref. 37; acceptance rate 0.7)\n\n",
-    );
+    let mut out =
+        String::from("Speculative decoding on the SPR CPU (ref. 37; acceptance rate 0.7)\n\n");
     for (pair, points) in run() {
         let mut t = Table::new(vec![
             "k".into(),

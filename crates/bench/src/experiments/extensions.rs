@@ -53,7 +53,11 @@ pub fn gh200_offload_comparison() -> (f64, f64, f64) {
         .run(&m, &req)
         .expect("host fits");
     let cpu = CpuBackend::paper_spr().run(&m, &req).expect("fits");
-    (h100.e2e_throughput(), gh200.e2e_throughput(), cpu.e2e_throughput())
+    (
+        h100.e2e_throughput(),
+        gh200.e2e_throughput(),
+        cpu.e2e_throughput(),
+    )
 }
 
 /// 3. Cost efficiency: tokens/s per thousand dollars of list price
@@ -72,9 +76,18 @@ pub fn cost_efficiency_table() -> Table {
     ]);
     for m in [families::opt_13b(), families::opt_66b()] {
         let per_kd = |tput: f64, price: llmsim_hw::UsDollars| tput / (price.get() / 1000.0);
-        let c = per_kd(cpu.run(&m, &req).expect("fits").e2e_throughput(), pricing::spr_max_9468_price());
-        let a = per_kd(a100.run(&m, &req).expect("fits").e2e_throughput(), pricing::a100_40gb_price());
-        let h = per_kd(h100.run(&m, &req).expect("fits").e2e_throughput(), pricing::h100_80gb_price());
+        let c = per_kd(
+            cpu.run(&m, &req).expect("fits").e2e_throughput(),
+            pricing::spr_max_9468_price(),
+        );
+        let a = per_kd(
+            a100.run(&m, &req).expect("fits").e2e_throughput(),
+            pricing::a100_40gb_price(),
+        );
+        let h = per_kd(
+            h100.run(&m, &req).expect("fits").e2e_throughput(),
+            pricing::h100_80gb_price(),
+        );
         t.row(vec![
             m.name.clone(),
             format!("{c:.2}"),
@@ -111,7 +124,8 @@ pub fn energy_efficiency_table() -> Table {
         // GPU servers burn the board plus a host socket feeding it
         // (especially under offloading, where the host streams weights).
         let host = power::spr_max_9468_socket();
-        let gpu_util = |r: &llmsim_core::InferenceReport| if r.offload.is_some() { 0.35 } else { 0.75 };
+        let gpu_util =
+            |r: &llmsim_core::InferenceReport| if r.offload.is_some() { 0.35 } else { 0.75 };
         let a_e = power::a100_40gb_board().energy_joules(a.e2e_latency, gpu_util(&a))
             + host.energy_joules(a.e2e_latency, 0.3);
         let h_e = power::h100_80gb_board().energy_joules(h.e2e_latency, gpu_util(&h))
@@ -146,11 +160,24 @@ pub fn serving_comparison() -> (f64, f64, f64, f64) {
         })
         .collect();
     let run = |policy| {
-        serving::simulate(&backend, &model, &ServingConfig { max_batch: 8, policy }, &requests)
+        serving::simulate(
+            &backend,
+            &model,
+            &ServingConfig {
+                max_batch: 8,
+                policy,
+            },
+            &requests,
+        )
     };
     let st = run(SchedulingPolicy::Static);
     let it = run(SchedulingPolicy::IterationLevel);
-    (st.throughput(), it.throughput(), st.e2e_percentile(99.0), it.e2e_percentile(99.0))
+    (
+        st.throughput(),
+        it.throughput(),
+        st.e2e_percentile(99.0),
+        it.e2e_percentile(99.0),
+    )
 }
 
 /// 5. Fig. 21 sensitivity: sweep the per-sequence attention overhead and
@@ -164,8 +191,7 @@ pub fn fig21_crossover_sensitivity() -> Vec<(f64, Option<u64>)> {
     [0.0f64, 0.25, 0.5, 0.75, 1.0]
         .iter()
         .map(|&ms| {
-            let cpu = CpuBackend::paper_spr()
-                .with_attention_overhead(Seconds::new(ms * 1e-3));
+            let cpu = CpuBackend::paper_spr().with_attention_overhead(Seconds::new(ms * 1e-3));
             let crossover = [128u64, 256, 512, 1024].into_iter().find(|&seq| {
                 let req = Request::new(16, seq, 32);
                 let c = cpu.run(&m, &req).expect("fits");
@@ -214,13 +240,21 @@ pub fn render() -> String {
     ));
     out.push_str("\n5. H2O-style KV compression (LLaMA2-13B, b=8, ctx 8192) TPOT:\n");
     for (r, tpot) in kv_compression_sweep() {
-        out.push_str(&format!("   keep {:>5.1}% -> {:.1} ms/step\n", r * 100.0, tpot * 1e3));
+        out.push_str(&format!(
+            "   keep {:>5.1}% -> {:.1} ms/step\n",
+            r * 100.0,
+            tpot * 1e3
+        ));
     }
     out.push_str("\n6. Fig. 21 crossover vs CPU attention overhead (LLaMA2-70B, b=16):\n");
     for (ms, seq) in fig21_crossover_sensitivity() {
         match seq {
-            Some(s) => out.push_str(&format!("   {ms:.2} ms/seq/layer -> H100 wins from seq {s}\n")),
-            None => out.push_str(&format!("   {ms:.2} ms/seq/layer -> CPU wins through seq 1024\n")),
+            Some(s) => out.push_str(&format!(
+                "   {ms:.2} ms/seq/layer -> H100 wins from seq {s}\n"
+            )),
+            None => out.push_str(&format!(
+                "   {ms:.2} ms/seq/layer -> CPU wins through seq 1024\n"
+            )),
         }
     }
     out
@@ -236,7 +270,10 @@ mod tests {
         let s = t.render();
         assert!(s.contains("OPT-66B"));
         // At least one row should show >1.7x.
-        assert!(s.contains("1.9") || s.contains("1.8") || s.contains("2.0"), "{s}");
+        assert!(
+            s.contains("1.9") || s.contains("1.8") || s.contains("2.0"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ fn cpu_gemm_tflops(n: u64, amx: bool) -> f64 {
         (amx_timing(shape).cycles, 48.0, spr.frequency.as_f64(), bw)
     } else {
         let icl = presets::icl_8352y();
-        (avx512_timing(shape).cycles, 32.0, icl.frequency.as_f64(), icl.ddr.bandwidth_per_socket)
+        (
+            avx512_timing(shape).cycles,
+            32.0,
+            icl.frequency.as_f64(),
+            icl.ddr.bandwidth_per_socket,
+        )
     };
     let time_compute = cycles / freq / (cores * calib::CPU_PARALLEL_EFF);
     let bytes = 3.0 * (n * n) as f64 * 2.0; // A, B, C in BF16

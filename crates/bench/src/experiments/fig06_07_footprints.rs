@@ -15,7 +15,11 @@ pub fn render_fig6() -> String {
     let mut models = families::all_paper_models();
     models.push(families::opt_175b());
     let fps = weight_footprints(&models, DType::Fp16);
-    let mut t = Table::new(vec!["model".into(), "params (B)".into(), "weights (GB)".into()]);
+    let mut t = Table::new(vec![
+        "model".into(),
+        "params (B)".into(),
+        "weights (GB)".into(),
+    ]);
     for f in &fps {
         t.row(vec![
             f.model.clone(),
@@ -23,13 +27,21 @@ pub fn render_fig6() -> String {
             format!("{:.1}", f.bytes.as_f64() / 1e9),
         ]);
     }
-    format!("Fig. 6 — model weight memory footprint (FP16)\n\n{}", t.render())
+    format!(
+        "Fig. 6 — model weight memory footprint (FP16)\n\n{}",
+        t.render()
+    )
 }
 
 /// Computes the Fig. 7 grid for LLaMA2-13B.
 #[must_use]
 pub fn fig7_grid() -> Vec<KvFootprint> {
-    kv_footprint_grid(&families::llama2_13b(), &FIG7_SEQ_LENS, &FIG7_BATCHES, DType::Fp16)
+    kv_footprint_grid(
+        &families::llama2_13b(),
+        &FIG7_SEQ_LENS,
+        &FIG7_BATCHES,
+        DType::Fp16,
+    )
 }
 
 /// Renders Fig. 7: KV-cache footprint vs sequence length and batch for
@@ -44,7 +56,10 @@ pub fn render_fig7() -> String {
     for &s in &FIG7_SEQ_LENS {
         let mut row = vec![s.to_string()];
         for &b in &FIG7_BATCHES {
-            let cell = grid.iter().find(|c| c.seq_len == s && c.batch == b).unwrap();
+            let cell = grid
+                .iter()
+                .find(|c| c.seq_len == s && c.batch == b)
+                .unwrap();
             let mark = if cell.exceeds_model { "*" } else { "" };
             row.push(format!("{:.1}{mark}", cell.bytes.as_f64() / 1e9));
         }
@@ -71,11 +86,17 @@ mod tests {
     #[test]
     fn fig7_large_corner_exceeds_model() {
         let grid = fig7_grid();
-        let big = grid.iter().find(|c| c.seq_len == 32768 && c.batch == 32).unwrap();
+        let big = grid
+            .iter()
+            .find(|c| c.seq_len == 32768 && c.batch == 32)
+            .unwrap();
         assert!(big.exceeds_model);
         // §III's observation is visible: KV overtakes the model well before
         // the extreme corner.
-        let mid = grid.iter().find(|c| c.seq_len == 8192 && c.batch == 32).unwrap();
+        let mid = grid
+            .iter()
+            .find(|c| c.seq_len == 8192 && c.batch == 32)
+            .unwrap();
         assert!(mid.exceeds_model);
     }
 

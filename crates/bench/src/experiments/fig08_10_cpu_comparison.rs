@@ -130,7 +130,9 @@ pub fn render_fig8(cmp: &CpuComparison) -> String {
     let lat = per_model_table(cmp, "latency", |i, s| {
         s.e2e_latency.as_f64() / i.e2e_latency.as_f64()
     });
-    let tp = per_model_table(cmp, "throughput", |i, s| s.e2e_throughput() / i.e2e_throughput());
+    let tp = per_model_table(cmp, "throughput", |i, s| {
+        s.e2e_throughput() / i.e2e_throughput()
+    });
     format!(
         "Fig. 8a — SPR E2E latency normalized to ICL (lower is better)\n\n{}\n\
          Fig. 8b — SPR E2E throughput gain over ICL (higher is better)\n\n{}",
@@ -158,7 +160,9 @@ pub fn render_fig10(cmp: &CpuComparison) -> String {
     let pre = per_model_table(cmp, "prefill", |i, s| {
         s.prefill_throughput() / i.prefill_throughput()
     });
-    let dec = per_model_table(cmp, "decode", |i, s| s.decode_throughput() / i.decode_throughput());
+    let dec = per_model_table(cmp, "decode", |i, s| {
+        s.decode_throughput() / i.decode_throughput()
+    });
     let mut summary = Series::new("decode gain by batch");
     for (b, g) in cmp.decode_gain_by_batch() {
         summary.push(format!("b={b}"), g);

@@ -55,7 +55,10 @@ pub fn run(model: &ModelConfig) -> CounterSweep {
             stores_norm: r.counters.stores / base_stores,
         })
         .collect();
-    CounterSweep { model: model.name.clone(), points }
+    CounterSweep {
+        model: model.name.clone(),
+        points,
+    }
 }
 
 /// Runs Fig. 11 (LLaMA2-13B).
@@ -89,7 +92,11 @@ pub fn render(sweep: &CounterSweep, figure: &str) -> String {
             format!("{:.2}", p.stores_norm),
         ]);
     }
-    format!("{figure} — HW counters vs batch, {} on SPR\n\n{}", sweep.model, t.render())
+    format!(
+        "{figure} — HW counters vs batch, {} on SPR\n\n{}",
+        sweep.model,
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -101,14 +108,34 @@ mod tests {
         // decrease in LLC MPKI and an increase in core utilization."
         let first = s.points.first().unwrap();
         let last = s.points.last().unwrap();
-        assert!(last.llc_mpki < first.llc_mpki, "{}: MPKI {} !< {}", s.model, last.llc_mpki, first.llc_mpki);
+        assert!(
+            last.llc_mpki < first.llc_mpki,
+            "{}: MPKI {} !< {}",
+            s.model,
+            last.llc_mpki,
+            first.llc_mpki
+        );
         assert!(last.core_util > first.core_util, "{}: util", s.model);
         // Loads grow with batch, sublinearly: the dominant weight stream is
         // batch-independent; activations and KV traffic scale with batch.
-        assert!(last.loads_norm > 1.05, "{}: loads {}", s.model, last.loads_norm);
-        assert!(last.loads_norm < 32.0, "{}: loads {}", s.model, last.loads_norm);
+        assert!(
+            last.loads_norm > 1.05,
+            "{}: loads {}",
+            s.model,
+            last.loads_norm
+        );
+        assert!(
+            last.loads_norm < 32.0,
+            "{}: loads {}",
+            s.model,
+            last.loads_norm
+        );
         for w in s.points.windows(2) {
-            assert!(w[1].loads_norm >= w[0].loads_norm, "{}: loads not monotone", s.model);
+            assert!(
+                w[1].loads_norm >= w[0].loads_norm,
+                "{}: loads not monotone",
+                s.model
+            );
         }
         assert!((first.loads_norm - 1.0).abs() < 1e-9);
     }
@@ -127,7 +154,11 @@ mod tests {
     fn render_has_all_batches() {
         let s = render(&run_fig11(), "Fig. 11");
         for b in PAPER_BATCHES {
-            assert!(s.lines().any(|l| l.trim_start().starts_with(&b.to_string())), "b={b}");
+            assert!(
+                s.lines()
+                    .any(|l| l.trim_start().starts_with(&b.to_string())),
+                "b={b}"
+            );
         }
     }
 }

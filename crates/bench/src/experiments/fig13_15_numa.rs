@@ -149,7 +149,10 @@ pub fn render_fig15(rows: &[Fig15Row]) -> String {
             format!("{:.2}", r.remote_llc_pki),
         ]);
     }
-    format!("Fig. 15 — counters per NUMA config, LLaMA2-13B b=8\n\n{}", t.render())
+    format!(
+        "Fig. 15 — counters per NUMA config, LLaMA2-13B b=8\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -159,11 +162,13 @@ mod tests {
     #[test]
     fn key_finding_2_quad_flat_wins_every_metric() {
         let results = run_fig13();
-        let get = |numa: NumaConfig| {
-            results.iter().find(|r| r.numa == numa).unwrap().metrics
-        };
+        let get = |numa: NumaConfig| results.iter().find(|r| r.numa == numa).unwrap().metrics;
         let best = get(NumaConfig::QUAD_FLAT);
-        for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_CACHE, NumaConfig::SNC_FLAT] {
+        for other in [
+            NumaConfig::QUAD_CACHE,
+            NumaConfig::SNC_CACHE,
+            NumaConfig::SNC_FLAT,
+        ] {
             let m = get(other);
             // Latency metrics (0–2): lower is better; throughput (3–6):
             // higher is better.

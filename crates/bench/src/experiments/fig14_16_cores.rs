@@ -19,8 +19,13 @@ pub struct CoreResult {
 }
 
 fn backend(cores: u32) -> CpuBackend {
-    CpuBackend::new(llmsim_hw::presets::spr_max_9468(), NumaConfig::QUAD_FLAT, cores, DType::Bf16)
-        .expect("valid core count")
+    CpuBackend::new(
+        llmsim_hw::presets::spr_max_9468(),
+        NumaConfig::QUAD_FLAT,
+        cores,
+        DType::Bf16,
+    )
+    .expect("valid core count")
 }
 
 /// Runs the Fig. 14 sweep over the paper grid.
@@ -58,7 +63,14 @@ pub fn run_fig14() -> Vec<CoreResult> {
 pub fn render_fig14(results: &[CoreResult]) -> String {
     let base = &results[0];
     assert_eq!(base.cores, 12, "normalization baseline is 12 cores");
-    let names = ["E2E latency", "TTFT", "TPOT", "E2E tput", "prefill tput", "decode tput"];
+    let names = [
+        "E2E latency",
+        "TTFT",
+        "TPOT",
+        "E2E tput",
+        "prefill tput",
+        "decode tput",
+    ];
     let mut headers = vec!["metric".to_owned()];
     headers.extend(results.iter().map(|r| format!("{}c", r.cores)));
     let mut t = Table::new(headers);
@@ -129,7 +141,10 @@ pub fn render_fig16(rows: &[Fig16Row]) -> String {
             format!("{:.2}", r.upi_util),
         ]);
     }
-    format!("Fig. 16 — counters vs core count, LLaMA2-7B b=8\n\n{}", t.render())
+    format!(
+        "Fig. 16 — counters vs core count, LLaMA2-7B b=8\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -142,7 +157,13 @@ mod tests {
         let get = |c: u32| results.iter().find(|r| r.cores == c).unwrap().metrics;
         let (m12, m48, m96) = (get(12), get(48), get(96));
         // 48 cores beats 12 and 96 on E2E latency and E2E throughput.
-        assert!(m48[0] < m12[0] && m48[0] < m96[0], "latency: 12={} 48={} 96={}", m12[0], m48[0], m96[0]);
+        assert!(
+            m48[0] < m12[0] && m48[0] < m96[0],
+            "latency: 12={} 48={} 96={}",
+            m12[0],
+            m48[0],
+            m96[0]
+        );
         assert!(m48[3] > m12[3] && m48[3] > m96[3], "throughput");
     }
 
@@ -159,9 +180,15 @@ mod tests {
         let tput_gain = m48[3] / m12[3];
         assert!((1.4..3.2).contains(&tput_gain), "tput gain {tput_gain}");
         let prefill_red = (1.0 - m48[1] / m12[1]) * 100.0;
-        assert!((50.0..85.0).contains(&prefill_red), "prefill reduction {prefill_red}");
+        assert!(
+            (50.0..85.0).contains(&prefill_red),
+            "prefill reduction {prefill_red}"
+        );
         let decode_red = (1.0 - m48[2] / m12[2]) * 100.0;
-        assert!((30.0..70.0).contains(&decode_red), "decode reduction {decode_red}");
+        assert!(
+            (30.0..70.0).contains(&decode_red),
+            "decode reduction {decode_red}"
+        );
     }
 
     #[test]

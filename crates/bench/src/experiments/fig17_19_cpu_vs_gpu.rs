@@ -84,8 +84,16 @@ pub fn render(rows: &[PlatformRow], figure: &str, batch: u64) -> String {
                 mark(r.h100_offloaded())
             ),
             "1.00".into(),
-            format!("{:.2}{}", r.a100.e2e_throughput() / r.cpu.e2e_throughput(), mark(r.a100_offloaded())),
-            format!("{:.2}{}", r.h100.e2e_throughput() / r.cpu.e2e_throughput(), mark(r.h100_offloaded())),
+            format!(
+                "{:.2}{}",
+                r.a100.e2e_throughput() / r.cpu.e2e_throughput(),
+                mark(r.a100_offloaded())
+            ),
+            format!(
+                "{:.2}{}",
+                r.h100.e2e_throughput() / r.cpu.e2e_throughput(),
+                mark(r.h100_offloaded())
+            ),
         ]);
     }
     format!(
@@ -140,11 +148,17 @@ mod tests {
         // §V-B: OPT-30B on A100 — CPU cuts latency ~92.1%, throughput ~12.7×.
         let r30 = row(&rows, "OPT-30B");
         let cpu_gain = r30.cpu.e2e_throughput() / r30.a100.e2e_throughput();
-        assert!((6.0..25.0).contains(&cpu_gain), "CPU gain over offloaded A100: {cpu_gain}");
+        assert!(
+            (6.0..25.0).contains(&cpu_gain),
+            "CPU gain over offloaded A100: {cpu_gain}"
+        );
         // §V-B: OPT-66B on H100 — CPU ~5× throughput.
         let r66 = row(&rows, "OPT-66B");
         let gain66 = r66.cpu.e2e_throughput() / r66.h100.e2e_throughput();
-        assert!((2.5..10.0).contains(&gain66), "CPU gain over offloaded H100: {gain66}");
+        assert!(
+            (2.5..10.0).contains(&gain66),
+            "CPU gain over offloaded H100: {gain66}"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ fn panel(gpu: GpuBackend, model: &ModelConfig, title: &str) -> BreakdownPanel {
     let points = PAPER_BATCHES
         .iter()
         .map(|&b| {
-            let r = gpu.run(model, &Request::paper_default(b)).expect("host fits");
+            let r = gpu
+                .run(model, &Request::paper_default(b))
+                .expect("host fits");
             let off = r.offload.expect("model offloads on this GPU");
             BreakdownPoint {
                 batch: b,
@@ -43,15 +45,26 @@ fn panel(gpu: GpuBackend, model: &ModelConfig, title: &str) -> BreakdownPanel {
             }
         })
         .collect();
-    BreakdownPanel { title: title.to_owned(), points }
+    BreakdownPanel {
+        title: title.to_owned(),
+        points,
+    }
 }
 
 /// Runs both Fig. 18 panels.
 #[must_use]
 pub fn run() -> Vec<BreakdownPanel> {
     vec![
-        panel(GpuBackend::paper_a100(), &families::opt_30b(), "A100 / OPT-30B"),
-        panel(GpuBackend::paper_h100(), &families::opt_66b(), "H100 / OPT-66B"),
+        panel(
+            GpuBackend::paper_a100(),
+            &families::opt_30b(),
+            "A100 / OPT-30B",
+        ),
+        panel(
+            GpuBackend::paper_h100(),
+            &families::opt_66b(),
+            "H100 / OPT-66B",
+        ),
     ]
 }
 

@@ -125,7 +125,10 @@ mod tests {
         let (first, last) = (&s.points[0], s.points.last().unwrap());
         let cpu_growth = last.1.e2e_latency.as_f64() / first.1.e2e_latency.as_f64();
         let gpu_growth = last.3.e2e_latency.as_f64() / first.3.e2e_latency.as_f64();
-        assert!(cpu_growth > gpu_growth, "cpu {cpu_growth} vs gpu {gpu_growth}");
+        assert!(
+            cpu_growth > gpu_growth,
+            "cpu {cpu_growth} vs gpu {gpu_growth}"
+        );
     }
 
     #[test]
@@ -143,15 +146,24 @@ mod tests {
             assert!(cpu.e2e_latency < a100.e2e_latency, "A100 wins at {seq}");
             // CPU/H100 latency ratio grows monotonically with seq.
             let ratio = cpu.e2e_latency.as_f64() / h100.e2e_latency.as_f64();
-            assert!(ratio > last_ratio, "seq {seq}: ratio {ratio} !> {last_ratio}");
+            assert!(
+                ratio > last_ratio,
+                "seq {seq}: ratio {ratio} !> {last_ratio}"
+            );
             last_ratio = ratio;
         }
         // At the longest length the two are within 2x (the paper's
         // crossover regime), while at 128 the CPU led comfortably.
         let first = &s.points[0];
         let first_ratio = first.1.e2e_latency.as_f64() / first.3.e2e_latency.as_f64();
-        assert!(first_ratio < 0.9, "CPU should lead at seq 128: {first_ratio}");
-        assert!(last_ratio > 0.55, "H100 should be near/above parity at 1024: {last_ratio}");
+        assert!(
+            first_ratio < 0.9,
+            "CPU should lead at seq 128: {first_ratio}"
+        );
+        assert!(
+            last_ratio > 0.55,
+            "H100 should be near/above parity at 1024: {last_ratio}"
+        );
     }
 
     #[test]

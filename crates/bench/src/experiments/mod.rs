@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod ext_memory;
+pub mod ext_resilience;
 pub mod ext_speculative;
 pub mod extensions;
 pub mod fig01_gemm;
@@ -38,9 +39,15 @@ pub fn render_all() -> String {
     out.push('\n');
     out.push_str(&fig08_10_cpu_comparison::render_fig10(&cmp));
     out.push('\n');
-    out.push_str(&fig11_12_counters::render(&fig11_12_counters::run_fig11(), "Fig. 11"));
+    out.push_str(&fig11_12_counters::render(
+        &fig11_12_counters::run_fig11(),
+        "Fig. 11",
+    ));
     out.push('\n');
-    out.push_str(&fig11_12_counters::render(&fig11_12_counters::run_fig12(), "Fig. 12"));
+    out.push_str(&fig11_12_counters::render(
+        &fig11_12_counters::run_fig12(),
+        "Fig. 12",
+    ));
     out.push('\n');
     out.push_str(&fig13_15_numa::render_fig13(&fig13_15_numa::run_fig13()));
     out.push('\n');
@@ -50,15 +57,29 @@ pub fn render_all() -> String {
     out.push('\n');
     out.push_str(&fig14_16_cores::render_fig16(&fig14_16_cores::run_fig16()));
     out.push('\n');
-    out.push_str(&fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(1), "Fig. 17", 1));
+    out.push_str(&fig17_19_cpu_vs_gpu::render(
+        &fig17_19_cpu_vs_gpu::run(1),
+        "Fig. 17",
+        1,
+    ));
     out.push('\n');
     out.push_str(&fig18_offload::render(&fig18_offload::run()));
     out.push('\n');
-    out.push_str(&fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(16), "Fig. 19", 16));
+    out.push_str(&fig17_19_cpu_vs_gpu::render(
+        &fig17_19_cpu_vs_gpu::run(16),
+        "Fig. 19",
+        16,
+    ));
     out.push('\n');
-    out.push_str(&fig20_21_seqlen::render(&fig20_21_seqlen::run(1), "Fig. 20"));
+    out.push_str(&fig20_21_seqlen::render(
+        &fig20_21_seqlen::run(1),
+        "Fig. 20",
+    ));
     out.push('\n');
-    out.push_str(&fig20_21_seqlen::render(&fig20_21_seqlen::run(16), "Fig. 21"));
+    out.push_str(&fig20_21_seqlen::render(
+        &fig20_21_seqlen::run(16),
+        "Fig. 21",
+    ));
     out.push('\n');
     out.push_str(&ablations::render());
     out.push('\n');
@@ -67,5 +88,7 @@ pub fn render_all() -> String {
     out.push_str(&ext_memory::render());
     out.push('\n');
     out.push_str(&ext_speculative::render());
+    out.push('\n');
+    out.push_str(&ext_resilience::render());
     out
 }

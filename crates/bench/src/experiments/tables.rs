@@ -8,7 +8,11 @@ use llmsim_report::Table;
 #[must_use]
 pub fn render_table1() -> String {
     let cpus = [presets::icl_8352y(), presets::spr_max_9468()];
-    let mut t = Table::new(vec!["field".into(), "CPU 1 (ICL)".into(), "CPU 2 (SPR)".into()]);
+    let mut t = Table::new(vec![
+        "field".into(),
+        "CPU 1 (ICL)".into(),
+        "CPU 2 (SPR)".into(),
+    ]);
     let row = |t: &mut Table, name: &str, f: &dyn Fn(&CpuSpec) -> String| {
         t.row(vec![name.to_owned(), f(&cpus[0]), f(&cpus[1])]);
     };
@@ -22,14 +26,19 @@ pub fn render_table1() -> String {
         format!("{:.1}", c.avx512_bf16_per_socket.as_tflops())
     });
     row(&mut t, "BF16 TFLOPS (AMX)", &|c| {
-        c.amx_bf16_per_socket.map_or("-".into(), |p| format!("{:.1}", p.as_tflops()))
+        c.amx_bf16_per_socket
+            .map_or("-".into(), |p| format!("{:.1}", p.as_tflops()))
     });
     row(&mut t, "L1d / L2 per core", &|c| {
         format!("{} / {}", c.caches.l1d.capacity, c.caches.l2.capacity)
     });
-    row(&mut t, "L3 per socket", &|c| c.caches.l3.capacity.to_string());
+    row(&mut t, "L3 per socket", &|c| {
+        c.caches.l3.capacity.to_string()
+    });
     row(&mut t, "DDR", &|c| c.ddr.to_string());
-    row(&mut t, "HBM", &|c| c.hbm.as_ref().map_or("-".into(), ToString::to_string));
+    row(&mut t, "HBM", &|c| {
+        c.hbm.as_ref().map_or("-".into(), ToString::to_string)
+    });
     format!("Table I — CPU server configurations\n\n{}", t.render())
 }
 
@@ -43,10 +52,14 @@ pub fn render_table2() -> String {
     };
     row(&mut t, "GPU", &|g| g.name.clone());
     row(&mut t, "SMs", &|g| g.sms.to_string());
-    row(&mut t, "BF16 TFLOPS", &|g| format!("{:.0}", g.bf16_peak.as_tflops()));
+    row(&mut t, "BF16 TFLOPS", &|g| {
+        format!("{:.0}", g.bf16_peak.as_tflops())
+    });
     row(&mut t, "L2 cache", &|g| g.l2_capacity.to_string());
     row(&mut t, "Memory", &|g| g.memory_capacity.to_string());
-    row(&mut t, "Memory bandwidth", &|g| g.memory_bandwidth.to_string());
+    row(&mut t, "Memory bandwidth", &|g| {
+        g.memory_bandwidth.to_string()
+    });
     row(&mut t, "Host link", &|g| g.host_link.to_string());
     format!("Table II — GPU server configurations\n\n{}", t.render())
 }
@@ -66,7 +79,9 @@ mod tests {
     #[test]
     fn table2_contains_paper_numbers() {
         let s = render_table2();
-        for needle in ["A100", "H100", "108", "132", "312", "756", "1299.9", "1754.4"] {
+        for needle in [
+            "A100", "H100", "108", "132", "312", "756", "1299.9", "1754.4",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

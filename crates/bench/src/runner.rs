@@ -1,9 +1,8 @@
 //! Parallel sweep execution across worker threads.
 
-use crossbeam::thread;
 use llmsim_core::{Backend, InferenceReport, Request, SimError};
 use llmsim_workload::SweepPoint;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs every sweep point against `backend` across `workers` threads,
 /// preserving input order in the output.
@@ -25,9 +24,9 @@ pub fn run_sweep<B: Backend + Sync>(
         Mutex::new(vec![None; points.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(points.len().max(1)) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
@@ -36,14 +35,14 @@ pub fn run_sweep<B: Backend + Sync>(
                 let model = llmsim_workload::sweep::resolve_model(p);
                 let out = Request::try_new(p.batch, p.prompt_len, p.gen_len)
                     .and_then(|req| backend.run(&model, &req));
-                results.lock()[i] = Some(out);
+                results.lock().expect("no poisoned workers")[i] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("no poisoned workers")
         .into_iter()
         .map(|r| r.expect("every point was visited"))
         .collect()

@@ -90,11 +90,7 @@ mod tests {
             "fixed".into()
         }
 
-        fn run(
-            &self,
-            model: &ModelConfig,
-            request: &Request,
-        ) -> Result<InferenceReport, SimError> {
+        fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
             Ok(InferenceReport {
                 model: model.name.clone(),
                 backend: self.name(),

@@ -57,12 +57,7 @@ impl CpuBackend {
     ///
     /// Returns [`SimError::UnsupportedConfig`] if `cores` is zero or exceeds
     /// the machine, or the NUMA mode needs hardware the CPU lacks.
-    pub fn new(
-        cpu: CpuSpec,
-        numa: NumaConfig,
-        cores: u32,
-        dtype: DType,
-    ) -> Result<Self, SimError> {
+    pub fn new(cpu: CpuSpec, numa: NumaConfig, cores: u32, dtype: DType) -> Result<Self, SimError> {
         if cores == 0 || cores > cpu.topology.total_cores() {
             return Err(SimError::UnsupportedConfig(format!(
                 "{}: cannot run on {cores} cores (machine has {})",
@@ -104,7 +99,10 @@ impl CpuBackend {
     /// Panics if `keep_ratio` is not in `(0, 1]`.
     #[must_use]
     pub fn with_kv_keep_ratio(mut self, keep_ratio: f64) -> Self {
-        assert!(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep ratio must be in (0,1]");
+        assert!(
+            keep_ratio > 0.0 && keep_ratio <= 1.0,
+            "keep ratio must be in (0,1]"
+        );
         self.kv_keep_ratio = keep_ratio;
         self
     }
@@ -162,6 +160,13 @@ impl CpuBackend {
         self.mem.numa()
     }
 
+    /// Element type of activations and the KV cache (weight-only
+    /// quantization does not change it).
+    #[must_use]
+    pub fn kv_dtype(&self) -> DType {
+        self.dtype
+    }
+
     /// Total resident state for `model` serving `request` (weights + final
     /// KV cache + peak activations).
     #[must_use]
@@ -202,8 +207,8 @@ impl CpuBackend {
     /// Panics if the arguments are zero or the model is invalid.
     #[must_use]
     pub fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
-        let footprint = model.weight_bytes(self.weight_dtype)
-            + model.kv_cache_bytes(kv_len, batch, self.dtype);
+        let footprint =
+            model.weight_bytes(self.weight_dtype) + model.kv_cache_bytes(kv_len, batch, self.dtype);
         let eff_mem = self.mem.effective(self.cores, footprint);
         let mut g = llmsim_model::decode_step_graph(model, batch, kv_len, self.dtype);
         if self.weight_dtype != self.dtype {
@@ -223,7 +228,11 @@ impl CpuBackend {
     fn compute_rate(&self, op: &Operator) -> (llmsim_hw::FlopsPerSec, f64) {
         let cpu = self.cpu();
         let sockets = cpu.topology.sockets_spanned(self.cores);
-        let cross_socket = if sockets > 1 { calib::CROSS_SOCKET_COMPUTE_DERATE } else { 1.0 };
+        let cross_socket = if sockets > 1 {
+            calib::CROSS_SOCKET_COMPUTE_DERATE
+        } else {
+            1.0
+        };
         let parallel = calib::CPU_PARALLEL_EFF * cross_socket;
 
         match op.class() {
@@ -239,14 +248,20 @@ impl CpuBackend {
                 } else {
                     let eff = gemm_efficiency(EngineKind::Avx512Bf16, shape);
                     let peak = cpu.peak_flops(ComputeEngine::Avx512, self.cores);
-                    (peak.scale(eff * parallel), calib::AVX512_BF16_FLOPS_PER_INSTR)
+                    (
+                        peak.scale(eff * parallel),
+                        calib::AVX512_BF16_FLOPS_PER_INSTR,
+                    )
                 }
             }
             OpClass::Normalization | OpClass::Elementwise | OpClass::Memory => {
                 // Vector (non-matrix) code path: FP32 AVX-512 at a modest
                 // fraction of peak (these ops are short and latency-bound).
                 let peak = cpu.peak_flops(ComputeEngine::Avx512, self.cores);
-                (peak.scale(0.25 * parallel), calib::AVX512_F32_FLOPS_PER_INSTR)
+                (
+                    peak.scale(0.25 * parallel),
+                    calib::AVX512_F32_FLOPS_PER_INSTR,
+                )
             }
         }
     }
@@ -264,7 +279,9 @@ impl CpuBackend {
             }
         };
         let bandwidth = eff_mem.bandwidth.scale(bw_derate);
-        let cache_capacity = cpu.caches.total_capacity(self.cores.min(cpu.topology.cores_per_socket));
+        let cache_capacity = cpu
+            .caches
+            .total_capacity(self.cores.min(cpu.topology.cores_per_socket));
 
         let mut acc = PhaseAccum::default();
         for op in &graph.ops {
@@ -272,12 +289,14 @@ impl CpuBackend {
             let streamed = Bytes::new(op.weight_bytes() + op.kv_read_bytes() + op.kv_write_bytes());
             let reused = Bytes::new(op.act_bytes());
             let dram = dram_traffic(streamed, reused, cache_capacity);
-            let resources =
-                Resources { compute: rate, bandwidth, overhead: Seconds::new(calib::CPU_OP_OVERHEAD_S) };
+            let resources = Resources {
+                compute: rate,
+                bandwidth,
+                overhead: Seconds::new(calib::CPU_OP_OVERHEAD_S),
+            };
             let t = op_time(&resources, op.flops(), dram);
             let r = op.repeat as f64;
-            let instrs =
-                instruction_count(op.flops(), flops_per_instr, op.total_bytes()) * r;
+            let instrs = instruction_count(op.flops(), flops_per_instr, op.total_bytes()) * r;
             let loads = (op.weight_bytes() + op.kv_read_bytes()) as f64 * r
                 + op.act_bytes() as f64 * 0.6 * r;
             let stores = op.kv_write_bytes() as f64 * r + op.act_bytes() as f64 * 0.4 * r;
@@ -301,9 +320,7 @@ impl Backend for CpuBackend {
     }
 
     fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
-        model
-            .validate()
-            .map_err(SimError::InvalidRequest)?;
+        model.validate().map_err(SimError::InvalidRequest)?;
         let footprint = self.footprint(model, request);
         let cpu = self.cpu();
         let available = match self.numa().memory {
@@ -372,8 +389,9 @@ impl Backend for CpuBackend {
         let traffic_factor = 1.0 + cache_mode_inflation + snc_inflation;
         let total_dram = (prefill.dram_bytes + decode.dram_bytes) * traffic_factor;
         let upi_capacity = cpu.upi.effective_bandwidth().bytes_per_sec();
-        let remote_fraction =
-            eff_mem.snc_remote_fraction.max(eff_mem.cross_socket_fraction);
+        let remote_fraction = eff_mem
+            .snc_remote_fraction
+            .max(eff_mem.cross_socket_fraction);
         let counters = synthesize(&CounterInputs {
             instructions: prefill.instructions + decode.instructions,
             dram_read_bytes: total_dram * 0.85,
@@ -432,8 +450,14 @@ mod tests {
     #[test]
     fn decode_is_memory_bound_prefill_compute_heavier() {
         let spr = CpuBackend::paper_spr();
-        let r = spr.run(&families::llama2_13b(), &Request::paper_default(8)).unwrap();
-        assert!(r.decode.memory_bound_fraction > 0.9, "{}", r.decode.memory_bound_fraction);
+        let r = spr
+            .run(&families::llama2_13b(), &Request::paper_default(8))
+            .unwrap();
+        assert!(
+            r.decode.memory_bound_fraction > 0.9,
+            "{}",
+            r.decode.memory_bound_fraction
+        );
         assert!(r.prefill.memory_bound_fraction < r.decode.memory_bound_fraction);
     }
 
@@ -472,16 +496,19 @@ mod tests {
     fn cores_past_one_socket_hurt() {
         // Fig. 14/16 / Key Finding #3.
         let cpu = llmsim_hw::presets::spr_max_9468();
-        let mk = |c| {
-            CpuBackend::new(cpu.clone(), NumaConfig::QUAD_FLAT, c, DType::Bf16).unwrap()
-        };
+        let mk = |c| CpuBackend::new(cpu.clone(), NumaConfig::QUAD_FLAT, c, DType::Bf16).unwrap();
         let m = families::llama2_7b();
         let req = Request::paper_default(8);
         let t48 = mk(48).run(&m, &req).unwrap();
         let t96 = mk(96).run(&m, &req).unwrap();
         let t12 = mk(12).run(&m, &req).unwrap();
         assert!(t48.e2e_latency < t12.e2e_latency);
-        assert!(t48.e2e_latency < t96.e2e_latency, "48c {} vs 96c {}", t48.e2e_latency, t96.e2e_latency);
+        assert!(
+            t48.e2e_latency < t96.e2e_latency,
+            "48c {} vs 96c {}",
+            t48.e2e_latency,
+            t96.e2e_latency
+        );
         assert!(t96.counters.upi_utilization > t48.counters.upi_utilization);
     }
 
@@ -498,7 +525,11 @@ mod tests {
                 .unwrap()
         };
         let best = run(NumaConfig::QUAD_FLAT);
-        for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_FLAT, NumaConfig::SNC_CACHE] {
+        for other in [
+            NumaConfig::QUAD_CACHE,
+            NumaConfig::SNC_FLAT,
+            NumaConfig::SNC_CACHE,
+        ] {
             let r = run(other);
             assert!(
                 best.e2e_latency <= r.e2e_latency,
@@ -541,12 +572,12 @@ mod tests {
     #[test]
     fn attention_overhead_scales_with_batch() {
         let base = CpuBackend::paper_spr();
-        let slow = CpuBackend::paper_spr()
-            .with_attention_overhead(Seconds::from_micros(750.0));
+        let slow = CpuBackend::paper_spr().with_attention_overhead(Seconds::from_micros(750.0));
         let m = families::llama2_70b();
         let b1 = Request::paper_default(1);
         let b16 = Request::paper_default(16);
-        let d1 = slow.run(&m, &b1).unwrap().tpot.as_f64() - base.run(&m, &b1).unwrap().tpot.as_f64();
+        let d1 =
+            slow.run(&m, &b1).unwrap().tpot.as_f64() - base.run(&m, &b1).unwrap().tpot.as_f64();
         let d16 =
             slow.run(&m, &b16).unwrap().tpot.as_f64() - base.run(&m, &b16).unwrap().tpot.as_f64();
         // 80 layers × 0.75 ms × batch.

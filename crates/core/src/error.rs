@@ -22,17 +22,65 @@ pub enum SimError {
     InvalidRequest(String),
     /// The hardware/backend combination is unsupported.
     UnsupportedConfig(String),
+    /// A request missed its SLO deadline and was cancelled.
+    DeadlineExceeded {
+        /// Request id.
+        id: u64,
+        /// The deadline budget that was violated, in seconds.
+        deadline_s: f64,
+        /// Time the request had actually consumed when cancelled.
+        elapsed_s: f64,
+    },
+    /// Admission control shed the request: the bounded queue was full.
+    QueueFull {
+        /// Request id.
+        id: u64,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// An injected backend fault (core/socket loss, OOM) killed the
+    /// request after its retry budget ran out.
+    BackendFault {
+        /// Request id.
+        id: u64,
+        /// Human-readable fault kind (e.g. `"backend fault"`,
+        /// `"out of memory"`).
+        kind: String,
+        /// Simulation time of the fatal fault, in seconds.
+        at_s: f64,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::ModelTooLarge { backend, required, available } => write!(
+            SimError::ModelTooLarge {
+                backend,
+                required,
+                available,
+            } => write!(
                 f,
                 "model state of {required} exceeds the {available} available on {backend}"
             ),
             SimError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             SimError::UnsupportedConfig(msg) => write!(f, "unsupported configuration: {msg}"),
+            SimError::DeadlineExceeded {
+                id,
+                deadline_s,
+                elapsed_s,
+            } => write!(
+                f,
+                "request {id} exceeded its {deadline_s:.3} s deadline \
+                 (elapsed {elapsed_s:.3} s) and was cancelled"
+            ),
+            SimError::QueueFull { id, capacity } => write!(
+                f,
+                "request {id} was shed: admission queue at capacity ({capacity})"
+            ),
+            SimError::BackendFault { id, kind, at_s } => write!(
+                f,
+                "request {id} failed at t={at_s:.3} s after exhausting retries: {kind}"
+            ),
         }
     }
 }
@@ -52,7 +100,44 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("A100") && s.contains("60.00 GiB"), "{s}");
-        assert!(SimError::InvalidRequest("x".into()).to_string().contains("invalid"));
+        assert!(SimError::InvalidRequest("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn resilience_variants_display() {
+        let d = SimError::DeadlineExceeded {
+            id: 7,
+            deadline_s: 0.5,
+            elapsed_s: 0.8,
+        };
+        let s = d.to_string();
+        assert!(
+            s.contains('7') && s.contains("0.500") && s.contains("0.800"),
+            "{s}"
+        );
+
+        let q = SimError::QueueFull {
+            id: 3,
+            capacity: 16,
+        }
+        .to_string();
+        assert!(
+            q.contains('3') && q.contains("16") && q.contains("shed"),
+            "{q}"
+        );
+
+        let b = SimError::BackendFault {
+            id: 9,
+            kind: "out of memory".into(),
+            at_s: 1.25,
+        }
+        .to_string();
+        assert!(
+            b.contains('9') && b.contains("out of memory") && b.contains("1.250"),
+            "{b}"
+        );
     }
 
     #[test]

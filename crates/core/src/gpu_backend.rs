@@ -45,19 +45,31 @@ impl GpuBackend {
     /// Creates a backend with `host_memory` bytes of CPU DRAM behind it.
     #[must_use]
     pub fn new(gpu: GpuSpec, dtype: DType, host_memory: Bytes) -> Self {
-        GpuBackend { gpu, dtype, host_memory }
+        GpuBackend {
+            gpu,
+            dtype,
+            host_memory,
+        }
     }
 
     /// The paper's A100-40GB server (Table II) with 512 GB of host DRAM.
     #[must_use]
     pub fn paper_a100() -> Self {
-        Self::new(llmsim_hw::presets::a100_40gb(), DType::Bf16, Bytes::from_gib(512.0))
+        Self::new(
+            llmsim_hw::presets::a100_40gb(),
+            DType::Bf16,
+            Bytes::from_gib(512.0),
+        )
     }
 
     /// The paper's H100-80GB server (Table II) with 512 GB of host DRAM.
     #[must_use]
     pub fn paper_h100() -> Self {
-        Self::new(llmsim_hw::presets::h100_80gb(), DType::Bf16, Bytes::from_gib(512.0))
+        Self::new(
+            llmsim_hw::presets::h100_80gb(),
+            DType::Bf16,
+            Bytes::from_gib(512.0),
+        )
     }
 
     /// The GPU spec.
@@ -103,8 +115,7 @@ impl GpuBackend {
                 // term dominates.
                 _ => self.gpu.bf16_peak.scale(0.1),
             };
-            let streamed =
-                Bytes::new(op.weight_bytes() + op.kv_read_bytes() + op.kv_write_bytes());
+            let streamed = Bytes::new(op.weight_bytes() + op.kv_read_bytes() + op.kv_write_bytes());
             let reused = Bytes::new(op.act_bytes());
             let dram = dram_traffic(streamed, reused, cache);
             let res = Resources {
@@ -204,7 +215,9 @@ mod tests {
     #[test]
     fn small_models_run_resident_and_fast() {
         let a100 = GpuBackend::paper_a100();
-        let r = a100.run(&families::opt_6_7b(), &Request::paper_default(1)).unwrap();
+        let r = a100
+            .run(&families::opt_6_7b(), &Request::paper_default(1))
+            .unwrap();
         assert!(r.offload.is_none());
         // A 6.7B model decodes well under 20 ms/token on an A100.
         assert!(r.tpot.as_f64() < 0.02, "{}", r.tpot);
@@ -223,7 +236,9 @@ mod tests {
     #[test]
     fn offloaded_run_reports_breakdown() {
         let a100 = GpuBackend::paper_a100();
-        let r = a100.run(&families::opt_30b(), &Request::paper_default(1)).unwrap();
+        let r = a100
+            .run(&families::opt_30b(), &Request::paper_default(1))
+            .unwrap();
         let b = r.offload.expect("offloaded run must carry a breakdown");
         assert!(b.data_loading_fraction() > 0.5);
     }
@@ -244,7 +259,9 @@ mod tests {
             DType::Bf16,
             Bytes::from_gib(64.0),
         );
-        let err = tiny_host.run(&families::opt_66b(), &Request::paper_default(1)).unwrap_err();
+        let err = tiny_host
+            .run(&families::opt_66b(), &Request::paper_default(1))
+            .unwrap_err();
         assert!(matches!(err, SimError::ModelTooLarge { .. }));
     }
 }

@@ -61,7 +61,11 @@ impl HybridBackend {
 
 impl Backend for HybridBackend {
     fn name(&self) -> String {
-        format!("hybrid({} prefill + {} decode)", self.gpu.name(), self.cpu.name())
+        format!(
+            "hybrid({} prefill + {} decode)",
+            self.gpu.name(),
+            self.cpu.name()
+        )
     }
 
     fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
@@ -133,7 +137,10 @@ mod tests {
         let h = hybrid.run(&m, &req).unwrap();
         let c = cpu.run(&m, &req).unwrap();
         let g = gpu.run(&m, &req).unwrap();
-        assert!(h.e2e_latency.as_f64() < 0.95 * c.e2e_latency.as_f64(), "vs CPU");
+        assert!(
+            h.e2e_latency.as_f64() < 0.95 * c.e2e_latency.as_f64(),
+            "vs CPU"
+        );
         assert!(h.e2e_latency < g.e2e_latency, "vs GPU");
         // TTFT specifically improves (the §VI user-experience argument).
         assert!(h.ttft < c.ttft);

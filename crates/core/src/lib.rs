@@ -46,6 +46,7 @@ pub mod offload;
 pub mod offload_pipeline;
 pub mod report;
 pub mod request;
+pub mod resilience;
 pub mod roofline;
 pub mod serving;
 
@@ -57,4 +58,9 @@ pub use hybrid_backend::HybridBackend;
 pub use offload::OffloadPlan;
 pub use report::{InferenceReport, OffloadBreakdown, PhaseReport};
 pub use request::Request;
+pub use resilience::{
+    simulate_resilient, AdmissionPolicy, DegradationPolicy, FailureKind, FaultModel,
+    ResilienceConfig, ResilienceReport, ResilientOutcome, RetryPolicy, SloPolicy, TerminalState,
+    TimeoutPhase,
+};
 pub use serving::{SchedulingPolicy, ServingConfig, ServingReport, ServingRequest};

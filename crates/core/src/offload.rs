@@ -129,7 +129,12 @@ fn pass_cost(
     // --- zig-zag overlap: part of the transfer hides under compute ---
     let hideable = (gpu_compute + cpu_compute).scale(calib::OFFLOAD_OVERLAP_EFF);
     let exposed_transfer = raw_transfer.saturating_sub(hideable.min(raw_transfer));
-    PassCost { raw_transfer, exposed_transfer, gpu_compute, cpu_compute }
+    PassCost {
+        raw_transfer,
+        exposed_transfer,
+        gpu_compute,
+        cpu_compute,
+    }
 }
 
 /// Runs an offloaded inference and assembles the report.
@@ -148,8 +153,16 @@ pub(crate) fn run_offloaded(
     let dtype = DType::Bf16;
 
     // Prefill pass.
-    let prefill =
-        pass_cost(gpu, plan, model, dtype, request.batch, request.prompt_len, request.prompt_len, false);
+    let prefill = pass_cost(
+        gpu,
+        plan,
+        model,
+        dtype,
+        request.batch,
+        request.prompt_len,
+        request.prompt_len,
+        false,
+    );
 
     // Decode steps.
     let mut decode_time = Seconds::ZERO;
@@ -180,11 +193,8 @@ pub(crate) fn run_offloaded(
     // Counters: the dominant "memory" activity is PCIe traffic; synthesize
     // GPU-side counters coarsely (the paper reports no GPU µarch counters).
     let pass_count = 1 + request.decode_steps();
-    let streamed_total =
-        plan.streamed_weight_bytes.as_f64() * pass_count as f64;
-    let instructions = 2.0 * model.param_count() as f64
-        * request.generated_tokens() as f64
-        / 512.0;
+    let streamed_total = plan.streamed_weight_bytes.as_f64() * pass_count as f64;
+    let instructions = 2.0 * model.param_count() as f64 * request.generated_tokens() as f64 / 512.0;
     let counters = synthesize(&CounterInputs {
         instructions,
         dram_read_bytes: streamed_total,
@@ -207,14 +217,14 @@ pub(crate) fn run_offloaded(
         e2e_latency: e2e,
         prefill: PhaseReport {
             time: ttft,
-            flops: 2.0 * model.param_count() as f64
-                * (request.batch * request.prompt_len) as f64,
+            flops: 2.0 * model.param_count() as f64 * (request.batch * request.prompt_len) as f64,
             dram_bytes: plan.streamed_weight_bytes.as_f64(),
             memory_bound_fraction: prefill.exposed_transfer.ratio(ttft),
         },
         decode: PhaseReport {
             time: decode_time,
-            flops: 2.0 * model.param_count() as f64
+            flops: 2.0
+                * model.param_count() as f64
                 * (request.batch * request.decode_steps()) as f64,
             dram_bytes: plan.streamed_weight_bytes.as_f64() * request.decode_steps() as f64,
             memory_bound_fraction: breakdown
@@ -240,7 +250,11 @@ mod tests {
         let plan = OffloadPlan::new(&a100, &m, DType::Bf16);
         assert!(plan.resident_weight_bytes > Bytes::ZERO);
         assert!(plan.streamed_weight_bytes > Bytes::ZERO);
-        assert!(plan.streamed_fraction() > 0.4, "{}", plan.streamed_fraction());
+        assert!(
+            plan.streamed_fraction() > 0.4,
+            "{}",
+            plan.streamed_fraction()
+        );
         assert!(plan.cpu_attention);
     }
 
@@ -248,7 +262,9 @@ mod tests {
     fn data_loading_dominates_at_batch_1() {
         // Fig. 18: A100/OPT-30B spends up to ~95% on data loading at b=1.
         let a100 = GpuBackend::paper_a100();
-        let r = a100.run(&families::opt_30b(), &Request::paper_default(1)).unwrap();
+        let r = a100
+            .run(&families::opt_30b(), &Request::paper_default(1))
+            .unwrap();
         let f = r.offload.unwrap().data_loading_fraction();
         assert!(f > 0.85, "{f}");
     }
@@ -283,7 +299,9 @@ mod tests {
     fn offloaded_tpot_is_transfer_dominated_seconds_scale() {
         // 48 GB of streamed OPT-30B weights over ~25 GB/s ≈ 2 s/token.
         let a100 = GpuBackend::paper_a100();
-        let r = a100.run(&families::opt_30b(), &Request::paper_default(1)).unwrap();
+        let r = a100
+            .run(&families::opt_30b(), &Request::paper_default(1))
+            .unwrap();
         assert!(r.tpot.as_f64() > 0.5, "{}", r.tpot);
     }
 }

@@ -60,8 +60,7 @@ pub fn simulate_pass(
 ) -> PipelineTimeline {
     let layers = model.n_layers as usize;
     assert!(layers > 0, "model must have layers");
-    let per_layer_bytes =
-        Bytes::new(model.params_per_layer() * dtype.bytes());
+    let per_layer_bytes = Bytes::new(model.params_per_layer() * dtype.bytes());
     // The resident fraction pins the *first* layers (FlexGen pins from the
     // bottom); those transfer in zero time.
     let resident_layers = ((layers as f64) * resident_fraction.clamp(0.0, 1.0)).floor() as usize;
@@ -84,10 +83,18 @@ pub fn simulate_pass(
         } else {
             let gate = if config.prefetch_depth == 0 {
                 // No overlap: transfer waits for the previous layer's compute.
-                if l == 0 { 0.0 } else { compute_end[l - 1] }
+                if l == 0 {
+                    0.0
+                } else {
+                    compute_end[l - 1]
+                }
             } else {
                 let window = l.saturating_sub(config.prefetch_depth as usize);
-                if l == 0 || window == 0 { 0.0 } else { compute_end[window - 1] }
+                if l == 0 || window == 0 {
+                    0.0
+                } else {
+                    compute_end[window - 1]
+                }
             };
             let start = dma_free.max(gate);
             transfer_end[l] = start + transfer_one;
@@ -138,7 +145,11 @@ mod tests {
             .transfer_time(Bytes::new(m.params_per_layer() * 2))
             .as_f64();
         let expect = per_layer * m.n_layers as f64;
-        assert!((t.makespan.as_f64() - expect) / expect < 0.02, "{} vs {expect}", t.makespan);
+        assert!(
+            (t.makespan.as_f64() - expect) / expect < 0.02,
+            "{} vs {expect}",
+            t.makespan
+        );
         assert!(t.exposed_transfer.as_f64() > 0.9 * t.raw_transfer.as_f64());
     }
 
@@ -152,7 +163,14 @@ mod tests {
             .transfer_time(Bytes::new(m.params_per_layer() * 2))
             .as_f64();
         let compute = Seconds::new(per_layer * 5.0);
-        let t = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
+        let t = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.0,
+            compute,
+            &PipelineConfig::default(),
+        );
         assert!(
             t.exposed_transfer.as_f64() < 1.5 * per_layer,
             "exposed {} vs per-layer {per_layer}",
@@ -172,7 +190,9 @@ mod tests {
                 DType::Bf16,
                 0.0,
                 compute,
-                &PipelineConfig { prefetch_depth: depth },
+                &PipelineConfig {
+                    prefetch_depth: depth,
+                },
             );
             assert!(
                 t.makespan.as_f64() <= last + 1e-12,
@@ -187,8 +207,22 @@ mod tests {
     fn resident_layers_cut_raw_transfer_proportionally() {
         let (gpu, m) = setup();
         let compute = Seconds::from_millis(5.0);
-        let full = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
-        let half = simulate_pass(&gpu, &m, DType::Bf16, 0.5, compute, &PipelineConfig::default());
+        let full = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.0,
+            compute,
+            &PipelineConfig::default(),
+        );
+        let half = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.5,
+            compute,
+            &PipelineConfig::default(),
+        );
         let ratio = half.raw_transfer.as_f64() / full.raw_transfer.as_f64();
         assert!((ratio - 0.5).abs() < 0.05, "{ratio}");
         assert!(half.makespan < full.makespan);
@@ -207,9 +241,16 @@ mod tests {
             .as_f64();
         // Decode-like: compute is ~20% of transfer per layer.
         let compute = Seconds::new(per_layer_transfer * 0.2);
-        let t = simulate_pass(&gpu, &m, DType::Bf16, 0.0, compute, &PipelineConfig::default());
-        let hidden = t.raw_transfer.as_f64() + compute.as_f64() * m.n_layers as f64
-            - t.makespan.as_f64();
+        let t = simulate_pass(
+            &gpu,
+            &m,
+            DType::Bf16,
+            0.0,
+            compute,
+            &PipelineConfig::default(),
+        );
+        let hidden =
+            t.raw_transfer.as_f64() + compute.as_f64() * m.n_layers as f64 - t.makespan.as_f64();
         let hidden_share_of_compute = hidden / (compute.as_f64() * m.n_layers as f64);
         // Strict double buffering hides transfer under (most) compute.
         assert!(

@@ -5,6 +5,11 @@ use llmsim_hw::Seconds;
 use llmsim_mem::HwCounters;
 use std::fmt;
 
+// The fleet-metric helpers live with the resilience layer; re-exported
+// here so report consumers get one import path for both single-run and
+// fleet statistics.
+pub use crate::resilience::percentile;
+
 /// Where each phase ran and what it cost (populated for offloaded GPU runs;
 /// the Fig. 18 breakdown).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -127,8 +132,14 @@ mod tests {
             ttft: Seconds::new(0.1),
             tpot: Seconds::new(0.05),
             e2e_latency: Seconds::new(0.1 + 31.0 * 0.05),
-            prefill: PhaseReport { time: Seconds::new(0.1), ..Default::default() },
-            decode: PhaseReport { time: Seconds::new(31.0 * 0.05), ..Default::default() },
+            prefill: PhaseReport {
+                time: Seconds::new(0.1),
+                ..Default::default()
+            },
+            decode: PhaseReport {
+                time: Seconds::new(31.0 * 0.05),
+                ..Default::default()
+            },
             counters: HwCounters::default(),
             offload: None,
         }
@@ -158,6 +169,9 @@ mod tests {
     #[test]
     fn display_mentions_key_metrics() {
         let s = report().to_string();
-        assert!(s.contains("TTFT") && s.contains("TPOT") && s.contains("tok/s"), "{s}");
+        assert!(
+            s.contains("TTFT") && s.contains("TPOT") && s.contains("tok/s"),
+            "{s}"
+        );
     }
 }

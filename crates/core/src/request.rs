@@ -42,7 +42,11 @@ impl Request {
                 "batch ({batch}), prompt_len ({prompt_len}) and gen_len ({gen_len}) must be positive"
             )));
         }
-        Ok(Request { batch, prompt_len, gen_len })
+        Ok(Request {
+            batch,
+            prompt_len,
+            gen_len,
+        })
     }
 
     /// The paper's standard configuration: input 128, output 32.
@@ -72,7 +76,11 @@ impl Request {
 
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "b={} in={} out={}", self.batch, self.prompt_len, self.gen_len)
+        write!(
+            f,
+            "b={} in={} out={}",
+            self.batch, self.prompt_len, self.gen_len
+        )
     }
 }
 

@@ -1,0 +1,183 @@
+//! Fleet-level metrics for a resilient serving run: goodput vs raw
+//! throughput, latency percentiles, SLO attainment, shed/retry rates.
+
+use super::{ResilientOutcome, TerminalState};
+use crate::serving::SchedulingPolicy;
+use serde::Serialize;
+
+/// Linear-interpolation percentile over an unsorted sample.
+///
+/// `p` is in percent (`50.0` = median). Returns `NaN` for an empty sample,
+/// matching the "no data" semantics of the latency columns.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Everything a resilient serving run produced, with the fleet metrics the
+/// resilience experiments report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceReport {
+    /// Scheduling policy the run used.
+    pub policy: SchedulingPolicy,
+    /// Per-request terminal outcomes, in terminal-event order.
+    pub outcomes: Vec<ResilientOutcome>,
+    /// Wall-clock span of the whole run.
+    pub makespan_s: f64,
+    /// Every token emitted, including tokens of requests that later failed
+    /// or timed out (what the hardware paid for).
+    pub generated_tokens: u64,
+    /// Tokens delivered to successful requests (what clients got).
+    pub goodput_tokens: u64,
+    /// Longest gap between consecutive token emissions for a decoding
+    /// request (head-of-line stall, as in the plain simulator).
+    pub max_decode_stall_s: f64,
+    /// Retries scheduled across the run.
+    pub retries: u64,
+    /// Preemption events (evict-and-requeue) across the run.
+    pub preemptions: u64,
+    /// Injected hard faults (core/socket loss events).
+    pub faults_injected: u64,
+    /// Injected transient slowdown iterations.
+    pub slowdowns_injected: u64,
+}
+
+impl ResilienceReport {
+    /// Raw token throughput: every emitted token over the makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.generated_tokens as f64 / self.makespan_s
+    }
+
+    /// Goodput: only tokens of successfully completed requests count.
+    /// The gap to [`Self::throughput`] is work wasted on requests that
+    /// were later cancelled, failed, or recomputed.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        self.goodput_tokens as f64 / self.makespan_s
+    }
+
+    /// Tokens the hardware produced that no successful request consumed.
+    #[must_use]
+    pub fn wasted_tokens(&self) -> u64 {
+        self.generated_tokens.saturating_sub(self.goodput_tokens)
+    }
+
+    /// Requests that reached a successful terminal state.
+    #[must_use]
+    pub fn n_success(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.state.is_success())
+            .count()
+    }
+
+    /// Requests shed by admission control.
+    #[must_use]
+    pub fn n_rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.state == TerminalState::Rejected)
+            .count()
+    }
+
+    /// Requests cancelled by an SLO deadline (any phase).
+    #[must_use]
+    pub fn n_timed_out(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.state, TerminalState::TimedOut(_)))
+            .count()
+    }
+
+    /// Requests that exhausted retries and failed hard.
+    #[must_use]
+    pub fn n_failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.state, TerminalState::Failed(_)))
+            .count()
+    }
+
+    /// Fraction of all requests shed by admission control.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.n_rejected() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Fraction of all requests that completed AND met the given targets
+    /// (`None` target = that dimension always passes). Rejected, timed-out
+    /// and failed requests count against attainment.
+    #[must_use]
+    pub fn slo_attainment(&self, ttft_target_s: Option<f64>, e2e_target_s: Option<f64>) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let met = self
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.state.is_success()
+                    && ttft_target_s.is_none_or(|t| o.ttft_s.is_some_and(|v| v <= t))
+                    && e2e_target_s.is_none_or(|t| o.e2e_s <= t)
+            })
+            .count();
+        met as f64 / self.outcomes.len() as f64
+    }
+
+    /// TTFT percentile (`p` in percent) over successful requests.
+    #[must_use]
+    pub fn ttft_percentile(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.state.is_success())
+            .filter_map(|o| o.ttft_s)
+            .collect();
+        percentile(&v, p)
+    }
+
+    /// End-to-end latency percentile (`p` in percent) over successful
+    /// requests.
+    #[must_use]
+    pub fn e2e_percentile(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.state.is_success())
+            .map(|o| o.e2e_s)
+            .collect();
+        percentile(&v, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!((percentile(&[7.0], 99.0) - 7.0).abs() < 1e-12);
+    }
+}

@@ -52,10 +52,16 @@ pub fn op_time(resources: &Resources, flops: f64, dram_bytes: Bytes) -> OpTime {
     let compute_time = if flops == 0.0 {
         Seconds::ZERO
     } else {
-        resources.compute.execution_time(llmsim_hw::Flops::new(flops))
+        resources
+            .compute
+            .execution_time(llmsim_hw::Flops::new(flops))
     };
     let memory_time = resources.bandwidth.transfer_time(dram_bytes);
-    OpTime { compute_time, memory_time, overhead: resources.overhead }
+    OpTime {
+        compute_time,
+        memory_time,
+        overhead: resources.overhead,
+    }
 }
 
 #[cfg(test)]

@@ -139,7 +139,9 @@ pub fn simulate(
     assert!(!requests.is_empty(), "need at least one request");
     assert!(config.max_batch > 0, "max batch must be positive");
     assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
         "requests must be sorted by arrival"
     );
     assert!(
@@ -207,7 +209,12 @@ fn simulate_static(
         now = t;
         i = end;
     }
-    let makespan = outcomes.iter().map(|o| o.e2e_s).zip(requests).map(|(e, r)| e + r.arrival_s).fold(0.0, f64::max);
+    let makespan = outcomes
+        .iter()
+        .map(|o| o.e2e_s)
+        .zip(requests)
+        .map(|(e, r)| e + r.arrival_s)
+        .fold(0.0, f64::max);
     ServingReport {
         policy: SchedulingPolicy::Static,
         outcomes,
@@ -254,11 +261,11 @@ fn simulate_iteration(
             }
         }
         if !admitted.is_empty() {
-            let start =
-                now.max(admitted.iter().map(|r| r.arrival_s).fold(0.0, f64::max));
+            let start = now.max(admitted.iter().map(|r| r.arrival_s).fold(0.0, f64::max));
             let max_prompt = admitted.iter().map(|r| r.prompt_len).max().unwrap_or(1);
-            let t_prefill =
-                backend.prefill_time(model, admitted.len() as u64, max_prompt).as_f64();
+            let t_prefill = backend
+                .prefill_time(model, admitted.len() as u64, max_prompt)
+                .as_f64();
             if !active.is_empty() {
                 max_stall = max_stall.max(t_prefill);
             }
@@ -342,7 +349,10 @@ fn simulate_chunked(
                 if r.arrival_s <= now || active.is_empty() {
                     waiting.pop_front();
                     now = now.max(r.arrival_s);
-                    prefilling = Some(Prefilling { req: r, remaining_prompt: r.prompt_len });
+                    prefilling = Some(Prefilling {
+                        req: r,
+                        remaining_prompt: r.prompt_len,
+                    });
                 }
             }
         }
@@ -359,7 +369,9 @@ fn simulate_chunked(
                 let chunk = p.remaining_prompt.min(chunk_tokens);
                 let chunk_cost = backend.prefill_time(model, 1, chunk).as_f64();
                 let piggyback = if b > 0 {
-                    0.25 * backend.decode_step_time(model, b, 1 + p.req.prompt_len).as_f64()
+                    0.25 * backend
+                        .decode_step_time(model, b, 1 + p.req.prompt_len)
+                        .as_f64()
                 } else {
                     0.0
                 };
@@ -422,7 +434,7 @@ fn simulate_chunked(
         outcomes,
         makespan_s: now,
         generated_tokens: generated,
-    max_decode_stall_s: max_stall,
+        max_decode_stall_s: max_stall,
     }
 }
 
@@ -453,12 +465,18 @@ mod tests {
         let model = families::opt_6_7b();
         let reqs = requests(12, 0.05);
         for policy in [SchedulingPolicy::Static, SchedulingPolicy::IterationLevel] {
-            let cfg = ServingConfig { max_batch: 4, policy };
+            let cfg = ServingConfig {
+                max_batch: 4,
+                policy,
+            };
             let rep = simulate(&backend(), &model, &cfg, &reqs);
             assert_eq!(rep.outcomes.len(), 12, "{policy}");
             let expected: u64 = reqs.iter().map(|r| r.gen_len).sum();
             assert_eq!(rep.generated_tokens, expected, "{policy}");
-            assert!(rep.outcomes.iter().all(|o| o.e2e_s >= o.ttft_s && o.ttft_s > 0.0));
+            assert!(rep
+                .outcomes
+                .iter()
+                .all(|o| o.e2e_s >= o.ttft_s && o.ttft_s > 0.0));
         }
     }
 
@@ -471,13 +489,19 @@ mod tests {
         let static_rep = simulate(
             &backend(),
             &model,
-            &ServingConfig { max_batch: 4, policy: SchedulingPolicy::Static },
+            &ServingConfig {
+                max_batch: 4,
+                policy: SchedulingPolicy::Static,
+            },
             &reqs,
         );
         let orca_rep = simulate(
             &backend(),
             &model,
-            &ServingConfig { max_batch: 4, policy: SchedulingPolicy::IterationLevel },
+            &ServingConfig {
+                max_batch: 4,
+                policy: SchedulingPolicy::IterationLevel,
+            },
             &reqs,
         );
         assert!(
@@ -495,7 +519,10 @@ mod tests {
         let rep = simulate(
             &backend(),
             &model,
-            &ServingConfig { max_batch: 8, policy: SchedulingPolicy::IterationLevel },
+            &ServingConfig {
+                max_batch: 8,
+                policy: SchedulingPolicy::IterationLevel,
+            },
             &requests(20, 0.01),
         );
         let p50 = rep.e2e_percentile(50.0);
@@ -511,11 +538,29 @@ mod tests {
         // scheduling, but only for one chunk under chunked prefill.
         let model = families::opt_6_7b();
         let reqs = vec![
-            ServingRequest { id: 0, arrival_s: 0.0, prompt_len: 64, gen_len: 48 },
-            ServingRequest { id: 1, arrival_s: 0.05, prompt_len: 2048, gen_len: 8 },
+            ServingRequest {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_len: 64,
+                gen_len: 48,
+            },
+            ServingRequest {
+                id: 1,
+                arrival_s: 0.05,
+                prompt_len: 2048,
+                gen_len: 8,
+            },
         ];
         let run = |policy| {
-            simulate(&backend(), &model, &ServingConfig { max_batch: 4, policy }, &reqs)
+            simulate(
+                &backend(),
+                &model,
+                &ServingConfig {
+                    max_batch: 4,
+                    policy,
+                },
+                &reqs,
+            )
         };
         let plain = run(SchedulingPolicy::IterationLevel);
         let chunked = run(SchedulingPolicy::ChunkedPrefill { chunk_tokens: 128 });
@@ -570,13 +615,26 @@ mod tests {
     fn unsorted_arrivals_panic() {
         let model = families::opt_1_3b();
         let reqs = vec![
-            ServingRequest { id: 0, arrival_s: 1.0, prompt_len: 8, gen_len: 2 },
-            ServingRequest { id: 1, arrival_s: 0.5, prompt_len: 8, gen_len: 2 },
+            ServingRequest {
+                id: 0,
+                arrival_s: 1.0,
+                prompt_len: 8,
+                gen_len: 2,
+            },
+            ServingRequest {
+                id: 1,
+                arrival_s: 0.5,
+                prompt_len: 8,
+                gen_len: 2,
+            },
         ];
         let _ = simulate(
             &backend(),
             &model,
-            &ServingConfig { max_batch: 2, policy: SchedulingPolicy::Static },
+            &ServingConfig {
+                max_batch: 2,
+                policy: SchedulingPolicy::Static,
+            },
             &reqs,
         );
     }
@@ -589,7 +647,10 @@ mod tests {
             simulate(
                 &backend(),
                 &model,
-                &ServingConfig { max_batch: cap, policy: SchedulingPolicy::IterationLevel },
+                &ServingConfig {
+                    max_batch: cap,
+                    policy: SchedulingPolicy::IterationLevel,
+                },
                 &reqs,
             )
             .throughput()

@@ -58,8 +58,17 @@ impl CacheSpec {
             "line size must be a power of two, got {line_bytes}"
         );
         let lines = capacity.get() / u64::from(line_bytes);
-        assert!(lines > 0 && lines.is_multiple_of(u64::from(ways)), "capacity must divide into ways of whole lines");
-        CacheSpec { level, capacity, ways, line_bytes, shared: level == CacheLevel::L3 }
+        assert!(
+            lines > 0 && lines.is_multiple_of(u64::from(ways)),
+            "capacity must divide into ways of whole lines"
+        );
+        CacheSpec {
+            level,
+            capacity,
+            ways,
+            line_bytes,
+            shared: level == CacheLevel::L3,
+        }
     }
 
     /// Number of cache lines.
@@ -105,7 +114,10 @@ impl CacheHierarchy {
         assert_eq!(l2.level, CacheLevel::L2);
         assert_eq!(l3.level, CacheLevel::L3);
         assert!(l1d.capacity < l2.capacity, "L1 must be smaller than L2");
-        assert!(l2.capacity < l3.capacity, "L2 (per core) must be smaller than L3 (per socket)");
+        assert!(
+            l2.capacity < l3.capacity,
+            "L2 (per core) must be smaller than L3 (per socket)"
+        );
         CacheHierarchy { l1d, l2, l3 }
     }
 
@@ -153,8 +165,7 @@ mod tests {
     fn total_capacity_counts_private_caches_per_core() {
         let h = spr_hierarchy();
         let total = h.total_capacity(48);
-        let expect =
-            (48 * 1024 + 2 * 1024 * 1024) * 48 + 105 * 1024 * 1024;
+        let expect = (48 * 1024 + 2 * 1024 * 1024) * 48 + 105 * 1024 * 1024;
         assert_eq!(total.get(), expect);
     }
 

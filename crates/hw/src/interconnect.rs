@@ -76,13 +76,20 @@ impl LinkSpec {
             protocol_efficiency > 0.0 && protocol_efficiency <= 1.0,
             "protocol efficiency must be in (0,1], got {protocol_efficiency}"
         );
-        LinkSpec { kind, advertised, direction_share, protocol_efficiency, latency }
+        LinkSpec {
+            kind,
+            advertised,
+            direction_share,
+            protocol_efficiency,
+            latency,
+        }
     }
 
     /// Sustained one-direction bandwidth for large DMA transfers.
     #[must_use]
     pub fn effective_bandwidth(&self) -> GbPerSec {
-        self.advertised.scale(self.direction_share * self.protocol_efficiency)
+        self.advertised
+            .scale(self.direction_share * self.protocol_efficiency)
     }
 
     /// Time to move `data` across the link in one direction, including the
@@ -98,7 +105,13 @@ impl LinkSpec {
 
 impl fmt::Display for LinkSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}, {} aggregate ({} effective)", self.kind, self.advertised, self.effective_bandwidth())
+        write!(
+            f,
+            "{}, {} aggregate ({} effective)",
+            self.kind,
+            self.advertised,
+            self.effective_bandwidth()
+        )
     }
 }
 
@@ -133,6 +146,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "direction share")]
     fn bad_share_panics() {
-        let _ = LinkSpec::new(LinkKind::Pcie5, GbPerSec::new(128.0), 0.0, 0.8, Seconds::ZERO);
+        let _ = LinkSpec::new(
+            LinkKind::Pcie5,
+            GbPerSec::new(128.0),
+            0.0,
+            0.8,
+            Seconds::ZERO,
+        );
     }
 }

@@ -28,8 +28,8 @@ pub mod cpu;
 pub mod gpu;
 pub mod interconnect;
 pub mod memory;
-pub mod presets;
 pub mod power;
+pub mod presets;
 pub mod pricing;
 pub mod topology;
 pub mod units;

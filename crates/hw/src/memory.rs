@@ -52,7 +52,12 @@ impl MemoryDeviceSpec {
         bandwidth_per_socket: GbPerSec,
         idle_latency: Seconds,
     ) -> Self {
-        MemoryDeviceSpec { kind, capacity, bandwidth_per_socket, idle_latency }
+        MemoryDeviceSpec {
+            kind,
+            capacity,
+            bandwidth_per_socket,
+            idle_latency,
+        }
     }
 
     /// Capacity available on a single socket, assuming devices are split
@@ -70,7 +75,11 @@ impl MemoryDeviceSpec {
 
 impl fmt::Display for MemoryDeviceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} @ {}/socket", self.kind, self.capacity, self.bandwidth_per_socket)
+        write!(
+            f,
+            "{} {} @ {}/socket",
+            self.kind, self.capacity, self.bandwidth_per_socket
+        )
     }
 }
 

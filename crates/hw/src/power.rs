@@ -25,8 +25,14 @@ impl PowerSpec {
     #[must_use]
     pub fn new(tdp_watts: f64, idle_fraction: f64) -> Self {
         assert!(tdp_watts > 0.0, "TDP must be positive: {tdp_watts}");
-        assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction must be a fraction");
-        PowerSpec { tdp_watts, idle_fraction }
+        assert!(
+            (0.0..=1.0).contains(&idle_fraction),
+            "idle fraction must be a fraction"
+        );
+        PowerSpec {
+            tdp_watts,
+            idle_fraction,
+        }
     }
 
     /// Average power at a given utilization (linear between idle and TDP —
@@ -37,7 +43,10 @@ impl PowerSpec {
     /// Panics if `utilization` is outside `[0, 1]`.
     #[must_use]
     pub fn average_watts(&self, utilization: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&utilization), "utilization must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be a fraction"
+        );
         self.tdp_watts * (self.idle_fraction + (1.0 - self.idle_fraction) * utilization)
     }
 
@@ -54,7 +63,12 @@ impl PowerSpec {
 
 impl fmt::Display for PowerSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.0} W TDP ({:.0}% idle)", self.tdp_watts, self.idle_fraction * 100.0)
+        write!(
+            f,
+            "{:.0} W TDP ({:.0}% idle)",
+            self.tdp_watts,
+            self.idle_fraction * 100.0
+        )
     }
 }
 

@@ -135,21 +135,39 @@ pub fn h100_80gb() -> GpuSpec {
 /// measurements on A100 PCIe systems).
 #[must_use]
 pub fn pcie4_x16() -> LinkSpec {
-    LinkSpec::new(LinkKind::Pcie4, GbPerSec::new(64.0), 0.5, 0.78, Seconds::from_micros(9.0))
+    LinkSpec::new(
+        LinkKind::Pcie4,
+        GbPerSec::new(64.0),
+        0.5,
+        0.78,
+        Seconds::from_micros(9.0),
+    )
 }
 
 /// PCIe 5.0 x16: 128 GB/s aggregate bidirectional (Table II), ~0.78 DMA
 /// efficiency (~50 GB/s sustained host-to-device).
 #[must_use]
 pub fn pcie5_x16() -> LinkSpec {
-    LinkSpec::new(LinkKind::Pcie5, GbPerSec::new(128.0), 0.5, 0.78, Seconds::from_micros(7.0))
+    LinkSpec::new(
+        LinkKind::Pcie5,
+        GbPerSec::new(128.0),
+        0.5,
+        0.78,
+        Seconds::from_micros(7.0),
+    )
 }
 
 /// NVLink-C2C as on Grace-Hopper (900 GB/s), used by the §V-B discussion of
 /// how a GH200 would shrink offload overheads.
 #[must_use]
 pub fn nvlink_c2c() -> LinkSpec {
-    LinkSpec::new(LinkKind::NvLinkC2c, GbPerSec::new(900.0), 0.5, 0.85, Seconds::from_micros(2.0))
+    LinkSpec::new(
+        LinkKind::NvLinkC2c,
+        GbPerSec::new(900.0),
+        0.5,
+        0.85,
+        Seconds::from_micros(2.0),
+    )
 }
 
 /// Grace-Hopper GH200: the H100 die with its host link replaced by

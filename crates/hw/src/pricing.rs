@@ -20,7 +20,10 @@ impl UsDollars {
     /// Panics if `usd` is not positive and finite.
     #[must_use]
     pub fn new(usd: f64) -> Self {
-        assert!(usd.is_finite() && usd > 0.0, "price must be positive: {usd}");
+        assert!(
+            usd.is_finite() && usd > 0.0,
+            "price must be positive: {usd}"
+        );
         UsDollars(usd)
     }
 

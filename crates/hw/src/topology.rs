@@ -74,21 +74,33 @@ pub struct NumaConfig {
 
 impl NumaConfig {
     /// `quad_cache` — Quadrant clustering, HBM as cache (Fig. 13 baseline).
-    pub const QUAD_CACHE: NumaConfig =
-        NumaConfig { clustering: ClusteringMode::Quadrant, memory: MemoryMode::Cache };
+    pub const QUAD_CACHE: NumaConfig = NumaConfig {
+        clustering: ClusteringMode::Quadrant,
+        memory: MemoryMode::Cache,
+    };
     /// `quad_flat` — Quadrant clustering, HBM flat (the paper's best config).
-    pub const QUAD_FLAT: NumaConfig =
-        NumaConfig { clustering: ClusteringMode::Quadrant, memory: MemoryMode::Flat };
+    pub const QUAD_FLAT: NumaConfig = NumaConfig {
+        clustering: ClusteringMode::Quadrant,
+        memory: MemoryMode::Flat,
+    };
     /// `snc_cache` — SNC-4 clustering, HBM as cache.
-    pub const SNC_CACHE: NumaConfig =
-        NumaConfig { clustering: ClusteringMode::Snc4, memory: MemoryMode::Cache };
+    pub const SNC_CACHE: NumaConfig = NumaConfig {
+        clustering: ClusteringMode::Snc4,
+        memory: MemoryMode::Cache,
+    };
     /// `snc_flat` — SNC-4 clustering, HBM flat.
-    pub const SNC_FLAT: NumaConfig =
-        NumaConfig { clustering: ClusteringMode::Snc4, memory: MemoryMode::Flat };
+    pub const SNC_FLAT: NumaConfig = NumaConfig {
+        clustering: ClusteringMode::Snc4,
+        memory: MemoryMode::Flat,
+    };
 
     /// The four configurations evaluated in Fig. 13, in the paper's order.
-    pub const PAPER_SWEEP: [NumaConfig; 4] =
-        [Self::QUAD_CACHE, Self::QUAD_FLAT, Self::SNC_CACHE, Self::SNC_FLAT];
+    pub const PAPER_SWEEP: [NumaConfig; 4] = [
+        Self::QUAD_CACHE,
+        Self::QUAD_FLAT,
+        Self::SNC_CACHE,
+        Self::SNC_FLAT,
+    ];
 
     /// Creates a configuration from its parts.
     #[must_use]
@@ -122,7 +134,10 @@ impl Topology {
     pub fn new(sockets: u32, cores_per_socket: u32) -> Self {
         assert!(sockets > 0, "need at least one socket");
         assert!(cores_per_socket > 0, "need at least one core per socket");
-        Topology { sockets, cores_per_socket }
+        Topology {
+            sockets,
+            cores_per_socket,
+        }
     }
 
     /// Total physical core count.
@@ -140,7 +155,11 @@ impl Topology {
     #[must_use]
     pub fn sockets_spanned(&self, cores: u32) -> u32 {
         assert!(cores > 0, "need at least one core");
-        assert!(cores <= self.total_cores(), "machine has only {} cores", self.total_cores());
+        assert!(
+            cores <= self.total_cores(),
+            "machine has only {} cores",
+            self.total_cores()
+        );
         cores.div_ceil(self.cores_per_socket)
     }
 }
@@ -151,8 +170,10 @@ mod tests {
 
     #[test]
     fn paper_sweep_order_and_names() {
-        let names: Vec<String> =
-            NumaConfig::PAPER_SWEEP.iter().map(ToString::to_string).collect();
+        let names: Vec<String> = NumaConfig::PAPER_SWEEP
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(names, ["quad_cache", "quad_flat", "snc_cache", "snc_flat"]);
     }
 

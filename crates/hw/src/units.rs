@@ -35,7 +35,10 @@ impl Seconds {
     /// Panics if `s` is negative or not finite.
     #[must_use]
     pub fn new(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative: {s}"
+        );
         Seconds(s)
     }
 
@@ -190,7 +193,10 @@ impl Bytes {
     /// Panics if `gib` is negative or not finite.
     #[must_use]
     pub fn from_gib(gib: f64) -> Self {
-        assert!(gib.is_finite() && gib >= 0.0, "byte count must be non-negative: {gib}");
+        assert!(
+            gib.is_finite() && gib >= 0.0,
+            "byte count must be non-negative: {gib}"
+        );
         Bytes((gib * 1024.0 * 1024.0 * 1024.0) as u64)
     }
 
@@ -300,7 +306,10 @@ impl Flops {
     /// Panics if `f` is negative or not finite.
     #[must_use]
     pub fn new(f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "flop count must be non-negative: {f}");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "flop count must be non-negative: {f}"
+        );
         Flops(f)
     }
 
@@ -366,7 +375,10 @@ impl FlopsPerSec {
     /// Panics if `f` is negative or not finite.
     #[must_use]
     pub fn new(f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "compute rate must be non-negative: {f}");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "compute rate must be non-negative: {f}"
+        );
         FlopsPerSec(f)
     }
 
@@ -435,7 +447,10 @@ impl GbPerSec {
     /// Panics if `gbps` is negative or not finite.
     #[must_use]
     pub fn new(gbps: f64) -> Self {
-        assert!(gbps.is_finite() && gbps >= 0.0, "bandwidth must be non-negative: {gbps}");
+        assert!(
+            gbps.is_finite() && gbps >= 0.0,
+            "bandwidth must be non-negative: {gbps}"
+        );
         GbPerSec(gbps)
     }
 
@@ -507,7 +522,10 @@ impl Hertz {
     /// Panics if `hz` is negative or not finite.
     #[must_use]
     pub fn new(hz: f64) -> Self {
-        assert!(hz.is_finite() && hz >= 0.0, "frequency must be non-negative: {hz}");
+        assert!(
+            hz.is_finite() && hz >= 0.0,
+            "frequency must be non-negative: {hz}"
+        );
         Hertz(hz)
     }
 

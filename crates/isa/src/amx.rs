@@ -123,7 +123,9 @@ impl AmxUnit {
     pub fn with_cost_model(cost: AmxCostModel) -> Self {
         AmxUnit {
             cost,
-            tiles: (0..NUM_TILES).map(|_| Tile::zeroed(TileShape::default())).collect(),
+            tiles: (0..NUM_TILES)
+                .map(|_| Tile::zeroed(TileShape::default()))
+                .collect(),
             configured: false,
             stats: AmxStats::default(),
             flops: 0.0,
@@ -144,7 +146,10 @@ impl AmxUnit {
     }
 
     fn check_configured(&self) {
-        assert!(self.configured, "execute LDTILECFG before tile instructions (#UD otherwise)");
+        assert!(
+            self.configured,
+            "execute LDTILECFG before tile instructions (#UD otherwise)"
+        );
     }
 
     /// Read-only view of tile `idx`.
@@ -236,7 +241,10 @@ impl AmxUnit {
     /// are incompatible.
     pub fn tdpbf16ps(&mut self, dst: usize, a: usize, b: usize) {
         self.check_configured();
-        assert!(dst != a && dst != b && a != b, "tile operands must be distinct (#UD)");
+        assert!(
+            dst != a && dst != b && a != b,
+            "tile operands must be distinct (#UD)"
+        );
         // Clone the 1 KiB read operands to satisfy the borrow checker; this
         // is a simulator, clarity beats zero-copy.
         let a_t = self.tiles[a].clone();
@@ -258,7 +266,10 @@ impl AmxUnit {
     /// are incompatible.
     pub fn tdpbssd(&mut self, dst: usize, a: usize, b: usize) {
         self.check_configured();
-        assert!(dst != a && dst != b && a != b, "tile operands must be distinct (#UD)");
+        assert!(
+            dst != a && dst != b && a != b,
+            "tile operands must be distinct (#UD)"
+        );
         let a_t = self.tiles[a].clone();
         let b_t = self.tiles[b].clone();
         tmul::tdpbssd(&mut self.tiles[dst], &a_t, &b_t);

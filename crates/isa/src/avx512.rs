@@ -26,7 +26,10 @@ pub struct AvxCostModel {
 
 impl Default for AvxCostModel {
     fn default() -> Self {
-        AvxCostModel { fma_ports: 2, loads_per_cycle: 2 }
+        AvxCostModel {
+            fma_ports: 2,
+            loads_per_cycle: 2,
+        }
     }
 }
 
@@ -129,7 +132,11 @@ impl AvxUnit {
 
 impl fmt::Display for AvxUnit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AvxUnit: {} FMA instrs, {} loads", self.cost_fma_instrs, self.cost_load_instrs)
+        write!(
+            f,
+            "AvxUnit: {} FMA instrs, {} loads",
+            self.cost_fma_instrs, self.cost_load_instrs
+        )
     }
 }
 
@@ -144,7 +151,13 @@ impl fmt::Display for AvxUnit {
 ///
 /// Panics if slice lengths don't match the shape, or `k` is odd (pad first).
 #[must_use]
-pub fn avx512_gemm_bf16(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> (Vec<f32>, AvxUnit) {
+pub fn avx512_gemm_bf16(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (Vec<f32>, AvxUnit) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
     assert!(k.is_multiple_of(2), "pad odd K with zeros before calling");
@@ -193,8 +206,12 @@ mod tests {
     #[test]
     fn gemm_matches_scalar_reference() {
         let (m, n, k) = (5, 19, 8);
-        let a_f: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 13) as f32 - 6.0) / 4.0).collect();
-        let b_f: Vec<f32> = (0..k * n).map(|i| ((i * 11 % 17) as f32 - 8.0) / 8.0).collect();
+        let a_f: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) / 4.0)
+            .collect();
+        let b_f: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 11 % 17) as f32 - 8.0) / 8.0)
+            .collect();
         let a: Vec<Bf16> = a_f.iter().map(|&x| Bf16::from_f32(x)).collect();
         let b: Vec<Bf16> = b_f.iter().map(|&x| Bf16::from_f32(x)).collect();
         let (c, _) = avx512_gemm_bf16(&a, &b, m, n, k);

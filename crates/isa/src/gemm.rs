@@ -174,7 +174,12 @@ mod tests {
     #[test]
     fn ragged_shapes_are_padded_correctly() {
         // Dimensions that don't divide the tile sizes.
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (17, 5, 33), (3, 50, 64), (40, 40, 40)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (17, 5, 33),
+            (3, 50, 64),
+            (40, 40, 40),
+        ] {
             let a = pseudo(m * k, 1.0);
             let b = pseudo(k * n, 1.0);
             let got = amx_gemm_f32_inputs(&a, &b, m, n, k);
@@ -206,7 +211,8 @@ mod tests {
     fn larger_k_improves_modeled_efficiency() {
         // More K reuse per accumulator block amortizes stores/config.
         let small = amx_gemm_f32_inputs(&pseudo(16 * 32, 1.0), &pseudo(32 * 16, 1.0), 16, 16, 32);
-        let large = amx_gemm_f32_inputs(&pseudo(16 * 512, 1.0), &pseudo(512 * 16, 1.0), 16, 16, 512);
+        let large =
+            amx_gemm_f32_inputs(&pseudo(16 * 512, 1.0), &pseudo(512 * 16, 1.0), 16, 16, 512);
         assert!(large.unit.flops_per_cycle() > small.unit.flops_per_cycle());
     }
 

@@ -46,7 +46,12 @@ impl QuantizedMatrix {
                 data[r * cols + c] = (x / scale).round().clamp(-127.0, 127.0) as i8;
             }
         }
-        QuantizedMatrix { data, scales, rows, cols }
+        QuantizedMatrix {
+            data,
+            scales,
+            rows,
+            cols,
+        }
     }
 
     /// Dequantizes back to `f32`.
@@ -55,8 +60,7 @@ impl QuantizedMatrix {
         let mut out = vec![0.0f32; self.rows * self.cols];
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[r * self.cols + c] =
-                    f32::from(self.data[r * self.cols + c]) * self.scales[r];
+                out[r * self.cols + c] = f32::from(self.data[r * self.cols + c]) * self.scales[r];
             }
         }
         out
@@ -174,7 +178,10 @@ mod tests {
         for (a, b) in src.iter().zip(&back) {
             // Per-row scaling: error bounded by half a step of the row max.
             let row_max = 4.0;
-            assert!((a - b).abs() <= row_max * QuantizedMatrix::RELATIVE_EPS * 1.01, "{a} vs {b}");
+            assert!(
+                (a - b).abs() <= row_max * QuantizedMatrix::RELATIVE_EPS * 1.01,
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -211,7 +218,10 @@ mod tests {
         }
         let want = reference_gemm_f32(&a_q, &b_q, m, n, k);
         for (i, (g, w)) in c.iter().zip(&want).enumerate() {
-            assert!((g - w).abs() < 1e-2 * w.abs().max(1.0), "elem {i}: {g} vs {w}");
+            assert!(
+                (g - w).abs() < 1e-2 * w.abs().max(1.0),
+                "elem {i}: {g} vs {w}"
+            );
         }
         assert!(unit.stats().tdpbssd > 0);
     }

@@ -31,8 +31,14 @@ impl TileShape {
     /// Panics if the shape exceeds the 16×64-byte hardware limit.
     #[must_use]
     pub fn new(rows: u8, colsb: u8) -> Self {
-        assert!(usize::from(rows) <= MAX_ROWS, "tile rows {rows} > {MAX_ROWS}");
-        assert!(usize::from(colsb) <= MAX_COLSB, "tile colsb {colsb} > {MAX_COLSB}");
+        assert!(
+            usize::from(rows) <= MAX_ROWS,
+            "tile rows {rows} > {MAX_ROWS}"
+        );
+        assert!(
+            usize::from(colsb) <= MAX_COLSB,
+            "tile colsb {colsb} > {MAX_COLSB}"
+        );
         TileShape { rows, colsb }
     }
 
@@ -103,7 +109,10 @@ impl Tile {
     /// A zeroed tile with the given shape.
     #[must_use]
     pub fn zeroed(shape: TileShape) -> Self {
-        Tile { shape, data: [0; MAX_ROWS * MAX_COLSB] }
+        Tile {
+            shape,
+            data: [0; MAX_ROWS * MAX_COLSB],
+        }
     }
 
     /// The configured shape.
@@ -124,7 +133,10 @@ impl Tile {
     /// Panics if `r` is outside the active rows.
     #[must_use]
     pub fn row(&self, r: usize) -> &[u8] {
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
         let start = r * MAX_COLSB;
         &self.data[start..start + usize::from(self.shape.colsb)]
     }
@@ -136,8 +148,15 @@ impl Tile {
     /// Panics if `r` is outside the active rows or `bytes` is not exactly
     /// one active row wide.
     pub fn set_row(&mut self, r: usize, bytes: &[u8]) {
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
-        assert_eq!(bytes.len(), usize::from(self.shape.colsb), "row width mismatch");
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
+        assert_eq!(
+            bytes.len(),
+            usize::from(self.shape.colsb),
+            "row width mismatch"
+        );
         let start = r * MAX_COLSB;
         self.data[start..start + bytes.len()].copy_from_slice(bytes);
     }
@@ -150,7 +169,10 @@ impl Tile {
     #[must_use]
     pub fn bf16_at(&self, r: usize, c: usize) -> crate::bf16::Bf16 {
         let colsb = usize::from(self.shape.colsb);
-        assert!(c * 2 + 1 < colsb, "bf16 column {c} outside active row of {colsb} bytes");
+        assert!(
+            c * 2 + 1 < colsb,
+            "bf16 column {c} outside active row of {colsb} bytes"
+        );
         let row = self.row(r);
         crate::bf16::Bf16::from_bits(u16::from_le_bytes([row[c * 2], row[c * 2 + 1]]))
     }
@@ -162,8 +184,14 @@ impl Tile {
     /// Panics if the coordinates fall outside the active region.
     pub fn set_bf16(&mut self, r: usize, c: usize, v: crate::bf16::Bf16) {
         let colsb = usize::from(self.shape.colsb);
-        assert!(c * 2 + 1 < colsb, "bf16 column {c} outside active row of {colsb} bytes");
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert!(
+            c * 2 + 1 < colsb,
+            "bf16 column {c} outside active row of {colsb} bytes"
+        );
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
         let start = r * MAX_COLSB + c * 2;
         self.data[start..start + 2].copy_from_slice(&v.to_bits().to_le_bytes());
     }
@@ -176,7 +204,10 @@ impl Tile {
     #[must_use]
     pub fn f32_at(&self, r: usize, c: usize) -> f32 {
         let colsb = usize::from(self.shape.colsb);
-        assert!(c * 4 + 3 < colsb, "f32 column {c} outside active row of {colsb} bytes");
+        assert!(
+            c * 4 + 3 < colsb,
+            "f32 column {c} outside active row of {colsb} bytes"
+        );
         let row = self.row(r);
         f32::from_le_bytes([row[c * 4], row[c * 4 + 1], row[c * 4 + 2], row[c * 4 + 3]])
     }
@@ -188,8 +219,14 @@ impl Tile {
     /// Panics if the coordinates fall outside the active region.
     pub fn set_f32(&mut self, r: usize, c: usize, v: f32) {
         let colsb = usize::from(self.shape.colsb);
-        assert!(c * 4 + 3 < colsb, "f32 column {c} outside active row of {colsb} bytes");
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert!(
+            c * 4 + 3 < colsb,
+            "f32 column {c} outside active row of {colsb} bytes"
+        );
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
         let start = r * MAX_COLSB + c * 4;
         self.data[start..start + 4].copy_from_slice(&v.to_le_bytes());
     }
@@ -214,7 +251,10 @@ impl Tile {
     pub fn set_i8(&mut self, r: usize, c: usize, v: i8) {
         let colsb = usize::from(self.shape.colsb);
         assert!(c < colsb, "i8 column {c} outside active row");
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
         self.data[r * MAX_COLSB + c] = v as u8;
     }
 
@@ -239,7 +279,10 @@ impl Tile {
     pub fn set_i32(&mut self, r: usize, c: usize, v: i32) {
         let colsb = usize::from(self.shape.colsb);
         assert!(c * 4 + 3 < colsb, "i32 column {c} outside active row");
-        assert!(r < usize::from(self.shape.rows), "row {r} outside active rows");
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
         let start = r * MAX_COLSB + c * 4;
         self.data[start..start + 4].copy_from_slice(&v.to_le_bytes());
     }

@@ -43,7 +43,10 @@ impl GemmShape {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn batched(m: u64, n: u64, k: u64, batch: u64) -> Self {
-        assert!(m > 0 && n > 0 && k > 0 && batch > 0, "GEMM dims must be positive");
+        assert!(
+            m > 0 && n > 0 && k > 0 && batch > 0,
+            "GEMM dims must be positive"
+        );
         GemmShape { m, n, k, batch }
     }
 
@@ -121,7 +124,11 @@ pub fn amx_timing(shape: GemmShape) -> GemmTiming {
     let raw_cycles = tmul_cycles.max(ls_cycles) + overhead;
     let cycles = raw_cycles / software_efficiency(EngineKind::AmxBf16);
     let useful = shape.flops();
-    GemmTiming { cycles, useful_flops: useful, efficiency: useful / (cycles * 2048.0) }
+    GemmTiming {
+        cycles,
+        useful_flops: useful,
+        efficiency: useful / (cycles * 2048.0),
+    }
 }
 
 /// Analytical cycles for an AVX-512 BF16 kernel with 8×64 register blocking
@@ -150,7 +157,11 @@ pub fn avx512_timing(shape: GemmShape) -> GemmTiming {
     let cycles = raw_cycles / software_efficiency(EngineKind::Avx512Bf16);
     let useful = shape.flops();
     let peak_per_cycle = cost.bf16_flops_per_cycle();
-    GemmTiming { cycles, useful_flops: useful, efficiency: useful / (cycles * peak_per_cycle) }
+    GemmTiming {
+        cycles,
+        useful_flops: useful,
+        efficiency: useful / (cycles * peak_per_cycle),
+    }
 }
 
 /// Shape-dependent fraction of engine peak for `shape` on `engine`,
@@ -215,13 +226,7 @@ mod tests {
         // The closed-form TDP count must equal what the functional kernel
         // actually executes.
         let (m, n, k) = (33usize, 17usize, 65usize);
-        let res = crate::gemm::amx_gemm_f32_inputs(
-            &vec![0.5; m * k],
-            &vec![0.5; k * n],
-            m,
-            n,
-            k,
-        );
+        let res = crate::gemm::amx_gemm_f32_inputs(&vec![0.5; m * k], &vec![0.5; k * n], m, n, k);
         let tdp_analytical =
             (m as u64).div_ceil(16) * (n as u64).div_ceil(16) * (k as u64).div_ceil(32);
         assert_eq!(res.unit.stats().tdpbf16ps, tdp_analytical);

@@ -70,8 +70,16 @@ pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
     let m_rows = usize::from(dst.shape().rows);
     let n_cols = usize::from(dst.shape().colsb) / 4;
     let k_quads = usize::from(a.shape().colsb) / 4; // quads of i8 per A row
-    assert_eq!(usize::from(a.shape().rows), m_rows, "A rows must match accumulator rows");
-    assert_eq!(usize::from(b.shape().rows), k_quads, "B rows must equal A's K-quad count");
+    assert_eq!(
+        usize::from(a.shape().rows),
+        m_rows,
+        "A rows must match accumulator rows"
+    );
+    assert_eq!(
+        usize::from(b.shape().rows),
+        k_quads,
+        "B rows must equal A's K-quad count"
+    );
     assert_eq!(
         usize::from(b.shape().colsb),
         usize::from(dst.shape().colsb),
@@ -105,9 +113,18 @@ pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
 /// Panics if `k_dim` is odd, dims exceed tile capacity, or `src` is too
 /// small.
 pub fn pack_b_vnni_bf16(tile: &mut Tile, src: &[crate::bf16::Bf16], k_dim: usize, n_dim: usize) {
-    assert!(k_dim.is_multiple_of(2), "VNNI packing requires even K, got {k_dim}");
-    assert!(k_dim / 2 <= usize::from(tile.shape().rows), "K/2 exceeds tile rows");
-    assert!(2 * n_dim * 2 <= usize::from(tile.shape().colsb), "2N exceeds tile row bytes");
+    assert!(
+        k_dim.is_multiple_of(2),
+        "VNNI packing requires even K, got {k_dim}"
+    );
+    assert!(
+        k_dim / 2 <= usize::from(tile.shape().rows),
+        "K/2 exceeds tile rows"
+    );
+    assert!(
+        2 * n_dim * 2 <= usize::from(tile.shape().colsb),
+        "2N exceeds tile row bytes"
+    );
     assert!(src.len() >= k_dim * n_dim, "source block too small");
     for k in 0..k_dim {
         for n in 0..n_dim {
@@ -231,8 +248,7 @@ mod tests {
             for n in 0..16 {
                 let mut want = 0i32;
                 for kk in 0..64 {
-                    want += i32::from(((m + kk) % 7) as i8 - 3)
-                        * i32::from(b_plain[kk * 16 + n]);
+                    want += i32::from(((m + kk) % 7) as i8 - 3) * i32::from(b_plain[kk * 16 + n]);
                 }
                 assert_eq!(ct.i32_at(m, n), want, "({m},{n})");
             }

@@ -38,14 +38,20 @@ pub const HBM_HALF_CORES: f64 = 28.0;
 /// Panics if `f_a` is outside `[0, 1]` or a selected pool has zero bandwidth.
 #[must_use]
 pub fn mixed_bandwidth(f_a: f64, bw_a: GbPerSec, bw_b: GbPerSec) -> GbPerSec {
-    assert!((0.0..=1.0).contains(&f_a), "traffic fraction must be in [0,1], got {f_a}");
+    assert!(
+        (0.0..=1.0).contains(&f_a),
+        "traffic fraction must be in [0,1], got {f_a}"
+    );
     if f_a == 1.0 {
         return bw_a;
     }
     if f_a == 0.0 {
         return bw_b;
     }
-    assert!(bw_a.as_f64() > 0.0 && bw_b.as_f64() > 0.0, "mixed pools must have bandwidth");
+    assert!(
+        bw_a.as_f64() > 0.0 && bw_b.as_f64() > 0.0,
+        "mixed pools must have bandwidth"
+    );
     let t = f_a / bw_a.as_f64() + (1.0 - f_a) / bw_b.as_f64();
     GbPerSec::new(1.0 / t)
 }
@@ -105,8 +111,17 @@ mod tests {
 
     #[test]
     fn capacity_split() {
-        assert_eq!(capacity_split_fraction(Bytes::from_gib(128.0), Bytes::from_gib(64.0)), 0.5);
-        assert_eq!(capacity_split_fraction(Bytes::from_gib(32.0), Bytes::from_gib(64.0)), 1.0);
-        assert_eq!(capacity_split_fraction(Bytes::ZERO, Bytes::from_gib(64.0)), 1.0);
+        assert_eq!(
+            capacity_split_fraction(Bytes::from_gib(128.0), Bytes::from_gib(64.0)),
+            0.5
+        );
+        assert_eq!(
+            capacity_split_fraction(Bytes::from_gib(32.0), Bytes::from_gib(64.0)),
+            1.0
+        );
+        assert_eq!(
+            capacity_split_fraction(Bytes::ZERO, Bytes::from_gib(64.0)),
+            1.0
+        );
     }
 }

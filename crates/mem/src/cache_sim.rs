@@ -69,7 +69,10 @@ impl CacheSim {
     #[must_use]
     pub fn new(sets: u64, ways: usize, line_bytes: u32) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have sets and ways");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CacheSim {
             line_shift: line_bytes.trailing_zeros(),
             sets,
@@ -133,7 +136,12 @@ impl HierarchySim {
     /// Builds from three cache simulators.
     #[must_use]
     pub fn new(l1: CacheSim, l2: CacheSim, l3: CacheSim) -> Self {
-        HierarchySim { l1, l2, l3, dram_accesses: 0 }
+        HierarchySim {
+            l1,
+            l2,
+            l3,
+            dram_accesses: 0,
+        }
     }
 
     /// One load/store walking the hierarchy; returns true if DRAM was hit.

@@ -68,19 +68,21 @@ pub fn synthesize(inputs: &CounterInputs) -> HwCounters {
     let kinstr = (inputs.instructions / 1000.0).max(f64::MIN_POSITIVE);
     let llc_mpki = llc_misses / kinstr;
     let core_utilization = if inputs.elapsed == Seconds::ZERO {
-        assert!(inputs.instructions == 0.0, "activity with zero elapsed time");
+        assert!(
+            inputs.instructions == 0.0,
+            "activity with zero elapsed time"
+        );
         0.0
     } else {
         (inputs.compute_busy.as_f64() / inputs.elapsed.as_f64()).clamp(0.0, 1.0)
     };
-    let upi_utilization = if inputs.upi_capacity_bytes_per_sec > 0.0
-        && inputs.elapsed.as_f64() > 0.0
-    {
-        (inputs.upi_bytes / (inputs.upi_capacity_bytes_per_sec * inputs.elapsed.as_f64()))
-            .clamp(0.0, 1.0)
-    } else {
-        0.0
-    };
+    let upi_utilization =
+        if inputs.upi_capacity_bytes_per_sec > 0.0 && inputs.elapsed.as_f64() > 0.0 {
+            (inputs.upi_bytes / (inputs.upi_capacity_bytes_per_sec * inputs.elapsed.as_f64()))
+                .clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
     // Remote LLC accesses: the remote share of LLC-level traffic.
     let remote_llc_pki = llc_mpki * inputs.remote_fraction;
     HwCounters {

@@ -101,11 +101,11 @@ impl MemSystem {
         let fp_per_socket = Bytes::new(footprint.get() / u64::from(sockets));
 
         // --- device-level sustained bandwidth on one socket ---
-        let ddr_bw = self
-            .cpu
-            .ddr
-            .bandwidth_per_socket
-            .scale(core_saturation(cores_per_socket, topo.cores_per_socket, DDR_HALF_CORES));
+        let ddr_bw = self.cpu.ddr.bandwidth_per_socket.scale(core_saturation(
+            cores_per_socket,
+            topo.cores_per_socket,
+            DDR_HALF_CORES,
+        ));
         let (socket_bw, hbm_fraction, latency) = match (&self.cpu.hbm, self.numa.memory) {
             (None, _) => (ddr_bw, 0.0, self.cpu.ddr.idle_latency),
             (Some(hbm), mode) => {
@@ -161,7 +161,11 @@ impl MemSystem {
             ClusteringMode::Snc4 => {
                 let remote = SNC_UNMANAGED_REMOTE_FRACTION;
                 let factor = (1.0 - remote) * SNC_LOCAL_BONUS + remote * SNC_REMOTE_DERATE;
-                (socket_bw.scale(factor), remote, latency.scale(1.0 + 0.25 * remote))
+                (
+                    socket_bw.scale(factor),
+                    remote,
+                    latency.scale(1.0 + 0.25 * remote),
+                )
             }
         };
 
@@ -186,8 +190,7 @@ impl MemSystem {
             );
             let total = GbPerSec::new(per_socket.as_f64() * f64::from(sockets));
             let lat = Seconds::new(
-                latency.as_f64()
-                    + CROSS_SOCKET_REMOTE_FRACTION * self.cpu.upi.latency.as_f64(),
+                latency.as_f64() + CROSS_SOCKET_REMOTE_FRACTION * self.cpu.upi.latency.as_f64(),
             );
             EffectiveMemory {
                 bandwidth: total,
@@ -216,8 +219,16 @@ mod tests {
         let fp = Bytes::from_gib(30.0); // fits one socket's HBM
         let bw = |n: NumaConfig| spr(n).effective(48, fp).bandwidth.as_f64();
         let quad_flat = bw(NumaConfig::QUAD_FLAT);
-        for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_CACHE, NumaConfig::SNC_FLAT] {
-            assert!(quad_flat > bw(other), "{other}: {} vs quad_flat {quad_flat}", bw(other));
+        for other in [
+            NumaConfig::QUAD_CACHE,
+            NumaConfig::SNC_CACHE,
+            NumaConfig::SNC_FLAT,
+        ] {
+            assert!(
+                quad_flat > bw(other),
+                "{other}: {} vs quad_flat {quad_flat}",
+                bw(other)
+            );
         }
     }
 
@@ -290,7 +301,10 @@ mod tests {
 
     #[test]
     fn hbm_only_requires_fitting_footprint() {
-        let sys = spr(NumaConfig::new(ClusteringMode::Quadrant, MemoryMode::HbmOnly));
+        let sys = spr(NumaConfig::new(
+            ClusteringMode::Quadrant,
+            MemoryMode::HbmOnly,
+        ));
         let e = sys.effective(48, Bytes::from_gib(60.0));
         assert_eq!(e.hbm_traffic_fraction, 1.0);
     }

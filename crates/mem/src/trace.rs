@@ -30,10 +30,19 @@ pub fn naive_gemm_trace(m: usize, n: usize, k: usize) -> Vec<Access> {
     for i in 0..m {
         for j in 0..n {
             for l in 0..k {
-                out.push(Access { addr: a_base + ((i * k + l) * 4) as u64, write: false });
-                out.push(Access { addr: b_base + ((l * n + j) * 4) as u64, write: false });
+                out.push(Access {
+                    addr: a_base + ((i * k + l) * 4) as u64,
+                    write: false,
+                });
+                out.push(Access {
+                    addr: b_base + ((l * n + j) * 4) as u64,
+                    write: false,
+                });
             }
-            out.push(Access { addr: c_base + ((i * n + j) * 4) as u64, write: true });
+            out.push(Access {
+                addr: c_base + ((i * n + j) * 4) as u64,
+                write: true,
+            });
         }
     }
     out
@@ -73,7 +82,10 @@ pub fn blocked_gemm_trace(m: usize, n: usize, k: usize, bs: usize) -> Vec<Access
                                 write: false,
                             });
                         }
-                        out.push(Access { addr: c_base + ((i * n + j) * 4) as u64, write: true });
+                        out.push(Access {
+                            addr: c_base + ((i * n + j) * 4) as u64,
+                            write: true,
+                        });
                     }
                 }
             }

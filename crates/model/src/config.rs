@@ -141,7 +141,11 @@ impl ModelConfig {
             Family::Opt => self.max_positions * self.d_model,
             Family::Llama2 => 0, // RoPE has no learned table
         };
-        let embed_out = if self.tied_embeddings { 0 } else { self.vocab_size * self.d_model };
+        let embed_out = if self.tied_embeddings {
+            0
+        } else {
+            self.vocab_size * self.d_model
+        };
         let final_norm = self.d_model;
         self.n_layers * self.params_per_layer() + embed_in + embed_pos + embed_out + final_norm
     }
@@ -232,7 +236,11 @@ mod tests {
             let billions = m.param_count() as f64 / 1e9;
             let nameplate = families::nameplate_billions(&m.name);
             let rel = (billions - nameplate).abs() / nameplate;
-            assert!(rel < 0.06, "{}: derived {billions:.2}B vs nameplate {nameplate}B", m.name);
+            assert!(
+                rel < 0.06,
+                "{}: derived {billions:.2}B vs nameplate {nameplate}B",
+                m.name
+            );
         }
     }
 

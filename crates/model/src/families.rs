@@ -23,7 +23,14 @@ fn opt(name: &str, n_layers: u64, d_model: u64, n_heads: u64) -> ModelConfig {
     }
 }
 
-fn llama2(name: &str, n_layers: u64, d_model: u64, n_heads: u64, n_kv_heads: u64, d_ff: u64) -> ModelConfig {
+fn llama2(
+    name: &str,
+    n_layers: u64,
+    d_model: u64,
+    n_heads: u64,
+    n_kv_heads: u64,
+    d_ff: u64,
+) -> ModelConfig {
     ModelConfig {
         name: name.to_owned(),
         family: Family::Llama2,

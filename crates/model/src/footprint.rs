@@ -57,7 +57,12 @@ pub fn kv_footprint_grid(
     for &s in seq_lens {
         for &b in batches {
             let bytes = model.kv_cache_bytes(s, b, dtype);
-            grid.push(KvFootprint { seq_len: s, batch: b, bytes, exceeds_model: bytes > model_bytes });
+            grid.push(KvFootprint {
+                seq_len: s,
+                batch: b,
+                bytes,
+                exceeds_model: bytes > model_bytes,
+            });
         }
     }
     grid
@@ -94,10 +99,21 @@ mod tests {
         // Fig. 7's point: at long sequences and large batches the KV cache
         // passes the model's own size (the dotted line).
         let m = families::llama2_13b();
-        let grid = kv_footprint_grid(&m, &[2048, 4096, 8192, 16384, 32768], &[1, 8, 16, 32], DType::Fp16);
-        let corner = grid.iter().find(|c| c.seq_len == 32768 && c.batch == 32).unwrap();
+        let grid = kv_footprint_grid(
+            &m,
+            &[2048, 4096, 8192, 16384, 32768],
+            &[1, 8, 16, 32],
+            DType::Fp16,
+        );
+        let corner = grid
+            .iter()
+            .find(|c| c.seq_len == 32768 && c.batch == 32)
+            .unwrap();
         assert!(corner.exceeds_model);
-        let small = grid.iter().find(|c| c.seq_len == 2048 && c.batch == 1).unwrap();
+        let small = grid
+            .iter()
+            .find(|c| c.seq_len == 2048 && c.batch == 1)
+            .unwrap();
         assert!(!small.exceeds_model);
     }
 
@@ -105,7 +121,13 @@ mod tests {
     fn fig7_linear_scaling() {
         let m = families::llama2_13b();
         let g = kv_footprint_grid(&m, &[1024, 2048], &[2, 4], DType::Bf16);
-        let b = |s, bt| g.iter().find(|c| c.seq_len == s && c.batch == bt).unwrap().bytes.get();
+        let b = |s, bt| {
+            g.iter()
+                .find(|c| c.seq_len == s && c.batch == bt)
+                .unwrap()
+                .bytes
+                .get()
+        };
         assert_eq!(b(2048, 2), 2 * b(1024, 2));
         assert_eq!(b(1024, 4), 2 * b(1024, 2));
     }

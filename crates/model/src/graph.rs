@@ -114,11 +114,17 @@ impl OpGraph {
         );
         for op in &mut self.ops {
             match &mut op.kind {
-                crate::ops::OpKind::AttentionScore { shape, kv_read_bytes } => {
+                crate::ops::OpKind::AttentionScore {
+                    shape,
+                    kv_read_bytes,
+                } => {
                     shape.n = ((shape.n as f64 * keep_ratio).ceil() as u64).max(1);
                     *kv_read_bytes = (*kv_read_bytes as f64 * keep_ratio).ceil() as u64;
                 }
-                crate::ops::OpKind::AttentionContext { shape, kv_read_bytes } => {
+                crate::ops::OpKind::AttentionContext {
+                    shape,
+                    kv_read_bytes,
+                } => {
                     shape.k = ((shape.k as f64 * keep_ratio).ceil() as u64).max(1);
                     *kv_read_bytes = (*kv_read_bytes as f64 * keep_ratio).ceil() as u64;
                 }
@@ -153,14 +159,22 @@ impl OpGraph {
 /// Panics if `batch` or `prompt_len` is zero, or the model fails validation.
 #[must_use]
 pub fn prefill_graph(model: &ModelConfig, batch: u64, prompt_len: u64, dtype: DType) -> OpGraph {
-    assert!(batch > 0 && prompt_len > 0, "batch and prompt length must be positive");
+    assert!(
+        batch > 0 && prompt_len > 0,
+        "batch and prompt length must be positive"
+    );
     model.validate().expect("invalid model config");
     let tokens = batch * prompt_len;
     let mut b = GraphBuilder::new(model, dtype);
     b.embedding(tokens);
-    b.decoder_layers(batch, /* q_len = */ prompt_len, /* kv_len = */ prompt_len);
+    b.decoder_layers(
+        batch, /* q_len = */ prompt_len, /* kv_len = */ prompt_len,
+    );
     b.lm_head(batch); // only the last position's logits are needed
-    OpGraph { phase: Phase::Prefill, ops: b.ops }
+    OpGraph {
+        phase: Phase::Prefill,
+        ops: b.ops,
+    }
 }
 
 /// Builds a single decode-step graph: each of `batch` sequences extends its
@@ -172,13 +186,19 @@ pub fn prefill_graph(model: &ModelConfig, batch: u64, prompt_len: u64, dtype: DT
 /// Panics if `batch` or `kv_len` is zero, or the model fails validation.
 #[must_use]
 pub fn decode_step_graph(model: &ModelConfig, batch: u64, kv_len: u64, dtype: DType) -> OpGraph {
-    assert!(batch > 0 && kv_len > 0, "batch and context length must be positive");
+    assert!(
+        batch > 0 && kv_len > 0,
+        "batch and context length must be positive"
+    );
     model.validate().expect("invalid model config");
     let mut b = GraphBuilder::new(model, dtype);
     b.embedding(batch);
     b.decoder_layers(batch, /* q_len = */ 1, kv_len);
     b.lm_head(batch);
-    OpGraph { phase: Phase::Decode, ops: b.ops }
+    OpGraph {
+        phase: Phase::Decode,
+        ops: b.ops,
+    }
 }
 
 struct GraphBuilder<'m> {
@@ -189,7 +209,11 @@ struct GraphBuilder<'m> {
 
 impl<'m> GraphBuilder<'m> {
     fn new(model: &'m ModelConfig, dtype: DType) -> Self {
-        GraphBuilder { model, dtype, ops: Vec::with_capacity(24) }
+        GraphBuilder {
+            model,
+            dtype,
+            ops: Vec::with_capacity(24),
+        }
     }
 
     fn push(&mut self, name: &str, kind: OpKind, repeat: u64) {
@@ -197,9 +221,23 @@ impl<'m> GraphBuilder<'m> {
     }
 
     fn embedding(&mut self, tokens: u64) {
-        self.push("embed.tokens", OpKind::Embedding { tokens, d_model: self.model.d_model }, 1);
+        self.push(
+            "embed.tokens",
+            OpKind::Embedding {
+                tokens,
+                d_model: self.model.d_model,
+            },
+            1,
+        );
         if self.model.family == Family::Opt {
-            self.push("embed.positions", OpKind::Embedding { tokens, d_model: self.model.d_model }, 1);
+            self.push(
+                "embed.positions",
+                OpKind::Embedding {
+                    tokens,
+                    d_model: self.model.d_model,
+                },
+                1,
+            );
         }
     }
 
@@ -219,17 +257,26 @@ impl<'m> GraphBuilder<'m> {
         self.push("attn.norm", OpKind::Norm { tokens, dim: d }, layers);
         self.push(
             "attn.q_proj",
-            OpKind::Linear { shape: Matmul::new(tokens, d, d), weight_elems: d * d },
+            OpKind::Linear {
+                shape: Matmul::new(tokens, d, d),
+                weight_elems: d * d,
+            },
             layers,
         );
         self.push(
             "attn.k_proj",
-            OpKind::Linear { shape: Matmul::new(tokens, d_kv, d), weight_elems: d * d_kv },
+            OpKind::Linear {
+                shape: Matmul::new(tokens, d_kv, d),
+                weight_elems: d * d_kv,
+            },
             layers,
         );
         self.push(
             "attn.v_proj",
-            OpKind::Linear { shape: Matmul::new(tokens, d_kv, d), weight_elems: d * d_kv },
+            OpKind::Linear {
+                shape: Matmul::new(tokens, d_kv, d),
+                weight_elems: d * d_kv,
+            },
             layers,
         );
         if m.family == Family::Llama2 {
@@ -246,7 +293,9 @@ impl<'m> GraphBuilder<'m> {
         }
         self.push(
             "attn.kv_append",
-            OpKind::KvAppend { bytes: 2 * batch * q_len * d_kv * bytes },
+            OpKind::KvAppend {
+                bytes: 2 * batch * q_len * d_kv * bytes,
+            },
             layers,
         );
         // During prefill, K/V for the current block are produced on-chip;
@@ -262,7 +311,10 @@ impl<'m> GraphBuilder<'m> {
         );
         self.push(
             "attn.softmax",
-            OpKind::Softmax { rows: batch * m.n_heads * q_len, cols: kv_len },
+            OpKind::Softmax {
+                rows: batch * m.n_heads * q_len,
+                cols: kv_len,
+            },
             layers,
         );
         self.push(
@@ -275,12 +327,19 @@ impl<'m> GraphBuilder<'m> {
         );
         self.push(
             "attn.out_proj",
-            OpKind::Linear { shape: Matmul::new(tokens, d, d), weight_elems: d * d },
+            OpKind::Linear {
+                shape: Matmul::new(tokens, d, d),
+                weight_elems: d * d,
+            },
             layers,
         );
         self.push(
             "attn.residual",
-            OpKind::Elementwise { elems: tokens * d, flops_per_elem: 1.0, streams: 3 },
+            OpKind::Elementwise {
+                elems: tokens * d,
+                flops_per_elem: 1.0,
+                streams: 3,
+            },
             layers,
         );
 
@@ -289,53 +348,87 @@ impl<'m> GraphBuilder<'m> {
             FfnKind::Gelu => {
                 self.push(
                     "ffn.fc1",
-                    OpKind::Linear { shape: Matmul::new(tokens, m.d_ff, d), weight_elems: d * m.d_ff },
+                    OpKind::Linear {
+                        shape: Matmul::new(tokens, m.d_ff, d),
+                        weight_elems: d * m.d_ff,
+                    },
                     layers,
                 );
                 self.push(
                     "ffn.gelu",
-                    OpKind::Elementwise { elems: tokens * m.d_ff, flops_per_elem: 8.0, streams: 2 },
+                    OpKind::Elementwise {
+                        elems: tokens * m.d_ff,
+                        flops_per_elem: 8.0,
+                        streams: 2,
+                    },
                     layers,
                 );
                 self.push(
                     "ffn.fc2",
-                    OpKind::Linear { shape: Matmul::new(tokens, d, m.d_ff), weight_elems: d * m.d_ff },
+                    OpKind::Linear {
+                        shape: Matmul::new(tokens, d, m.d_ff),
+                        weight_elems: d * m.d_ff,
+                    },
                     layers,
                 );
             }
             FfnKind::SwiGlu => {
                 self.push(
                     "ffn.gate_proj",
-                    OpKind::Linear { shape: Matmul::new(tokens, m.d_ff, d), weight_elems: d * m.d_ff },
+                    OpKind::Linear {
+                        shape: Matmul::new(tokens, m.d_ff, d),
+                        weight_elems: d * m.d_ff,
+                    },
                     layers,
                 );
                 self.push(
                     "ffn.up_proj",
-                    OpKind::Linear { shape: Matmul::new(tokens, m.d_ff, d), weight_elems: d * m.d_ff },
+                    OpKind::Linear {
+                        shape: Matmul::new(tokens, m.d_ff, d),
+                        weight_elems: d * m.d_ff,
+                    },
                     layers,
                 );
                 self.push(
                     "ffn.silu_mul",
-                    OpKind::Elementwise { elems: tokens * m.d_ff, flops_per_elem: 9.0, streams: 3 },
+                    OpKind::Elementwise {
+                        elems: tokens * m.d_ff,
+                        flops_per_elem: 9.0,
+                        streams: 3,
+                    },
                     layers,
                 );
                 self.push(
                     "ffn.down_proj",
-                    OpKind::Linear { shape: Matmul::new(tokens, d, m.d_ff), weight_elems: d * m.d_ff },
+                    OpKind::Linear {
+                        shape: Matmul::new(tokens, d, m.d_ff),
+                        weight_elems: d * m.d_ff,
+                    },
                     layers,
                 );
             }
         }
         self.push(
             "ffn.residual",
-            OpKind::Elementwise { elems: tokens * d, flops_per_elem: 1.0, streams: 3 },
+            OpKind::Elementwise {
+                elems: tokens * d,
+                flops_per_elem: 1.0,
+                streams: 3,
+            },
             layers,
         );
     }
 
     fn lm_head(&mut self, rows: u64) {
         let m = self.model;
-        self.push("final.norm", OpKind::Norm { tokens: rows, dim: m.d_model }, 1);
+        self.push(
+            "final.norm",
+            OpKind::Norm {
+                tokens: rows,
+                dim: m.d_model,
+            },
+            1,
+        );
         self.push(
             "final.lm_head",
             OpKind::Linear {
@@ -382,16 +475,25 @@ mod tests {
         // Embedding gathers only touch a few rows, so streamed < full
         // footprint but within ~5%.
         assert!(streamed <= weights);
-        assert!(streamed > 0.93 * weights, "streamed {streamed} vs {weights}");
+        assert!(
+            streamed > 0.93 * weights,
+            "streamed {streamed} vs {weights}"
+        );
     }
 
     #[test]
     fn decode_kv_read_scales_with_context_and_batch() {
         let m = families::opt_13b();
-        let short = decode_step_graph(&m, 1, 128, DType::Bf16).totals().kv_read_bytes;
-        let long = decode_step_graph(&m, 1, 1024, DType::Bf16).totals().kv_read_bytes;
+        let short = decode_step_graph(&m, 1, 128, DType::Bf16)
+            .totals()
+            .kv_read_bytes;
+        let long = decode_step_graph(&m, 1, 1024, DType::Bf16)
+            .totals()
+            .kv_read_bytes;
         assert_eq!(long, 8 * short);
-        let batched = decode_step_graph(&m, 16, 128, DType::Bf16).totals().kv_read_bytes;
+        let batched = decode_step_graph(&m, 16, 128, DType::Bf16)
+            .totals()
+            .kv_read_bytes;
         assert_eq!(batched, 16 * short);
     }
 
@@ -446,8 +548,10 @@ mod tests {
         ];
         let sum: f64 = classes.iter().map(|c| g.totals_for_class(*c).flops).sum();
         assert!((sum - whole.flops).abs() / whole.flops < 1e-12);
-        let sum_bytes: u64 =
-            classes.iter().map(|c| g.totals_for_class(*c).total_bytes()).sum();
+        let sum_bytes: u64 = classes
+            .iter()
+            .map(|c| g.totals_for_class(*c).total_bytes())
+            .sum();
         assert_eq!(sum_bytes, whole.total_bytes());
     }
 

@@ -40,7 +40,10 @@ impl Matmul {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn batched(m: u64, n: u64, k: u64, batch: u64) -> Self {
-        assert!(m > 0 && n > 0 && k > 0 && batch > 0, "matmul dims must be positive: {m}x{n}x{k}x{batch}");
+        assert!(
+            m > 0 && n > 0 && k > 0 && batch > 0,
+            "matmul dims must be positive: {m}x{n}x{k}x{batch}"
+        );
         Matmul { m, n, k, batch }
     }
 
@@ -182,7 +185,13 @@ impl Operator {
     #[must_use]
     pub fn new(name: impl Into<String>, kind: OpKind, dtype: DType, repeat: u64) -> Self {
         assert!(repeat > 0, "operator must execute at least once");
-        Operator { name: name.into(), kind, dtype, weight_dtype: None, repeat }
+        Operator {
+            name: name.into(),
+            kind,
+            dtype,
+            weight_dtype: None,
+            repeat,
+        }
     }
 
     /// Overrides the weight element type (weight-only quantization).
@@ -222,9 +231,11 @@ impl Operator {
             OpKind::Softmax { rows, cols } => 5.0 * (*rows as f64) * (*cols as f64),
             // mean/var/normalize ≈ 8 flops/element.
             OpKind::Norm { tokens, dim } => 8.0 * (*tokens as f64) * (*dim as f64),
-            OpKind::Elementwise { elems, flops_per_elem, .. } => {
-                *flops_per_elem * (*elems as f64)
-            }
+            OpKind::Elementwise {
+                elems,
+                flops_per_elem,
+                ..
+            } => *flops_per_elem * (*elems as f64),
         }
     }
 
@@ -344,13 +355,19 @@ mod tests {
         let w = 4096 * 4096;
         let op1 = Operator::new(
             "q",
-            OpKind::Linear { shape: Matmul::new(1, 4096, 4096), weight_elems: w },
+            OpKind::Linear {
+                shape: Matmul::new(1, 4096, 4096),
+                weight_elems: w,
+            },
             DType::Bf16,
             1,
         );
         let op32 = Operator::new(
             "q",
-            OpKind::Linear { shape: Matmul::new(32, 4096, 4096), weight_elems: w },
+            OpKind::Linear {
+                shape: Matmul::new(32, 4096, 4096),
+                weight_elems: w,
+            },
             DType::Bf16,
             1,
         );
@@ -363,7 +380,10 @@ mod tests {
     fn class_mapping() {
         let lin = Operator::new(
             "l",
-            OpKind::Linear { shape: Matmul::new(1, 2, 3), weight_elems: 6 },
+            OpKind::Linear {
+                shape: Matmul::new(1, 2, 3),
+                weight_elems: 6,
+            },
             DType::Bf16,
             1,
         );

@@ -17,7 +17,10 @@ pub fn grouped_bars(series: &[Series], width: usize) -> String {
         .iter()
         .flat_map(|s| s.values())
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(max.is_finite() && max > 0.0, "need at least one positive point");
+    assert!(
+        max.is_finite() && max > 0.0,
+        "need at least one positive point"
+    );
 
     let label_w = series
         .iter()

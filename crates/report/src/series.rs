@@ -16,7 +16,10 @@ impl Series {
     /// Creates an empty series.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -90,6 +93,27 @@ impl Series {
     pub fn max(&self) -> Option<f64> {
         self.values().into_iter().reduce(f64::max)
     }
+
+    /// Linear-interpolation percentile of the values, `p` in percent
+    /// (`NaN` for an empty series) — the p50/p95/p99 convention the fleet
+    /// serving metrics report.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        let mut v = self.values();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(f64::total_cmp);
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (v.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            v[lo]
+        } else {
+            let frac = rank - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        }
+    }
 }
 
 impl fmt::Display for Series {
@@ -141,6 +165,16 @@ mod tests {
         assert!((s.geomean() - 4.0).abs() < 1e-12);
         assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(16.0));
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_order() {
+        let s = make("lat", &[4.0, 1.0, 3.0, 2.0]);
+        assert!((s.percentile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.percentile(50.0) - 2.5).abs() < 1e-12);
+        assert!((s.percentile(100.0) - 4.0).abs() < 1e-12);
+        assert!(s.percentile(50.0) <= s.percentile(95.0));
+        assert!(Series::new("empty").percentile(50.0).is_nan());
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -20,7 +20,11 @@ pub struct RequestBounds {
 
 impl Default for RequestBounds {
     fn default() -> Self {
-        RequestBounds { batch: (1, 32), prompt_len: (16, 1024), gen_len: (1, 128) }
+        RequestBounds {
+            batch: (1, 32),
+            prompt_len: (16, 1024),
+            gen_len: (1, 128),
+        }
     }
 }
 
@@ -46,7 +50,10 @@ impl RequestGenerator {
     /// Creates a generator with a fixed seed (reproducible workloads).
     #[must_use]
     pub fn new(seed: u64, bounds: RequestBounds) -> Self {
-        RequestGenerator { rng: StdRng::seed_from_u64(seed), bounds }
+        RequestGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            bounds,
+        }
     }
 
     /// Draws one request shape uniformly within bounds.
@@ -83,13 +90,21 @@ impl LogNormalLengths {
     /// heavy tail to a few thousand).
     #[must_use]
     pub fn sharegpt_prompts() -> Self {
-        LogNormalLengths { mu: 5.08, sigma: 1.0, clamp: (4, 4096) }
+        LogNormalLengths {
+            mu: 5.08,
+            sigma: 1.0,
+            clamp: (4, 4096),
+        }
     }
 
     /// A ShareGPT-like generation-length distribution (median ≈ 90 tokens).
     #[must_use]
     pub fn sharegpt_generations() -> Self {
-        LogNormalLengths { mu: 4.5, sigma: 0.8, clamp: (1, 1024) }
+        LogNormalLengths {
+            mu: 4.5,
+            sigma: 0.8,
+            clamp: (1, 1024),
+        }
     }
 
     /// Draws one length using Box–Muller over the given RNG.
@@ -110,7 +125,9 @@ pub fn sharegpt_like_lengths(seed: u64, n: usize) -> Vec<(u64, u64)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let prompts = LogNormalLengths::sharegpt_prompts();
     let gens = LogNormalLengths::sharegpt_generations();
-    (0..n).map(|_| (prompts.sample(&mut rng), gens.sample(&mut rng))).collect()
+    (0..n)
+        .map(|_| (prompts.sample(&mut rng), gens.sample(&mut rng)))
+        .collect()
 }
 
 /// A request arrival trace with exponential inter-arrival times
@@ -142,6 +159,57 @@ impl ArrivalTrace {
         ArrivalTrace { arrivals }
     }
 
+    /// Generates `n` arrivals from a two-state Markov-modulated Poisson
+    /// process: calm phases arrive at `base_rate_per_sec`, burst phases at
+    /// `burst_multiplier` times that, with exponentially-distributed phase
+    /// durations of mean `mean_phase_s`. Bursty traffic is what stresses
+    /// admission control and SLO deadlines — a plain Poisson trace at the
+    /// same mean rate rarely saturates a bounded queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base_rate_per_sec` and `mean_phase_s` are positive
+    /// and `burst_multiplier >= 1`.
+    #[must_use]
+    pub fn bursty(
+        seed: u64,
+        n: usize,
+        base_rate_per_sec: f64,
+        burst_multiplier: f64,
+        mean_phase_s: f64,
+    ) -> Self {
+        assert!(base_rate_per_sec > 0.0, "arrival rate must be positive");
+        assert!(burst_multiplier >= 1.0, "burst multiplier must be >= 1");
+        assert!(mean_phase_s > 0.0, "mean phase length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unit = rand::distributions::Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+        let mut t = 0.0;
+        let mut in_burst = false;
+        // End of the current calm/burst phase.
+        let mut phase_end = -unit.sample(&mut rng).ln() * mean_phase_s;
+        let mut arrivals = Vec::with_capacity(n);
+        while arrivals.len() < n {
+            let rate = if in_burst {
+                base_rate_per_sec * burst_multiplier
+            } else {
+                base_rate_per_sec
+            };
+            let gap = -unit.sample(&mut rng).ln() / rate;
+            if t + gap >= phase_end {
+                // The phase flips before this arrival would land; restart
+                // the draw from the boundary at the other rate
+                // (memorylessness makes the restart exact).
+                t = phase_end;
+                in_burst = !in_burst;
+                phase_end = t - unit.sample(&mut rng).ln() * mean_phase_s;
+                continue;
+            }
+            t += gap;
+            arrivals.push(t);
+        }
+        ArrivalTrace { arrivals }
+    }
+
     /// Mean inter-arrival time of the trace (0 for traces shorter than 2).
     #[must_use]
     pub fn mean_gap(&self) -> f64 {
@@ -150,6 +218,22 @@ impl ArrivalTrace {
         }
         let span = self.arrivals.last().unwrap() - self.arrivals[0];
         span / (self.arrivals.len() - 1) as f64
+    }
+
+    /// Coefficient of variation of the inter-arrival gaps (1 ≈ Poisson,
+    /// above 1 = bursty; 0 for traces shorter than 3).
+    #[must_use]
+    pub fn gap_cv(&self) -> f64 {
+        if self.arrivals.len() < 3 {
+            return 0.0;
+        }
+        let gaps: Vec<f64> = self.arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        var.sqrt() / mean
     }
 }
 
@@ -191,6 +275,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = ArrivalTrace::poisson(1, 10, 0.0);
+    }
+
+    #[test]
+    fn bursty_trace_is_sorted_deterministic_and_burstier_than_poisson() {
+        let a = ArrivalTrace::bursty(9, 3000, 10.0, 8.0, 2.0);
+        assert_eq!(a.arrivals.len(), 3000);
+        assert!(a.arrivals.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(a, ArrivalTrace::bursty(9, 3000, 10.0, 8.0, 2.0));
+        // Burstiness shows up as over-dispersed gaps vs the Poisson CV of 1.
+        let poisson = ArrivalTrace::poisson(9, 3000, 10.0);
+        assert!(
+            a.gap_cv() > 1.15 && a.gap_cv() > poisson.gap_cv(),
+            "bursty CV {} vs poisson CV {}",
+            a.gap_cv(),
+            poisson.gap_cv()
+        );
+    }
+
+    #[test]
+    fn burst_multiplier_one_degenerates_to_poisson_statistics() {
+        let t = ArrivalTrace::bursty(5, 4000, 20.0, 1.0, 1.0);
+        // Rate is unmodulated, so the mean gap matches 1/rate closely.
+        assert!((t.mean_gap() - 0.05).abs() < 0.005, "{}", t.mean_gap());
+        assert!((t.gap_cv() - 1.0).abs() < 0.1, "{}", t.gap_cv());
     }
 
     #[test]

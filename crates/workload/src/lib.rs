@@ -25,5 +25,5 @@ pub use generator::{
     sharegpt_like_lengths, ArrivalTrace, GeneratedRequest, LogNormalLengths, RequestBounds,
     RequestGenerator,
 };
-pub use scenarios::{PrimaryMetric, Scenario};
+pub use scenarios::{PrimaryMetric, ResilienceScenario, Scenario};
 pub use sweep::SweepPoint;

@@ -48,7 +48,13 @@ impl Scenario {
     /// Real-time chatbot: users expect a fast first token (§II-C).
     #[must_use]
     pub fn chatbot() -> Self {
-        Scenario { name: "chatbot".into(), metric: PrimaryMetric::Ttft, prompt_len: 256, gen_len: 64, batch: 1 }
+        Scenario {
+            name: "chatbot".into(),
+            metric: PrimaryMetric::Ttft,
+            prompt_len: 256,
+            gen_len: 64,
+            batch: 1,
+        }
     }
 
     /// Live translation: a slight startup delay is fine, but TPOT must keep
@@ -80,7 +86,11 @@ impl Scenario {
     /// All three §II-C scenarios.
     #[must_use]
     pub fn all() -> Vec<Scenario> {
-        vec![Self::chatbot(), Self::live_translation(), Self::batch_analytics()]
+        vec![
+            Self::chatbot(),
+            Self::live_translation(),
+            Self::batch_analytics(),
+        ]
     }
 }
 
@@ -90,6 +100,127 @@ impl fmt::Display for Scenario {
             f,
             "{} (optimizes {}, b={} in={} out={})",
             self.name, self.metric, self.batch, self.prompt_len, self.gen_len
+        )
+    }
+}
+
+/// A named stress condition for the resilience experiments: arrival
+/// shape, fault rates, and SLO targets as plain numbers (the core crate
+/// turns them into its fault/SLO policies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceScenario {
+    /// Scenario name.
+    pub name: String,
+    /// Mean arrival rate, requests per second.
+    pub arrival_rate_per_sec: f64,
+    /// Burst rate multiplier (1 = plain Poisson arrivals).
+    pub burst_multiplier: f64,
+    /// Mean calm/burst phase duration, seconds (ignored when
+    /// `burst_multiplier` is 1).
+    pub mean_phase_s: f64,
+    /// Per-iteration backend fault probability.
+    pub fault_prob: f64,
+    /// Per-iteration transient slowdown probability.
+    pub slowdown_prob: f64,
+    /// TTFT budget, seconds (`None` = no deadline).
+    pub ttft_slo_s: Option<f64>,
+    /// End-to-end budget, seconds (`None` = no deadline).
+    pub e2e_slo_s: Option<f64>,
+    /// Admission queue bound (`None` = admit everything).
+    pub queue_capacity: Option<usize>,
+}
+
+impl ResilienceScenario {
+    /// A healthy fleet serving steady traffic: no faults, no deadlines —
+    /// the baseline every other scenario is compared against.
+    #[must_use]
+    pub fn steady_healthy() -> Self {
+        ResilienceScenario {
+            name: "steady-healthy".into(),
+            arrival_rate_per_sec: 4.0,
+            burst_multiplier: 1.0,
+            mean_phase_s: 1.0,
+            fault_prob: 0.0,
+            slowdown_prob: 0.0,
+            ttft_slo_s: None,
+            e2e_slo_s: None,
+            queue_capacity: None,
+        }
+    }
+
+    /// Degraded hardware under steady traffic: iteration-level faults and
+    /// transient slowdowns, interactive SLOs enforced.
+    #[must_use]
+    pub fn degraded_node() -> Self {
+        ResilienceScenario {
+            name: "degraded-node".into(),
+            arrival_rate_per_sec: 4.0,
+            burst_multiplier: 1.0,
+            mean_phase_s: 1.0,
+            fault_prob: 0.02,
+            slowdown_prob: 0.05,
+            ttft_slo_s: Some(2.0),
+            e2e_slo_s: Some(20.0),
+            queue_capacity: Some(32),
+        }
+    }
+
+    /// A traffic spike against healthy hardware: bursty arrivals that
+    /// saturate the bounded queue and force load shedding.
+    #[must_use]
+    pub fn burst_overload() -> Self {
+        ResilienceScenario {
+            name: "burst-overload".into(),
+            arrival_rate_per_sec: 6.0,
+            burst_multiplier: 8.0,
+            mean_phase_s: 2.0,
+            fault_prob: 0.0,
+            slowdown_prob: 0.0,
+            ttft_slo_s: Some(2.0),
+            e2e_slo_s: Some(20.0),
+            queue_capacity: Some(16),
+        }
+    }
+
+    /// Everything at once: bursty traffic on degraded hardware — the
+    /// worst-case condition the resilience layer is designed for.
+    #[must_use]
+    pub fn burst_on_degraded() -> Self {
+        ResilienceScenario {
+            name: "burst-on-degraded".into(),
+            arrival_rate_per_sec: 6.0,
+            burst_multiplier: 8.0,
+            mean_phase_s: 2.0,
+            fault_prob: 0.02,
+            slowdown_prob: 0.05,
+            ttft_slo_s: Some(2.0),
+            e2e_slo_s: Some(20.0),
+            queue_capacity: Some(16),
+        }
+    }
+
+    /// All resilience stress scenarios, mildest first.
+    #[must_use]
+    pub fn all() -> Vec<ResilienceScenario> {
+        vec![
+            Self::steady_healthy(),
+            Self::degraded_node(),
+            Self::burst_overload(),
+            Self::burst_on_degraded(),
+        ]
+    }
+}
+
+impl fmt::Display for ResilienceScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}/s x{} bursts, fault {:.1}%, slowdown {:.1}%)",
+            self.name,
+            self.arrival_rate_per_sec,
+            self.burst_multiplier,
+            self.fault_prob * 100.0,
+            self.slowdown_prob * 100.0
         )
     }
 }
@@ -111,5 +242,28 @@ mod tests {
         let c = Scenario::chatbot();
         assert_eq!(c.metric, PrimaryMetric::Ttft);
         assert_eq!(c.batch, 1);
+    }
+
+    #[test]
+    fn resilience_scenarios_escalate_from_a_clean_baseline() {
+        let all = ResilienceScenario::all();
+        assert_eq!(all.len(), 4);
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+        let baseline = &all[0];
+        assert_eq!(baseline.fault_prob, 0.0);
+        assert_eq!(baseline.queue_capacity, None);
+        // Every stressed scenario enforces SLOs and perturbs at least one axis.
+        for s in &all[1..] {
+            assert!(
+                s.ttft_slo_s.is_some() && s.e2e_slo_s.is_some(),
+                "{}",
+                s.name
+            );
+            assert!(s.fault_prob > 0.0 || s.burst_multiplier > 1.0, "{}", s.name);
+        }
+        let worst = ResilienceScenario::burst_on_degraded();
+        assert!(worst.fault_prob > 0.0 && worst.burst_multiplier > 1.0);
+        assert!(worst.to_string().contains("burst-on-degraded"));
     }
 }

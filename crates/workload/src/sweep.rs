@@ -32,7 +32,12 @@ pub fn paper_grid() -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for m in families::all_paper_models() {
         for &b in &PAPER_BATCHES {
-            points.push(SweepPoint { model: m.name.clone(), batch: b, prompt_len: 128, gen_len: 32 });
+            points.push(SweepPoint {
+                model: m.name.clone(),
+                batch: b,
+                prompt_len: 128,
+                gen_len: 32,
+            });
         }
     }
     points
@@ -44,7 +49,12 @@ pub fn seq_len_grid(batch: u64) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for m in families::all_paper_models() {
         for &s in &PAPER_SEQ_LENS {
-            points.push(SweepPoint { model: m.name.clone(), batch, prompt_len: s, gen_len: 32 });
+            points.push(SweepPoint {
+                model: m.name.clone(),
+                batch,
+                prompt_len: s,
+                gen_len: 32,
+            });
         }
     }
     points

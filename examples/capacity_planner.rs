@@ -51,7 +51,11 @@ fn main() -> Result<(), SimError> {
             format!("{weights}"),
             format!("{kv}"),
             gpus.to_string(),
-            if spr_run.is_ok() { "yes".into() } else { "no".into() },
+            if spr_run.is_ok() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             show(&spr_run),
             show(&h100_run),
         ]);

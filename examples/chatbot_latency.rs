@@ -52,9 +52,7 @@ fn main() -> Result<(), SimError> {
         };
         let winner = [("CPU", &rc), ("A100", &ra), ("H100", &rh)]
             .into_iter()
-            .max_by(|a, b| {
-                score(scenario.metric, a.1).total_cmp(&score(scenario.metric, b.1))
-            })
+            .max_by(|a, b| score(scenario.metric, a.1).total_cmp(&score(scenario.metric, b.1)))
             .map(|(n, _)| n)
             .unwrap_or("?");
         table.row(vec![

@@ -12,7 +12,9 @@ use llmsim::model::{families, DType};
 use llmsim::report::Table;
 
 fn main() -> Result<(), SimError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "LLaMA2-13B".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LLaMA2-13B".to_owned());
     let model = families::by_name(&name)
         .ok_or_else(|| llmsim::core::SimError::InvalidRequest(format!("unknown model {name}")))?;
     let req = Request::paper_default(8);
@@ -30,8 +32,7 @@ fn main() -> Result<(), SimError> {
     let mut best: Option<(String, f64)> = None;
     for numa in NumaConfig::PAPER_SWEEP {
         for cores in [12u32, 24, 48, 96] {
-            let backend =
-                CpuBackend::new(presets::spr_max_9468(), numa, cores, DType::Bf16)?;
+            let backend = CpuBackend::new(presets::spr_max_9468(), numa, cores, DType::Bf16)?;
             let r = backend.run(&model, &req)?;
             let label = format!("{numa} {cores}c");
             table.row(vec![

@@ -37,12 +37,22 @@ fn main() -> Result<(), SimError> {
                 format!("{:.2}", r.e2e_throughput())
             }
         };
-        let best = [("CPU", c.e2e_throughput()), ("A100", a.e2e_throughput()), ("H100", h.e2e_throughput())]
-            .into_iter()
-            .max_by(|x, y| x.1.total_cmp(&y.1))
-            .map(|(n, _)| n)
-            .unwrap_or("?");
-        table.row(vec![model.name.clone(), mark(&c), mark(&a), mark(&h), best.to_owned()]);
+        let best = [
+            ("CPU", c.e2e_throughput()),
+            ("A100", a.e2e_throughput()),
+            ("H100", h.e2e_throughput()),
+        ]
+        .into_iter()
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .map(|(n, _)| n)
+        .unwrap_or("?");
+        table.row(vec![
+            model.name.clone(),
+            mark(&c),
+            mark(&a),
+            mark(&h),
+            best.to_owned(),
+        ]);
     }
 
     println!("End-to-end throughput at batch 1 ('*' = GPU offloading over PCIe)");

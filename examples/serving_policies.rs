@@ -16,7 +16,10 @@ use llmsim::report::Table;
 use llmsim::workload::{sharegpt_like_lengths, ArrivalTrace};
 
 fn main() {
-    let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
     let model = families::opt_6_7b();
     let backend = CpuBackend::paper_spr();
 
@@ -57,7 +60,10 @@ fn main() {
         let rep = simulate(
             &backend,
             &model,
-            &ServingConfig { max_batch: 8, policy },
+            &ServingConfig {
+                max_batch: 8,
+                policy,
+            },
             &requests,
         );
         table.row(vec![

@@ -58,9 +58,10 @@ fn parse(args: &[String]) -> Result<Command, String> {
     }
     let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.to_owned());
     let get_u64 = |k: &str, d: u64| -> Result<u64, String> {
-        flags
-            .get(k)
-            .map_or(Ok(d), |v| v.parse().map_err(|_| format!("--{k} must be a number, got '{v}'")))
+        flags.get(k).map_or(Ok(d), |v| {
+            v.parse()
+                .map_err(|_| format!("--{k} must be a number, got '{v}'"))
+        })
     };
     match cmd.as_str() {
         "models" => Ok(Command::Models),
@@ -76,7 +77,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
             batch: get_u64("batch", 1)?,
             prompt: get_u64("in", 128)?,
             gen: get_u64("out", 32)?,
-            cores: u32::try_from(get_u64("cores", 48)?).map_err(|_| "--cores too large".to_owned())?,
+            cores: u32::try_from(get_u64("cores", 48)?)
+                .map_err(|_| "--cores too large".to_owned())?,
             numa: get("numa", "quad_flat"),
             int8: bools.contains("int8"),
         }),
@@ -240,7 +242,12 @@ mod tests {
     fn parse_defaults() {
         let cmd = parse(&args("run")).unwrap();
         match cmd {
-            Command::Run { model, backend, batch, .. } => {
+            Command::Run {
+                model,
+                backend,
+                batch,
+                ..
+            } => {
                 assert_eq!(model, "LLaMA2-13B");
                 assert_eq!(backend, "spr");
                 assert_eq!(batch, 1);
@@ -267,15 +274,19 @@ mod tests {
 
     #[test]
     fn execute_footprint() {
-        let out = execute(Command::Footprint { model: "OPT-66B".into(), seq: 4096, batch: 32 })
-            .unwrap();
+        let out = execute(Command::Footprint {
+            model: "OPT-66B".into(),
+            seq: 4096,
+            batch: 32,
+        })
+        .unwrap();
         assert!(out.contains("min H100-80GB for weights: 2"), "{out}");
     }
 
     #[test]
     fn execute_run_cpu_and_offloaded_gpu() {
-        let cpu = execute(parse(&args("run --model OPT-13B --backend spr --batch 2")).unwrap())
-            .unwrap();
+        let cpu =
+            execute(parse(&args("run --model OPT-13B --backend spr --batch 2")).unwrap()).unwrap();
         assert!(cpu.contains("TTFT"), "{cpu}");
         let gpu = execute(parse(&args("run --model OPT-66B --backend a100")).unwrap()).unwrap();
         assert!(gpu.contains("offloading:"), "{gpu}");
@@ -283,7 +294,12 @@ mod tests {
 
     #[test]
     fn execute_rejects_unknown_model_and_backend() {
-        assert!(execute(Command::Footprint { model: "GPT-5".into(), seq: 1, batch: 1 }).is_err());
+        assert!(execute(Command::Footprint {
+            model: "GPT-5".into(),
+            seq: 1,
+            batch: 1
+        })
+        .is_err());
         let bad = parse(&args("run --backend tpu")).unwrap();
         assert!(execute(bad).is_err());
     }

@@ -39,7 +39,10 @@ fn analytic_residency_matches_lru_simulator() {
             // rule keeps a capacity/ws fraction. The rule must never be
             // *more* pessimistic than LRU by a wide margin, and both must
             // agree the reuse is far from full.
-            assert!(measured_resident < 0.1, "LRU should thrash: {measured_resident}");
+            assert!(
+                measured_resident < 0.1,
+                "LRU should thrash: {measured_resident}"
+            );
             assert!(predicted <= 0.55, "prediction too optimistic: {predicted}");
         }
     }
@@ -49,7 +52,12 @@ fn analytic_residency_matches_lru_simulator() {
 /// cycle accounting on shapes small enough to emulate.
 #[test]
 fn analytic_amx_cycles_track_emulated_cycles() {
-    for &(m, n, k) in &[(16usize, 16usize, 32usize), (32, 32, 64), (64, 48, 96), (48, 64, 128)] {
+    for &(m, n, k) in &[
+        (16usize, 16usize, 32usize),
+        (32, 32, 64),
+        (64, 48, 96),
+        (48, 64, 128),
+    ] {
         let a = vec![0.5f32; m * k];
         let b = vec![0.25f32; k * n];
         let emulated = amx_gemm_f32_inputs(&a, &b, m, n, k).unit.elapsed_cycles() as f64;

@@ -58,10 +58,17 @@ fn key_finding_2_quad_flat_best() {
             .unwrap()
     };
     let best = run(NumaConfig::QUAD_FLAT);
-    for other in [NumaConfig::QUAD_CACHE, NumaConfig::SNC_FLAT, NumaConfig::SNC_CACHE] {
+    for other in [
+        NumaConfig::QUAD_CACHE,
+        NumaConfig::SNC_FLAT,
+        NumaConfig::SNC_CACHE,
+    ] {
         let r = run(other);
         assert!(best.e2e_latency <= r.e2e_latency, "{other} latency");
-        assert!(best.e2e_throughput() >= r.e2e_throughput(), "{other} throughput");
+        assert!(
+            best.e2e_throughput() >= r.e2e_throughput(),
+            "{other} throughput"
+        );
         assert!(best.ttft <= r.ttft, "{other} ttft");
         assert!(best.tpot <= r.tpot, "{other} tpot");
     }
@@ -74,8 +81,13 @@ fn key_finding_2_quad_flat_best() {
 #[test]
 fn key_finding_3_48_cores_sweet_spot() {
     let run = |cores| {
-        CpuBackend::new(presets::spr_max_9468(), NumaConfig::QUAD_FLAT, cores, DType::Bf16)
-            .unwrap()
+        CpuBackend::new(
+            presets::spr_max_9468(),
+            NumaConfig::QUAD_FLAT,
+            cores,
+            DType::Bf16,
+        )
+        .unwrap()
     };
     let mut lat_gain = Vec::new();
     for model in families::all_paper_models() {
@@ -84,14 +96,25 @@ fn key_finding_3_48_cores_sweet_spot() {
             let t12 = run(12).run(&model, &req).unwrap();
             let t48 = run(48).run(&model, &req).unwrap();
             let t96 = run(96).run(&model, &req).unwrap();
-            assert!(t48.e2e_latency < t12.e2e_latency, "{} b{batch} 48<12", model.name);
-            assert!(t48.e2e_latency < t96.e2e_latency, "{} b{batch} 48<96", model.name);
+            assert!(
+                t48.e2e_latency < t12.e2e_latency,
+                "{} b{batch} 48<12",
+                model.name
+            );
+            assert!(
+                t48.e2e_latency < t96.e2e_latency,
+                "{} b{batch} 48<96",
+                model.name
+            );
             lat_gain.push(1.0 - t48.e2e_latency.as_f64() / t12.e2e_latency.as_f64());
         }
     }
     let mean = lat_gain.iter().sum::<f64>() / lat_gain.len() as f64 * 100.0;
     // Paper: 59.8% (allow 40–75%).
-    assert!((40.0..75.0).contains(&mean), "mean 48-vs-12 latency reduction {mean}%");
+    assert!(
+        (40.0..75.0).contains(&mean),
+        "mean 48-vs-12 latency reduction {mean}%"
+    );
 }
 
 /// Key Finding #4: "Overall, GPUs outperform CPUs in LLM inference, but
@@ -119,14 +142,20 @@ fn key_finding_4_offload_crossover() {
     let a30 = a100.run(&m30, &req).unwrap();
     assert!(a30.offload.is_some());
     let gain30 = c30.e2e_throughput() / a30.e2e_throughput();
-    assert!((6.0..25.0).contains(&gain30), "OPT-30B CPU/A100 gain {gain30}");
+    assert!(
+        (6.0..25.0).contains(&gain30),
+        "OPT-30B CPU/A100 gain {gain30}"
+    );
 
     let m66 = families::opt_66b();
     let c66 = cpu.run(&m66, &req).unwrap();
     let h66 = h100.run(&m66, &req).unwrap();
     assert!(h66.offload.is_some());
     let gain66 = c66.e2e_throughput() / h66.e2e_throughput();
-    assert!((2.0..10.0).contains(&gain66), "OPT-66B CPU/H100 gain {gain66}");
+    assert!(
+        (2.0..10.0).contains(&gain66),
+        "OPT-66B CPU/H100 gain {gain66}"
+    );
 }
 
 /// Key Finding #5: "For larger batch sizes, GPUs outperform CPUs in small
@@ -150,7 +179,10 @@ fn key_finding_5_long_sequences_erode_cpu_lead() {
         // The CPU:H100 latency ratio grows monotonically with sequence
         // length — the paper's crossover direction.
         let ratio = c.e2e_latency.as_f64() / h.e2e_latency.as_f64();
-        assert!(ratio > prev_ratio, "seq {seq}: ratio {ratio} vs {prev_ratio}");
+        assert!(
+            ratio > prev_ratio,
+            "seq {seq}: ratio {ratio} vs {prev_ratio}"
+        );
         prev_ratio = ratio;
     }
     // At batch 1 (Fig. 20) the CPU keeps the lead at *every* length.
@@ -158,7 +190,10 @@ fn key_finding_5_long_sequences_erode_cpu_lead() {
         let req = Request::new(1, seq, 32);
         let c = cpu.run(&m, &req).unwrap();
         let h = h100.run(&m, &req).unwrap();
-        assert!(c.e2e_latency < h.e2e_latency, "batch-1 CPU lead at seq {seq}");
+        assert!(
+            c.e2e_latency < h.e2e_latency,
+            "batch-1 CPU lead at seq {seq}"
+        );
     }
 }
 

@@ -33,13 +33,26 @@ fn policy_ladder_on_sharegpt_traffic() {
     let backend = CpuBackend::paper_spr();
     let requests = sharegpt_requests(32, 4.0);
     let run = |policy| {
-        simulate(&backend, &model, &ServingConfig { max_batch: 8, policy }, &requests)
+        simulate(
+            &backend,
+            &model,
+            &ServingConfig {
+                max_batch: 8,
+                policy,
+            },
+            &requests,
+        )
     };
     let st = run(SchedulingPolicy::Static);
     let it = run(SchedulingPolicy::IterationLevel);
     let ch = run(SchedulingPolicy::ChunkedPrefill { chunk_tokens: 256 });
 
-    assert!(it.throughput() > st.throughput(), "{} vs {}", it.throughput(), st.throughput());
+    assert!(
+        it.throughput() > st.throughput(),
+        "{} vs {}",
+        it.throughput(),
+        st.throughput()
+    );
     assert!(ch.throughput() > 0.9 * it.throughput());
     assert!(ch.max_decode_stall_s < it.max_decode_stall_s);
     // All three serve every request and the same token count.
@@ -51,10 +64,13 @@ fn policy_ladder_on_sharegpt_traffic() {
 /// Serving on an INT8-quantized backend is strictly faster than BF16 —
 /// the extensions compose.
 #[test]
-fn quantized_backend_composes_with_serving()  {
+fn quantized_backend_composes_with_serving() {
     let model = families::llama2_13b();
     let requests = sharegpt_requests(12, 2.0);
-    let cfg = ServingConfig { max_batch: 4, policy: SchedulingPolicy::IterationLevel };
+    let cfg = ServingConfig {
+        max_batch: 4,
+        policy: SchedulingPolicy::IterationLevel,
+    };
     let bf16 = simulate(&CpuBackend::paper_spr(), &model, &cfg, &requests);
     let int8 = simulate(
         &CpuBackend::paper_spr().with_weight_dtype(llmsim::model::DType::Int8),
@@ -77,11 +93,19 @@ fn hybrid_backend_end_to_end() {
         let req = Request::new(b, s, 16);
         let h = hybrid.run(&m, &req).unwrap();
         let c = cpu.run(&m, &req).unwrap();
-        assert!(h.e2e_latency.as_f64() <= c.e2e_latency.as_f64() * 1.000001, "b={b} s={s}");
+        assert!(
+            h.e2e_latency.as_f64() <= c.e2e_latency.as_f64() * 1.000001,
+            "b={b} s={s}"
+        );
     }
     // Long prompt: strict win via GPU prefill.
     let req = Request::new(8, 2048, 16);
     let h = hybrid.run(&m, &req).unwrap();
     let c = cpu.run(&m, &req).unwrap();
-    assert!(h.ttft.as_f64() < 0.9 * c.ttft.as_f64(), "hybrid TTFT {} vs {}", h.ttft, c.ttft);
+    assert!(
+        h.ttft.as_f64() < 0.9 * c.ttft.as_f64(),
+        "hybrid TTFT {} vs {}",
+        h.ttft,
+        c.ttft
+    );
 }

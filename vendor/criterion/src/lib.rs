@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate keeps the
+//! workspace's `cargo bench` targets compiling and runnable. Each
+//! benchmark body is executed a handful of times and timed with
+//! `std::time::Instant` — a smoke run with rough numbers, not a
+//! statistical benchmark. The API mirrors the criterion 0.5 subset the
+//! bench files use: `Criterion::bench_function`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark body in the smoke run.
+const SMOKE_ITERS: u32 = 3;
+
+/// Measurement driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `body` a few times and records the mean wall-clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..SMOKE_ITERS {
+            black_box(body());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() / u128::from(SMOKE_ITERS);
+        self.iters = SMOKE_ITERS;
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id with an optional parameter, like criterion's.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("bench {name}: ~{} ns/iter (smoke run)", b.elapsed_ns);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput (recorded for display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (ignored by the smoke run).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!(
+            "bench {}/{name}: ~{} ns/iter (smoke run)",
+            self.name, b.elapsed_ns
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        println!(
+            "bench {}/{id}: ~{} ns/iter (smoke run)",
+            self.name, b.elapsed_ns
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

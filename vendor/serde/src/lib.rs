@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize` / `Deserialize` names used across the
+//! workspace: the derive macros (which expand to nothing) and marker
+//! traits with blanket impls (so `T: Serialize` bounds always hold).
+//! See `vendor/serde_derive` for why this exists.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented.
+pub mod de {
+    /// Owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
