@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmsim_isa::avx512::avx512_gemm_bf16;
 use llmsim_isa::bf16::{quantize_slice, Bf16};
-use llmsim_isa::gemm::{amx_gemm_bf16, reference_gemm_f32};
+use llmsim_isa::gemm::{amx_gemm_bf16, amx_gemm_bf16_legacy, reference_gemm_f32};
+use llmsim_isa::parallel::amx_gemm_bf16_parallel;
 use llmsim_isa::timing::{amx_timing, gemm_efficiency, EngineKind, GemmShape};
 use std::hint::black_box;
 
@@ -26,6 +27,20 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("amx_emulated", size), &size, |bench, _| {
             bench.iter(|| amx_gemm_bf16(black_box(&a_bf), black_box(&b_bf), size, size, size));
         });
+        g.bench_with_input(BenchmarkId::new("amx_legacy", size), &size, |bench, _| {
+            bench.iter(|| {
+                amx_gemm_bf16_legacy(black_box(&a_bf), black_box(&b_bf), size, size, size)
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("amx_parallel_4core", size),
+            &size,
+            |bench, _| {
+                bench.iter(|| {
+                    amx_gemm_bf16_parallel(black_box(&a_bf), black_box(&b_bf), size, size, size, 4)
+                });
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("avx512_emulated", size),
             &size,

@@ -7,7 +7,8 @@
 
 use llmsim_core::calib;
 use llmsim_hw::{presets, GpuSpec};
-use llmsim_isa::timing::{amx_timing, avx512_timing, GemmShape};
+use llmsim_isa::parallel::sharded_cycles;
+use llmsim_isa::timing::{EngineKind, GemmShape};
 use llmsim_report::{Series, Table};
 
 /// Square matrix sizes swept (paper's x-axis spans small to large GEMMs).
@@ -24,25 +25,30 @@ pub struct GemmCurve {
 
 /// Modeled TFLOPS of an `n³` GEMM on a CPU using all cores of one socket.
 ///
-/// The ISA timing model gives single-core kernel cycles; a socket-parallel
-/// GEMM divides the tile space across cores (with the parallel-efficiency
-/// calibration) and is additionally capped by socket memory bandwidth.
+/// Socket parallelism is modeled by sharding the tile-row space across
+/// cores ([`sharded_cycles`]): the socket finishes when the straggler core
+/// (the one holding the most bands) finishes, which captures the band
+/// quantization that starves small GEMMs instead of assuming a perfectly
+/// divisible workload. The parallel-efficiency calibration still derates
+/// for synchronization/imbalance beyond band granularity, and throughput
+/// is additionally capped by socket memory bandwidth.
 fn cpu_gemm_tflops(n: u64, amx: bool) -> f64 {
     let shape = GemmShape::new(n, n, n);
-    let (cycles, cores, freq, bw) = if amx {
+    let (engine, cores, freq, bw) = if amx {
         let spr = presets::spr_max_9468();
         let bw = spr.hbm.as_ref().expect("SPR has HBM").bandwidth_per_socket;
-        (amx_timing(shape).cycles, 48.0, spr.frequency.as_f64(), bw)
+        (EngineKind::AmxBf16, 48u64, spr.frequency.as_f64(), bw)
     } else {
         let icl = presets::icl_8352y();
         (
-            avx512_timing(shape).cycles,
-            32.0,
+            EngineKind::Avx512Bf16,
+            32u64,
             icl.frequency.as_f64(),
             icl.ddr.bandwidth_per_socket,
         )
     };
-    let time_compute = cycles / freq / (cores * calib::CPU_PARALLEL_EFF);
+    let straggler_cycles = sharded_cycles(engine, shape, cores);
+    let time_compute = straggler_cycles / freq / calib::CPU_PARALLEL_EFF;
     let bytes = 3.0 * (n * n) as f64 * 2.0; // A, B, C in BF16
     let time_mem = bytes / (bw.bytes_per_sec() * calib::CPU_PREFILL_BW_DERATE);
     shape.flops() / time_compute.max(time_mem) / 1e12

@@ -18,77 +18,113 @@ pub mod fig18_offload;
 pub mod fig20_21_seqlen;
 pub mod tables;
 
-/// Renders every experiment in paper order (the `all_experiments` binary).
+type Section = Box<dyn Fn() -> String + Send + Sync>;
+
+/// The experiment sections in paper order. Each closure is independent of
+/// the others (figures 8–10 share one `CpuComparison::run()` inside a single
+/// section), so they can be rendered concurrently and joined in order.
+fn sections() -> Vec<Section> {
+    vec![
+        Box::new(tables::render_table1),
+        Box::new(tables::render_table2),
+        Box::new(fig01_gemm::render),
+        Box::new(fig06_07_footprints::render_fig6),
+        Box::new(fig06_07_footprints::render_fig7),
+        Box::new(|| {
+            let cmp = fig08_10_cpu_comparison::CpuComparison::run();
+            [
+                fig08_10_cpu_comparison::render_fig8(&cmp),
+                fig08_10_cpu_comparison::render_fig9(&cmp),
+                fig08_10_cpu_comparison::render_fig10(&cmp),
+            ]
+            .join("\n")
+        }),
+        Box::new(|| fig11_12_counters::render(&fig11_12_counters::run_fig11(), "Fig. 11")),
+        Box::new(|| fig11_12_counters::render(&fig11_12_counters::run_fig12(), "Fig. 12")),
+        Box::new(|| fig13_15_numa::render_fig13(&fig13_15_numa::run_fig13())),
+        Box::new(|| fig14_16_cores::render_fig14(&fig14_16_cores::run_fig14())),
+        Box::new(|| fig13_15_numa::render_fig15(&fig13_15_numa::run_fig15())),
+        Box::new(|| fig14_16_cores::render_fig16(&fig14_16_cores::run_fig16())),
+        Box::new(|| fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(1), "Fig. 17", 1)),
+        Box::new(|| fig18_offload::render(&fig18_offload::run())),
+        Box::new(|| fig17_19_cpu_vs_gpu::render(&fig17_19_cpu_vs_gpu::run(16), "Fig. 19", 16)),
+        Box::new(|| fig20_21_seqlen::render(&fig20_21_seqlen::run(1), "Fig. 20")),
+        Box::new(|| fig20_21_seqlen::render(&fig20_21_seqlen::run(16), "Fig. 21")),
+        Box::new(ablations::render),
+        Box::new(extensions::render),
+        Box::new(ext_memory::render),
+        Box::new(ext_speculative::render),
+        Box::new(ext_resilience::render),
+    ]
+}
+
+/// Renders every experiment in paper order (the `all_experiments` binary),
+/// fanning the independent sections out across `workers` threads. Output is
+/// byte-identical to the serial rendering: workers claim sections through an
+/// atomic cursor, publish into disjoint [`std::sync::OnceLock`] slots, and
+/// the slots are joined in paper order afterwards.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a section panics.
+#[must_use]
+pub fn render_all_with_workers(workers: usize) -> String {
+    assert!(workers > 0, "need at least one worker");
+    let sections = sections();
+    let slots: Vec<std::sync::OnceLock<String>> = (0..sections.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(sections.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= sections.len() {
+                    break;
+                }
+                let text = sections[i]();
+                slots[i]
+                    .set(text)
+                    .unwrap_or_else(|_| panic!("section {i} rendered twice"));
+            });
+        }
+    });
+
+    let rendered: Vec<String> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every section was rendered"))
+        .collect();
+    rendered.join("\n")
+}
+
+/// Default worker count for [`render_all`]: the machine's parallelism,
+/// capped by the number of sections.
+#[must_use]
+pub fn default_render_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Renders every experiment in paper order using the default worker count.
 #[must_use]
 pub fn render_all() -> String {
-    let mut out = String::new();
-    out.push_str(&tables::render_table1());
-    out.push('\n');
-    out.push_str(&tables::render_table2());
-    out.push('\n');
-    out.push_str(&fig01_gemm::render());
-    out.push('\n');
-    out.push_str(&fig06_07_footprints::render_fig6());
-    out.push('\n');
-    out.push_str(&fig06_07_footprints::render_fig7());
-    out.push('\n');
-    let cmp = fig08_10_cpu_comparison::CpuComparison::run();
-    out.push_str(&fig08_10_cpu_comparison::render_fig8(&cmp));
-    out.push('\n');
-    out.push_str(&fig08_10_cpu_comparison::render_fig9(&cmp));
-    out.push('\n');
-    out.push_str(&fig08_10_cpu_comparison::render_fig10(&cmp));
-    out.push('\n');
-    out.push_str(&fig11_12_counters::render(
-        &fig11_12_counters::run_fig11(),
-        "Fig. 11",
-    ));
-    out.push('\n');
-    out.push_str(&fig11_12_counters::render(
-        &fig11_12_counters::run_fig12(),
-        "Fig. 12",
-    ));
-    out.push('\n');
-    out.push_str(&fig13_15_numa::render_fig13(&fig13_15_numa::run_fig13()));
-    out.push('\n');
-    out.push_str(&fig14_16_cores::render_fig14(&fig14_16_cores::run_fig14()));
-    out.push('\n');
-    out.push_str(&fig13_15_numa::render_fig15(&fig13_15_numa::run_fig15()));
-    out.push('\n');
-    out.push_str(&fig14_16_cores::render_fig16(&fig14_16_cores::run_fig16()));
-    out.push('\n');
-    out.push_str(&fig17_19_cpu_vs_gpu::render(
-        &fig17_19_cpu_vs_gpu::run(1),
-        "Fig. 17",
-        1,
-    ));
-    out.push('\n');
-    out.push_str(&fig18_offload::render(&fig18_offload::run()));
-    out.push('\n');
-    out.push_str(&fig17_19_cpu_vs_gpu::render(
-        &fig17_19_cpu_vs_gpu::run(16),
-        "Fig. 19",
-        16,
-    ));
-    out.push('\n');
-    out.push_str(&fig20_21_seqlen::render(
-        &fig20_21_seqlen::run(1),
-        "Fig. 20",
-    ));
-    out.push('\n');
-    out.push_str(&fig20_21_seqlen::render(
-        &fig20_21_seqlen::run(16),
-        "Fig. 21",
-    ));
-    out.push('\n');
-    out.push_str(&ablations::render());
-    out.push('\n');
-    out.push_str(&extensions::render());
-    out.push('\n');
-    out.push_str(&ext_memory::render());
-    out.push('\n');
-    out.push_str(&ext_speculative::render());
-    out.push('\n');
-    out.push_str(&ext_resilience::render());
-    out
+    render_all_with_workers(default_render_workers())
+}
+
+#[cfg(test)]
+mod render_all_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_render_is_byte_identical_to_serial() {
+        let serial = render_all_with_workers(1);
+        let parallel = render_all_with_workers(8);
+        assert_eq!(serial, parallel);
+        // Sections land in paper order regardless of completion order.
+        let t1 = serial.find("Table I").expect("Table I present");
+        let fig20 = serial.find("Fig. 20").expect("Fig. 20 present");
+        assert!(t1 < fig20);
+    }
 }

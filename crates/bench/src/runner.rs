@@ -2,10 +2,15 @@
 
 use llmsim_core::{Backend, InferenceReport, Request, SimError};
 use llmsim_workload::SweepPoint;
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// Runs every sweep point against `backend` across `workers` threads,
 /// preserving input order in the output.
+///
+/// Workers claim points through an atomic cursor and publish each result
+/// into its own pre-allocated [`OnceLock`] slot, so there is no shared lock
+/// on the result vector: slots are disjoint by construction and each is
+/// written exactly once by whichever worker claimed that index.
 ///
 /// # Errors
 ///
@@ -20,8 +25,8 @@ pub fn run_sweep<B: Backend + Sync>(
     workers: usize,
 ) -> Result<Vec<InferenceReport>, SimError> {
     assert!(workers > 0, "need at least one worker");
-    let results: Mutex<Vec<Option<Result<InferenceReport, SimError>>>> =
-        Mutex::new(vec![None; points.len()]);
+    let slots: Vec<OnceLock<Result<InferenceReport, SimError>>> =
+        (0..points.len()).map(|_| OnceLock::new()).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|s| {
@@ -35,16 +40,16 @@ pub fn run_sweep<B: Backend + Sync>(
                 let model = llmsim_workload::sweep::resolve_model(p);
                 let out = Request::try_new(p.batch, p.prompt_len, p.gen_len)
                     .and_then(|req| backend.run(&model, &req));
-                results.lock().expect("no poisoned workers")[i] = Some(out);
+                slots[i]
+                    .set(out)
+                    .unwrap_or_else(|_| panic!("slot {i} claimed twice"));
             });
         }
     });
 
-    results
-        .into_inner()
-        .expect("no poisoned workers")
+    slots
         .into_iter()
-        .map(|r| r.expect("every point was visited"))
+        .map(|slot| slot.into_inner().expect("every point was visited"))
         .collect()
 }
 
@@ -65,5 +70,14 @@ mod tests {
             assert_eq!(a.model, b.model);
             assert!((a.e2e_latency.as_f64() - b.e2e_latency.as_f64()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn oversubscribed_workers_match_serial() {
+        let backend = CpuBackend::paper_spr();
+        let points: Vec<_> = sweep::paper_grid().into_iter().take(3).collect();
+        // More workers than points: extra workers exit without claiming.
+        let par = run_sweep(&backend, &points, 16).unwrap();
+        assert_eq!(par.len(), points.len());
     }
 }

@@ -190,10 +190,24 @@ impl AmxUnit {
         for r in 0..usize::from(shape.rows) {
             let base = r * stride_elems;
             assert!(base + cols <= src.len(), "source smaller than tile load");
-            for c in 0..cols {
-                self.tiles[idx].set_bf16(r, c, src[base + c]);
-            }
+            self.tiles[idx].set_row_bf16(r, &src[base..base + cols]);
         }
+        self.stats.tileload += 1;
+        self.ls_cycles += self.cost.tileload_cycles;
+    }
+
+    /// `TILELOADD` of a pre-packed tile image: a straight 1 KiB copy from a
+    /// tile prepared ahead of time (e.g. VNNI-packed B blocks packed once
+    /// per GEMM instead of once per k-step). Charges exactly one tile load,
+    /// like [`AmxUnit::tileload_bf16`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is unconfigured or `src`'s shape differs from the
+    /// configured shape of tile `idx`.
+    pub fn tileload_tile(&mut self, idx: usize, src: &crate::tile::Tile) {
+        self.check_configured();
+        self.tiles[idx].copy_from(src);
         self.stats.tileload += 1;
         self.ls_cycles += self.cost.tileload_cycles;
     }
@@ -222,15 +236,31 @@ impl AmxUnit {
         self.check_configured();
         let shape = self.tiles[idx].shape();
         let cols = usize::from(shape.colsb) / 4;
-        let mut out = Vec::with_capacity(usize::from(shape.rows) * cols);
-        for r in 0..usize::from(shape.rows) {
-            for c in 0..cols {
-                out.push(self.tiles[idx].f32_at(r, c));
-            }
+        let mut out = vec![0.0f32; usize::from(shape.rows) * cols];
+        self.tilestore_f32_into(idx, &mut out);
+        out
+    }
+
+    /// `TILESTORED` into a caller-provided buffer (`rows × colsb/4` f32,
+    /// row-major) — the zero-allocation twin of [`AmxUnit::tilestore_f32`],
+    /// charging the same single store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is unconfigured or `out` is not exactly
+    /// `rows × colsb/4` long.
+    pub fn tilestore_f32_into(&mut self, idx: usize, out: &mut [f32]) {
+        self.check_configured();
+        let shape = self.tiles[idx].shape();
+        let cols = usize::from(shape.colsb) / 4;
+        let rows = usize::from(shape.rows);
+        assert_eq!(out.len(), rows * cols, "store buffer size mismatch");
+        for (r, chunk) in out.chunks_exact_mut(cols).enumerate() {
+            let row = self.tiles[idx].row_f32(r);
+            chunk.copy_from_slice(&row[..cols]);
         }
         self.stats.tilestore += 1;
         self.ls_cycles += self.cost.tilestore_cycles;
-        out
     }
 
     /// `TDPBF16PS tmm{dst}, tmm{a}, tmm{b}`.
@@ -250,6 +280,32 @@ impl AmxUnit {
         let a_t = self.tiles[a].clone();
         let b_t = self.tiles[b].clone();
         tmul::tdpbf16ps(&mut self.tiles[dst], &a_t, &b_t);
+        self.stats.tdpbf16ps += 1;
+        self.tmul_cycles += self.cost.tdp_issue_cycles;
+        let m = f64::from(self.tiles[dst].shape().rows);
+        let n = f64::from(self.tiles[dst].shape().colsb) / 4.0;
+        let k = f64::from(a_t.shape().colsb) / 2.0;
+        self.flops += 2.0 * m * n * k;
+    }
+
+    /// [`AmxUnit::tdpbf16ps`] executed through the seed per-element TMUL
+    /// path ([`tmul::tdpbf16ps_scalar`]), with identical stats and cycle
+    /// charges. Kept so the legacy kernel structure can be benchmarked and
+    /// differentially tested against the packed fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is unconfigured, indices collide, or tile shapes
+    /// are incompatible.
+    pub fn tdpbf16ps_ref(&mut self, dst: usize, a: usize, b: usize) {
+        self.check_configured();
+        assert!(
+            dst != a && dst != b && a != b,
+            "tile operands must be distinct (#UD)"
+        );
+        let a_t = self.tiles[a].clone();
+        let b_t = self.tiles[b].clone();
+        tmul::tdpbf16ps_scalar(&mut self.tiles[dst], &a_t, &b_t);
         self.stats.tdpbf16ps += 1;
         self.tmul_cycles += self.cost.tdp_issue_cycles;
         let m = f64::from(self.tiles[dst].shape().rows);

@@ -145,7 +145,12 @@ impl fmt::Display for AvxUnit {
 /// can inspect both numerics and modeled cycles.
 ///
 /// The kernel broadcasts pairs of A elements and streams B row-pairs, which
-/// is the standard AVX-512-BF16 microkernel structure.
+/// is the standard AVX-512-BF16 microkernel structure. The inner loop hoists
+/// the A broadcasts (one FP32 conversion per pair instead of one per lane)
+/// and reads B rows as slices, performing the exact FP32 operation sequence
+/// of [`vdpbf16ps`] per lane — results are bit-identical to the seed
+/// gather-into-vectors formulation, and the same instruction counts are
+/// charged (one `VDPBF16PS` plus two loads per k-pair per stripe-row).
 ///
 /// # Panics
 ///
@@ -168,17 +173,18 @@ pub fn avx512_gemm_bf16(
         let lanes = F32_LANES.min(n - n0);
         for (i, c_row) in c.chunks_exact_mut(n).enumerate() {
             let mut acc = [0.0f32; F32_LANES];
+            let a_row = &a[i * k..(i + 1) * k];
             for k0 in (0..k).step_by(2) {
                 // Broadcast a[i][k0], a[i][k0+1]; load b rows k0, k0+1.
-                let mut av = [Bf16::ZERO; BF16_LANES];
-                let mut bv = [Bf16::ZERO; BF16_LANES];
-                for l in 0..lanes {
-                    av[2 * l] = a[i * k + k0];
-                    av[2 * l + 1] = a[i * k + k0 + 1];
-                    bv[2 * l] = b[k0 * n + n0 + l];
-                    bv[2 * l + 1] = b[(k0 + 1) * n + n0 + l];
+                let a0 = a_row[k0].to_f32();
+                let a1 = a_row[k0 + 1].to_f32();
+                let b0 = &b[k0 * n + n0..k0 * n + n0 + lanes];
+                let b1 = &b[(k0 + 1) * n + n0..(k0 + 1) * n + n0 + lanes];
+                for (l, slot) in acc.iter_mut().enumerate().take(lanes) {
+                    let x = a0.mul_add(b0[l].to_f32(), *slot);
+                    *slot = a1.mul_add(b1[l].to_f32(), x);
                 }
-                unit.exec_vdpbf16ps(&mut acc, &av, &bv);
+                unit.count_vdpbf16ps(1);
                 unit.count_loads(2); // two B row-pair vectors (A broadcast is folded)
             }
             c_row[n0..n0 + lanes].copy_from_slice(&acc[..lanes]);

@@ -73,6 +73,24 @@ impl Bf16 {
     pub fn mul_add_f32(self, rhs: Bf16, acc: f32) -> f32 {
         self.to_f32().mul_add(rhs.to_f32(), acc)
     }
+
+    /// Quantizes an `f32` slice to BF16 in a single pre-sized pass — the
+    /// conversion entry point every kernel and test should use instead of
+    /// ad-hoc `map(...).collect()` chains.
+    #[must_use]
+    pub fn quantize_slice(xs: &[f32]) -> Vec<Bf16> {
+        let mut out = Vec::with_capacity(xs.len());
+        out.extend(xs.iter().map(|&x| Bf16::from_f32(x)));
+        out
+    }
+
+    /// Converts a BF16 slice back to `f32` in a single pre-sized pass.
+    #[must_use]
+    pub fn dequantize_slice(xs: &[Bf16]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(xs.len());
+        out.extend(xs.iter().map(|x| x.to_f32()));
+        out
+    }
 }
 
 impl From<f32> for Bf16 {
@@ -93,16 +111,16 @@ impl fmt::Display for Bf16 {
     }
 }
 
-/// Converts an `f32` slice to BF16.
+/// Converts an `f32` slice to BF16 (alias of [`Bf16::quantize_slice`]).
 #[must_use]
 pub fn quantize_slice(xs: &[f32]) -> Vec<Bf16> {
-    xs.iter().map(|&x| Bf16::from_f32(x)).collect()
+    Bf16::quantize_slice(xs)
 }
 
-/// Converts a BF16 slice back to `f32`.
+/// Converts a BF16 slice back to `f32` (alias of [`Bf16::dequantize_slice`]).
 #[must_use]
 pub fn dequantize_slice(xs: &[Bf16]) -> Vec<f32> {
-    xs.iter().map(|x| x.to_f32()).collect()
+    Bf16::dequantize_slice(xs)
 }
 
 /// Upper bound on the relative error introduced by one f32→bf16 rounding

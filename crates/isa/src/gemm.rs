@@ -4,10 +4,17 @@
 //! IPEX) uses — 16×16×32 tile blocks with FP32 accumulation — executed
 //! functionally through [`AmxUnit`], so both the numerics and the modeled
 //! cycle counts fall out of the same code path.
+//!
+//! The fast path pre-packs both operands into tile images exactly once
+//! ([`PackedGemm`]) and runs the block loop with zero per-step allocations;
+//! [`amx_gemm_bf16_legacy`] keeps the seed per-element/alloc-per-step
+//! structure as the differential-testing and benchmarking baseline. The two
+//! paths are bit-identical in outputs and instruction statistics.
 
-use crate::amx::AmxUnit;
+use crate::amx::{AmxStats, AmxUnit};
 use crate::bf16::Bf16;
-use crate::tile::TileConfig;
+use crate::tile::{Tile, TileConfig, TileShape};
+use crate::tmul;
 
 /// Tile block dimensions of the BF16 kernel.
 pub const TILE_M: usize = 16;
@@ -16,7 +23,14 @@ pub const TILE_N: usize = 16;
 /// Inner-dimension block depth (32 BF16 elements per tile row pair).
 pub const TILE_K: usize = 32;
 
-/// Scalar f64-accumulated reference GEMM: `C[m×n] = A[m×k] · B[k×n]`.
+/// Row-streaming f64-accumulated reference GEMM:
+/// `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// The loops run `i → l → j` so B is read row-contiguously (the seed's
+/// `i → j → l` order strided through B column-wise, making the proptest
+/// oracle the slowest code in the test suite). Each output element still
+/// accumulates its K terms in ascending `l` order into an f64, so results
+/// are bit-identical to the seed implementation.
 ///
 /// # Panics
 ///
@@ -25,14 +39,19 @@ pub const TILE_K: usize = 32;
 pub fn reference_gemm_f32(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
+    let mut acc = vec![0.0f64; n];
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f64;
-            for l in 0..k {
-                acc += f64::from(a[i * k + l]) * f64::from(b[l * n + j]);
+    for (i, c_row) in c.chunks_exact_mut(n).enumerate() {
+        acc.fill(0.0);
+        for l in 0..k {
+            let av = f64::from(a[i * k + l]);
+            let b_row = &b[l * n..(l + 1) * n];
+            for (slot, &bv) in acc.iter_mut().zip(b_row) {
+                *slot += av * f64::from(bv);
             }
-            c[i * n + j] = acc as f32;
+        }
+        for (out, &v) in c_row.iter_mut().zip(&acc) {
+            *out = v as f32;
         }
     }
     c
@@ -48,18 +67,183 @@ pub struct AmxGemmResult {
     pub unit: AmxUnit,
 }
 
+/// Both GEMM operands packed into ready-to-load tile images: A as row-major
+/// 16×32 BF16 blocks, B as VNNI-packed 16×64 B blocks. Packing happens
+/// exactly once per operand element — the seed kernel re-gathered (and
+/// re-VNNI-packed) every B block `M/16` times and heap-allocated two fresh
+/// block buffers per k-step.
+#[derive(Debug, Clone)]
+pub struct PackedGemm {
+    a_tiles: Vec<Tile>,
+    b_tiles: Vec<Tile>,
+    /// Tile-block counts along M.
+    pub tiles_m: usize,
+    /// Tile-block counts along N.
+    pub tiles_n: usize,
+    /// Tile-block counts along K.
+    pub tiles_k: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+impl PackedGemm {
+    /// Packs row-major `A[m×k]` and `B[k×n]` (zero-padding ragged edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths don't match the shape or any dimension is
+    /// zero.
+    #[must_use]
+    pub fn pack(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dims must be positive");
+        assert_eq!(a.len(), m * k, "A shape mismatch");
+        assert_eq!(b.len(), k * n, "B shape mismatch");
+        let tiles_m = m.div_ceil(TILE_M);
+        let tiles_n = n.div_ceil(TILE_N);
+        let tiles_k = k.div_ceil(TILE_K);
+        let full = TileShape::new(16, 64);
+
+        // A blocks: rows bm..bm+16 × bf16 cols bk..bk+32, row-major.
+        let mut a_tiles = Vec::with_capacity(tiles_m * tiles_k);
+        let mut row_buf = [Bf16::ZERO; TILE_K];
+        for tm in 0..tiles_m {
+            for tk in 0..tiles_k {
+                let mut tile = Tile::zeroed(full);
+                let (bm, bk) = (tm * TILE_M, tk * TILE_K);
+                let cols = TILE_K.min(k - bk);
+                for r in 0..TILE_M.min(m - bm) {
+                    let src = &a[(bm + r) * k + bk..(bm + r) * k + bk + cols];
+                    row_buf[..cols].copy_from_slice(src);
+                    row_buf[cols..].fill(Bf16::ZERO);
+                    tile.set_row_bf16(r, &row_buf);
+                }
+                a_tiles.push(tile);
+            }
+        }
+
+        // B blocks: rows bk..bk+32 × cols bn..bn+16, VNNI-packed through the
+        // same packer the tile-load path uses, so images are byte-identical.
+        let mut b_tiles = Vec::with_capacity(tiles_k * tiles_n);
+        let mut block = [Bf16::ZERO; TILE_K * TILE_N];
+        for tk in 0..tiles_k {
+            for tn in 0..tiles_n {
+                let mut tile = Tile::zeroed(full);
+                let (bk, bn) = (tk * TILE_K, tn * TILE_N);
+                block.fill(Bf16::ZERO);
+                let cols = TILE_N.min(n - bn);
+                for r in 0..TILE_K.min(k - bk) {
+                    let src = &b[(bk + r) * n + bn..(bk + r) * n + bn + cols];
+                    block[r * TILE_N..r * TILE_N + cols].copy_from_slice(src);
+                }
+                tmul::pack_b_vnni_bf16(&mut tile, &block, TILE_K, TILE_N);
+                b_tiles.push(tile);
+            }
+        }
+
+        PackedGemm {
+            a_tiles,
+            b_tiles,
+            tiles_m,
+            tiles_n,
+            tiles_k,
+            m,
+            n,
+            k,
+        }
+    }
+
+    /// The packed A block at tile coordinates `(tm, tk)`.
+    #[must_use]
+    pub fn a_tile(&self, tm: usize, tk: usize) -> &Tile {
+        &self.a_tiles[tm * self.tiles_k + tk]
+    }
+
+    /// The packed (VNNI) B block at tile coordinates `(tk, tn)`.
+    #[must_use]
+    pub fn b_tile(&self, tk: usize, tn: usize) -> &Tile {
+        &self.b_tiles[tk * self.tiles_n + tn]
+    }
+
+    /// Problem dimensions `(m, n, k)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.m, self.n, self.k)
+    }
+
+    /// Runs the block loop for tile-row band `tm_range` on `unit`, writing
+    /// output rows into `c_band` (whose first row is global row
+    /// `tm_range.start × 16`). The band structure is what
+    /// [`crate::parallel`] shards across emulated cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_band` doesn't hold exactly the band's clipped rows × n.
+    pub fn run_bands(
+        &self,
+        unit: &mut AmxUnit,
+        tm_range: std::ops::Range<usize>,
+        c_band: &mut [f32],
+    ) {
+        let row0 = tm_range.start * TILE_M;
+        let rows = (tm_range.end * TILE_M).min(self.m) - row0;
+        assert_eq!(c_band.len(), rows * self.n, "band buffer size mismatch");
+        let mut block = [0.0f32; TILE_M * TILE_N];
+        for tm in tm_range.clone() {
+            for tn in 0..self.tiles_n {
+                unit.tilezero(0);
+                for tk in 0..self.tiles_k {
+                    unit.tileload_tile(1, self.a_tile(tm, tk));
+                    unit.tileload_tile(2, self.b_tile(tk, tn));
+                    unit.tdpbf16ps(0, 1, 2);
+                }
+                unit.tilestore_f32_into(0, &mut block);
+                let bn = tn * TILE_N;
+                let cols = TILE_N.min(self.n - bn);
+                let band_row0 = tm * TILE_M - row0;
+                for r in 0..TILE_M.min(self.m - tm * TILE_M) {
+                    let dst = &mut c_band[(band_row0 + r) * self.n + bn..][..cols];
+                    dst.copy_from_slice(&block[r * TILE_N..r * TILE_N + cols]);
+                }
+            }
+        }
+    }
+}
+
 /// BF16 GEMM on the emulated AMX unit: pads the problem to
-/// 16×16×32 tile blocks, loads A tiles and VNNI-packed B tiles, and
-/// accumulates with `TDPBF16PS`.
+/// 16×16×32 tile blocks, pre-packs A and VNNI-packed B tile images once,
+/// and accumulates with `TDPBF16PS` with no allocation inside the block
+/// loop.
 ///
 /// Tile register allocation mirrors production kernels:
 /// `tmm0` accumulator, `tmm1` A operand, `tmm2` B operand.
+///
+/// Outputs and instruction statistics are bit-identical to
+/// [`amx_gemm_bf16_legacy`] (the seed kernel structure).
 ///
 /// # Panics
 ///
 /// Panics if slice lengths don't match the shape or any dimension is zero.
 #[must_use]
 pub fn amx_gemm_bf16(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> AmxGemmResult {
+    let packed = PackedGemm::pack(a, b, m, n, k);
+    let mut unit = AmxUnit::new();
+    unit.ldtilecfg(TileConfig::gemm_bf16());
+    let mut c = vec![0.0f32; m * n];
+    packed.run_bands(&mut unit, 0..packed.tiles_m, &mut c);
+    AmxGemmResult { c, unit }
+}
+
+/// The seed implementation of [`amx_gemm_bf16`]: gathers fresh heap-
+/// allocated A/B block buffers for every k-step of every output tile,
+/// re-packs B `⌈M/16⌉` times, and runs the per-element TMUL path. Kept for
+/// differential tests and the before/after kernel benchmark.
+///
+/// # Panics
+///
+/// Panics if slice lengths don't match the shape or any dimension is zero.
+#[must_use]
+pub fn amx_gemm_bf16_legacy(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> AmxGemmResult {
     assert!(m > 0 && n > 0 && k > 0, "GEMM dims must be positive");
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
@@ -105,7 +289,7 @@ pub fn amx_gemm_bf16(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> Am
                     .map(|(r, cidx)| b_pad[r * np + cidx])
                     .collect();
                 unit.tileload_b_vnni(2, &b_block, TILE_K, TILE_N);
-                unit.tdpbf16ps(0, 1, 2);
+                unit.tdpbf16ps_ref(0, 1, 2);
             }
             let block = unit.tilestore_f32(0);
             for r in 0..TILE_M {
@@ -126,6 +310,46 @@ pub fn amx_gemm_bf16(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> Am
     AmxGemmResult { c, unit }
 }
 
+/// Asserts two GEMM results are bit-identical: every output element via
+/// `f32::to_bits` and the exact [`AmxStats`] instruction counts.
+///
+/// # Panics
+///
+/// Panics (with the first differing element) if the results diverge.
+pub fn assert_bit_identical(got: &AmxGemmResult, want: &AmxGemmResult) {
+    assert_eq!(
+        got.unit.stats(),
+        want.unit.stats(),
+        "instruction statistics diverge"
+    );
+    assert_eq!(got.c.len(), want.c.len(), "output length mismatch");
+    for (i, (g, w)) in got.c.iter().zip(&want.c).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "element {i}: {g} ({:#010x}) vs {w} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Merged instruction statistics helper: element-wise sum of per-core
+/// [`AmxStats`].
+#[must_use]
+pub fn sum_stats(stats: &[AmxStats]) -> AmxStats {
+    let mut out = AmxStats::default();
+    for s in stats {
+        out.tdpbf16ps += s.tdpbf16ps;
+        out.tdpbssd += s.tdpbssd;
+        out.tileload += s.tileload;
+        out.tilestore += s.tilestore;
+        out.tilezero += s.tilezero;
+        out.ldtilecfg += s.ldtilecfg;
+    }
+    out
+}
+
 /// Quantizes f32 inputs and runs [`amx_gemm_bf16`].
 ///
 /// # Panics
@@ -133,8 +357,8 @@ pub fn amx_gemm_bf16(a: &[Bf16], b: &[Bf16], m: usize, n: usize, k: usize) -> Am
 /// Panics if slice lengths don't match the shape or any dimension is zero.
 #[must_use]
 pub fn amx_gemm_f32_inputs(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> AmxGemmResult {
-    let aq: Vec<Bf16> = a.iter().map(|&x| Bf16::from_f32(x)).collect();
-    let bq: Vec<Bf16> = b.iter().map(|&x| Bf16::from_f32(x)).collect();
+    let aq = Bf16::quantize_slice(a);
+    let bq = Bf16::quantize_slice(b);
     amx_gemm_bf16(&aq, &bq, m, n, k)
 }
 
@@ -163,8 +387,8 @@ mod tests {
         let b = pseudo(k * n, 2.0);
         let got = amx_gemm_f32_inputs(&a, &b, m, n, k);
         // Compare against the reference computed on the *quantized* inputs.
-        let aq: Vec<f32> = a.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
-        let bq: Vec<f32> = b.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
+        let aq = Bf16::dequantize_slice(&Bf16::quantize_slice(&a));
+        let bq = Bf16::dequantize_slice(&Bf16::quantize_slice(&b));
         let want = reference_gemm_f32(&aq, &bq, m, n, k);
         for (g, w) in got.c.iter().zip(&want) {
             assert!((g - w).abs() < 1e-3, "{g} vs {w}");
@@ -183,13 +407,30 @@ mod tests {
             let a = pseudo(m * k, 1.0);
             let b = pseudo(k * n, 1.0);
             let got = amx_gemm_f32_inputs(&a, &b, m, n, k);
-            let aq: Vec<f32> = a.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
-            let bq: Vec<f32> = b.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect();
+            let aq = Bf16::dequantize_slice(&Bf16::quantize_slice(&a));
+            let bq = Bf16::dequantize_slice(&Bf16::quantize_slice(&b));
             let want = reference_gemm_f32(&aq, &bq, m, n, k);
             for (i, (g, w)) in got.c.iter().zip(&want).enumerate() {
                 let rel = f64::from((g - w).abs()) / f64::from(w.abs()).max(1e-3);
                 assert!(rel < tol(k), "({m},{n},{k}) elem {i}: {g} vs {w}");
             }
+        }
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_legacy() {
+        for &(m, n, k) in &[
+            (16usize, 16usize, 32usize),
+            (1, 1, 1),
+            (17, 5, 33),
+            (33, 50, 64),
+            (48, 48, 96),
+        ] {
+            let a = Bf16::quantize_slice(&pseudo(m * k, 3.0));
+            let b = Bf16::quantize_slice(&pseudo(k * n, 3.0));
+            let fast = amx_gemm_bf16(&a, &b, m, n, k);
+            let legacy = amx_gemm_bf16_legacy(&a, &b, m, n, k);
+            assert_bit_identical(&fast, &legacy);
         }
     }
 
@@ -226,5 +467,42 @@ mod tests {
         let x = pseudo(n * n, 3.0);
         let y = reference_gemm_f32(&x, &eye, n, n, n);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn reference_gemm_accumulates_in_f64_order() {
+        // The row-streaming loop must sum K terms in ascending order per
+        // element, exactly like the seed i→j→l nest.
+        let (m, n, k) = (3usize, 4usize, 7usize);
+        let a = pseudo(m * k, 2.0);
+        let b = pseudo(k * n, 2.0);
+        let got = reference_gemm_f32(&a, &b, m, n, k);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for l in 0..k {
+                    acc += f64::from(a[i * k + l]) * f64::from(b[l * n + j]);
+                }
+                assert_eq!(got[i * n + j].to_bits(), (acc as f32).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sum_stats_adds_elementwise() {
+        let a = AmxStats {
+            tdpbf16ps: 3,
+            tileload: 6,
+            ..AmxStats::default()
+        };
+        let b = AmxStats {
+            tdpbf16ps: 2,
+            tilestore: 1,
+            ..AmxStats::default()
+        };
+        let s = sum_stats(&[a, b]);
+        assert_eq!(s.tdpbf16ps, 5);
+        assert_eq!(s.tileload, 6);
+        assert_eq!(s.tilestore, 1);
     }
 }

@@ -28,6 +28,7 @@ pub mod amx;
 pub mod avx512;
 pub mod bf16;
 pub mod gemm;
+pub mod parallel;
 pub mod quant;
 pub mod tile;
 pub mod timing;
@@ -36,6 +37,7 @@ pub mod tmul;
 pub use amx::{AmxCostModel, AmxStats, AmxUnit};
 pub use avx512::{AvxCostModel, AvxUnit};
 pub use bf16::Bf16;
+pub use parallel::{amx_gemm_bf16_parallel, ParallelGemmResult};
 pub use quant::QuantizedMatrix;
 pub use tile::{Tile, TileConfig, TileShape};
-pub use timing::{gemm_efficiency, EngineKind, GemmShape, GemmTiming};
+pub use timing::{gemm_efficiency, EngineKind, GemmShape, GemmTiming, TimingCache};

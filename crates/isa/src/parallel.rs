@@ -1,0 +1,298 @@
+//! Emulated multi-core fan-out of the AMX GEMM kernel.
+//!
+//! A socket-parallel GEMM shards the output tile space across cores; each
+//! core runs the same block kernel on its shard with its own AMX unit. This
+//! module reproduces that structure: the `(bm, bn)` tile space is split into
+//! contiguous tile-row bands, one band group per emulated core, executed on
+//! [`std::thread::scope`] threads. Per-core statistics merge
+//! deterministically (core order), and the modeled elapsed time is the
+//! *maximum* over per-core cycle counts — the straggler core sets the
+//! socket's kernel latency, which is a more faithful parallelism model than
+//! dividing single-core cycles by `cores × efficiency`.
+//!
+//! Because output tiles are independent (no cross-tile accumulation), the
+//! fan-out is bit-deterministic: any core count produces the same output
+//! bits as the single-core kernel.
+
+use crate::amx::{AmxStats, AmxUnit};
+use crate::bf16::Bf16;
+use crate::gemm::{sum_stats, PackedGemm, TILE_M};
+use crate::tile::TileConfig;
+use crate::timing::{amx_timing_cached, avx512_timing_cached, EngineKind, GemmShape, GemmTiming};
+
+/// Result of a multi-core emulated GEMM.
+#[derive(Debug, Clone)]
+pub struct ParallelGemmResult {
+    /// Row-major `m×n` FP32 output (bit-identical to the 1-core kernel).
+    pub c: Vec<f32>,
+    /// Per-core AMX units in core order (core 0 owns the lowest tile rows).
+    pub units: Vec<AmxUnit>,
+}
+
+impl ParallelGemmResult {
+    /// Number of cores that received work.
+    #[must_use]
+    pub fn cores_used(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Merged instruction counts (element-wise sum over cores; note each
+    /// core executes its own `LDTILECFG`, so that count scales with cores).
+    #[must_use]
+    pub fn merged_stats(&self) -> AmxStats {
+        let stats: Vec<AmxStats> = self.units.iter().map(AmxUnit::stats).collect();
+        sum_stats(&stats)
+    }
+
+    /// Total FLOPs across cores.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        self.units.iter().map(AmxUnit::flops).sum()
+    }
+
+    /// Modeled kernel cycles: the slowest core bounds the socket.
+    #[must_use]
+    pub fn max_core_cycles(&self) -> u64 {
+        self.units
+            .iter()
+            .map(AmxUnit::elapsed_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Socket-level FLOPs per cycle (total FLOPs over straggler cycles).
+    #[must_use]
+    pub fn flops_per_cycle(&self) -> f64 {
+        let c = self.max_core_cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.flops() / c as f64
+        }
+    }
+}
+
+/// Splits `bands` tile-row bands into at most `cores` contiguous,
+/// maximally-balanced chunks; returns band ranges, largest chunks first.
+fn band_chunks(bands: usize, cores: usize) -> Vec<std::ops::Range<usize>> {
+    let used = cores.min(bands);
+    let base = bands / used;
+    let extra = bands % used;
+    let mut out = Vec::with_capacity(used);
+    let mut start = 0;
+    for i in 0..used {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// BF16 GEMM sharded across `cores` emulated AMX cores.
+///
+/// Operands are packed once ([`PackedGemm`]) and shared read-only by every
+/// core; each core writes a disjoint row band of `C`, so the output is
+/// bit-identical to [`crate::gemm::amx_gemm_bf16`] for every core count.
+/// With `cores == 1` the instruction statistics are also exactly equal.
+///
+/// # Panics
+///
+/// Panics if slice lengths don't match the shape, any dimension is zero, or
+/// `cores` is zero.
+#[must_use]
+pub fn amx_gemm_bf16_parallel(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    n: usize,
+    k: usize,
+    cores: usize,
+) -> ParallelGemmResult {
+    assert!(cores > 0, "need at least one core");
+    let packed = PackedGemm::pack(a, b, m, n, k);
+    let chunks = band_chunks(packed.tiles_m, cores);
+
+    let mut c = vec![0.0f32; m * n];
+    // Split C into per-core row bands: disjoint &mut slices, no locks.
+    let mut bands: Vec<&mut [f32]> = Vec::with_capacity(chunks.len());
+    let mut rest = c.as_mut_slice();
+    for r in &chunks {
+        let rows = (r.end * TILE_M).min(m) - r.start * TILE_M;
+        let (band, tail) = rest.split_at_mut(rows * n);
+        bands.push(band);
+        rest = tail;
+    }
+
+    let packed_ref = &packed;
+    let units: Vec<AmxUnit> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .cloned()
+            .zip(bands)
+            .map(|(range, band)| {
+                s.spawn(move || {
+                    let mut unit = AmxUnit::new();
+                    unit.ldtilecfg(TileConfig::gemm_bf16());
+                    packed_ref.run_bands(&mut unit, range, band);
+                    unit
+                })
+            })
+            .collect();
+        // Join in spawn order so the merge is deterministic.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("GEMM worker panicked"))
+            .collect()
+    });
+
+    ParallelGemmResult { c, units }
+}
+
+/// Closed-form max-over-cores cycles for a GEMM sharded across `cores` as
+/// [`amx_gemm_bf16_parallel`] shards it: the straggler core's band (rounded
+/// up to whole tile rows) is timed through the memoized single-core model.
+///
+/// This replaces the flat `cycles / (cores × efficiency)` divide: it charges
+/// the per-core kernel prologue to every core and exposes the band
+/// quantization that starves small-M GEMMs of parallelism (an `m = 256` AMX
+/// GEMM has only 16 tile rows to give to 48 cores).
+///
+/// `batch` is not sharded — every core sees the full batch of its band.
+#[must_use]
+pub fn sharded_cycles(engine: EngineKind, shape: GemmShape, cores: u64) -> f64 {
+    let timing = sharded_timing(engine, shape, cores);
+    timing.cycles
+}
+
+/// Like [`sharded_cycles`] but returns the straggler core's full
+/// [`GemmTiming`].
+#[must_use]
+pub fn sharded_timing(engine: EngineKind, shape: GemmShape, cores: u64) -> GemmTiming {
+    assert!(cores > 0, "need at least one core");
+    let band_rows = match engine {
+        EngineKind::AmxBf16 => TILE_M as u64,
+        EngineKind::Avx512Bf16 => 8,
+    };
+    let bands = shape.m.div_ceil(band_rows);
+    let used = cores.min(bands);
+    let straggler_bands = bands.div_ceil(used);
+    let m_core = (straggler_bands * band_rows).min(shape.m);
+    let core_shape = GemmShape::batched(m_core, shape.n, shape.k, shape.batch);
+    match engine {
+        EngineKind::AmxBf16 => amx_timing_cached(core_shape),
+        EngineKind::Avx512Bf16 => avx512_timing_cached(core_shape),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::amx_gemm_bf16;
+
+    fn pseudo_bf16(len: usize, salt: u64) -> Vec<Bf16> {
+        Bf16::quantize_slice(
+            &(0..len)
+                .map(|i| {
+                    let h = (i as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+                })
+                .collect::<Vec<f32>>(),
+        )
+    }
+
+    #[test]
+    fn band_chunks_cover_and_balance() {
+        for (bands, cores) in [(7usize, 3usize), (16, 4), (3, 8), (1, 1), (48, 5)] {
+            let chunks = band_chunks(bands, cores);
+            assert_eq!(chunks.len(), cores.min(bands));
+            assert_eq!(chunks[0].start, 0);
+            assert_eq!(chunks.last().unwrap().end, bands);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(w[0].len() >= w[1].len()); // largest first
+                assert!(w[0].len() - w[1].len() <= 1); // balanced
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_is_bit_deterministic_across_core_counts() {
+        let (m, n, k) = (67usize, 33usize, 70usize);
+        let a = pseudo_bf16(m * k, 1);
+        let b = pseudo_bf16(k * n, 2);
+        let serial = amx_gemm_bf16(&a, &b, m, n, k);
+        for cores in [1usize, 2, 3, 4, 8, 64] {
+            let par = amx_gemm_bf16_parallel(&a, &b, m, n, k, cores);
+            assert_eq!(par.cores_used(), cores.min(m.div_ceil(TILE_M)));
+            for (i, (g, w)) in par.c.iter().zip(&serial.c).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "cores {cores} elem {i}");
+            }
+            // Work-instruction counts match the serial kernel exactly;
+            // LDTILECFG is per-core by construction.
+            let merged = par.merged_stats();
+            let want = serial.unit.stats();
+            assert_eq!(merged.tdpbf16ps, want.tdpbf16ps, "cores {cores}");
+            assert_eq!(merged.tileload, want.tileload, "cores {cores}");
+            assert_eq!(merged.tilestore, want.tilestore, "cores {cores}");
+            assert_eq!(merged.tilezero, want.tilezero, "cores {cores}");
+            assert_eq!(merged.ldtilecfg, par.cores_used() as u64);
+        }
+    }
+
+    #[test]
+    fn single_core_fan_out_equals_serial_kernel_exactly() {
+        let (m, n, k) = (40usize, 24usize, 48usize);
+        let a = pseudo_bf16(m * k, 7);
+        let b = pseudo_bf16(k * n, 9);
+        let serial = amx_gemm_bf16(&a, &b, m, n, k);
+        let par = amx_gemm_bf16_parallel(&a, &b, m, n, k, 1);
+        assert_eq!(par.merged_stats(), serial.unit.stats());
+        assert_eq!(par.max_core_cycles(), serial.unit.elapsed_cycles());
+        for (g, w) in par.c.iter().zip(&serial.c) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn more_cores_cut_straggler_cycles() {
+        let (m, n, k) = (256usize, 128usize, 128usize);
+        let a = pseudo_bf16(m * k, 3);
+        let b = pseudo_bf16(k * n, 4);
+        let one = amx_gemm_bf16_parallel(&a, &b, m, n, k, 1);
+        let four = amx_gemm_bf16_parallel(&a, &b, m, n, k, 4);
+        let sixteen = amx_gemm_bf16_parallel(&a, &b, m, n, k, 16);
+        assert!(four.max_core_cycles() < one.max_core_cycles());
+        assert!(sixteen.max_core_cycles() < four.max_core_cycles());
+        // 16 cores × 16 bands: perfect split, ~16× fewer straggler cycles.
+        let speedup = one.max_core_cycles() as f64 / sixteen.max_core_cycles() as f64;
+        assert!(speedup > 10.0, "{speedup}");
+    }
+
+    #[test]
+    fn sharded_cycles_match_flat_divide_at_scale_and_beat_it_when_starved() {
+        let big = GemmShape::new(16384, 4096, 4096);
+        let flat = amx_timing_cached(big).cycles / 48.0;
+        let sharded = sharded_cycles(EngineKind::AmxBf16, big, 48);
+        // Plenty of bands: within ~10 % of the ideal divide.
+        assert!((sharded / flat - 1.0).abs() < 0.10, "{sharded} vs {flat}");
+
+        // m = 64 → 4 tile bands: only 4 of 48 cores can work.
+        let starved = GemmShape::new(64, 4096, 4096);
+        let flat_starved = amx_timing_cached(starved).cycles / 48.0;
+        let sharded_starved = sharded_cycles(EngineKind::AmxBf16, starved, 48);
+        assert!(
+            sharded_starved > 5.0 * flat_starved,
+            "{sharded_starved} vs {flat_starved}"
+        );
+    }
+
+    #[test]
+    fn sharded_timing_handles_both_engines() {
+        let shape = GemmShape::new(100, 100, 100);
+        for engine in [EngineKind::AmxBf16, EngineKind::Avx512Bf16] {
+            let t = sharded_timing(engine, shape, 8);
+            assert!(t.cycles > 0.0);
+            assert!(t.cycles < 2.0 * sharded_timing(engine, shape, 1).cycles);
+        }
+    }
+}

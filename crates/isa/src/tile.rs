@@ -161,6 +161,146 @@ impl Tile {
         self.data[start..start + bytes.len()].copy_from_slice(bytes);
     }
 
+    /// Decodes row `r` as BF16 into a full 32-element register row. Active
+    /// columns (`colsb / 2`) carry row data; the tail is zero.
+    ///
+    /// This is the kernel fast path: one bounds check per row instead of one
+    /// per element, and the fixed-width decode loop vectorizes. The crate
+    /// forbids `unsafe`, so rows are decoded by value rather than
+    /// reinterpreted in place; a 64-byte row copy is free next to the
+    /// arithmetic it feeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    #[must_use]
+    pub fn row_bf16(&self, r: usize) -> [crate::bf16::Bf16; MAX_COLSB / 2] {
+        let row = self.row(r);
+        let mut out = [crate::bf16::Bf16::ZERO; MAX_COLSB / 2];
+        for (slot, pair) in out.iter_mut().zip(row.chunks_exact(2)) {
+            *slot = crate::bf16::Bf16::from_bits(u16::from_le_bytes([pair[0], pair[1]]));
+        }
+        out
+    }
+
+    /// Decodes row `r` as FP32 into a full 16-element register row (active
+    /// columns are `colsb / 4`; the tail is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    #[must_use]
+    pub fn row_f32(&self, r: usize) -> [f32; MAX_COLSB / 4] {
+        let row = self.row(r);
+        let mut out = [0.0f32; MAX_COLSB / 4];
+        for (slot, quad) in out.iter_mut().zip(row.chunks_exact(4)) {
+            *slot = f32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
+        }
+        out
+    }
+
+    /// Encodes the active FP32 columns (`colsb / 4`) of row `r` from a full
+    /// register row; the inactive tail of `vals` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    pub fn set_row_f32(&mut self, r: usize, vals: &[f32; MAX_COLSB / 4]) {
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
+        let cols = usize::from(self.shape.colsb) / 4;
+        let start = r * MAX_COLSB;
+        for (c, &v) in vals[..cols].iter().enumerate() {
+            let at = start + c * 4;
+            self.data[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes row `r` as i8 into a full 64-element register row (active
+    /// columns are `colsb`; the tail is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    #[must_use]
+    pub fn row_i8(&self, r: usize) -> [i8; MAX_COLSB] {
+        let row = self.row(r);
+        let mut out = [0i8; MAX_COLSB];
+        for (slot, &b) in out.iter_mut().zip(row.iter()) {
+            *slot = b as i8;
+        }
+        out
+    }
+
+    /// Decodes row `r` as i32 into a full 16-element register row (active
+    /// columns are `colsb / 4`; the tail is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    #[must_use]
+    pub fn row_i32(&self, r: usize) -> [i32; MAX_COLSB / 4] {
+        let row = self.row(r);
+        let mut out = [0i32; MAX_COLSB / 4];
+        for (slot, quad) in out.iter_mut().zip(row.chunks_exact(4)) {
+            *slot = i32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]);
+        }
+        out
+    }
+
+    /// Encodes the active i32 columns (`colsb / 4`) of row `r` from a full
+    /// register row; the inactive tail of `vals` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows.
+    pub fn set_row_i32(&mut self, r: usize, vals: &[i32; MAX_COLSB / 4]) {
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
+        let cols = usize::from(self.shape.colsb) / 4;
+        let start = r * MAX_COLSB;
+        for (c, &v) in vals[..cols].iter().enumerate() {
+            let at = start + c * 4;
+            self.data[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Encodes the active BF16 columns (`colsb / 2`) of row `r` from a
+    /// BF16 slice in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the active rows or `vals` is narrower than
+    /// the active row.
+    pub fn set_row_bf16(&mut self, r: usize, vals: &[crate::bf16::Bf16]) {
+        assert!(
+            r < usize::from(self.shape.rows),
+            "row {r} outside active rows"
+        );
+        let cols = usize::from(self.shape.colsb) / 2;
+        assert!(vals.len() >= cols, "row narrower than active columns");
+        let start = r * MAX_COLSB;
+        for (c, &v) in vals[..cols].iter().enumerate() {
+            let at = start + c * 2;
+            self.data[at..at + 2].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Copies the full contents of `src` into this tile (a register-to-
+    /// register move of a pre-packed 1 KiB tile image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Tile) {
+        assert_eq!(self.shape, src.shape, "tile shape mismatch in copy");
+        self.data = src.data;
+    }
+
     /// Interprets element `(r, c)` as BF16 (2-byte elements).
     ///
     /// # Panics
@@ -361,6 +501,83 @@ mod tests {
         cfg2.set(3, TileShape::new(4, 32));
         assert_eq!(cfg2.shape(3), TileShape::new(4, 32));
         assert_eq!(cfg2.shape(0), TileShape::default());
+    }
+
+    #[test]
+    fn row_views_match_element_accessors() {
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        for c in 0..32 {
+            t.set_bf16(2, c, Bf16::from_f32(c as f32 - 15.5));
+        }
+        let row = t.row_bf16(2);
+        for (c, v) in row.iter().enumerate().take(32) {
+            assert_eq!(v.to_bits(), t.bf16_at(2, c).to_bits());
+        }
+        for c in 0..16 {
+            t.set_f32(5, c, c as f32 * -1.25);
+            t.set_i32(6, c, c as i32 - 8);
+        }
+        assert_eq!(
+            t.row_f32(5)[..16],
+            (0..16).map(|c| c as f32 * -1.25).collect::<Vec<_>>()[..]
+        );
+        assert_eq!(
+            t.row_i32(6)[..16],
+            (0..16i32).map(|c| c - 8).collect::<Vec<_>>()[..]
+        );
+        for c in 0..64 {
+            t.set_i8(7, c, (c as i8).wrapping_mul(3));
+        }
+        let r8 = t.row_i8(7);
+        for (c, v) in r8.iter().enumerate().take(64) {
+            assert_eq!(*v, t.i8_at(7, c));
+        }
+    }
+
+    #[test]
+    fn row_writers_round_trip() {
+        let mut t = Tile::zeroed(TileShape::new(16, 64));
+        let mut f = [0.0f32; 16];
+        let mut i = [0i32; 16];
+        for c in 0..16 {
+            f[c] = 0.5 * c as f32;
+            i[c] = -(c as i32);
+        }
+        t.set_row_f32(3, &f);
+        t.set_row_i32(4, &i);
+        assert_eq!(t.row_f32(3), f);
+        assert_eq!(t.row_i32(4), i);
+        let bf: Vec<Bf16> = (0..32).map(|c| Bf16::from_f32(c as f32)).collect();
+        t.set_row_bf16(9, &bf);
+        assert_eq!(t.row_bf16(9)[..32], bf[..]);
+    }
+
+    #[test]
+    fn partial_shape_rows_decode_active_region_only() {
+        let mut t = Tile::zeroed(TileShape::new(4, 32));
+        for c in 0..16 {
+            t.set_bf16(1, c, Bf16::ONE);
+        }
+        let row = t.row_bf16(1);
+        assert!(row[..16].iter().all(|v| v.to_bits() == Bf16::ONE.to_bits()));
+        assert!(row[16..].iter().all(|v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn copy_from_moves_whole_tile() {
+        let mut a = Tile::zeroed(TileShape::new(16, 64));
+        a.set_f32(8, 8, 42.0);
+        let mut b = Tile::zeroed(TileShape::new(16, 64));
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let a = Tile::zeroed(TileShape::new(8, 64));
+        let mut b = Tile::zeroed(TileShape::new(16, 64));
+        b.copy_from(&a);
     }
 
     #[test]

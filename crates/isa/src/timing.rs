@@ -10,7 +10,10 @@
 
 use crate::amx::AmxCostModel;
 use crate::avx512::AvxCostModel;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// GEMM problem shape (`M×K · K×N`, `batch` independent instances).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,6 +167,109 @@ pub fn avx512_timing(shape: GemmShape) -> GemmTiming {
     }
 }
 
+/// A thread-safe memo of closed-form GEMM timings keyed by
+/// `(engine, shape)`.
+///
+/// The inference engine calls the timing model for every matmul operator of
+/// every simulated request, and the paper sweeps re-run overlapping shape
+/// grids across many experiments — the same `(engine, shape)` pair is timed
+/// thousands of times. Entries are `Copy`-sized, so the cache holds the
+/// [`GemmTiming`] itself; hit/miss counters are exposed for tests and
+/// diagnostics.
+#[derive(Debug, Default)]
+pub struct TimingCache {
+    map: Mutex<HashMap<(EngineKind, GemmShape), GemmTiming>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TimingCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        TimingCache::default()
+    }
+
+    /// The timing of `shape` on `engine`, computing and memoizing it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking computation.
+    pub fn get(&self, engine: EngineKind, shape: GemmShape) -> GemmTiming {
+        let mut map = self.map.lock().expect("timing cache poisoned");
+        if let Some(&t) = map.get(&(engine, shape)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        let t = match engine {
+            EngineKind::AmxBf16 => amx_timing(shape),
+            EngineKind::Avx512Bf16 => avx512_timing(shape),
+        };
+        map.insert((engine, shape), t);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        t
+    }
+
+    /// Cache hits since construction (or the last [`TimingCache::clear`]).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. distinct shapes computed).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized `(engine, shape)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("timing cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn clear(&self) {
+        self.map.lock().expect("timing cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide timing cache shared by every experiment and backend.
+#[must_use]
+pub fn global_cache() -> &'static TimingCache {
+    static CACHE: OnceLock<TimingCache> = OnceLock::new();
+    CACHE.get_or_init(TimingCache::new)
+}
+
+/// [`amx_timing`] through the process-wide [`TimingCache`].
+#[must_use]
+pub fn amx_timing_cached(shape: GemmShape) -> GemmTiming {
+    global_cache().get(EngineKind::AmxBf16, shape)
+}
+
+/// [`avx512_timing`] through the process-wide [`TimingCache`].
+#[must_use]
+pub fn avx512_timing_cached(shape: GemmShape) -> GemmTiming {
+    global_cache().get(EngineKind::Avx512Bf16, shape)
+}
+
 /// Shape-dependent fraction of engine peak for `shape` on `engine`,
 /// in (0, 1].
 ///
@@ -171,14 +277,13 @@ pub fn avx512_timing(shape: GemmShape) -> GemmTiming {
 /// peak FLOP/s for every matmul operator: near-square cache-resident GEMMs
 /// approach the software ceiling; skinny decode GEMMs (m = batch) fall far
 /// below it because tile/vector quantization wastes most of each
-/// instruction.
+/// instruction. Results are memoized in the process-wide [`TimingCache`].
 #[must_use]
 pub fn gemm_efficiency(engine: EngineKind, shape: GemmShape) -> f64 {
-    let t = match engine {
-        EngineKind::AmxBf16 => amx_timing(shape),
-        EngineKind::Avx512Bf16 => avx512_timing(shape),
-    };
-    t.efficiency.clamp(1e-6, 1.0)
+    global_cache()
+        .get(engine, shape)
+        .efficiency
+        .clamp(1e-6, 1.0)
 }
 
 #[cfg(test)]
@@ -238,6 +343,52 @@ mod tests {
         let eight = amx_timing(GemmShape::batched(128, 128, 128, 8));
         let ratio = eight.cycles / one.cycles;
         assert!((6.5..8.0).contains(&ratio), "{ratio}"); // fixed overhead amortizes
+    }
+
+    #[test]
+    fn cache_returns_identical_timings_and_counts_hits() {
+        let cache = TimingCache::new();
+        let shape = GemmShape::new(384, 512, 640);
+        let direct = amx_timing(shape);
+        let first = cache.get(EngineKind::AmxBf16, shape);
+        let second = cache.get(EngineKind::AmxBf16, shape);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        // Engines key separately.
+        let _ = cache.get(EngineKind::Avx512Bf16, shape);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cache_is_safe_under_concurrent_access() {
+        let cache = TimingCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let shape = GemmShape::new(16 + i % 8, 64, 32 + t % 4);
+                        let got = cache.get(EngineKind::AmxBf16, shape);
+                        assert_eq!(got, amx_timing(shape));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 8 * 64);
+        assert!(cache.len() <= 32);
+    }
+
+    #[test]
+    fn cached_wrappers_match_direct_model() {
+        let shape = GemmShape::batched(33, 65, 129, 2);
+        assert_eq!(amx_timing_cached(shape), amx_timing(shape));
+        assert_eq!(avx512_timing_cached(shape), avx512_timing(shape));
     }
 
     #[test]

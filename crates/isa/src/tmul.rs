@@ -7,20 +7,9 @@
 
 use crate::tile::Tile;
 
-/// `TDPBF16PS dst, a, b` — dot-product of BF16 pairs, accumulating FP32.
-///
-/// For every output element `(m, n)`:
-/// `dst[m][n] += Σ_k a[m][2k]·b[k][2n] + a[m][2k+1]·b[k][2n+1]`
-///
-/// Shapes: `dst` is `M×N` FP32 (`colsb = 4N`), `a` is `M×2K` BF16
-/// (`colsb = 4K`... i.e. `2K` two-byte elements), `b` is `K×2N` BF16 in
-/// VNNI layout.
-///
-/// # Panics
-///
-/// Panics if the tile shapes are inconsistent
-/// (`dst.rows != a.rows`, `a.colsb != 4·b.rows`, or `b.colsb != dst.colsb`).
-pub fn tdpbf16ps(dst: &mut Tile, a: &Tile, b: &Tile) {
+/// Validates the `TDPBF16PS` shape contract shared by the fast and scalar
+/// paths; returns `(m_rows, n_cols, k_pairs)`.
+fn bf16_shape_check(dst: &Tile, a: &Tile, b: &Tile) -> (usize, usize, usize) {
     let m_rows = usize::from(dst.shape().rows);
     let n_cols = usize::from(dst.shape().colsb) / 4;
     let k_pairs = usize::from(a.shape().colsb) / 4; // pairs of bf16 per A row
@@ -39,7 +28,79 @@ pub fn tdpbf16ps(dst: &mut Tile, a: &Tile, b: &Tile) {
         usize::from(dst.shape().colsb),
         "B row bytes must match accumulator row bytes"
     );
+    (m_rows, n_cols, k_pairs)
+}
 
+/// `TDPBF16PS dst, a, b` — dot-product of BF16 pairs, accumulating FP32.
+///
+/// For every output element `(m, n)`:
+/// `dst[m][n] += Σ_k a[m][2k]·b[k][2n] + a[m][2k+1]·b[k][2n+1]`
+///
+/// Shapes: `dst` is `M×N` FP32 (`colsb = 4N`), `a` is `M×2K` BF16
+/// (`colsb = 4K`... i.e. `2K` two-byte elements), `b` is `K×2N` BF16 in
+/// VNNI layout.
+///
+/// The loop nest runs over decoded register rows ([`Tile::row_bf16`] /
+/// [`Tile::row_f32`]) rather than per-element byte accessors; each output
+/// element still sees the exact same FP32 operation sequence as
+/// [`tdpbf16ps_scalar`] (K ascending, even pair member first), so results
+/// are bit-identical.
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent
+/// (`dst.rows != a.rows`, `a.colsb != 4·b.rows`, or `b.colsb != dst.colsb`).
+pub fn tdpbf16ps(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let (m_rows, n_cols, k_pairs) = bf16_shape_check(dst, a, b);
+
+    // Decode all B rows once (instead of once per (m, n, k) element triple)
+    // and widen to FP32 up front — BF16→FP32 is exact, so hoisting the
+    // conversions out of the accumulation loop cannot change any result
+    // bit. The even/odd pair members are split into separate planes so the
+    // lane loop below is a pure FP32 multiply-add over contiguous arrays
+    // (the compiler can vectorize it; the element-wise FMA order per output
+    // is untouched).
+    let mut b_even = [[0.0f32; 16]; 16];
+    let mut b_odd = [[0.0f32; 16]; 16];
+    for k in 0..k_pairs {
+        let row = b.row_bf16(k);
+        for n in 0..16 {
+            b_even[k][n] = row[2 * n].to_f32();
+            b_odd[k][n] = row[2 * n + 1].to_f32();
+        }
+    }
+
+    for m in 0..m_rows {
+        let a_row = a.row_bf16(m);
+        let mut a_f = [0.0f32; 32];
+        for (d, s) in a_f.iter_mut().zip(a_row.iter()) {
+            *d = s.to_f32();
+        }
+        let mut acc = dst.row_f32(m);
+        for k in 0..k_pairs {
+            let a0 = a_f[2 * k];
+            let a1 = a_f[2 * k + 1];
+            let be = &b_even[k][..n_cols];
+            let bo = &b_odd[k][..n_cols];
+            // Per output element the accumulation order matches the scalar
+            // path: k ascending, a0·b0 before a1·b1.
+            for (slot, (&e, &o)) in acc[..n_cols].iter_mut().zip(be.iter().zip(bo)) {
+                let x = a0.mul_add(e, *slot);
+                *slot = a1.mul_add(o, x);
+            }
+        }
+        dst.set_row_f32(m, &acc);
+    }
+}
+
+/// The seed per-element implementation of `TDPBF16PS`, kept as the
+/// differential-testing and benchmarking baseline for [`tdpbf16ps`].
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent.
+pub fn tdpbf16ps_scalar(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let (m_rows, n_cols, k_pairs) = bf16_shape_check(dst, a, b);
     for m in 0..m_rows {
         for n in 0..n_cols {
             let mut acc = dst.f32_at(m, n);
@@ -58,15 +119,9 @@ pub fn tdpbf16ps(dst: &mut Tile, a: &Tile, b: &Tile) {
     }
 }
 
-/// `TDPBSSD dst, a, b` — dot-product of signed INT8 quads, accumulating i32.
-///
-/// For every output element `(m, n)`:
-/// `dst[m][n] += Σ_k Σ_{j<4} a[m][4k+j]·b[k][4n+j]`
-///
-/// # Panics
-///
-/// Panics if the tile shapes are inconsistent.
-pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
+/// Validates the `TDPBSSD` shape contract shared by the fast and scalar
+/// paths; returns `(m_rows, n_cols, k_quads)`.
+fn int8_shape_check(dst: &Tile, a: &Tile, b: &Tile) -> (usize, usize, usize) {
     let m_rows = usize::from(dst.shape().rows);
     let n_cols = usize::from(dst.shape().colsb) / 4;
     let k_quads = usize::from(a.shape().colsb) / 4; // quads of i8 per A row
@@ -85,7 +140,59 @@ pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
         usize::from(dst.shape().colsb),
         "B row bytes must match accumulator row bytes"
     );
+    (m_rows, n_cols, k_quads)
+}
 
+/// `TDPBSSD dst, a, b` — dot-product of signed INT8 quads, accumulating i32.
+///
+/// For every output element `(m, n)`:
+/// `dst[m][n] += Σ_k Σ_{j<4} a[m][4k+j]·b[k][4n+j]`
+///
+/// Like [`tdpbf16ps`], the loops run over decoded register rows; integer
+/// wrapping arithmetic makes the result order-independent, but the operation
+/// order matches [`tdpbssd_scalar`] anyway.
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent.
+pub fn tdpbssd(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let (m_rows, n_cols, k_quads) = int8_shape_check(dst, a, b);
+
+    let mut b_rows = [[0i8; 64]; 16];
+    for (k, slot) in b_rows.iter_mut().enumerate().take(k_quads) {
+        *slot = b.row_i8(k);
+    }
+
+    for m in 0..m_rows {
+        let a_row = a.row_i8(m);
+        let mut acc = dst.row_i32(m);
+        for k in 0..k_quads {
+            let a0 = i32::from(a_row[4 * k]);
+            let a1 = i32::from(a_row[4 * k + 1]);
+            let a2 = i32::from(a_row[4 * k + 2]);
+            let a3 = i32::from(a_row[4 * k + 3]);
+            let b_row = &b_rows[k];
+            for (n, slot) in acc.iter_mut().enumerate().take(n_cols) {
+                let mut v = *slot;
+                v = v.wrapping_add(a0.wrapping_mul(i32::from(b_row[4 * n])));
+                v = v.wrapping_add(a1.wrapping_mul(i32::from(b_row[4 * n + 1])));
+                v = v.wrapping_add(a2.wrapping_mul(i32::from(b_row[4 * n + 2])));
+                v = v.wrapping_add(a3.wrapping_mul(i32::from(b_row[4 * n + 3])));
+                *slot = v;
+            }
+        }
+        dst.set_row_i32(m, &acc);
+    }
+}
+
+/// The seed per-element implementation of `TDPBSSD`, kept as the
+/// differential-testing and benchmarking baseline for [`tdpbssd`].
+///
+/// # Panics
+///
+/// Panics if the tile shapes are inconsistent.
+pub fn tdpbssd_scalar(dst: &mut Tile, a: &Tile, b: &Tile) {
+    let (m_rows, n_cols, k_quads) = int8_shape_check(dst, a, b);
     for m in 0..m_rows {
         for n in 0..n_cols {
             let mut acc = dst.i32_at(m, n);
@@ -251,6 +358,60 @@ mod tests {
                     want += i32::from(((m + kk) % 7) as i8 - 3) * i32::from(b_plain[kk * 16 + n]);
                 }
                 assert_eq!(ct.i32_at(m, n), want, "({m},{n})");
+            }
+        }
+    }
+
+    /// Fills a tile with deterministic pseudo-random bytes (via typed
+    /// setters so the active region is well-formed for any interpretation).
+    fn scrambled_tile(shape: TileShape, seed: u64) -> Tile {
+        let mut t = Tile::zeroed(shape);
+        let mut s = seed | 1;
+        let mut row = vec![0u8; usize::from(shape.colsb)];
+        for r in 0..usize::from(shape.rows) {
+            for b in row.iter_mut() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (s >> 33) as u8;
+            }
+            t.set_row(r, &row);
+        }
+        t
+    }
+
+    #[test]
+    fn fast_bf16_path_is_bit_identical_to_scalar() {
+        for seed in [1u64, 7, 42, 0xDEAD] {
+            for &(rows, colsb) in &[(16u8, 64u8), (16, 32), (8, 64), (3, 16)] {
+                let shape = TileShape::new(rows, colsb);
+                let a = scrambled_tile(shape, seed);
+                let b = scrambled_tile(TileShape::new(colsb / 4, colsb), seed ^ 0x5555);
+                let dst0 = scrambled_tile(shape, seed ^ 0xAAAA);
+                let mut fast = dst0.clone();
+                let mut slow = dst0.clone();
+                tdpbf16ps(&mut fast, &a, &b);
+                tdpbf16ps_scalar(&mut slow, &a, &b);
+                // Tile equality is byte equality: every f32 output bit and
+                // every untouched byte must match.
+                assert_eq!(fast, slow, "seed {seed} shape {rows}x{colsb}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_int8_path_is_bit_identical_to_scalar() {
+        for seed in [3u64, 11, 0xBEEF] {
+            for &(rows, colsb) in &[(16u8, 64u8), (16, 32), (5, 64)] {
+                let shape = TileShape::new(rows, colsb);
+                let a = scrambled_tile(shape, seed);
+                let b = scrambled_tile(TileShape::new(colsb / 4, colsb), seed ^ 0x1234);
+                let dst0 = scrambled_tile(shape, seed ^ 0x4321);
+                let mut fast = dst0.clone();
+                let mut slow = dst0.clone();
+                tdpbssd(&mut fast, &a, &b);
+                tdpbssd_scalar(&mut slow, &a, &b);
+                assert_eq!(fast, slow, "seed {seed} shape {rows}x{colsb}");
             }
         }
     }

@@ -4,10 +4,22 @@
 
 use llmsim_isa::avx512::avx512_gemm_bf16;
 use llmsim_isa::bf16::{Bf16, BF16_RELATIVE_EPS};
-use llmsim_isa::gemm::{amx_gemm_f32_inputs, reference_gemm_f32};
+use llmsim_isa::gemm::{amx_gemm_bf16_legacy, amx_gemm_f32_inputs, reference_gemm_f32};
+use llmsim_isa::parallel::amx_gemm_bf16_parallel;
 use llmsim_isa::quant::QuantizedMatrix;
 use llmsim_isa::timing::{gemm_efficiency, EngineKind, GemmShape};
 use proptest::prelude::*;
+
+fn pseudo_bf16(len: usize, seed: u64, salt: u64) -> Vec<Bf16> {
+    Bf16::quantize_slice(
+        &(0..len)
+            .map(|i| {
+                let h = (i as u64 ^ seed ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+            })
+            .collect::<Vec<f32>>(),
+    )
+}
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| x)
@@ -84,6 +96,45 @@ proptest! {
         for engine in [EngineKind::AmxBf16, EngineKind::Avx512Bf16] {
             let e = gemm_efficiency(engine, GemmShape::new(m, n, k));
             prop_assert!(e > 0.0 && e <= 1.0, "{engine:?} {m}x{n}x{k}: {e}");
+        }
+    }
+
+    /// The packed blocked kernel is bit-identical to the seed per-element
+    /// kernel on arbitrary shapes and values: every output f32 bit and the
+    /// full instruction statistics must match.
+    #[test]
+    fn packed_kernel_is_bit_identical_to_legacy(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..72,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_bf16(m * k, seed, 1);
+        let b = pseudo_bf16(k * n, seed, 2);
+        let legacy = amx_gemm_bf16_legacy(&a, &b, m, n, k);
+        let packed = llmsim_isa::gemm::amx_gemm_bf16(&a, &b, m, n, k);
+        prop_assert_eq!(legacy.unit.stats(), packed.unit.stats());
+        for (i, (x, y)) in legacy.c.iter().zip(&packed.c).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "element {}", i);
+        }
+    }
+
+    /// The multi-core fan-out is deterministic: any core count produces the
+    /// same bits as the single-core kernel.
+    #[test]
+    fn fan_out_is_core_count_invariant(
+        m in 1usize..48,
+        n in 1usize..32,
+        k in 1usize..48,
+        cores in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_bf16(m * k, seed, 3);
+        let b = pseudo_bf16(k * n, seed, 4);
+        let serial = llmsim_isa::gemm::amx_gemm_bf16(&a, &b, m, n, k);
+        let par = amx_gemm_bf16_parallel(&a, &b, m, n, k, cores);
+        for (i, (x, y)) in serial.c.iter().zip(&par.c).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "element {} with {} cores", i, cores);
         }
     }
 
