@@ -1,0 +1,319 @@
+//! Cluster extension: heterogeneous routing and autoscaling at fleet scale.
+//!
+//! The paper's Fig. 17/19 conclusion — CPUs win when the model must
+//! offload, GPUs win when it fits — is a *provisioning* statement. This
+//! experiment promotes it to a *scheduling* statement: a mixed
+//! OPT-13B/OPT-66B request stream hits a fleet of two CPU servers (ICL,
+//! SPR) and two GPUs (A100, H100), and a cost-model-aware router that
+//! predicts per-replica latency from each backend's own prefill/decode
+//! model routes around the offload cliff that blind policies step off.
+//! A second study stresses a CPU fleet with MMPP bursts and lets the
+//! autoscaler activate standby replicas, paying hardware-derived
+//! cold-start penalties (weights ÷ load bandwidth).
+
+use llmsim_cluster::{
+    simulate_fleet, AutoscaleConfig, ClusterConfig, ClusterRequest, FleetReport, HeteroAware,
+    JoinShortestQueue, LeastOutstandingTokens, ReplicaConfig, RoundRobin, RouterPolicy, SloTargets,
+};
+use llmsim_core::{CostModel, CpuBackend, GpuBackend};
+use llmsim_model::families;
+use llmsim_report::Table;
+use llmsim_workload::ArrivalTrace;
+use std::sync::Arc;
+
+/// Deterministic seed shared by both workload traces.
+const SEED: u64 = 2024;
+/// Requests in the routing study.
+const N_ROUTING: usize = 48;
+/// Requests in the autoscaling study.
+const N_BURST: usize = 64;
+/// TTFT budget for goodput accounting, seconds.
+pub const TTFT_SLO_S: f64 = 8.0;
+/// End-to-end budget for goodput accounting, seconds.
+pub const E2E_SLO_S: f64 = 60.0;
+
+/// The heterogeneous fleet: ICL and SPR CPU replicas next to A100 and
+/// H100 GPU replicas, all warm.
+#[must_use]
+pub fn hetero_fleet() -> ClusterConfig {
+    let replicas = vec![
+        ReplicaConfig::warm(Arc::new(CpuBackend::paper_icl()) as Arc<dyn CostModel + Send + Sync>),
+        ReplicaConfig::warm(Arc::new(CpuBackend::paper_spr()) as Arc<dyn CostModel + Send + Sync>),
+        ReplicaConfig::warm(Arc::new(GpuBackend::paper_a100()) as Arc<dyn CostModel + Send + Sync>),
+        ReplicaConfig::warm(Arc::new(GpuBackend::paper_h100()) as Arc<dyn CostModel + Send + Sync>),
+    ];
+    ClusterConfig::new(replicas, vec![families::opt_13b(), families::opt_66b()]).with_slo(
+        SloTargets {
+            ttft_s: TTFT_SLO_S,
+            e2e_s: E2E_SLO_S,
+        },
+    )
+}
+
+/// The mixed-model trace: Poisson arrivals, chat-shaped lengths, every
+/// third request an OPT-66B summarization-style job (the ones that
+/// offload on the GPUs).
+#[must_use]
+pub fn routing_workload() -> Vec<ClusterRequest> {
+    let trace = ArrivalTrace::poisson(SEED, N_ROUTING, 0.75);
+    trace
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &arrival_s)| ClusterRequest {
+            id: i,
+            arrival_s,
+            prompt_len: 128 + 128 * (i as u64 % 3),
+            gen_len: 16 + 16 * (i as u64 % 3),
+            model: usize::from(i % 3 == 0),
+        })
+        .collect()
+}
+
+/// The four routing policies under comparison.
+#[must_use]
+pub fn routers() -> Vec<Box<dyn RouterPolicy>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(JoinShortestQueue),
+        Box::new(LeastOutstandingTokens),
+        Box::new(HeteroAware),
+    ]
+}
+
+/// Runs the routing study: every policy over the same fleet and trace.
+#[must_use]
+pub fn run_routing() -> Vec<FleetReport> {
+    let config = hetero_fleet();
+    let reqs = routing_workload();
+    routers()
+        .into_iter()
+        .map(|mut r| simulate_fleet(&config, &mut *r, &reqs))
+        .collect()
+}
+
+/// The burst fleet: `warm` SPR replicas serving immediately plus
+/// `standby` more the autoscaler may activate.
+#[must_use]
+pub fn burst_fleet(warm: usize, standby: usize, autoscale: bool) -> ClusterConfig {
+    let replicas = (0..warm + standby)
+        .map(|i| {
+            let backend = Arc::new(CpuBackend::paper_spr()) as Arc<dyn CostModel + Send + Sync>;
+            if i < warm {
+                ReplicaConfig::warm(backend)
+            } else {
+                ReplicaConfig::standby(backend)
+            }
+        })
+        .collect();
+    let config = ClusterConfig::new(replicas, vec![families::opt_13b()]).with_slo(SloTargets {
+        ttft_s: TTFT_SLO_S,
+        e2e_s: E2E_SLO_S,
+    });
+    if autoscale {
+        config.with_autoscale(AutoscaleConfig {
+            interval_s: 1.0,
+            scale_up_backlog_per_replica: 3.0,
+            scale_down_idle_ticks: 10,
+            min_warm: 2,
+        })
+    } else {
+        config
+    }
+}
+
+/// The MMPP burst trace for the autoscaling study.
+#[must_use]
+pub fn burst_workload() -> Vec<ClusterRequest> {
+    let trace = ArrivalTrace::bursty(SEED, N_BURST, 1.0, 6.0, 4.0);
+    trace
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &arrival_s)| ClusterRequest {
+            id: i,
+            arrival_s,
+            prompt_len: 128 + 64 * (i as u64 % 3),
+            gen_len: 16 + 8 * (i as u64 % 4),
+            model: 0,
+        })
+        .collect()
+}
+
+/// Runs the autoscaling study: a fixed two-replica fleet vs the same two
+/// replicas plus two autoscaled standbys, both under JSQ.
+#[must_use]
+pub fn run_autoscale() -> Vec<(&'static str, FleetReport)> {
+    let reqs = burst_workload();
+    vec![
+        (
+            "fixed 2 warm",
+            simulate_fleet(&burst_fleet(2, 0, false), &mut JoinShortestQueue, &reqs),
+        ),
+        (
+            "2 warm + 2 standby (autoscaled)",
+            simulate_fleet(&burst_fleet(2, 2, true), &mut JoinShortestQueue, &reqs),
+        ),
+    ]
+}
+
+/// Renders both studies.
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::from(
+        "Cluster serving extension (llmsim-cluster)\n\
+         Routing study: mixed OPT-13B / OPT-66B stream on {ICL, SPR, A100, H100};\n\
+         the 66B jobs offload on both GPUs, so blind policies pay the PCIe\n\
+         streaming cliff the paper measures in Fig. 18. Goodput counts only\n\
+         tokens of requests meeting the SLO (TTFT 8 s, E2E 60 s).\n\n",
+    );
+    let mut t = Table::new(vec![
+        "router".into(),
+        "done".into(),
+        "rej".into(),
+        "tput tok/s".into(),
+        "goodput tok/s".into(),
+        "SLO att. %".into(),
+        "p50 ttft (s)".into(),
+        "p99 ttft (s)".into(),
+        "p99 e2e (s)".into(),
+    ]);
+    let routing = run_routing();
+    for r in &routing {
+        t.row(vec![
+            r.router.clone(),
+            r.completed().to_string(),
+            r.rejected().to_string(),
+            format!("{:.1}", r.throughput_tok_s()),
+            format!("{:.1}", r.goodput_tok_s()),
+            format!("{:.0}", r.slo_attainment() * 100.0),
+            format!("{:.2}", r.ttft_percentile(50.0)),
+            format!("{:.2}", r.ttft_percentile(99.0)),
+            format!("{:.2}", r.e2e_percentile(99.0)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nWhere the requests landed (requests dispatched per replica):\n\n");
+    let mut placement = Table::new(vec![
+        "router".into(),
+        "ICL".into(),
+        "SPR".into(),
+        "A100".into(),
+        "H100".into(),
+    ]);
+    for r in &routing {
+        let mut row = vec![r.router.clone()];
+        row.extend(r.replicas.iter().map(|s| s.served.to_string()));
+        placement.row(row);
+    }
+    out.push_str(&placement.render());
+
+    out.push_str(
+        "\nAutoscaling study: MMPP bursts (6x multiplier) on an SPR fleet under\n\
+         JSQ. Standby replicas pay a hardware-derived cold start (model weights\n\
+         / DDR bandwidth) when activated.\n\n",
+    );
+    let mut a = Table::new(vec![
+        "fleet".into(),
+        "done".into(),
+        "rej".into(),
+        "goodput tok/s".into(),
+        "p99 ttft (s)".into(),
+        "p99 e2e (s)".into(),
+        "scale ups".into(),
+        "warmups".into(),
+    ]);
+    for (label, r) in run_autoscale() {
+        a.row(vec![
+            label.to_string(),
+            r.completed().to_string(),
+            r.rejected().to_string(),
+            format!("{:.1}", r.goodput_tok_s()),
+            format!("{:.2}", r.ttft_percentile(99.0)),
+            format!("{:.2}", r.e2e_percentile(99.0)),
+            r.scale_ups.to_string(),
+            r.replicas
+                .iter()
+                .map(|s| s.warmups)
+                .sum::<u64>()
+                .to_string(),
+        ]);
+    }
+    out.push_str(&a.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_covers_all_policies_and_requests() {
+        let routing = run_routing();
+        assert_eq!(routing.len(), 4);
+        for r in &routing {
+            assert_eq!(r.outcomes.len(), N_ROUTING);
+            assert_eq!(r.completed() + r.rejected(), N_ROUTING);
+            assert!(r.goodput_tok_s() <= r.throughput_tok_s() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hetero_aware_strictly_beats_round_robin_on_goodput() {
+        let routing = run_routing();
+        let rr = &routing[0];
+        let hetero = &routing[3];
+        assert_eq!(rr.router, "round-robin");
+        assert_eq!(hetero.router, "hetero-aware");
+        assert!(
+            hetero.goodput_tok_s() > rr.goodput_tok_s(),
+            "hetero-aware goodput {} must strictly beat round-robin {}",
+            hetero.goodput_tok_s(),
+            rr.goodput_tok_s()
+        );
+    }
+
+    #[test]
+    fn hetero_aware_keeps_offloaded_models_off_the_gpus() {
+        let config = hetero_fleet();
+        let reqs = routing_workload();
+        let report = simulate_fleet(&config, &mut HeteroAware, &reqs);
+        // Replicas 2 and 3 are the GPUs; model 1 is OPT-66B which offloads
+        // there. The cost-aware router must never send it to them.
+        for o in &report.outcomes {
+            if o.model == 1 {
+                if let Some(r) = o.replica {
+                    assert!(r < 2, "OPT-66B request {} routed to GPU replica {r}", o.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn autoscaler_activates_and_improves_the_tail() {
+        let results = run_autoscale();
+        let (_, fixed) = &results[0];
+        let (_, scaled) = &results[1];
+        assert!(scaled.scale_ups > 0, "bursts must trigger scale-ups");
+        let fixed_p99 = fixed.ttft_percentile(99.0);
+        let scaled_p99 = scaled.ttft_percentile(99.0);
+        assert!(
+            scaled_p99 < fixed_p99 || scaled.rejected() < fixed.rejected(),
+            "autoscaling must improve p99 TTFT ({fixed_p99} -> {scaled_p99}) or rejects"
+        );
+        assert!(scaled.goodput_tok_s() >= fixed.goodput_tok_s());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn render_reports_both_studies() {
+        let s = render();
+        assert!(s.contains("hetero-aware") && s.contains("round-robin"));
+        assert!(s.contains("goodput") && s.contains("scale ups"));
+    }
+}

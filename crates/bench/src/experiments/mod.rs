@@ -3,6 +3,7 @@
 //! artifact. The DESIGN.md experiment index maps figures to these modules.
 
 pub mod ablations;
+pub mod ext_cluster;
 pub mod ext_memory;
 pub mod ext_resilience;
 pub mod ext_speculative;
@@ -55,6 +56,7 @@ fn sections() -> Vec<Section> {
         Box::new(ext_memory::render),
         Box::new(ext_speculative::render),
         Box::new(ext_resilience::render),
+        Box::new(ext_cluster::render),
     ]
 }
 

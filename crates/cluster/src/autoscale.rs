@@ -1,0 +1,114 @@
+//! Queue-depth-driven autoscaling with hardware-derived cold starts.
+//!
+//! The policy is deliberately simple — threshold on mean in-flight depth
+//! per warm replica to scale up, consecutive idle ticks to scale down —
+//! because the *interesting* dynamics come from the cold-start penalty,
+//! which the replica derives from its own weight bytes and load bandwidth
+//! ([`crate::ReplicaConfig::warmup_time`]). A standby CPU replica joins in
+//! under a second; an A100 paging 80 GB over PCIe takes several, and that
+//! asymmetry is what the `ext_cluster` burst study measures.
+
+/// Autoscaler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Seconds between autoscaler evaluations.
+    pub interval_s: f64,
+    /// Scale up when mean in-flight requests per warm replica exceeds
+    /// this.
+    pub scale_up_backlog_per_replica: f64,
+    /// Scale an idle replica down after this many consecutive idle ticks.
+    pub scale_down_idle_ticks: u32,
+    /// Never scale below this many active (warm or warming) replicas.
+    pub min_warm: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            interval_s: 1.0,
+            scale_up_backlog_per_replica: 4.0,
+            scale_down_idle_ticks: 5,
+            min_warm: 1,
+        }
+    }
+}
+
+/// What the autoscaler asks the engine to do at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScaleDecision {
+    /// Activate one standby replica (pays the cold-start penalty).
+    Up,
+    /// Park one idle warm replica.
+    Down,
+    /// Leave the fleet alone.
+    Hold,
+}
+
+/// A fleet-level gauge snapshot the autoscaler decides from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FleetGauge {
+    /// Warm + warming replicas.
+    pub active_replicas: usize,
+    /// Standby replicas available to activate.
+    pub standby_replicas: usize,
+    /// Total waiting + in-service requests on active replicas.
+    pub in_flight: usize,
+    /// Warm replicas with no queue and no active work whose idle-tick
+    /// counter has crossed the scale-down threshold.
+    pub idle_eligible: usize,
+}
+
+impl AutoscaleConfig {
+    pub(crate) fn decide(&self, gauge: FleetGauge) -> ScaleDecision {
+        if gauge.active_replicas == 0 {
+            return if gauge.standby_replicas > 0 {
+                ScaleDecision::Up
+            } else {
+                ScaleDecision::Hold
+            };
+        }
+        let backlog = gauge.in_flight as f64 / gauge.active_replicas as f64;
+        if backlog > self.scale_up_backlog_per_replica && gauge.standby_replicas > 0 {
+            ScaleDecision::Up
+        } else if gauge.idle_eligible > 0 && gauge.active_replicas > self.min_warm {
+            ScaleDecision::Down
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(active: usize, standby: usize, in_flight: usize, idle: usize) -> FleetGauge {
+        FleetGauge {
+            active_replicas: active,
+            standby_replicas: standby,
+            in_flight,
+            idle_eligible: idle,
+        }
+    }
+
+    #[test]
+    fn scales_up_on_backlog_when_standby_available() {
+        let cfg = AutoscaleConfig::default();
+        assert_eq!(cfg.decide(gauge(2, 1, 12, 0)), ScaleDecision::Up);
+        // No standby left: nothing to activate.
+        assert_eq!(cfg.decide(gauge(2, 0, 12, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn scales_down_only_above_min_warm() {
+        let cfg = AutoscaleConfig::default();
+        assert_eq!(cfg.decide(gauge(2, 0, 0, 1)), ScaleDecision::Down);
+        assert_eq!(cfg.decide(gauge(1, 0, 0, 1)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn holds_in_steady_state() {
+        let cfg = AutoscaleConfig::default();
+        assert_eq!(cfg.decide(gauge(3, 2, 6, 0)), ScaleDecision::Hold);
+    }
+}

@@ -1,0 +1,559 @@
+//! The fleet simulation loop.
+//!
+//! `simulate_fleet` replays a request trace against a heterogeneous fleet
+//! of replicas under a pluggable routing policy, with optional SLO
+//! accounting and autoscaling. Everything is analytic and seeded: the only
+//! sources of time are the backends' cost models, so two runs of the same
+//! configuration produce byte-identical reports.
+
+use crate::autoscale::{AutoscaleConfig, FleetGauge, ScaleDecision};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
+use crate::replica::{InFlight, Replica, ReplicaConfig, ReplicaStart, ReplicaState};
+use crate::router::{ReplicaView, RouterPolicy};
+use llmsim_core::CostModel;
+use llmsim_model::ModelConfig;
+use serde::Serialize;
+
+/// One request in the cluster workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ClusterRequest {
+    /// Workload index (also the outcome index in the report).
+    pub id: usize,
+    /// Arrival time at the router.
+    pub arrival_s: f64,
+    /// Prompt tokens.
+    pub prompt_len: u64,
+    /// Tokens to generate.
+    pub gen_len: u64,
+    /// Index into [`ClusterConfig::models`].
+    pub model: usize,
+}
+
+impl ClusterRequest {
+    /// Prompt + generation token footprint.
+    #[must_use]
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_len + self.gen_len
+    }
+}
+
+/// A fleet: replicas, the models they serve, and optional SLO/autoscaler.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The fleet, in routing order.
+    pub replicas: Vec<ReplicaConfig>,
+    /// Models served by the fleet; requests index into this list.
+    pub models: Vec<ModelConfig>,
+    /// Goodput target, if any.
+    pub slo: Option<SloTargets>,
+    /// Autoscaler, if any.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl ClusterConfig {
+    /// A warm fleet with no SLO and no autoscaler.
+    #[must_use]
+    pub fn new(replicas: Vec<ReplicaConfig>, models: Vec<ModelConfig>) -> Self {
+        ClusterConfig {
+            replicas,
+            models,
+            slo: None,
+            autoscale: None,
+        }
+    }
+
+    /// Sets the goodput SLO.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloTargets) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Enables the autoscaler.
+    #[must_use]
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+}
+
+/// Predicted service time of a request at batch width `batch`: prefill at
+/// the full prompt plus per-token decode priced at the mid-generation KV
+/// length (the same approximation the single-server simulator converges
+/// to for steady decode).
+fn predict_service_s(
+    backend: &dyn CostModel,
+    model: &ModelConfig,
+    batch: u64,
+    prompt_len: u64,
+    gen_len: u64,
+) -> f64 {
+    let prefill = backend.prefill_time(model, batch, prompt_len).as_f64();
+    let steps = gen_len.saturating_sub(1);
+    if steps == 0 {
+        return prefill;
+    }
+    let mid_kv = prompt_len + 1 + gen_len / 2;
+    prefill + steps as f64 * backend.decode_step_time(model, batch, mid_kv).as_f64()
+}
+
+/// Runs the fleet simulation to completion and reports.
+///
+/// Requests may be in any order; they are replayed by arrival time (ties
+/// in input order). A request is *rejected* when the policy returns
+/// `None`, or returns a replica that cannot accept it — the engine never
+/// silently over-fills a bounded queue on a policy's behalf.
+///
+/// # Panics
+///
+/// Panics if the fleet or model list is empty, or if a request's model
+/// index is out of range.
+pub fn simulate_fleet(
+    config: &ClusterConfig,
+    router: &mut dyn RouterPolicy,
+    requests: &[ClusterRequest],
+) -> FleetReport {
+    assert!(!config.replicas.is_empty(), "fleet must have replicas");
+    assert!(!config.models.is_empty(), "fleet must serve models");
+    for r in requests {
+        assert!(
+            r.model < config.models.len(),
+            "request {} references model {} but the fleet serves {}",
+            r.id,
+            r.model,
+            config.models.len()
+        );
+    }
+
+    let mut replicas: Vec<Replica> = config
+        .replicas
+        .iter()
+        .map(|cfg| Replica::new(cfg.clone()))
+        .collect();
+    let mut queue = EventQueue::new();
+
+    // Cold starters begin paging weights at t = 0.
+    for (i, replica) in replicas.iter_mut().enumerate() {
+        if replica.cfg.start == ReplicaStart::Cold {
+            let ready = replica.cfg.warmup_time(&config.models).as_f64();
+            replica.state = ReplicaState::Warming { ready_at_s: ready };
+            replica.warmups += 1;
+            queue.push(ready, EventKind::WarmupDone { replica: i });
+        }
+    }
+    for req in requests {
+        queue.push(req.arrival_s, EventKind::Arrival { request: req.id });
+    }
+    if let Some(auto) = &config.autoscale {
+        queue.push(auto.interval_s, EventKind::ScaleTick);
+    }
+
+    let by_id = |id: usize| {
+        requests
+            .iter()
+            .find(|r| r.id == id)
+            .expect("request ids must be unique and present")
+    };
+
+    let mut outcomes: Vec<Option<ClusterOutcome>> = vec![None; requests.len()];
+    let mut resolved = 0usize;
+    let mut makespan_s = 0.0f64;
+    let mut scale_ups = 0u64;
+    let mut scale_downs = 0u64;
+
+    while let Some(event) = queue.pop() {
+        let now = event.time_s;
+        match event.kind {
+            EventKind::Arrival { request } => {
+                let req = *by_id(request);
+                let views: Vec<ReplicaView> = replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| view_of(i, r, &config.models[req.model], &req, now))
+                    .collect();
+                let choice = router
+                    .route(&req, &views)
+                    .filter(|&i| i < replicas.len() && replicas[i].can_accept());
+                match choice {
+                    Some(i) => {
+                        let est = views[i].est_service_s;
+                        replicas[i].queue.push_back(InFlight {
+                            request,
+                            est_service_s: est,
+                            completion_s: f64::INFINITY,
+                        });
+                        replicas[i].outstanding_tokens += req.total_tokens();
+                        replicas[i].queued_backlog_s += est;
+                        try_dispatch(
+                            i,
+                            now,
+                            &mut replicas,
+                            config,
+                            requests,
+                            &mut queue,
+                            &mut outcomes,
+                        );
+                    }
+                    None => {
+                        outcomes[request] = Some(ClusterOutcome {
+                            id: request,
+                            model: req.model,
+                            replica: None,
+                            state: OutcomeState::Rejected,
+                            queue_delay_s: None,
+                            ttft_s: None,
+                            e2e_s: None,
+                            tokens: 0,
+                        });
+                        resolved += 1;
+                    }
+                }
+            }
+            EventKind::WarmupDone { replica } => {
+                if let ReplicaState::Warming { ready_at_s } = replicas[replica].state {
+                    if ready_at_s <= now {
+                        replicas[replica].state = ReplicaState::Warm;
+                        try_dispatch(
+                            replica,
+                            now,
+                            &mut replicas,
+                            config,
+                            requests,
+                            &mut queue,
+                            &mut outcomes,
+                        );
+                    }
+                }
+            }
+            EventKind::Completion { replica, request } => {
+                let r = &mut replicas[replica];
+                let slot = r
+                    .active
+                    .iter()
+                    .position(|a| a.request == request)
+                    .expect("completion for a request not in service");
+                r.active.swap_remove(slot);
+                r.outstanding_tokens = r
+                    .outstanding_tokens
+                    .saturating_sub(by_id(request).total_tokens());
+                makespan_s = makespan_s.max(now);
+                resolved += 1;
+                try_dispatch(
+                    replica,
+                    now,
+                    &mut replicas,
+                    config,
+                    requests,
+                    &mut queue,
+                    &mut outcomes,
+                );
+            }
+            EventKind::ScaleTick => {
+                let Some(auto) = &config.autoscale else {
+                    continue;
+                };
+                for r in replicas.iter_mut() {
+                    if r.state == ReplicaState::Warm && r.in_flight() == 0 {
+                        r.idle_ticks += 1;
+                    } else {
+                        r.idle_ticks = 0;
+                    }
+                }
+                let gauge = FleetGauge {
+                    active_replicas: replicas.iter().filter(|r| r.routable()).count(),
+                    standby_replicas: replicas
+                        .iter()
+                        .filter(|r| r.state == ReplicaState::Standby)
+                        .count(),
+                    in_flight: replicas
+                        .iter()
+                        .filter(|r| r.routable())
+                        .map(Replica::in_flight)
+                        .sum(),
+                    idle_eligible: replicas
+                        .iter()
+                        .filter(|r| {
+                            r.state == ReplicaState::Warm
+                                && r.in_flight() == 0
+                                && r.idle_ticks >= auto.scale_down_idle_ticks
+                        })
+                        .count(),
+                };
+                match auto.decide(gauge) {
+                    ScaleDecision::Up => {
+                        if let Some(i) = replicas
+                            .iter()
+                            .position(|r| r.state == ReplicaState::Standby)
+                        {
+                            let ready = now + replicas[i].cfg.warmup_time(&config.models).as_f64();
+                            replicas[i].state = ReplicaState::Warming { ready_at_s: ready };
+                            replicas[i].warmups += 1;
+                            scale_ups += 1;
+                            queue.push(ready, EventKind::WarmupDone { replica: i });
+                        }
+                    }
+                    ScaleDecision::Down => {
+                        if let Some(i) = replicas.iter().position(|r| {
+                            r.state == ReplicaState::Warm
+                                && r.in_flight() == 0
+                                && r.idle_ticks >= auto.scale_down_idle_ticks
+                        }) {
+                            replicas[i].state = ReplicaState::Standby;
+                            replicas[i].idle_ticks = 0;
+                            scale_downs += 1;
+                        }
+                    }
+                    ScaleDecision::Hold => {}
+                }
+                // Keep ticking only while work remains unresolved.
+                if resolved < requests.len() {
+                    queue.push(now + auto.interval_s, EventKind::ScaleTick);
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(resolved, requests.len(), "every request must terminate");
+    let outcomes: Vec<ClusterOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every request must have a terminal outcome"))
+        .collect();
+
+    let generated_tokens: u64 = outcomes.iter().map(|o| o.tokens).sum();
+    let goodput_tokens: u64 = outcomes
+        .iter()
+        .filter(|o| match config.slo {
+            Some(slo) => {
+                o.state == OutcomeState::Completed
+                    && slo.met(
+                        o.ttft_s.unwrap_or(f64::INFINITY),
+                        o.e2e_s.unwrap_or(f64::INFINITY),
+                    )
+            }
+            None => o.state == OutcomeState::Completed,
+        })
+        .map(|o| o.tokens)
+        .sum();
+
+    let replica_stats = replicas
+        .iter()
+        .map(|r| ReplicaStats {
+            name: r.cfg.backend.name(),
+            served: r.dispatched,
+            busy_slot_s: r.busy_slot_s,
+            utilization: if makespan_s > 0.0 {
+                r.busy_slot_s / (makespan_s * r.cfg.max_batch as f64)
+            } else {
+                0.0
+            },
+            warmups: r.warmups,
+        })
+        .collect();
+
+    FleetReport {
+        router: router.name(),
+        outcomes,
+        makespan_s,
+        generated_tokens,
+        goodput_tokens,
+        slo: config.slo,
+        replicas: replica_stats,
+        scale_ups,
+        scale_downs,
+    }
+}
+
+/// Snapshot one replica for the router, pricing `req` on its backend.
+fn view_of(
+    idx: usize,
+    replica: &Replica,
+    model: &ModelConfig,
+    req: &ClusterRequest,
+    now_s: f64,
+) -> ReplicaView {
+    let routable = replica.routable();
+    ReplicaView {
+        idx,
+        name: replica.cfg.backend.name(),
+        queue_len: replica.queue.len(),
+        active: replica.active.len(),
+        // Standbys are invisible to routers: report zero capacity.
+        queue_cap: if routable { replica.cfg.queue_cap } else { 0 },
+        max_batch: replica.cfg.max_batch,
+        outstanding_tokens: replica.outstanding_tokens,
+        warm: replica.state == ReplicaState::Warm,
+        warmup_remaining_s: replica.warmup_remaining_s(now_s),
+        est_start_delay_s: replica.est_start_delay_s(now_s),
+        est_service_s: predict_service_s(
+            replica.cfg.backend.as_ref(),
+            model,
+            1,
+            req.prompt_len,
+            req.gen_len,
+        ),
+        resident: replica.cfg.backend.holds_resident(model),
+    }
+}
+
+/// Moves queued requests into free batch slots on a warm replica,
+/// scheduling their completions. Service time is priced at the batch
+/// width *after* admission, so later co-runners slow a dispatch down
+/// exactly as batching does on the single-server simulator.
+fn try_dispatch(
+    idx: usize,
+    now_s: f64,
+    replicas: &mut [Replica],
+    config: &ClusterConfig,
+    requests: &[ClusterRequest],
+    queue: &mut EventQueue,
+    outcomes: &mut [Option<ClusterOutcome>],
+) {
+    loop {
+        let r = &mut replicas[idx];
+        if r.state != ReplicaState::Warm
+            || (r.active.len() as u64) >= r.cfg.max_batch
+            || r.queue.is_empty()
+        {
+            return;
+        }
+        let inflight = r.queue.pop_front().expect("queue checked non-empty");
+        r.queued_backlog_s = (r.queued_backlog_s - inflight.est_service_s).max(0.0);
+
+        let req = requests
+            .iter()
+            .find(|q| q.id == inflight.request)
+            .expect("dispatched request must exist");
+        let model = &config.models[req.model];
+        let batch = r.active.len() as u64 + 1;
+        let prefill = r
+            .cfg
+            .backend
+            .prefill_time(model, batch, req.prompt_len)
+            .as_f64();
+        let service = predict_service_s(
+            r.cfg.backend.as_ref(),
+            model,
+            batch,
+            req.prompt_len,
+            req.gen_len,
+        );
+        let queue_delay = now_s - req.arrival_s;
+        let completion = now_s + service;
+
+        r.busy_slot_s += service;
+        r.dispatched += 1;
+        r.active.push(InFlight {
+            request: req.id,
+            est_service_s: inflight.est_service_s,
+            completion_s: completion,
+        });
+        queue.push(
+            completion,
+            EventKind::Completion {
+                replica: idx,
+                request: req.id,
+            },
+        );
+        outcomes[req.id] = Some(ClusterOutcome {
+            id: req.id,
+            model: req.model,
+            replica: Some(idx),
+            state: OutcomeState::Completed,
+            queue_delay_s: Some(queue_delay),
+            ttft_s: Some(queue_delay + prefill),
+            e2e_s: Some(queue_delay + service),
+            tokens: req.gen_len,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{HeteroAware, JoinShortestQueue, RoundRobin};
+    use llmsim_core::{CostModel, CpuBackend};
+    use llmsim_hw::{presets, NumaConfig};
+    use llmsim_model::{families, DType};
+    use std::sync::Arc;
+
+    fn cpu_fleet(n: usize) -> ClusterConfig {
+        let replicas = (0..n)
+            .map(|_| {
+                let backend = CpuBackend::new(
+                    presets::spr_max_9468(),
+                    NumaConfig::QUAD_FLAT,
+                    48,
+                    DType::Bf16,
+                )
+                .expect("valid backend");
+                ReplicaConfig::warm(Arc::new(backend) as Arc<dyn CostModel + Send + Sync>)
+            })
+            .collect();
+        ClusterConfig::new(replicas, vec![families::opt_13b()])
+    }
+
+    fn trace(n: usize, gap_s: f64) -> Vec<ClusterRequest> {
+        (0..n)
+            .map(|i| ClusterRequest {
+                id: i,
+                arrival_s: i as f64 * gap_s,
+                prompt_len: 128,
+                gen_len: 32,
+                model: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_request_terminates() {
+        let config = cpu_fleet(2);
+        let reqs = trace(20, 0.05);
+        let report = simulate_fleet(&config, &mut RoundRobin::new(), &reqs);
+        assert_eq!(report.outcomes.len(), 20);
+        assert_eq!(report.completed() + report.rejected(), 20);
+        assert!(report.completed() > 0);
+        assert!(report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let config = cpu_fleet(3);
+        let reqs = trace(30, 0.02);
+        let a = simulate_fleet(&config, &mut JoinShortestQueue, &reqs);
+        let b = simulate_fleet(&config, &mut JoinShortestQueue, &reqs);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+    }
+
+    #[test]
+    fn cold_replica_pays_warmup_before_serving() {
+        let mut config = cpu_fleet(1);
+        config.replicas[0].start = ReplicaStart::Cold;
+        let reqs = trace(1, 0.0);
+        let report = simulate_fleet(&config, &mut RoundRobin::new(), &reqs);
+        let warmup = config.replicas[0].warmup_time(&config.models).as_f64();
+        assert!(warmup > 0.0);
+        let delay = report.outcomes[0].queue_delay_s.unwrap();
+        assert!(
+            delay >= warmup * 0.999,
+            "queue delay {delay} should cover warmup {warmup}"
+        );
+        assert_eq!(report.replicas[0].warmups, 1);
+    }
+
+    #[test]
+    fn overload_rejects_instead_of_growing_unbounded() {
+        let mut config = cpu_fleet(1);
+        config.replicas[0] = config.replicas[0]
+            .clone()
+            .with_queue_cap(2)
+            .with_max_batch(1);
+        // All at t=0: only queue_cap can be admitted.
+        let reqs = trace(10, 0.0);
+        let report = simulate_fleet(&config, &mut HeteroAware, &reqs);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.rejected(), 8);
+        assert!(report.reject_rate() > 0.7);
+    }
+}

@@ -1,0 +1,112 @@
+//! The discrete-event queue driving the fleet simulator.
+//!
+//! Events are totally ordered by `(time, sequence number)`: the sequence
+//! number is assigned at push time, so simultaneous events fire in the
+//! order they were scheduled. That rule — together with the seeded
+//! workloads and the purely analytic cost models — is what makes two runs
+//! of the same configuration byte-identical.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EventKind {
+    /// Request `request` (index into the workload) reaches the router.
+    Arrival { request: usize },
+    /// Replica `replica` finishes paging weights in and can serve.
+    WarmupDone { replica: usize },
+    /// Request `request` finishes service on `replica`.
+    Completion { replica: usize, request: usize },
+    /// The autoscaler evaluates the fleet.
+    ScaleTick,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub time_s: f64,
+    /// Push-order tie-breaker: among same-time events, earlier-scheduled
+    /// events fire first.
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s.total_cmp(&other.time_s) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time_s
+            .total_cmp(&other.time_s)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A min-heap of events with stable same-time ordering.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite timestamp — an infinite or NaN event time
+    /// always indicates a broken cost model upstream.
+    pub(crate) fn push(&mut self, time_s: f64, kind: EventKind) {
+        assert!(time_s.is_finite(), "event time must be finite: {time_s}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { time_s, seq, kind }));
+    }
+
+    /// Pops the earliest event (ties broken by push order).
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::ScaleTick);
+        q.push(1.0, EventKind::Arrival { request: 0 });
+        q.push(1.0, EventKind::Arrival { request: 1 });
+        q.push(0.5, EventKind::WarmupDone { replica: 3 });
+
+        assert_eq!(q.pop().unwrap().kind, EventKind::WarmupDone { replica: 3 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival { request: 0 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival { request: 1 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::ScaleTick);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        EventQueue::new().push(f64::NAN, EventKind::ScaleTick);
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic cluster-scale LLM serving simulation.
+//!
+//! This crate layers a discrete-event *fleet* simulator on top of the
+//! single-server machinery in `llmsim-core`. Each replica wraps any
+//! [`CostModel`](llmsim_core::CostModel) backend — a CPU socket, a GPU,
+//! or an offloading hybrid — behind a bounded queue with warm/cold state,
+//! a pluggable [`RouterPolicy`] decides where each arrival goes, and an
+//! optional autoscaler activates standby replicas (paying hardware-derived
+//! cold-start penalties) when backlog builds.
+//!
+//! The headline policy, [`HeteroAware`], routes on predicted latency from
+//! the backends' own prefill/decode cost models. That is the paper's
+//! Fig. 17/19 observation — CPUs beat GPUs for models that must offload,
+//! GPUs beat CPUs for models that fit — promoted from a provisioning
+//! chart into a per-request scheduling decision.
+//!
+//! Determinism contract: same fleet + same trace + same policy ⇒
+//! byte-identical [`FleetReport`]. Events are ordered by `(time, push
+//! sequence)`, all service times are analytic, and no wall-clock or
+//! unseeded randomness exists anywhere in the crate.
+//!
+//! ```
+//! use llmsim_cluster::{
+//!     ClusterConfig, ClusterRequest, HeteroAware, ReplicaConfig, simulate_fleet,
+//! };
+//! use llmsim_core::{CostModel, CpuBackend};
+//! use llmsim_hw::{presets, NumaConfig};
+//! use llmsim_model::{families, DType};
+//! use std::sync::Arc;
+//!
+//! let spr = CpuBackend::new(presets::spr_max_9468(), NumaConfig::QUAD_FLAT, 48, DType::Bf16)
+//!     .unwrap();
+//! let config = ClusterConfig::new(
+//!     vec![ReplicaConfig::warm(Arc::new(spr) as Arc<dyn CostModel + Send + Sync>)],
+//!     vec![families::opt_13b()],
+//! );
+//! let requests = vec![ClusterRequest {
+//!     id: 0,
+//!     arrival_s: 0.0,
+//!     prompt_len: 128,
+//!     gen_len: 32,
+//!     model: 0,
+//! }];
+//! let report = simulate_fleet(&config, &mut HeteroAware, &requests);
+//! assert_eq!(report.completed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoscale;
+mod engine;
+mod event;
+pub mod metrics;
+mod replica;
+pub mod router;
+
+pub use autoscale::AutoscaleConfig;
+pub use engine::{simulate_fleet, ClusterConfig, ClusterRequest};
+pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
+pub use replica::{ReplicaConfig, ReplicaStart};
+pub use router::{
+    HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView, RoundRobin, RouterPolicy,
+};

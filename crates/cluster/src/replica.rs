@@ -1,0 +1,206 @@
+//! A serving replica: any [`CostModel`] backend wrapped with a bounded
+//! queue, batch slots, and warm/cold state.
+//!
+//! Cold starts are first-class: a replica that is not warm must page its
+//! weight state in before serving, and the warmup time is *derived from
+//! the hardware model* — total fleet weight bytes ÷ the backend's
+//! weight-load bandwidth (DRAM for CPUs, the host link for GPUs) — rather
+//! than being a free parameter. That makes scale-up latency a property of
+//! the machines, exactly like every other latency in the simulator.
+
+use llmsim_core::CostModel;
+use llmsim_hw::Seconds;
+use llmsim_model::ModelConfig;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a replica enters the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStart {
+    /// Weights resident at t = 0; serves immediately.
+    Warm,
+    /// Begins paging weights at t = 0; queued requests wait for warmup.
+    Cold,
+    /// Parked. Not routable until the autoscaler activates it (paying the
+    /// cold-start penalty at activation time).
+    Standby,
+}
+
+/// Configuration of one replica in the fleet.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// The single-server cost model this replica schedules with.
+    pub backend: Arc<dyn CostModel + Send + Sync>,
+    /// Bounded in-flight capacity (waiting + in service). Arrivals routed
+    /// to a replica at capacity are rejected by the engine.
+    pub queue_cap: usize,
+    /// Concurrent sequences the replica serves at once.
+    pub max_batch: u64,
+    /// Initial warm/cold/standby state.
+    pub start: ReplicaStart,
+}
+
+impl fmt::Debug for ReplicaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaConfig")
+            .field("backend", &self.backend.name())
+            .field("queue_cap", &self.queue_cap)
+            .field("max_batch", &self.max_batch)
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+impl ReplicaConfig {
+    /// A warm replica with a 4-deep batch and a 16-deep queue.
+    #[must_use]
+    pub fn warm(backend: Arc<dyn CostModel + Send + Sync>) -> Self {
+        ReplicaConfig {
+            backend,
+            queue_cap: 16,
+            max_batch: 4,
+            start: ReplicaStart::Warm,
+        }
+    }
+
+    /// Same, parked until the autoscaler wants it.
+    #[must_use]
+    pub fn standby(backend: Arc<dyn CostModel + Send + Sync>) -> Self {
+        ReplicaConfig {
+            start: ReplicaStart::Standby,
+            ..ReplicaConfig::warm(backend)
+        }
+    }
+
+    /// Overrides the in-flight capacity.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Overrides the batch width.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Cold-start time: paging every fleet model's weights into place at
+    /// the backend's weight-load bandwidth (a multi-model replica must
+    /// hold them all before it can serve any of them).
+    #[must_use]
+    pub fn warmup_time(&self, models: &[ModelConfig]) -> Seconds {
+        let bw = self.backend.weight_load_bandwidth();
+        models
+            .iter()
+            .map(|m| bw.transfer_time(self.backend.weight_bytes(m)))
+            .fold(Seconds::ZERO, |acc, t| acc + t)
+    }
+}
+
+/// Warm/cold lifecycle state at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ReplicaState {
+    Warm,
+    Warming { ready_at_s: f64 },
+    Standby,
+}
+
+/// A request waiting or in service on a replica.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InFlight {
+    /// Index into the workload.
+    pub request: usize,
+    /// Routing-time service estimate (kept so the queued-backlog gauge
+    /// can be decremented exactly at dispatch).
+    pub est_service_s: f64,
+    /// Exact completion time, known once dispatched.
+    pub completion_s: f64,
+}
+
+/// Runtime state of one replica.
+#[derive(Debug)]
+pub(crate) struct Replica {
+    pub cfg: ReplicaConfig,
+    pub state: ReplicaState,
+    pub queue: VecDeque<InFlight>,
+    pub active: Vec<InFlight>,
+    /// Prompt + generation tokens across queue and active slots.
+    pub outstanding_tokens: u64,
+    /// Sum of routing-time service estimates over *queued* requests.
+    pub queued_backlog_s: f64,
+    /// Accumulated slot-seconds of service.
+    pub busy_slot_s: f64,
+    /// Requests dispatched into service.
+    pub dispatched: u64,
+    /// Cold starts paid (initial cold boot and autoscaler activations).
+    pub warmups: u64,
+    /// Consecutive autoscaler ticks this replica spent idle.
+    pub idle_ticks: u32,
+}
+
+impl Replica {
+    pub(crate) fn new(cfg: ReplicaConfig) -> Self {
+        let state = match cfg.start {
+            // `Warming{..}` for cold starters is installed by the engine,
+            // which knows the fleet's model set (and thus the warmup time).
+            ReplicaStart::Warm | ReplicaStart::Cold => ReplicaState::Warm,
+            ReplicaStart::Standby => ReplicaState::Standby,
+        };
+        Replica {
+            cfg,
+            state,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            outstanding_tokens: 0,
+            queued_backlog_s: 0.0,
+            busy_slot_s: 0.0,
+            dispatched: 0,
+            warmups: 0,
+            idle_ticks: 0,
+        }
+    }
+
+    /// Waiting + in-service count.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.queue.len() + self.active.len()
+    }
+
+    /// Whether the router may add another request.
+    pub(crate) fn can_accept(&self) -> bool {
+        self.state != ReplicaState::Standby && self.in_flight() < self.cfg.queue_cap
+    }
+
+    /// Whether the replica is routable at all (standbys are invisible).
+    pub(crate) fn routable(&self) -> bool {
+        self.state != ReplicaState::Standby
+    }
+
+    /// Time until this replica can serve (0 when warm).
+    pub(crate) fn warmup_remaining_s(&self, now_s: f64) -> f64 {
+        match self.state {
+            ReplicaState::Warming { ready_at_s } => (ready_at_s - now_s).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated delay from `now` until a newly-routed request would start
+    /// service: wait for a slot (exact — active completion times are
+    /// known), then for the queued backlog to drain across the batch
+    /// slots, then for any remaining warmup.
+    pub(crate) fn est_start_delay_s(&self, now_s: f64) -> f64 {
+        let slot_free_s = if (self.active.len() as u64) < self.cfg.max_batch {
+            0.0
+        } else {
+            self.active
+                .iter()
+                .map(|a| a.completion_s - now_s)
+                .fold(f64::INFINITY, f64::min)
+                .max(0.0)
+        };
+        let drain_s = self.queued_backlog_s / self.cfg.max_batch as f64;
+        (slot_free_s + drain_s).max(self.warmup_remaining_s(now_s))
+    }
+}

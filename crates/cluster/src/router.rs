@@ -1,0 +1,236 @@
+//! Pluggable routing policies: where does the next request go?
+//!
+//! Routers see the fleet only through [`ReplicaView`] snapshots — queue
+//! depths, outstanding tokens, warmup state, and per-replica latency
+//! predictions computed from the backends' own `prefill_time` /
+//! `decode_step_time` cost models. [`HeteroAware`] turns the paper's
+//! Fig. 17/19 fits-vs-offloads crossover into a routing rule: a large
+//! offloaded model predicts catastrophically slow decode on a GPU replica
+//! and lands on a CPU replica instead, while small resident models go the
+//! other way.
+
+use crate::engine::ClusterRequest;
+
+/// A router-visible snapshot of one replica at one arrival instant.
+#[derive(Debug, Clone)]
+pub struct ReplicaView {
+    /// Fleet index (stable across the run).
+    pub idx: usize,
+    /// Backend name, e.g. `"Xeon 4th Max 9468 (quad_flat, 48c)"`.
+    pub name: String,
+    /// Requests waiting in the bounded queue.
+    pub queue_len: usize,
+    /// Requests in service.
+    pub active: usize,
+    /// In-flight capacity (waiting + serving).
+    pub queue_cap: usize,
+    /// Concurrent sequences served at once.
+    pub max_batch: u64,
+    /// Prompt + generation tokens across waiting and in-service requests.
+    pub outstanding_tokens: u64,
+    /// Whether the replica is warm right now.
+    pub warm: bool,
+    /// Seconds of warmup remaining (0 when warm).
+    pub warmup_remaining_s: f64,
+    /// Estimated delay until a newly-routed request starts service.
+    pub est_start_delay_s: f64,
+    /// Predicted single-stream service time of *this* request on this
+    /// replica (prefill + decode from the backend's cost model).
+    pub est_service_s: f64,
+    /// Whether this request's model serves weight-resident here (false =
+    /// offloaded/streamed — the Fig. 17/19 signal).
+    pub resident: bool,
+}
+
+impl ReplicaView {
+    /// Whether the router may place another request here.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.queue_len + self.active < self.queue_cap
+    }
+
+    /// Waiting + in-service count (the JSQ gauge).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue_len + self.active
+    }
+
+    /// Predicted arrival-to-completion latency on this replica.
+    #[must_use]
+    pub fn predicted_latency_s(&self) -> f64 {
+        self.est_start_delay_s + self.est_service_s
+    }
+}
+
+/// A routing policy. `route` returns the chosen replica index, or `None`
+/// to reject the request (every acceptable replica is at capacity).
+///
+/// Policies may keep internal state (e.g. the round-robin cursor); the
+/// engine calls `route` exactly once per arrival, in arrival order, so
+/// stateful policies stay deterministic.
+pub trait RouterPolicy {
+    /// Short policy name for reports.
+    fn name(&self) -> String;
+
+    /// Picks a replica for `request`, or `None` if none can accept.
+    fn route(&mut self, request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize>;
+}
+
+/// Helper: the acceptable view minimizing `key`, ties to the lowest index.
+fn argmin_by<F: Fn(&ReplicaView) -> f64>(replicas: &[ReplicaView], key: F) -> Option<usize> {
+    replicas
+        .iter()
+        .filter(|v| v.can_accept())
+        .min_by(|a, b| key(a).total_cmp(&key(b)).then(a.idx.cmp(&b.idx)))
+        .map(|v| v.idx)
+}
+
+/// Cycles through replicas in fleet order, skipping those at capacity.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin router starting at replica 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl RouterPolicy for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        let n = replicas.len();
+        for off in 0..n {
+            let view = &replicas[(self.cursor + off) % n];
+            if view.can_accept() {
+                self.cursor = (view.idx + 1) % n;
+                return Some(view.idx);
+            }
+        }
+        None
+    }
+}
+
+/// Joins the replica with the fewest in-flight requests (waiting +
+/// serving); ties go to the lowest index. Never routes to a replica at
+/// capacity while another can accept.
+#[derive(Debug, Default)]
+pub struct JoinShortestQueue;
+
+impl RouterPolicy for JoinShortestQueue {
+    fn name(&self) -> String {
+        "join-shortest-queue".into()
+    }
+
+    fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        argmin_by(replicas, |v| v.in_flight() as f64)
+    }
+}
+
+/// Joins the replica with the fewest outstanding tokens — a length-aware
+/// refinement of JSQ (two queued chat turns ≠ two queued summarizations).
+#[derive(Debug, Default)]
+pub struct LeastOutstandingTokens;
+
+impl RouterPolicy for LeastOutstandingTokens {
+    fn name(&self) -> String {
+        "least-outstanding-tokens".into()
+    }
+
+    fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        argmin_by(replicas, |v| v.outstanding_tokens as f64)
+    }
+}
+
+/// Cost-model-aware routing: picks the replica minimizing the *predicted*
+/// arrival-to-completion latency (estimated start delay + this request's
+/// predicted service time on that backend). Because the prediction comes
+/// from the backends' own prefill/decode cost models, the Fig. 17/19
+/// crossover falls out for free: an offloaded 66B request predicts a
+/// minutes-long decode on a GPU replica and routes to a CPU replica, a
+/// resident 13B request predicts the opposite.
+#[derive(Debug, Default)]
+pub struct HeteroAware;
+
+impl RouterPolicy for HeteroAware {
+    fn name(&self) -> String {
+        "hetero-aware".into()
+    }
+
+    fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        argmin_by(replicas, ReplicaView::predicted_latency_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(idx: usize, in_flight: usize, cap: usize) -> ReplicaView {
+        ReplicaView {
+            idx,
+            name: format!("r{idx}"),
+            queue_len: in_flight,
+            active: 0,
+            queue_cap: cap,
+            max_batch: 4,
+            outstanding_tokens: 100 * in_flight as u64,
+            warm: true,
+            warmup_remaining_s: 0.0,
+            est_start_delay_s: in_flight as f64,
+            est_service_s: 1.0,
+            resident: true,
+        }
+    }
+
+    fn req() -> ClusterRequest {
+        ClusterRequest {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_len: 64,
+            gen_len: 16,
+            model: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_full() {
+        let mut rr = RoundRobin::new();
+        let views = vec![view(0, 0, 4), view(1, 4, 4), view(2, 0, 4)];
+        assert_eq!(rr.route(&req(), &views), Some(0));
+        assert_eq!(rr.route(&req(), &views), Some(2));
+        assert_eq!(rr.route(&req(), &views), Some(0));
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_and_rejects_when_all_full() {
+        let mut jsq = JoinShortestQueue;
+        let views = vec![view(0, 3, 4), view(1, 1, 4), view(2, 2, 4)];
+        assert_eq!(jsq.route(&req(), &views), Some(1));
+        let full = vec![view(0, 4, 4), view(1, 4, 4)];
+        assert_eq!(jsq.route(&req(), &full), None);
+    }
+
+    #[test]
+    fn hetero_aware_minimizes_predicted_latency() {
+        let mut h = HeteroAware;
+        let mut slow = view(0, 0, 4);
+        slow.est_service_s = 100.0; // offloaded decode
+        let mut fast = view(1, 2, 4);
+        fast.est_service_s = 3.0;
+        assert_eq!(h.route(&req(), &[slow, fast]), Some(1));
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let mut jsq = JoinShortestQueue;
+        let views = vec![view(1, 2, 4), view(0, 2, 4)];
+        assert_eq!(jsq.route(&req(), &views), Some(0));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::error::SimError;
 use crate::report::InferenceReport;
 use crate::request::Request;
+use llmsim_hw::{Bytes, GbPerSec, Seconds};
 use llmsim_model::ModelConfig;
 
 /// A hardware execution model that can simulate serving a request.
@@ -21,6 +22,41 @@ pub trait Backend {
     /// Returns [`SimError`] if the request is malformed or the model state
     /// cannot be placed on this backend at all.
     fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError>;
+}
+
+/// Phase-granular cost primitives a serving scheduler plans with.
+///
+/// [`crate::serving`] and the cluster-level simulator schedule work from
+/// two primitives — one prefill pass and one decode step — rather than
+/// whole-request runs. Routers and autoscalers additionally need the
+/// state sizes behind those costs: the weight footprint (cold-start
+/// warmup is weights ÷ load bandwidth) and whether the model's weights
+/// sit resident in the backend's fast local memory or must be streamed
+/// every pass (the Fig. 17/19 fits-vs-offloads crossover, which is what
+/// makes heterogeneous routing profitable).
+///
+/// Implemented by [`crate::CpuBackend`] (always resident when it fits)
+/// and [`crate::GpuBackend`] (resident below device memory, FlexGen-style
+/// offloaded above it).
+pub trait CostModel: Backend {
+    /// Wall-clock cost of one prefill pass: `batch` prompts of
+    /// `prompt_len` tokens.
+    fn prefill_time(&self, model: &ModelConfig, batch: u64, prompt_len: u64) -> Seconds;
+
+    /// Wall-clock cost of one decode step for `batch` sequences attending
+    /// over `kv_len` context tokens.
+    fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds;
+
+    /// Bytes of weight state this backend keeps for `model`.
+    fn weight_bytes(&self, model: &ModelConfig) -> Bytes;
+
+    /// Sustained bandwidth at which a cold replica pages weights in — the
+    /// denominator of the cluster simulator's warmup time.
+    fn weight_load_bandwidth(&self) -> GbPerSec;
+
+    /// Whether `model`'s weights stay resident in this backend's fast
+    /// local memory (false = streamed/offloaded every pass).
+    fn holds_resident(&self, model: &ModelConfig) -> bool;
 }
 
 /// A thin owner of a boxed backend with convenience sweep helpers.

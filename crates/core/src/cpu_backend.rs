@@ -1,7 +1,7 @@
 //! The CPU execution model: ICL (AVX-512) and SPR Max (AMX + HBM) under any
 //! NUMA configuration and core count — the machine model behind Figs. 8–16.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, CostModel};
 use crate::calib;
 use crate::error::SimError;
 use crate::exec::PhaseAccum;
@@ -10,7 +10,7 @@ use crate::request::Request;
 use crate::roofline::{op_time, Resources};
 use llmsim_hw::cpu::ComputeEngine;
 use llmsim_hw::topology::MemoryMode;
-use llmsim_hw::{Bytes, CpuSpec, NumaConfig, Seconds};
+use llmsim_hw::{Bytes, CpuSpec, GbPerSec, NumaConfig, Seconds};
 use llmsim_isa::timing::{gemm_efficiency, EngineKind, GemmShape};
 use llmsim_mem::analytic::{dram_traffic, instruction_count};
 use llmsim_mem::numa::{EffectiveMemory, MemSystem};
@@ -417,6 +417,37 @@ impl Backend for CpuBackend {
             counters,
             offload: None,
         })
+    }
+}
+
+impl CostModel for CpuBackend {
+    fn prefill_time(&self, model: &ModelConfig, batch: u64, prompt_len: u64) -> Seconds {
+        CpuBackend::prefill_time(self, model, batch, prompt_len)
+    }
+
+    fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
+        CpuBackend::decode_step_time(self, model, batch, kv_len)
+    }
+
+    fn weight_bytes(&self, model: &ModelConfig) -> Bytes {
+        model.weight_bytes(self.weight_dtype)
+    }
+
+    fn weight_load_bandwidth(&self) -> GbPerSec {
+        // Cold starts stream weights into local DRAM; the DDR pool bounds
+        // them (HBM fills go through DDR first on SPR Max).
+        let sockets = self.cpu().topology.sockets_spanned(self.cores);
+        self.cpu().ddr.bandwidth_per_socket.scale(sockets as f64)
+    }
+
+    fn holds_resident(&self, model: &ModelConfig) -> bool {
+        // A CPU either holds the weights in DRAM or cannot serve at all;
+        // there is no streaming tier behind it.
+        let available = match self.numa().memory {
+            MemoryMode::HbmOnly => self.cpu().hbm.as_ref().map_or(Bytes::ZERO, |h| h.capacity),
+            _ => self.cpu().total_memory_capacity(),
+        };
+        model.weight_bytes(self.weight_dtype) <= available
     }
 }
 

@@ -3,7 +3,7 @@
 //! over PCIe) when model state exceeds device memory — the machine model
 //! behind Figs. 17–21.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, CostModel};
 use crate::calib;
 use crate::error::SimError;
 use crate::exec::PhaseAccum;
@@ -11,7 +11,7 @@ use crate::offload::{self, OffloadPlan};
 use crate::report::InferenceReport;
 use crate::request::Request;
 use crate::roofline::{op_time, Resources};
-use llmsim_hw::{Bytes, GpuSpec, Seconds};
+use llmsim_hw::{Bytes, GbPerSec, GpuSpec, Seconds};
 use llmsim_mem::analytic::{dram_traffic, instruction_count};
 use llmsim_mem::{synthesize, CounterInputs};
 use llmsim_model::{DType, ModelConfig, OpClass, OpGraph};
@@ -94,6 +94,57 @@ impl GpuBackend {
     #[must_use]
     pub fn fits_resident(&self, model: &ModelConfig, request: &Request) -> bool {
         self.gpu.fits(self.footprint(model, request))
+    }
+
+    /// Whether `model`'s weights stay resident on the device across a
+    /// serving session: weights must fit in device memory with a ~20%
+    /// workspace reservation for the KV cache and activations (mirroring
+    /// [`OffloadPlan::new`]'s pinning reserve). Request-independent — a
+    /// serving replica decides residency once per model, not per request.
+    #[must_use]
+    pub fn serves_resident(&self, model: &ModelConfig) -> bool {
+        let pinnable = (self.gpu.usable_memory().as_f64() * 0.8) as u64;
+        model.weight_bytes(self.dtype) <= Bytes::new(pinnable)
+    }
+
+    /// Wall-clock cost of one prefill pass (`batch` prompts of
+    /// `prompt_len`) — the primitive serving schedulers plan with.
+    /// Resident models run at device rates; larger models pay the
+    /// FlexGen-style streamed-weight pass cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments are zero or the model is invalid.
+    #[must_use]
+    pub fn prefill_time(&self, model: &ModelConfig, batch: u64, prompt_len: u64) -> Seconds {
+        if self.serves_resident(model) {
+            let g = llmsim_model::prefill_graph(model, batch, prompt_len, self.dtype);
+            self.run_phase_resident(&g).time
+        } else {
+            let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
+            offload::pass_cost(
+                &self.gpu, &plan, model, self.dtype, batch, prompt_len, prompt_len, false,
+            )
+            .total()
+        }
+    }
+
+    /// Wall-clock cost of one decode step for `batch` sequences attending
+    /// over `kv_len` context tokens (offloaded when the model does not
+    /// serve resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments are zero or the model is invalid.
+    #[must_use]
+    pub fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
+        if self.serves_resident(model) {
+            let g = llmsim_model::decode_step_graph(model, batch, kv_len, self.dtype);
+            self.run_phase_resident(&g).time
+        } else {
+            let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
+            offload::pass_cost(&self.gpu, &plan, model, self.dtype, batch, 1, kv_len, true).total()
+        }
     }
 
     /// Executes one phase graph device-resident.
@@ -204,6 +255,30 @@ impl Backend for GpuBackend {
         }
         let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
         offload::run_offloaded(self, &plan, model, request)
+    }
+}
+
+impl CostModel for GpuBackend {
+    fn prefill_time(&self, model: &ModelConfig, batch: u64, prompt_len: u64) -> Seconds {
+        GpuBackend::prefill_time(self, model, batch, prompt_len)
+    }
+
+    fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
+        GpuBackend::decode_step_time(self, model, batch, kv_len)
+    }
+
+    fn weight_bytes(&self, model: &ModelConfig) -> Bytes {
+        model.weight_bytes(self.dtype)
+    }
+
+    fn weight_load_bandwidth(&self) -> GbPerSec {
+        // Weights reach the device over the host link whether the model
+        // ends up resident or streamed.
+        self.gpu.host_link.effective_bandwidth()
+    }
+
+    fn holds_resident(&self, model: &ModelConfig) -> bool {
+        self.serves_resident(model)
     }
 }
 

@@ -50,7 +50,7 @@ pub mod resilience;
 pub mod roofline;
 pub mod serving;
 
-pub use backend::{Backend, Simulator};
+pub use backend::{Backend, CostModel, Simulator};
 pub use cpu_backend::CpuBackend;
 pub use error::SimError;
 pub use gpu_backend::GpuBackend;

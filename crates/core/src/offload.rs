@@ -62,7 +62,7 @@ impl OffloadPlan {
 
 /// Costs of one full forward pass (all layers) under offloading.
 #[derive(Debug, Clone, Copy)]
-struct PassCost {
+pub(crate) struct PassCost {
     raw_transfer: Seconds,
     exposed_transfer: Seconds,
     gpu_compute: Seconds,
@@ -70,7 +70,7 @@ struct PassCost {
 }
 
 impl PassCost {
-    fn total(&self) -> Seconds {
+    pub(crate) fn total(&self) -> Seconds {
         self.exposed_transfer + self.gpu_compute + self.cpu_compute
     }
 }
@@ -80,7 +80,7 @@ impl PassCost {
 /// `tokens_per_seq` is the tokens computed per sequence this pass
 /// (`prompt_len` for prefill, 1 for decode); `kv_len` the context attended.
 #[allow(clippy::too_many_arguments)]
-fn pass_cost(
+pub(crate) fn pass_cost(
     gpu: &GpuSpec,
     plan: &OffloadPlan,
     model: &ModelConfig,

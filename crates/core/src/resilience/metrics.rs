@@ -8,23 +8,12 @@ use serde::Serialize;
 /// Linear-interpolation percentile over an unsorted sample.
 ///
 /// `p` is in percent (`50.0` = median). Returns `NaN` for an empty sample,
-/// matching the "no data" semantics of the latency columns.
+/// matching the "no data" semantics of the latency columns. Delegates to
+/// [`llmsim_report::percentile`] — the workspace's single percentile
+/// implementation — so fleet metrics and figure series agree exactly.
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    llmsim_report::percentile(values, p)
 }
 
 /// Everything a resilient serving run produced, with the fleet metrics the

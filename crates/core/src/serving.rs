@@ -7,7 +7,7 @@
 //! policies on top of the CPU backend's phase-cost primitives and reports
 //! per-request latency plus system throughput.
 
-use crate::cpu_backend::CpuBackend;
+use crate::backend::CostModel;
 use llmsim_model::ModelConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -107,19 +107,14 @@ impl ServingReport {
         self.outcomes.iter().map(|o| o.ttft_s).sum::<f64>() / self.outcomes.len() as f64
     }
 
-    /// A latency percentile over E2E times (`p` in 0..=100).
-    ///
-    /// # Panics
-    ///
-    /// Panics if there are no outcomes or `p` is outside 0..=100.
+    /// A latency percentile over E2E times (`p` in percent, clamped to
+    /// 0..=100; `NaN` when there are no outcomes). Delegates to
+    /// [`llmsim_report::percentile`] so serving, resilience and cluster
+    /// metrics all share one linear-interpolation percentile definition.
     #[must_use]
     pub fn e2e_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        assert!(!self.outcomes.is_empty(), "no outcomes");
-        let mut v: Vec<f64> = self.outcomes.iter().map(|o| o.e2e_s).collect();
-        v.sort_by(f64::total_cmp);
-        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-        v[idx]
+        let v: Vec<f64> = self.outcomes.iter().map(|o| o.e2e_s).collect();
+        llmsim_report::percentile(&v, p)
     }
 }
 
@@ -130,8 +125,8 @@ impl ServingReport {
 /// Panics if `requests` is empty, unsorted, has zero-length fields, or
 /// `config.max_batch` is zero.
 #[must_use]
-pub fn simulate(
-    backend: &CpuBackend,
+pub fn simulate<B: CostModel + ?Sized>(
+    backend: &B,
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
@@ -158,8 +153,8 @@ pub fn simulate(
     }
 }
 
-fn simulate_static(
-    backend: &CpuBackend,
+fn simulate_static<B: CostModel + ?Sized>(
+    backend: &B,
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
@@ -233,8 +228,8 @@ struct Active {
     first_token_s: f64,
 }
 
-fn simulate_iteration(
-    backend: &CpuBackend,
+fn simulate_iteration<B: CostModel + ?Sized>(
+    backend: &B,
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
@@ -327,8 +322,8 @@ struct Prefilling {
     remaining_prompt: u64,
 }
 
-fn simulate_chunked(
-    backend: &CpuBackend,
+fn simulate_chunked<B: CostModel + ?Sized>(
+    backend: &B,
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
@@ -441,6 +436,7 @@ fn simulate_chunked(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu_backend::CpuBackend;
     use llmsim_model::families;
 
     fn requests(n: u64, gap: f64) -> Vec<ServingRequest> {

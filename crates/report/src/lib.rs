@@ -25,5 +25,5 @@ pub mod series;
 pub mod table;
 
 pub use barchart::grouped_bars;
-pub use series::Series;
+pub use series::{percentile, Series};
 pub use table::Table;

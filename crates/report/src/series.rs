@@ -3,6 +3,31 @@
 
 use std::fmt;
 
+/// Linear-interpolation percentile over an unsorted sample, `p` in percent
+/// (`50.0` = median). Returns `NaN` for an empty sample — the "no data"
+/// semantics the latency columns use.
+///
+/// This is **the** percentile implementation of the workspace: `Series`,
+/// the serving report, the resilience metrics and the cluster fleet metrics
+/// all delegate here so p50/p95/p99 semantics agree everywhere.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 /// A labelled sequence of `(x-label, value)` points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
@@ -99,20 +124,7 @@ impl Series {
     /// serving metrics report.
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
-        let mut v = self.values();
-        if v.is_empty() {
-            return f64::NAN;
-        }
-        v.sort_by(f64::total_cmp);
-        let rank = (p / 100.0).clamp(0.0, 1.0) * (v.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        if lo == hi {
-            v[lo]
-        } else {
-            let frac = rank - lo as f64;
-            v[lo] * (1.0 - frac) + v[hi] * frac
-        }
+        percentile(&self.values(), p)
     }
 }
 

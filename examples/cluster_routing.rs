@@ -1,0 +1,117 @@
+//! Cluster extension: cost-model-aware routing on a heterogeneous fleet.
+//!
+//! A mixed OPT-13B / OPT-66B request stream hits a fleet of {ICL, SPR,
+//! A100, H100} replicas. The 66B model offloads on both GPUs (Fig. 18's
+//! PCIe streaming cliff), so the latency-predicting router sends it to the
+//! CPUs and keeps the resident 13B traffic on the GPUs — the paper's
+//! Fig. 17/19 crossover applied per request instead of per deployment.
+//!
+//! ```sh
+//! cargo run --example cluster_routing
+//! ```
+
+use llmsim::cluster::{
+    simulate_fleet, ClusterConfig, ClusterRequest, HeteroAware, ReplicaConfig, RoundRobin,
+    RouterPolicy, SloTargets,
+};
+use llmsim::core::{CostModel, CpuBackend, GpuBackend};
+use llmsim::model::families;
+use llmsim::report::Table;
+use llmsim::workload::ArrivalTrace;
+use std::sync::Arc;
+
+fn main() {
+    let fleet = ClusterConfig::new(
+        vec![
+            ReplicaConfig::warm(
+                Arc::new(CpuBackend::paper_icl()) as Arc<dyn CostModel + Send + Sync>
+            ),
+            ReplicaConfig::warm(
+                Arc::new(CpuBackend::paper_spr()) as Arc<dyn CostModel + Send + Sync>
+            ),
+            ReplicaConfig::warm(
+                Arc::new(GpuBackend::paper_a100()) as Arc<dyn CostModel + Send + Sync>
+            ),
+            ReplicaConfig::warm(
+                Arc::new(GpuBackend::paper_h100()) as Arc<dyn CostModel + Send + Sync>
+            ),
+        ],
+        vec![families::opt_13b(), families::opt_66b()],
+    )
+    .with_slo(SloTargets {
+        ttft_s: 8.0,
+        e2e_s: 60.0,
+    });
+
+    // 36 Poisson arrivals; every third request is the offload-heavy 66B.
+    let requests: Vec<ClusterRequest> = ArrivalTrace::poisson(7, 36, 0.75)
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &arrival_s)| ClusterRequest {
+            id: i,
+            arrival_s,
+            prompt_len: 128 + 128 * (i as u64 % 3),
+            gen_len: 16 + 16 * (i as u64 % 3),
+            model: usize::from(i % 3 == 0),
+        })
+        .collect();
+
+    println!(
+        "Routing {} requests (1/3 OPT-66B, 2/3 OPT-13B) across ICL, SPR, A100, H100\n",
+        requests.len()
+    );
+
+    let mut comparison = Table::new(vec![
+        "router".into(),
+        "goodput tok/s".into(),
+        "SLO att. %".into(),
+        "p99 ttft (s)".into(),
+        "p99 e2e (s)".into(),
+    ]);
+    let mut routers: Vec<Box<dyn RouterPolicy>> =
+        vec![Box::new(RoundRobin::new()), Box::new(HeteroAware)];
+    for router in &mut routers {
+        let report = simulate_fleet(&fleet, &mut **router, &requests);
+        comparison.row(vec![
+            report.router.clone(),
+            format!("{:.1}", report.goodput_tok_s()),
+            format!("{:.0}", report.slo_attainment() * 100.0),
+            format!("{:.2}", report.ttft_percentile(99.0)),
+            format!("{:.2}", report.e2e_percentile(99.0)),
+        ]);
+    }
+    println!("{}", comparison.render());
+
+    // Where did the cost-aware router put each model?
+    let report = simulate_fleet(&fleet, &mut HeteroAware, &requests);
+    let mut placement = Table::new(vec![
+        "replica".into(),
+        "OPT-13B reqs".into(),
+        "OPT-66B reqs".into(),
+        "resident 66B?".into(),
+    ]);
+    for (i, stats) in report.replicas.iter().enumerate() {
+        let count = |m: usize| {
+            report
+                .outcomes
+                .iter()
+                .filter(|o| o.replica == Some(i) && o.model == m)
+                .count()
+        };
+        placement.row(vec![
+            stats.name.clone(),
+            count(0).to_string(),
+            count(1).to_string(),
+            if fleet.replicas[i].backend.holds_resident(&fleet.models[1]) {
+                "yes".into()
+            } else {
+                "no (offloads)".into()
+            },
+        ]);
+    }
+    println!(
+        "\nhetero-aware placement — offloaded models stay on CPUs, resident on GPUs:\n\n{}",
+        placement.render()
+    );
+}

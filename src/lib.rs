@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use llmsim_cluster as cluster;
 pub use llmsim_core as core;
 pub use llmsim_hw as hw;
 pub use llmsim_isa as isa;
