@@ -1,0 +1,235 @@
+//! Trace-replay extension: a bundled production-style request trace
+//! drives the heterogeneous fleet, with per-request span tracing.
+//!
+//! The other cluster studies synthesize arrivals (Poisson / MMPP); this
+//! one replays a real-trace-shaped CSV — Azure-LLM/BurstGPT column
+//! conventions: `timestamp,prompt_len,gen_len,model` — through
+//! `llmsim-workload`'s parser and `llmsim-cluster`'s model binding, then
+//! runs the ICL/SPR/A100/H100 fleet under both a blind and a
+//! cost-model-aware router with a [`VecSink`] attached. The spans give
+//! what the aggregate report cannot: per-request queue / prefill / decode
+//! phase durations, broken down by the replica that served the request.
+
+use super::ext_cluster;
+use llmsim_cluster::{
+    bind_requests, simulate_fleet_traced, ClusterRequest, FleetReport, HeteroAware, RoundRobin,
+    RouterPolicy,
+};
+use llmsim_core::{SpanOutcome, SpanRecord, VecSink};
+use llmsim_report::{percentile, Table};
+use llmsim_workload::replay::{model_mix, parse_trace};
+
+/// The bundled sample trace: 72 requests over ~57 s with a burst window
+/// around t = 22–31 s, two thirds OPT-13B and one third OPT-66B.
+pub const SAMPLE_TRACE: &str = include_str!("../../data/sample_trace.csv");
+
+/// Parses the bundled trace and binds its model names against the
+/// heterogeneous fleet's model list.
+///
+/// # Panics
+///
+/// Panics if the bundled trace is malformed or names an unserved model —
+/// both are build-time defects, not runtime conditions.
+#[must_use]
+pub fn replay_requests() -> Vec<ClusterRequest> {
+    let rows = parse_trace(SAMPLE_TRACE).expect("bundled trace parses");
+    let config = ext_cluster::hetero_fleet();
+    bind_requests(&rows, &config.models).expect("bundled trace binds")
+}
+
+/// Replays the trace under `router` with span collection attached.
+#[must_use]
+pub fn run_traced(router: &mut dyn RouterPolicy) -> (FleetReport, VecSink) {
+    let config = ext_cluster::hetero_fleet();
+    let reqs = replay_requests();
+    let mut sink = VecSink::new();
+    let report = simulate_fleet_traced(&config, router, &reqs, &mut sink);
+    (report, sink)
+}
+
+/// The span log of the hetero-aware replay as TSV — the CI artifact.
+#[must_use]
+pub fn spans_tsv() -> String {
+    run_traced(&mut HeteroAware).1.to_tsv()
+}
+
+/// Collects one phase duration per completed span served by `replica`.
+fn phase_values(
+    spans: &[SpanRecord],
+    replica: usize,
+    phase: impl Fn(&SpanRecord) -> f64,
+) -> Vec<f64> {
+    spans
+        .iter()
+        .filter(|s| s.outcome == SpanOutcome::Completed && s.replica == Some(replica))
+        .map(phase)
+        .collect()
+}
+
+fn fmt_p(values: &[f64], p: f64) -> String {
+    let v = percentile(values, p);
+    if v.is_nan() {
+        "-".into()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders the replay study: router comparison plus the per-replica
+/// phase breakdown the spans make possible.
+#[must_use]
+pub fn render() -> String {
+    let reqs = replay_requests();
+    let mix = model_mix(&parse_trace(SAMPLE_TRACE).expect("bundled trace parses"));
+    let mut out = format!(
+        "Trace replay extension (llmsim-workload replay + span tracing)\n\
+         Bundled sample trace: {} requests over {:.0} s ({}), replayed on\n\
+         {{ICL, SPR, A100, H100}} with per-request span collection. Phases\n\
+         below are span-derived: queue = arrival to dispatch, prefill =\n\
+         dispatch to first token, decode = first to last token.\n\n",
+        reqs.len(),
+        reqs.last().map_or(0.0, |r| r.arrival_s),
+        mix.iter()
+            .map(|(name, n)| format!("{n} {name}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let mut summary = Table::new(vec![
+        "router".into(),
+        "done".into(),
+        "rej".into(),
+        "goodput tok/s".into(),
+        "SLO att. %".into(),
+        "p50 ttft (s)".into(),
+        "p99 ttft (s)".into(),
+        "p99 e2e (s)".into(),
+    ]);
+    let mut routers: Vec<Box<dyn RouterPolicy>> =
+        vec![Box::new(RoundRobin::new()), Box::new(HeteroAware)];
+    let mut hetero_spans = Vec::new();
+    let mut hetero_report = None;
+    for router in &mut routers {
+        let (report, sink) = run_traced(&mut **router);
+        summary.row(vec![
+            report.router.clone(),
+            report.completed().to_string(),
+            report.rejected().to_string(),
+            format!("{:.1}", report.goodput_tok_s()),
+            format!("{:.0}", report.slo_attainment() * 100.0),
+            format!("{:.2}", report.ttft_percentile(50.0)),
+            format!("{:.2}", report.ttft_percentile(99.0)),
+            format!("{:.2}", report.e2e_percentile(99.0)),
+        ]);
+        if report.router == "hetero-aware" {
+            hetero_spans = sink.spans;
+            hetero_report = Some(report);
+        }
+    }
+    out.push_str(&summary.render());
+
+    let report = hetero_report.expect("hetero-aware ran");
+    out.push_str("\nPer-replica phase breakdown under hetero-aware (seconds):\n\n");
+    let mut phases = Table::new(vec![
+        "replica".into(),
+        "served".into(),
+        "p50 queue".into(),
+        "p99 queue".into(),
+        "p50 prefill".into(),
+        "p99 prefill".into(),
+        "p50 decode".into(),
+        "p99 decode".into(),
+    ]);
+    for (idx, stats) in report.replicas.iter().enumerate() {
+        let queue = phase_values(&hetero_spans, idx, |s| s.queue_delay_s);
+        let prefill = phase_values(&hetero_spans, idx, SpanRecord::prefill_s);
+        let decode = phase_values(&hetero_spans, idx, |s| s.decode_s);
+        phases.row(vec![
+            stats.name.clone(),
+            queue.len().to_string(),
+            fmt_p(&queue, 50.0),
+            fmt_p(&queue, 99.0),
+            fmt_p(&prefill, 50.0),
+            fmt_p(&prefill, 99.0),
+            fmt_p(&decode, 50.0),
+            fmt_p(&decode, 99.0),
+        ]);
+    }
+    out.push_str(&phases.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_cluster::{simulate_fleet, OutcomeState};
+    use llmsim_report::validate_tsv;
+
+    #[test]
+    fn bundled_trace_parses_and_binds() {
+        let reqs = replay_requests();
+        assert_eq!(reqs.len(), 72);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert_eq!(reqs[0].arrival_s, 0.0, "arrivals rebased to t = 0");
+        let n66 = reqs.iter().filter(|r| r.model == 1).count();
+        assert_eq!(n66, 24, "one third of the trace is OPT-66B");
+    }
+
+    #[test]
+    fn span_tsv_is_byte_identical_across_runs() {
+        assert_eq!(spans_tsv(), spans_tsv());
+    }
+
+    #[test]
+    fn span_tsv_passes_the_ci_validator() {
+        let tsv = spans_tsv();
+        let rows = validate_tsv(&tsv).expect("well-formed span TSV");
+        assert_eq!(rows, 72, "one span row per replayed request");
+    }
+
+    #[test]
+    fn spans_reconcile_with_the_report() {
+        let (report, sink) = run_traced(&mut HeteroAware);
+        assert_eq!(sink.spans.len(), report.outcomes.len());
+        for o in &report.outcomes {
+            let s = sink
+                .spans
+                .iter()
+                .find(|s| s.id == o.id as u64)
+                .expect("span per request");
+            match o.state {
+                OutcomeState::Completed => {
+                    let e2e = o.e2e_s.unwrap();
+                    assert!((s.e2e_s() - e2e).abs() < 1e-9);
+                    let phase_sum = s.queue_delay_s + s.prefill_s() + s.decode_s;
+                    assert!(
+                        (phase_sum - e2e).abs() < 1e-9,
+                        "request {}: phases {phase_sum} != e2e {e2e}",
+                        o.id
+                    );
+                }
+                OutcomeState::Rejected => assert!(s.e2e_s().is_nan()),
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let config = ext_cluster::hetero_fleet();
+        let reqs = replay_requests();
+        let plain = simulate_fleet(&config, &mut HeteroAware, &reqs);
+        let (traced, _) = run_traced(&mut HeteroAware);
+        assert_eq!(plain.render(), traced.render());
+        assert_eq!(
+            format!("{:?}", plain.outcomes),
+            format!("{:?}", traced.outcomes)
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic_and_reports_phases() {
+        let a = render();
+        assert_eq!(a, render());
+        assert!(a.contains("hetero-aware") && a.contains("p99 decode"));
+    }
+}

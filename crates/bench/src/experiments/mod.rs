@@ -7,6 +7,7 @@ pub mod ext_cluster;
 pub mod ext_memory;
 pub mod ext_resilience;
 pub mod ext_speculative;
+pub mod ext_trace;
 pub mod extensions;
 pub mod fig01_gemm;
 pub mod fig06_07_footprints;
@@ -57,6 +58,7 @@ fn sections() -> Vec<Section> {
         Box::new(ext_speculative::render),
         Box::new(ext_resilience::render),
         Box::new(ext_cluster::render),
+        Box::new(ext_trace::render),
     ]
 }
 

@@ -11,6 +11,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
 use crate::replica::{InFlight, Replica, ReplicaConfig, ReplicaStart, ReplicaState};
 use crate::router::{ReplicaView, RouterPolicy};
+use llmsim_core::trace::{NullSink, SpanOutcome, SpanRecord, SpanSink};
 use llmsim_core::CostModel;
 use llmsim_model::ModelConfig;
 use serde::Serialize;
@@ -78,10 +79,19 @@ impl ClusterConfig {
     }
 }
 
-/// Predicted service time of a request at batch width `batch`: prefill at
-/// the full prompt plus per-token decode priced at the mid-generation KV
-/// length (the same approximation the single-server simulator converges
-/// to for steady decode).
+/// Service time of a request at batch width `batch`: one prefill pass at
+/// the full prompt, then the exact sum of per-step decode costs over the
+/// growing KV length. The first generated token comes out of the prefill
+/// pass, so decode step `s` (0-based, `gen_len - 1` steps total) attends
+/// over `prompt_len + 1 + s` context tokens — identical to what the
+/// single-server iteration-level simulator charges a lone request.
+///
+/// The router's predictions and the replica's actual charging both call
+/// this, so prediction error can only come from batch-width changes after
+/// routing, never from the pricing itself. (An earlier version priced
+/// every decode step at the mid-generation KV length; the cross-check
+/// test below caught it drifting from the serving simulator on long
+/// generations.)
 fn predict_service_s(
     backend: &dyn CostModel,
     model: &ModelConfig,
@@ -90,12 +100,11 @@ fn predict_service_s(
     gen_len: u64,
 ) -> f64 {
     let prefill = backend.prefill_time(model, batch, prompt_len).as_f64();
-    let steps = gen_len.saturating_sub(1);
-    if steps == 0 {
-        return prefill;
-    }
-    let mid_kv = prompt_len + 1 + gen_len / 2;
-    prefill + steps as f64 * backend.decode_step_time(model, batch, mid_kv).as_f64()
+    (0..gen_len.saturating_sub(1)).fold(prefill, |acc, step| {
+        acc + backend
+            .decode_step_time(model, batch, prompt_len + 1 + step)
+            .as_f64()
+    })
 }
 
 /// Runs the fleet simulation to completion and reports.
@@ -113,6 +122,28 @@ pub fn simulate_fleet(
     config: &ClusterConfig,
     router: &mut dyn RouterPolicy,
     requests: &[ClusterRequest],
+) -> FleetReport {
+    simulate_fleet_traced(config, router, requests, &mut NullSink)
+}
+
+/// [`simulate_fleet`] with per-request span tracing.
+///
+/// Every request's full phase timeline — arrival, queue delay, dispatch,
+/// prefill end, aggregated decode time, completion (or rejection), the
+/// replica that served it and the batch width at dispatch — is emitted to
+/// `sink` as a [`SpanRecord`] at the moment the timeline becomes known.
+/// Tracing is observational only: the returned report is bit-identical to
+/// [`simulate_fleet`]'s regardless of the sink (a proptest holds the
+/// engine to this).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_fleet`].
+pub fn simulate_fleet_traced(
+    config: &ClusterConfig,
+    router: &mut dyn RouterPolicy,
+    requests: &[ClusterRequest],
+    sink: &mut dyn SpanSink,
 ) -> FleetReport {
     assert!(!config.replicas.is_empty(), "fleet must have replicas");
     assert!(!config.models.is_empty(), "fleet must serve models");
@@ -193,6 +224,7 @@ pub fn simulate_fleet(
                             requests,
                             &mut queue,
                             &mut outcomes,
+                            sink,
                         );
                     }
                     None => {
@@ -207,6 +239,13 @@ pub fn simulate_fleet(
                             tokens: 0,
                         });
                         resolved += 1;
+                        if sink.enabled() {
+                            sink.record(SpanRecord::rejected(
+                                request as u64,
+                                req.model,
+                                req.arrival_s,
+                            ));
+                        }
                     }
                 }
             }
@@ -222,6 +261,7 @@ pub fn simulate_fleet(
                             requests,
                             &mut queue,
                             &mut outcomes,
+                            sink,
                         );
                     }
                 }
@@ -247,6 +287,7 @@ pub fn simulate_fleet(
                     requests,
                     &mut queue,
                     &mut outcomes,
+                    sink,
                 );
             }
             EventKind::ScaleTick => {
@@ -323,14 +364,11 @@ pub fn simulate_fleet(
     let generated_tokens: u64 = outcomes.iter().map(|o| o.tokens).sum();
     let goodput_tokens: u64 = outcomes
         .iter()
-        .filter(|o| match config.slo {
-            Some(slo) => {
-                o.state == OutcomeState::Completed
-                    && slo.met(
-                        o.ttft_s.unwrap_or(f64::INFINITY),
-                        o.e2e_s.unwrap_or(f64::INFINITY),
-                    )
-            }
+        .filter(|o| match &config.slo {
+            // Rejected/unserved outcomes have no latencies and always
+            // count as SLO misses — `meets_slo` handles them without
+            // unwrapping.
+            Some(slo) => o.meets_slo(slo),
             None => o.state == OutcomeState::Completed,
         })
         .map(|o| o.tokens)
@@ -400,6 +438,7 @@ fn view_of(
 /// scheduling their completions. Service time is priced at the batch
 /// width *after* admission, so later co-runners slow a dispatch down
 /// exactly as batching does on the single-server simulator.
+#[allow(clippy::too_many_arguments)]
 fn try_dispatch(
     idx: usize,
     now_s: f64,
@@ -408,6 +447,7 @@ fn try_dispatch(
     requests: &[ClusterRequest],
     queue: &mut EventQueue,
     outcomes: &mut [Option<ClusterOutcome>],
+    sink: &mut dyn SpanSink,
 ) {
     loop {
         let r = &mut replicas[idx];
@@ -465,6 +505,22 @@ fn try_dispatch(
             e2e_s: Some(queue_delay + service),
             tokens: req.gen_len,
         });
+        if sink.enabled() {
+            sink.record(SpanRecord {
+                id: req.id as u64,
+                model: req.model,
+                replica: Some(idx),
+                outcome: SpanOutcome::Completed,
+                arrival_s: req.arrival_s,
+                queue_delay_s: queue_delay,
+                dispatch_s: now_s,
+                prefill_end_s: now_s + prefill,
+                decode_s: service - prefill,
+                decode_steps: req.gen_len.saturating_sub(1),
+                completion_s: completion,
+                batch_at_dispatch: batch,
+            });
+        }
     }
 }
 
@@ -540,6 +596,117 @@ mod tests {
             "queue delay {delay} should cover warmup {warmup}"
         );
         assert_eq!(report.replicas[0].warmups, 1);
+    }
+
+    #[test]
+    fn router_prediction_matches_single_server_simulation() {
+        // Cross-check: for a single request on an otherwise idle replica
+        // (batch width 1 throughout), the router's predicted service time
+        // — and therefore the fleet's reported e2e — must agree with the
+        // single-server iteration-level simulator pricing the same
+        // request on the same backend. Both now charge prefill plus the
+        // exact per-step decode sum over the growing KV length.
+        use llmsim_core::serving::{simulate, SchedulingPolicy, ServingConfig, ServingRequest};
+        use llmsim_core::CpuBackend;
+
+        let model = families::opt_13b();
+        let backend = CpuBackend::paper_spr();
+        for (prompt_len, gen_len) in [(128, 32), (64, 1), (512, 100), (1, 2)] {
+            let fleet = ClusterConfig::new(
+                vec![ReplicaConfig::warm(
+                    Arc::new(CpuBackend::paper_spr()) as Arc<dyn CostModel + Send + Sync>
+                )],
+                vec![model.clone()],
+            );
+            let req = ClusterRequest {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_len,
+                gen_len,
+                model: 0,
+            };
+            let fleet_e2e = simulate_fleet(&fleet, &mut RoundRobin::new(), &[req]).outcomes[0]
+                .e2e_s
+                .unwrap();
+            let serving_e2e = simulate(
+                &backend,
+                &model,
+                &ServingConfig {
+                    max_batch: 1,
+                    policy: SchedulingPolicy::IterationLevel,
+                },
+                &[ServingRequest {
+                    id: 0,
+                    arrival_s: 0.0,
+                    prompt_len,
+                    gen_len,
+                }],
+            )
+            .outcomes[0]
+                .e2e_s;
+            let rel = (fleet_e2e - serving_e2e).abs() / serving_e2e;
+            assert!(
+                rel < 1e-9,
+                "prompt {prompt_len} gen {gen_len}: fleet {fleet_e2e} vs serving {serving_e2e} \
+                 (rel err {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn spans_reconcile_with_fleet_outcomes() {
+        use llmsim_core::trace::{SpanOutcome, VecSink};
+
+        let mut config = cpu_fleet(2);
+        // Force some rejections: tiny queue on both replicas.
+        for r in &mut config.replicas {
+            r.queue_cap = 3;
+            r.max_batch = 2;
+        }
+        let reqs = trace(12, 0.01);
+        let mut sink = VecSink::new();
+        let traced = simulate_fleet_traced(&config, &mut RoundRobin::new(), &reqs, &mut sink);
+
+        // Tracing is observational: identical report with and without.
+        let plain = simulate_fleet(&config, &mut RoundRobin::new(), &reqs);
+        assert_eq!(traced.render(), plain.render());
+        assert_eq!(
+            format!("{:?}", traced.outcomes),
+            format!("{:?}", plain.outcomes)
+        );
+
+        // One span per request, reconciling with the outcome's latencies.
+        assert_eq!(sink.spans.len(), reqs.len());
+        for o in &traced.outcomes {
+            let s = sink
+                .spans
+                .iter()
+                .find(|s| s.id == o.id as u64)
+                .expect("span per request");
+            match o.state {
+                OutcomeState::Completed => {
+                    assert_eq!(s.outcome, SpanOutcome::Completed);
+                    assert_eq!(s.replica, o.replica);
+                    assert!((s.queue_delay_s - o.queue_delay_s.unwrap()).abs() < 1e-9);
+                    assert!((s.ttft_s() - o.ttft_s.unwrap()).abs() < 1e-9);
+                    assert!((s.e2e_s() - o.e2e_s.unwrap()).abs() < 1e-9);
+                    let phase_sum = s.queue_delay_s + s.prefill_s() + s.decode_s;
+                    assert!(
+                        (phase_sum - s.e2e_s()).abs() < 1e-9,
+                        "phases must sum to e2e"
+                    );
+                    assert!(s.batch_at_dispatch >= 1 && s.batch_at_dispatch <= 2);
+                }
+                OutcomeState::Rejected => {
+                    assert_eq!(s.outcome, SpanOutcome::Rejected);
+                    assert!(s.e2e_s().is_nan());
+                }
+            }
+        }
+        // Deterministic TSV: same run, same bytes.
+        let mut sink2 = VecSink::new();
+        let _ = simulate_fleet_traced(&config, &mut RoundRobin::new(), &reqs, &mut sink2);
+        assert_eq!(sink.to_tsv(), sink2.to_tsv());
     }
 
     #[test]

@@ -52,12 +52,14 @@ pub mod autoscale;
 mod engine;
 mod event;
 pub mod metrics;
+pub mod replay;
 mod replica;
 pub mod router;
 
 pub use autoscale::AutoscaleConfig;
-pub use engine::{simulate_fleet, ClusterConfig, ClusterRequest};
+pub use engine::{simulate_fleet, simulate_fleet_traced, ClusterConfig, ClusterRequest};
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
+pub use replay::{bind_requests, UnknownModelError};
 pub use replica::{ReplicaConfig, ReplicaStart};
 pub use router::{
     HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView, RoundRobin, RouterPolicy,

@@ -1,0 +1,116 @@
+//! Binding parsed real-trace rows to a fleet's model list.
+//!
+//! `llmsim-workload`'s [`replay`](llmsim_workload::replay) module parses
+//! Azure-LLM/BurstGPT-style CSVs into neutral [`ReplayRequest`]s; this
+//! module resolves their model *names* against a [`ClusterConfig`]'s
+//! model list and produces the [`ClusterRequest`] stream `simulate_fleet`
+//! consumes — the step that lets a production trace drive the fleet
+//! instead of synthetic MMPP.
+
+use crate::engine::ClusterRequest;
+use llmsim_model::ModelConfig;
+use llmsim_workload::replay::ReplayRequest;
+use std::fmt;
+
+/// A trace row referenced a model the fleet does not serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The trace's model name.
+    pub model: String,
+    /// Request id of the first offending row.
+    pub request: usize,
+    /// The model names the fleet serves.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace request {} names model {:?}, but the fleet serves {:?}",
+            self.request, self.model, self.known
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
+/// Resolves replayed requests against `models` (case-insensitive name
+/// match; the placeholder name `"default"` — used when a trace has no
+/// model column — binds to `models[0]`).
+///
+/// # Errors
+///
+/// Returns [`UnknownModelError`] for the first row whose model name is
+/// not served.
+pub fn bind_requests(
+    replay: &[ReplayRequest],
+    models: &[ModelConfig],
+) -> Result<Vec<ClusterRequest>, UnknownModelError> {
+    replay
+        .iter()
+        .map(|r| {
+            let model = if r.model.eq_ignore_ascii_case("default") {
+                Some(0)
+            } else {
+                models
+                    .iter()
+                    .position(|m| m.name.eq_ignore_ascii_case(&r.model))
+            };
+            let model = model.ok_or_else(|| UnknownModelError {
+                model: r.model.clone(),
+                request: r.id,
+                known: models.iter().map(|m| m.name.clone()).collect(),
+            })?;
+            Ok(ClusterRequest {
+                id: r.id,
+                arrival_s: r.arrival_s,
+                prompt_len: r.prompt_len,
+                gen_len: r.gen_len,
+                model,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_model::families;
+    use llmsim_workload::replay::parse_trace;
+
+    const TRACE: &str = "\
+timestamp,prompt_len,gen_len,model
+0.0,128,32,OPT-13B
+0.5,256,16,opt-66b
+1.0,64,8,OPT-13B
+";
+
+    #[test]
+    fn binds_names_case_insensitively() {
+        let replay = parse_trace(TRACE).unwrap();
+        let models = vec![families::opt_13b(), families::opt_66b()];
+        let reqs = bind_requests(&replay, &models).expect("all models served");
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].model, 0);
+        assert_eq!(reqs[1].model, 1, "lowercase opt-66b still binds");
+        assert_eq!(reqs[2].prompt_len, 64);
+        assert_eq!(reqs[1].arrival_s, 0.5);
+    }
+
+    #[test]
+    fn default_model_binds_to_first() {
+        let replay = parse_trace("timestamp,prompt_len,gen_len\n0,8,4\n").unwrap();
+        let reqs = bind_requests(&replay, &[families::opt_13b()]).unwrap();
+        assert_eq!(reqs[0].model, 0);
+    }
+
+    #[test]
+    fn unknown_model_is_a_descriptive_error() {
+        let replay = parse_trace(TRACE).unwrap();
+        let err = bind_requests(&replay, &[families::opt_13b()]).unwrap_err();
+        assert_eq!(err.model, "opt-66b");
+        assert_eq!(err.request, 1);
+        assert!(err.to_string().contains("OPT-13B"));
+    }
+}

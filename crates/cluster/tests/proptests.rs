@@ -2,11 +2,11 @@
 //! sanity across randomly drawn heterogeneous fleets and traces.
 
 use llmsim_cluster::{
-    simulate_fleet, AutoscaleConfig, ClusterConfig, ClusterRequest, HeteroAware, JoinShortestQueue,
-    LeastOutstandingTokens, OutcomeState, ReplicaConfig, ReplicaStart, ReplicaView, RoundRobin,
-    RouterPolicy, SloTargets,
+    simulate_fleet, simulate_fleet_traced, AutoscaleConfig, ClusterConfig, ClusterRequest,
+    HeteroAware, JoinShortestQueue, LeastOutstandingTokens, OutcomeState, ReplicaConfig,
+    ReplicaStart, ReplicaView, RoundRobin, RouterPolicy, SloTargets,
 };
-use llmsim_core::{CostModel, CpuBackend, GpuBackend};
+use llmsim_core::{CostModel, CpuBackend, GpuBackend, VecSink};
 use llmsim_model::families;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -90,6 +90,46 @@ proptest! {
         prop_assert_eq!(a.render(), b.render());
         prop_assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
         prop_assert_eq!(format!("{:?}", a.replicas), format!("{:?}", b.replicas));
+    }
+
+    /// Span tracing is observational: a traced run produces a report
+    /// bit-identical to the untraced run, one span per request, with each
+    /// completed span's phases summing to the outcome's e2e latency; and
+    /// the TSV rendering is byte-stable across same-seed runs.
+    #[test]
+    fn tracing_changes_nothing_and_spans_reconcile(
+        reqs in arb_trace(),
+        n in 2usize..5,
+        cap in 2usize..12,
+        batch in 1u64..5,
+        router_ix in 0usize..4,
+        start_ix in 0usize..3,
+    ) {
+        let config = fleet(n, cap, batch, starts()[start_ix]);
+        let plain = simulate_fleet(&config, &mut *routers()[router_ix], &reqs);
+        let mut sink = VecSink::new();
+        let traced =
+            simulate_fleet_traced(&config, &mut *routers()[router_ix], &reqs, &mut sink);
+        prop_assert_eq!(plain.render(), traced.render());
+        prop_assert_eq!(format!("{:?}", plain.outcomes), format!("{:?}", traced.outcomes));
+        prop_assert_eq!(sink.spans.len(), reqs.len());
+        for o in &traced.outcomes {
+            let s = sink
+                .spans
+                .iter()
+                .find(|s| s.id == o.id as u64)
+                .expect("span per request");
+            if o.state == OutcomeState::Completed {
+                let phase_sum = s.queue_delay_s + s.prefill_s() + s.decode_s;
+                prop_assert!((s.e2e_s() - o.e2e_s.unwrap()).abs() < 1e-9);
+                prop_assert!((phase_sum - s.e2e_s()).abs() < 1e-9);
+            } else {
+                prop_assert!(s.e2e_s().is_nan());
+            }
+        }
+        let mut sink2 = VecSink::new();
+        let _ = simulate_fleet_traced(&config, &mut *routers()[router_ix], &reqs, &mut sink2);
+        prop_assert_eq!(sink.to_tsv(), sink2.to_tsv());
     }
 
     /// Conservation: every request terminates exactly once — completed with

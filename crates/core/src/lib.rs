@@ -49,6 +49,7 @@ pub mod request;
 pub mod resilience;
 pub mod roofline;
 pub mod serving;
+pub mod trace;
 
 pub use backend::{Backend, CostModel, Simulator};
 pub use cpu_backend::CpuBackend;
@@ -64,3 +65,4 @@ pub use resilience::{
     TimeoutPhase,
 };
 pub use serving::{SchedulingPolicy, ServingConfig, ServingReport, ServingRequest};
+pub use trace::{NullSink, SpanOutcome, SpanRecord, SpanSink, VecSink};

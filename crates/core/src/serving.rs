@@ -8,6 +8,7 @@
 //! per-request latency plus system throughput.
 
 use crate::backend::CostModel;
+use crate::trace::{NullSink, SpanOutcome, SpanRecord, SpanSink};
 use llmsim_model::ModelConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -107,8 +108,8 @@ impl ServingReport {
         self.outcomes.iter().map(|o| o.ttft_s).sum::<f64>() / self.outcomes.len() as f64
     }
 
-    /// A latency percentile over E2E times (`p` in percent, clamped to
-    /// 0..=100; `NaN` when there are no outcomes). Delegates to
+    /// A latency percentile over E2E times (`p` in percent; `NaN` when
+    /// there are no outcomes or `p` is outside 0..=100). Delegates to
     /// [`llmsim_report::percentile`] so serving, resilience and cluster
     /// metrics all share one linear-interpolation percentile definition.
     #[must_use]
@@ -131,6 +132,25 @@ pub fn simulate<B: CostModel + ?Sized>(
     config: &ServingConfig,
     requests: &[ServingRequest],
 ) -> ServingReport {
+    simulate_traced(backend, model, config, requests, &mut NullSink)
+}
+
+/// [`simulate`] with per-request span tracing: every request's phase
+/// timeline (queue, prefill, decode, completion) is emitted to `sink` as
+/// a [`SpanRecord`]. Tracing is observational only — the returned report
+/// is identical to [`simulate`]'s, bit for bit.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`].
+#[must_use]
+pub fn simulate_traced<B: CostModel + ?Sized>(
+    backend: &B,
+    model: &ModelConfig,
+    config: &ServingConfig,
+    requests: &[ServingRequest],
+    sink: &mut dyn SpanSink,
+) -> ServingReport {
     assert!(!requests.is_empty(), "need at least one request");
     assert!(config.max_batch > 0, "max batch must be positive");
     assert!(
@@ -144,11 +164,13 @@ pub fn simulate<B: CostModel + ?Sized>(
         "request lengths must be positive"
     );
     match config.policy {
-        SchedulingPolicy::Static => simulate_static(backend, model, config, requests),
-        SchedulingPolicy::IterationLevel => simulate_iteration(backend, model, config, requests),
+        SchedulingPolicy::Static => simulate_static(backend, model, config, requests, sink),
+        SchedulingPolicy::IterationLevel => {
+            simulate_iteration(backend, model, config, requests, sink)
+        }
         SchedulingPolicy::ChunkedPrefill { chunk_tokens } => {
             assert!(chunk_tokens > 0, "chunk size must be positive");
-            simulate_chunked(backend, model, config, requests, chunk_tokens)
+            simulate_chunked(backend, model, config, requests, chunk_tokens, sink)
         }
     }
 }
@@ -158,6 +180,7 @@ fn simulate_static<B: CostModel + ?Sized>(
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
+    sink: &mut dyn SpanSink,
 ) -> ServingReport {
     let mut now = 0.0f64;
     let mut outcomes = Vec::with_capacity(requests.len());
@@ -200,6 +223,22 @@ fn simulate_static<B: CostModel + ?Sized>(
                 e2e_s: done - r.arrival_s,
             });
             generated += r.gen_len;
+            if sink.enabled() {
+                sink.record(SpanRecord {
+                    id: r.id,
+                    model: 0,
+                    replica: None,
+                    outcome: SpanOutcome::Completed,
+                    arrival_s: r.arrival_s,
+                    queue_delay_s: start - r.arrival_s,
+                    dispatch_s: start,
+                    prefill_end_s: first_token,
+                    decode_s: done - first_token,
+                    decode_steps: r.gen_len - 1,
+                    completion_s: done,
+                    batch_at_dispatch: b,
+                });
+            }
         }
         now = t;
         i = end;
@@ -226,6 +265,33 @@ struct Active {
     context: u64,
     remaining: u64,
     first_token_s: f64,
+    /// When this request's prefill began (span bookkeeping only).
+    dispatch_s: f64,
+    /// Batch width the moment the prefill began (span bookkeeping only).
+    batch_at_dispatch: u64,
+    /// Decode steps taken so far (span bookkeeping only).
+    decode_steps: u64,
+}
+
+/// Span of a completed [`Active`] request. `decode_s` is defined as
+/// completion minus first token so the three phases always sum to the
+/// reported e2e latency, even when a request rides along in iterations it
+/// generates nothing in.
+fn span_of(a: &Active, completion_s: f64) -> SpanRecord {
+    SpanRecord {
+        id: a.id,
+        model: 0,
+        replica: None,
+        outcome: SpanOutcome::Completed,
+        arrival_s: a.arrival_s,
+        queue_delay_s: a.dispatch_s - a.arrival_s,
+        dispatch_s: a.dispatch_s,
+        prefill_end_s: a.first_token_s,
+        decode_s: completion_s - a.first_token_s,
+        decode_steps: a.decode_steps,
+        completion_s,
+        batch_at_dispatch: a.batch_at_dispatch,
+    }
 }
 
 fn simulate_iteration<B: CostModel + ?Sized>(
@@ -233,6 +299,7 @@ fn simulate_iteration<B: CostModel + ?Sized>(
     model: &ModelConfig,
     config: &ServingConfig,
     requests: &[ServingRequest],
+    sink: &mut dyn SpanSink,
 ) -> ServingReport {
     let mut waiting: VecDeque<ServingRequest> = requests.iter().copied().collect();
     let mut active: Vec<Active> = Vec::new();
@@ -264,16 +331,38 @@ fn simulate_iteration<B: CostModel + ?Sized>(
             if !active.is_empty() {
                 max_stall = max_stall.max(t_prefill);
             }
+            let admitted_b = admitted.len() as u64;
+            let already_running = active.len() as u64;
             now = start + t_prefill;
             for r in admitted {
                 generated += 1; // prefill produced the first token
-                active.push(Active {
+                let a = Active {
                     id: r.id,
                     arrival_s: r.arrival_s,
                     context: r.prompt_len + 1,
                     remaining: r.gen_len - 1,
                     first_token_s: now,
-                });
+                    dispatch_s: start,
+                    batch_at_dispatch: already_running + admitted_b,
+                    decode_steps: 0,
+                };
+                // A single-token request is fully served by its prefill —
+                // retiring it here (instead of letting it ride one decode
+                // iteration) keeps e2e equal to what the phase costs say,
+                // and in agreement with the cluster engine's charging.
+                if a.remaining == 0 {
+                    outcomes.push(RequestOutcome {
+                        id: a.id,
+                        queue_delay_s: (a.first_token_s - a.arrival_s).max(0.0),
+                        ttft_s: a.first_token_s - a.arrival_s,
+                        e2e_s: now - a.arrival_s,
+                    });
+                    if sink.enabled() {
+                        sink.record(span_of(&a, now));
+                    }
+                } else {
+                    active.push(a);
+                }
             }
         }
         if active.is_empty() {
@@ -291,6 +380,7 @@ fn simulate_iteration<B: CostModel + ?Sized>(
             if a.remaining > 0 {
                 a.remaining -= 1;
                 a.context += 1;
+                a.decode_steps += 1;
                 generated += 1;
             }
             if a.remaining == 0 {
@@ -300,6 +390,9 @@ fn simulate_iteration<B: CostModel + ?Sized>(
                     ttft_s: a.first_token_s - a.arrival_s,
                     e2e_s: now - a.arrival_s,
                 });
+                if sink.enabled() {
+                    sink.record(span_of(&a, now));
+                }
             } else {
                 still_running.push(a);
             }
@@ -320,6 +413,8 @@ fn simulate_iteration<B: CostModel + ?Sized>(
 struct Prefilling {
     req: ServingRequest,
     remaining_prompt: u64,
+    /// When the first chunk began (span bookkeeping only).
+    dispatch_s: f64,
 }
 
 fn simulate_chunked<B: CostModel + ?Sized>(
@@ -328,6 +423,7 @@ fn simulate_chunked<B: CostModel + ?Sized>(
     config: &ServingConfig,
     requests: &[ServingRequest],
     chunk_tokens: u64,
+    sink: &mut dyn SpanSink,
 ) -> ServingReport {
     let mut waiting: VecDeque<ServingRequest> = requests.iter().copied().collect();
     let mut active: Vec<Active> = Vec::new();
@@ -347,6 +443,7 @@ fn simulate_chunked<B: CostModel + ?Sized>(
                     prefilling = Some(Prefilling {
                         req: r,
                         remaining_prompt: r.prompt_len,
+                        dispatch_s: now,
                     });
                 }
             }
@@ -387,13 +484,31 @@ fn simulate_chunked<B: CostModel + ?Sized>(
         if let Some(p) = prefilling {
             if p.remaining_prompt == 0 {
                 generated += 1;
-                active.push(Active {
+                let a = Active {
                     id: p.req.id,
                     arrival_s: p.req.arrival_s,
                     context: p.req.prompt_len + 1,
                     remaining: p.req.gen_len - 1,
                     first_token_s: now,
-                });
+                    dispatch_s: p.dispatch_s,
+                    batch_at_dispatch: active.len() as u64 + 1,
+                    decode_steps: 0,
+                };
+                // Single-token requests finish with their prefill (see
+                // the iteration-level scheduler).
+                if a.remaining == 0 {
+                    outcomes.push(RequestOutcome {
+                        id: a.id,
+                        queue_delay_s: (a.first_token_s - a.arrival_s).max(0.0),
+                        ttft_s: a.first_token_s - a.arrival_s,
+                        e2e_s: now - a.arrival_s,
+                    });
+                    if sink.enabled() {
+                        sink.record(span_of(&a, now));
+                    }
+                } else {
+                    active.push(a);
+                }
                 prefilling = None;
             }
         }
@@ -409,6 +524,7 @@ fn simulate_chunked<B: CostModel + ?Sized>(
             if a.remaining > 0 {
                 a.remaining -= 1;
                 a.context += 1;
+                a.decode_steps += 1;
                 generated += 1;
             }
             if a.remaining == 0 {
@@ -418,6 +534,9 @@ fn simulate_chunked<B: CostModel + ?Sized>(
                     ttft_s: a.first_token_s - a.arrival_s,
                     e2e_s: now - a.arrival_s,
                 });
+                if sink.enabled() {
+                    sink.record(span_of(&a, now));
+                }
             } else {
                 still.push(a);
             }
@@ -633,6 +752,47 @@ mod tests {
             },
             &reqs,
         );
+    }
+
+    #[test]
+    fn spans_reconcile_with_outcomes_across_policies() {
+        let model = families::opt_6_7b();
+        let reqs = requests(10, 0.03);
+        for policy in [
+            SchedulingPolicy::Static,
+            SchedulingPolicy::IterationLevel,
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens: 64 },
+        ] {
+            let cfg = ServingConfig {
+                max_batch: 4,
+                policy,
+            };
+            let mut sink = crate::trace::VecSink::new();
+            let traced = simulate_traced(&backend(), &model, &cfg, &reqs, &mut sink);
+            // Tracing is observational: same report as the untraced run.
+            assert_eq!(
+                traced,
+                simulate(&backend(), &model, &cfg, &reqs),
+                "{policy}"
+            );
+            assert_eq!(sink.spans.len(), reqs.len(), "{policy}");
+            for o in &traced.outcomes {
+                let s = sink
+                    .spans
+                    .iter()
+                    .find(|s| s.id == o.id)
+                    .expect("every outcome has a span");
+                assert!((s.ttft_s() - o.ttft_s).abs() < 1e-9, "{policy}");
+                assert!((s.e2e_s() - o.e2e_s).abs() < 1e-9, "{policy}");
+                let phase_sum = s.queue_delay_s + s.prefill_s() + s.decode_s;
+                assert!(
+                    (phase_sum - s.e2e_s()).abs() < 1e-9,
+                    "{policy}: phases {phase_sum} != e2e {}",
+                    s.e2e_s()
+                );
+                assert!(s.batch_at_dispatch >= 1 && s.batch_at_dispatch <= 4);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Per-request span tracing: the observability layer of the simulators.
+//!
+//! Both the single-server serving simulator ([`crate::serving`]) and the
+//! fleet engine (`llmsim-cluster`) compute every phase boundary of a
+//! request's life — arrival, queue wait, dispatch, prefill, decode,
+//! completion — and historically discarded them after folding the
+//! aggregates into a report. A [`SpanRecord`] keeps the full breakdown,
+//! and a [`SpanSink`] decides what happens to it: [`NullSink`] drops spans
+//! without assembling them (the default — simulation output is
+//! bit-identical with tracing off), [`VecSink`] collects them in memory
+//! for the TSV/JSONL writers in `llmsim-report`.
+//!
+//! Invariant the trace tooling relies on: for a completed span,
+//! `queue_delay_s + prefill_s() + decode_s == e2e_s()` up to float
+//! rounding, and those reconcile with the engine's reported per-request
+//! latencies. Tests in `llmsim-cluster` and `llmsim-bench` assert both.
+
+use llmsim_report::spanlog::{Cell, TabularLog};
+
+/// Terminal state of a traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Served to completion.
+    Completed,
+    /// Turned away before dispatch (admission/routing rejection).
+    Rejected,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase label used in trace files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// The phase-by-phase life of one request.
+///
+/// Times are absolute simulation seconds; durations are seconds. Fields
+/// that do not exist for a rejected request (dispatch, prefill, decode,
+/// completion) are `NaN`, which the log writers render as `NaN` (TSV) or
+/// `null` (JSONL).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Workload/request id.
+    pub id: u64,
+    /// Index of the model served (into the engine's model list; 0 for the
+    /// single-model serving simulator).
+    pub model: usize,
+    /// Replica that served the request (`None` when rejected, and for the
+    /// single-server simulator which has exactly one "replica").
+    pub replica: Option<usize>,
+    /// How the request terminated.
+    pub outcome: SpanOutcome,
+    /// Arrival time at the router/queue.
+    pub arrival_s: f64,
+    /// Arrival → dispatch wait (queue + any cold-start warmup). Zero or
+    /// positive for completed spans, `NaN` for rejected ones.
+    pub queue_delay_s: f64,
+    /// Moment the request entered service (prefill start).
+    pub dispatch_s: f64,
+    /// Moment the prefill pass finished (= first token).
+    pub prefill_end_s: f64,
+    /// Aggregated decode time over all generated tokens after the first.
+    pub decode_s: f64,
+    /// Decode steps taken (`gen_len - 1` for a completed request).
+    pub decode_steps: u64,
+    /// Moment the final token was produced.
+    pub completion_s: f64,
+    /// Sequences sharing the batch at the moment of dispatch (including
+    /// this one).
+    pub batch_at_dispatch: u64,
+}
+
+impl SpanRecord {
+    /// A rejected-request span: only identity and arrival are known.
+    #[must_use]
+    pub fn rejected(id: u64, model: usize, arrival_s: f64) -> Self {
+        SpanRecord {
+            id,
+            model,
+            replica: None,
+            outcome: SpanOutcome::Rejected,
+            arrival_s,
+            queue_delay_s: f64::NAN,
+            dispatch_s: f64::NAN,
+            prefill_end_s: f64::NAN,
+            decode_s: f64::NAN,
+            decode_steps: 0,
+            completion_s: f64::NAN,
+            batch_at_dispatch: 0,
+        }
+    }
+
+    /// Prefill duration (`NaN` for rejected spans).
+    #[must_use]
+    pub fn prefill_s(&self) -> f64 {
+        self.prefill_end_s - self.dispatch_s
+    }
+
+    /// Arrival-to-first-token latency (`NaN` for rejected spans).
+    #[must_use]
+    pub fn ttft_s(&self) -> f64 {
+        self.prefill_end_s - self.arrival_s
+    }
+
+    /// Arrival-to-last-token latency (`NaN` for rejected spans).
+    #[must_use]
+    pub fn e2e_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+
+    /// Column names of the tabular span schema, in field order.
+    #[must_use]
+    pub fn columns() -> Vec<String> {
+        [
+            "id",
+            "model",
+            "replica",
+            "outcome",
+            "arrival_s",
+            "queue_delay_s",
+            "dispatch_s",
+            "prefill_end_s",
+            "decode_s",
+            "decode_steps",
+            "completion_s",
+            "batch_at_dispatch",
+        ]
+        .map(String::from)
+        .to_vec()
+    }
+
+    /// This span as one row of the tabular schema.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        vec![
+            Cell::Int(self.id as i64),
+            Cell::Int(self.model as i64),
+            match self.replica {
+                Some(r) => Cell::Int(r as i64),
+                None => Cell::Num(f64::NAN),
+            },
+            Cell::Str(self.outcome.label().to_string()),
+            Cell::Num(self.arrival_s),
+            Cell::Num(self.queue_delay_s),
+            Cell::Num(self.dispatch_s),
+            Cell::Num(self.prefill_end_s),
+            Cell::Num(self.decode_s),
+            Cell::Int(self.decode_steps as i64),
+            Cell::Num(self.completion_s),
+            Cell::Int(self.batch_at_dispatch as i64),
+        ]
+    }
+}
+
+/// Builds a [`TabularLog`] from spans (render with
+/// [`TabularLog::to_tsv`] / [`TabularLog::to_jsonl`]).
+#[must_use]
+pub fn span_log(spans: &[SpanRecord]) -> TabularLog {
+    let mut log = TabularLog::new(SpanRecord::columns());
+    for s in spans {
+        log.row(s.cells());
+    }
+    log
+}
+
+/// Receives spans as the engines resolve requests.
+///
+/// The engines consult [`SpanSink::enabled`] before assembling a record,
+/// so a disabled sink costs nothing on the hot path, and recording never
+/// feeds back into scheduling: a simulation with any sink produces the
+/// same report as one with [`NullSink`], bit for bit.
+pub trait SpanSink {
+    /// Called once per request, at the moment its timeline is fully known
+    /// (dispatch for completed requests, arrival for rejections).
+    fn record(&mut self, span: SpanRecord);
+
+    /// Whether records should be assembled at all. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards spans without assembling them — the zero-cost default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record(&mut self, _span: SpanRecord) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects spans in memory, in emission order (deterministic: the
+/// engines resolve requests in event order).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// Spans recorded so far.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Renders the collected spans as TSV, rows sorted by request id so
+    /// the artifact is stable under event-order-preserving refactors.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut sorted = self.spans.clone();
+        sorted.sort_by_key(|s| s.id);
+        span_log(&sorted).to_tsv()
+    }
+
+    /// Renders the collected spans as JSONL, rows sorted by request id.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut sorted = self.spans.clone();
+        sorted.sort_by_key(|s| s.id);
+        span_log(&sorted).to_jsonl()
+    }
+}
+
+impl SpanSink for VecSink {
+    fn record(&mut self, span: SpanRecord) {
+        self.spans.push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_report::spanlog::validate_tsv;
+
+    fn completed_span(id: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            model: 0,
+            replica: Some(1),
+            outcome: SpanOutcome::Completed,
+            arrival_s: 1.0,
+            queue_delay_s: 0.5,
+            dispatch_s: 1.5,
+            prefill_end_s: 2.0,
+            decode_s: 3.0,
+            decode_steps: 15,
+            completion_s: 5.0,
+            batch_at_dispatch: 2,
+        }
+    }
+
+    #[test]
+    fn derived_durations_reconcile() {
+        let s = completed_span(0);
+        assert!((s.prefill_s() - 0.5).abs() < 1e-12);
+        assert!((s.ttft_s() - 1.0).abs() < 1e-12);
+        assert!((s.e2e_s() - 4.0).abs() < 1e-12);
+        assert!(
+            (s.queue_delay_s + s.prefill_s() + s.decode_s - s.e2e_s()).abs() < 1e-12,
+            "phases must sum to e2e"
+        );
+    }
+
+    #[test]
+    fn rejected_span_has_nan_phases() {
+        let s = SpanRecord::rejected(3, 1, 2.5);
+        assert_eq!(s.outcome, SpanOutcome::Rejected);
+        assert!(s.queue_delay_s.is_nan() && s.e2e_s().is_nan());
+        assert_eq!(s.replica, None);
+    }
+
+    #[test]
+    fn vec_sink_renders_valid_sorted_tsv() {
+        let mut sink = VecSink::new();
+        sink.record(completed_span(2));
+        sink.record(SpanRecord::rejected(0, 0, 0.1));
+        let tsv = sink.to_tsv();
+        assert_eq!(validate_tsv(&tsv), Ok(2));
+        let first_data_line = tsv.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("0\t"), "rows sorted by id");
+        assert!(tsv.starts_with("id\tmodel\treplica\toutcome\t"));
+        // JSONL mirrors the same rows.
+        assert_eq!(sink.to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(VecSink::new().enabled());
+    }
+}

@@ -22,8 +22,10 @@
 
 pub mod barchart;
 pub mod series;
+pub mod spanlog;
 pub mod table;
 
 pub use barchart::grouped_bars;
 pub use series::{percentile, Series};
+pub use spanlog::{validate_tsv, Cell, TabularLog};
 pub use table::Table;

@@ -5,19 +5,22 @@ use std::fmt;
 
 /// Linear-interpolation percentile over an unsorted sample, `p` in percent
 /// (`50.0` = median). Returns `NaN` for an empty sample — the "no data"
-/// semantics the latency columns use.
+/// semantics the latency columns use — and likewise `NaN` for a `p`
+/// outside `[0, 100]` (including `NaN`): an out-of-range rank is a caller
+/// bug, and silently clamping it to the min/max used to disguise a p200
+/// typo as "the maximum".
 ///
 /// This is **the** percentile implementation of the workspace: `Series`,
 /// the serving report, the resilience metrics and the cluster fleet metrics
 /// all delegate here so p50/p95/p99 semantics agree everywhere.
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
         return f64::NAN;
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
@@ -187,6 +190,18 @@ mod tests {
         assert!((s.percentile(100.0) - 4.0).abs() < 1e-12);
         assert!(s.percentile(50.0) <= s.percentile(95.0));
         assert!(Series::new("empty").percentile(50.0).is_nan());
+    }
+
+    #[test]
+    fn out_of_range_p_is_nan_not_clamped() {
+        let v = [1.0, 2.0, 3.0];
+        assert!(percentile(&v, -0.001).is_nan());
+        assert!(percentile(&v, 100.001).is_nan());
+        assert!(percentile(&v, f64::NAN).is_nan());
+        assert!(percentile(&v, f64::INFINITY).is_nan());
+        // The boundaries themselves are still valid ranks.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
     }
 
     #[test]

@@ -294,6 +294,36 @@ mod tests {
     }
 
     #[test]
+    fn bursty_mean_rate_matches_mmpp_closed_form_across_seeds() {
+        // Two-state MMPP with equal exponential phase durations spends
+        // half its time in each phase, so the stationary arrival rate is
+        //   E[rate] = base * (1 + multiplier) / 2.
+        // This exercises the phase-boundary redraw: if flipping phases
+        // dropped or double-counted the in-flight gap, the realized rate
+        // would drift from the closed form as phases multiply.
+        let (base, mult, phase_s) = (10.0, 4.0, 1.0);
+        let expected = base * (1.0 + mult) / 2.0;
+        let n = 20_000;
+        let mut rates = Vec::new();
+        for seed in [3, 17, 41, 97, 271] {
+            let t = ArrivalTrace::bursty(seed, n, base, mult, phase_s);
+            // ~800 phase flips per trace: well mixed.
+            let span = t.arrivals.last().unwrap() - t.arrivals[0];
+            let rate = (n - 1) as f64 / span;
+            assert!(
+                (rate - expected).abs() / expected < 0.06,
+                "seed {seed}: empirical rate {rate} vs closed form {expected}"
+            );
+            rates.push(rate);
+        }
+        let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(
+            (mean_rate - expected).abs() / expected < 0.03,
+            "across seeds: {mean_rate} vs {expected}"
+        );
+    }
+
+    #[test]
     fn burst_multiplier_one_degenerates_to_poisson_statistics() {
         let t = ArrivalTrace::bursty(5, 4000, 20.0, 1.0, 1.0);
         // Rate is unmodulated, so the mean gap matches 1/rate closely.

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod replay;
 pub mod scenarios;
 pub mod sweep;
 
@@ -25,5 +26,6 @@ pub use generator::{
     sharegpt_like_lengths, ArrivalTrace, GeneratedRequest, LogNormalLengths, RequestBounds,
     RequestGenerator,
 };
+pub use replay::{model_mix, parse_trace, scale_arrivals, ReplayRequest, TraceParseError};
 pub use scenarios::{PrimaryMetric, ResilienceScenario, Scenario};
 pub use sweep::SweepPoint;

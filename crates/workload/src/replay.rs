@@ -1,0 +1,335 @@
+//! Real-trace replay: parse production request logs into request streams.
+//!
+//! Serving simulators are only as credible as the arrival processes that
+//! drive them. Synthetic Poisson/MMPP traffic (see [`crate::generator`])
+//! stresses the machinery, but comparing against production means
+//! replaying *real* traces — the Azure LLM inference traces and BurstGPT
+//! both publish per-request `(timestamp, prompt tokens, generated
+//! tokens)` rows in CSV. This module parses that shape into
+//! [`ReplayRequest`]s that `llmsim-cluster` converts 1:1 into its own
+//! request type.
+//!
+//! ## Accepted schema
+//!
+//! A header line naming at least a timestamp, a prompt-length and a
+//! generation-length column (synonyms accepted, case-insensitive), then
+//! one row per request. Comma- or tab-separated; `#` lines are comments.
+//!
+//! | column | synonyms |
+//! |--------|----------|
+//! | `timestamp` | `arrival`, `arrival_s`, `time`, `ts` |
+//! | `prompt_len` | `prompt_tokens`, `context_tokens`, `contexttokens`, `input_tokens` |
+//! | `gen_len` | `output_tokens`, `generated_tokens`, `generatedtokens`, `gen_tokens` |
+//! | `model` (optional) | `model_name` |
+//!
+//! Timestamps are seconds (any epoch — traces are rebased so the first
+//! arrival is t = 0). Rows with a zero generation length are kept but
+//! clamped to one token, matching how trace-driven simulators treat
+//! prompt-only requests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed trace row, normalized: arrivals rebased to t = 0 and sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayRequest {
+    /// Row index after sorting by arrival (stable ids for the replayed
+    /// workload).
+    pub id: usize,
+    /// Arrival time, seconds since the first request in the trace.
+    pub arrival_s: f64,
+    /// Prompt tokens.
+    pub prompt_len: u64,
+    /// Tokens to generate (at least 1).
+    pub gen_len: u64,
+    /// Model name from the trace (`"default"` when the trace has no model
+    /// column).
+    pub model: String,
+}
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The input had no header line.
+    Empty,
+    /// The header is missing a required column (names the role).
+    MissingColumn(&'static str),
+    /// A data row had a different field count than the header.
+    RowArity {
+        /// 1-based data-row number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (header arity).
+        want: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based data-row number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending text.
+        value: String,
+    },
+    /// The trace parsed but contained no usable rows.
+    NoRows,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Empty => write!(f, "trace is empty"),
+            TraceParseError::MissingColumn(role) => {
+                write!(f, "header is missing a {role} column")
+            }
+            TraceParseError::RowArity { line, got, want } => {
+                write!(f, "row {line} has {got} fields, header has {want}")
+            }
+            TraceParseError::BadField {
+                line,
+                column,
+                value,
+            } => write!(f, "row {line}: cannot parse {column}={value:?}"),
+            TraceParseError::NoRows => write!(f, "trace has no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Matches a header cell against a column role's accepted synonyms.
+fn role_of(header: &str) -> Option<&'static str> {
+    let h = header.trim().to_ascii_lowercase();
+    match h.as_str() {
+        "timestamp" | "arrival" | "arrival_s" | "time" | "ts" => Some("timestamp"),
+        "prompt_len" | "prompt_tokens" | "context_tokens" | "contexttokens" | "input_tokens" => {
+            Some("prompt_len")
+        }
+        "gen_len" | "output_tokens" | "generated_tokens" | "generatedtokens" | "gen_tokens" => {
+            Some("gen_len")
+        }
+        "model" | "model_name" => Some("model"),
+        _ => None,
+    }
+}
+
+/// Parses an Azure-LLM/BurstGPT-style CSV/TSV trace into a normalized,
+/// sorted, t = 0-rebased request stream.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] describing the first structural or
+/// numeric problem found.
+pub fn parse_trace(text: &str) -> Result<Vec<ReplayRequest>, TraceParseError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let header = lines.next().ok_or(TraceParseError::Empty)?;
+    let sep = if header.contains('\t') { '\t' } else { ',' };
+    let cols: Vec<&str> = header.split(sep).collect();
+
+    let find = |role: &'static str| -> Option<usize> {
+        cols.iter().position(|c| role_of(c) == Some(role))
+    };
+    let ts_ix = find("timestamp").ok_or(TraceParseError::MissingColumn("timestamp"))?;
+    let prompt_ix = find("prompt_len").ok_or(TraceParseError::MissingColumn("prompt length"))?;
+    let gen_ix = find("gen_len").ok_or(TraceParseError::MissingColumn("generation length"))?;
+    let model_ix = find("model");
+
+    let mut rows: Vec<(f64, u64, u64, String)> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(sep).collect();
+        if fields.len() != cols.len() {
+            return Err(TraceParseError::RowArity {
+                line: i + 1,
+                got: fields.len(),
+                want: cols.len(),
+            });
+        }
+        let num = |ix: usize, col: &str| -> Result<f64, TraceParseError> {
+            fields[ix]
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| TraceParseError::BadField {
+                    line: i + 1,
+                    column: col.to_string(),
+                    value: fields[ix].to_string(),
+                })
+        };
+        let ts = num(ts_ix, "timestamp")?;
+        let prompt = num(prompt_ix, "prompt_len")? as u64;
+        let gen = (num(gen_ix, "gen_len")? as u64).max(1);
+        let model = model_ix
+            .map(|ix| fields[ix].trim().to_string())
+            .filter(|m| !m.is_empty())
+            .unwrap_or_else(|| "default".to_string());
+        rows.push((ts, prompt.max(1), gen, model));
+    }
+    if rows.is_empty() {
+        return Err(TraceParseError::NoRows);
+    }
+
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let t0 = rows[0].0;
+    Ok(rows
+        .into_iter()
+        .enumerate()
+        .map(|(id, (ts, prompt_len, gen_len, model))| ReplayRequest {
+            id,
+            arrival_s: ts - t0,
+            prompt_len,
+            gen_len,
+            model,
+        })
+        .collect())
+}
+
+/// Distinct model names in the trace with their request counts, in
+/// first-appearance order of the sorted stream.
+#[must_use]
+pub fn model_mix(requests: &[ReplayRequest]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for r in requests {
+        if !counts.contains_key(r.model.as_str()) {
+            order.push(&r.model);
+        }
+        *counts.entry(&r.model).or_default() += 1;
+    }
+    order
+        .into_iter()
+        .map(|m| (m.to_string(), counts[m]))
+        .collect()
+}
+
+/// Compresses or stretches the arrival axis by `time_scale` (0.5 = replay
+/// twice as fast), leaving lengths untouched — the standard knob for
+/// sweeping a recorded trace across load levels.
+///
+/// # Panics
+///
+/// Panics unless `time_scale` is positive and finite.
+#[must_use]
+pub fn scale_arrivals(mut requests: Vec<ReplayRequest>, time_scale: f64) -> Vec<ReplayRequest> {
+    assert!(
+        time_scale > 0.0 && time_scale.is_finite(),
+        "time scale must be positive and finite"
+    );
+    for r in &mut requests {
+        r.arrival_s *= time_scale;
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+timestamp,prompt_len,gen_len,model
+0.00,128,32,OPT-13B
+# a comment mid-file
+1.50,512,16,OPT-66B
+0.75,64,8,OPT-13B
+";
+
+    #[test]
+    fn parses_sorts_and_rebases() {
+        let reqs = parse_trace(SAMPLE).expect("parses");
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].arrival_s, 0.0);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert_eq!(reqs[1].prompt_len, 64, "sorted by timestamp");
+        assert_eq!(reqs[2].model, "OPT-66B");
+        assert_eq!(reqs.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn accepts_azure_style_headers_and_tabs() {
+        let azure = "TIMESTAMP\tContextTokens\tGeneratedTokens\n100.0\t490\t84\n101.5\t60\t12\n";
+        let reqs = parse_trace(azure).expect("azure schema parses");
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].prompt_len, 490);
+        assert_eq!(reqs[0].gen_len, 84);
+        assert_eq!(reqs[0].model, "default", "no model column");
+        assert_eq!(reqs[1].arrival_s, 1.5, "rebased to t=0");
+    }
+
+    #[test]
+    fn rebase_handles_absolute_epochs() {
+        let t = "timestamp,prompt_len,gen_len\n1700000000.25,8,4\n1700000001.25,8,4\n";
+        let reqs = parse_trace(t).expect("parses");
+        assert_eq!(reqs[0].arrival_s, 0.0);
+        assert!((reqs[1].arrival_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_gen_len_is_clamped_to_one_token() {
+        let t = "timestamp,prompt_len,gen_len\n0,128,0\n";
+        let reqs = parse_trace(t).expect("parses");
+        assert_eq!(reqs[0].gen_len, 1);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse_trace(""), Err(TraceParseError::Empty));
+        assert_eq!(
+            parse_trace("prompt_len,gen_len\n1,2\n"),
+            Err(TraceParseError::MissingColumn("timestamp"))
+        );
+        assert_eq!(
+            parse_trace("timestamp,prompt_len,gen_len\n"),
+            Err(TraceParseError::NoRows)
+        );
+        assert!(matches!(
+            parse_trace("timestamp,prompt_len,gen_len\n0,128\n"),
+            Err(TraceParseError::RowArity {
+                line: 1,
+                got: 2,
+                want: 3
+            })
+        ));
+        assert!(matches!(
+            parse_trace("timestamp,prompt_len,gen_len\n0,abc,4\n"),
+            Err(TraceParseError::BadField { line: 1, .. })
+        ));
+        // Negative or non-finite numbers are rejected, not wrapped.
+        assert!(matches!(
+            parse_trace("timestamp,prompt_len,gen_len\n-1,8,4\n"),
+            Err(TraceParseError::BadField { .. })
+        ));
+        assert!(
+            parse_trace("timestamp,prompt_len,gen_len\n0,8,4\n").unwrap()[0]
+                .model
+                .contains("default")
+        );
+    }
+
+    #[test]
+    fn model_mix_counts_in_first_appearance_order() {
+        let reqs = parse_trace(SAMPLE).unwrap();
+        let mix = model_mix(&reqs);
+        assert_eq!(
+            mix,
+            vec![("OPT-13B".to_string(), 2), ("OPT-66B".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn scaling_compresses_arrivals_only() {
+        let reqs = parse_trace(SAMPLE).unwrap();
+        let fast = scale_arrivals(reqs.clone(), 0.5);
+        assert!((fast[2].arrival_s - reqs[2].arrival_s * 0.5).abs() < 1e-12);
+        assert_eq!(fast[2].prompt_len, reqs[2].prompt_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = scale_arrivals(vec![], 0.0);
+    }
+}
