@@ -19,7 +19,7 @@ pub struct SpecPoint {
     /// Expected tokens emitted per verify cycle.
     pub expected_tokens: f64,
     /// Wall-clock per cycle (draft + verify), seconds.
-    pub cycle_time: f64,
+    pub cycle_time_s: f64,
     /// Effective TPOT, seconds.
     pub effective_tpot: f64,
     /// Speedup over vanilla decoding.
@@ -70,7 +70,7 @@ pub fn sweep(
             SpecPoint {
                 k,
                 expected_tokens: expected,
-                cycle_time: cycle,
+                cycle_time_s: cycle,
                 effective_tpot: tpot,
                 speedup: t_target / tpot,
             }
@@ -126,7 +126,7 @@ pub fn render() -> String {
             t.row(vec![
                 p.k.to_string(),
                 format!("{:.2}", p.expected_tokens),
-                format!("{:.1}", p.cycle_time * 1e3),
+                format!("{:.1}", p.cycle_time_s * 1e3),
                 format!("{:.1}", p.effective_tpot * 1e3),
                 format!("{:.2}x", p.speedup),
             ]);

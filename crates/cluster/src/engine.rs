@@ -457,7 +457,9 @@ fn try_dispatch(
         {
             return;
         }
-        let inflight = r.queue.pop_front().expect("queue checked non-empty");
+        let Some(inflight) = r.queue.pop_front() else {
+            return;
+        };
         r.queued_backlog_s = (r.queued_backlog_s - inflight.est_service_s).max(0.0);
 
         let req = requests

@@ -59,7 +59,7 @@ pub mod router;
 pub use autoscale::AutoscaleConfig;
 pub use engine::{simulate_fleet, simulate_fleet_traced, ClusterConfig, ClusterRequest};
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
-pub use replay::{bind_requests, UnknownModelError};
+pub use replay::{bind_requests, parse_and_bind, UnknownModelError};
 pub use replica::{ReplicaConfig, ReplicaStart};
 pub use router::{
     HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView, RoundRobin, RouterPolicy,

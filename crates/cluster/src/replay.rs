@@ -73,7 +73,27 @@ pub fn bind_requests(
         .collect()
 }
 
+/// Parses a raw trace and binds it to `models` in one step, folding both
+/// failure modes into [`SimError::InvalidRequest`] so fleet drivers have a
+/// single error type to surface (the orphan rule keeps this a function
+/// rather than `From` impls: neither `TraceParseError` nor `SimError` is
+/// defined in this crate).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidRequest`] describing the parse failure or
+/// the first unserved model name.
+pub fn parse_and_bind(
+    text: &str,
+    models: &[ModelConfig],
+) -> Result<Vec<ClusterRequest>, llmsim_core::SimError> {
+    let replay = llmsim_workload::replay::parse_trace(text)
+        .map_err(|e| llmsim_core::SimError::InvalidRequest(format!("trace parse: {e}")))?;
+    bind_requests(&replay, models).map_err(|e| llmsim_core::SimError::InvalidRequest(e.to_string()))
+}
+
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use llmsim_model::families;
@@ -103,6 +123,30 @@ timestamp,prompt_len,gen_len,model
         let replay = parse_trace("timestamp,prompt_len,gen_len\n0,8,4\n").unwrap();
         let reqs = bind_requests(&replay, &[families::opt_13b()]).unwrap();
         assert_eq!(reqs[0].model, 0);
+    }
+
+    #[test]
+    fn parse_and_bind_folds_both_error_paths_into_sim_error() {
+        use llmsim_core::SimError;
+
+        let models = vec![families::opt_13b(), families::opt_66b()];
+        let reqs = parse_and_bind(TRACE, &models).expect("good trace binds");
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[1].model, 1);
+
+        // Parse failure surfaces as InvalidRequest naming the trace problem.
+        let err = parse_and_bind("prompt_len,gen_len\n1,2\n", &models).unwrap_err();
+        match &err {
+            SimError::InvalidRequest(msg) => assert!(msg.contains("timestamp"), "{msg}"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // Unknown-model failure surfaces as InvalidRequest too.
+        let err = parse_and_bind(TRACE, &[families::opt_13b()]).unwrap_err();
+        match &err {
+            SimError::InvalidRequest(msg) => assert!(msg.contains("opt-66b"), "{msg}"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

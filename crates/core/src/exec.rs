@@ -68,6 +68,7 @@ impl PhaseAccum {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

@@ -121,6 +121,7 @@ impl fmt::Display for InferenceReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

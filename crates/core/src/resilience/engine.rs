@@ -82,7 +82,11 @@ struct Pending {
 /// `pending` is kept sorted descending by `(at_s, seq)` so the earliest
 /// event pops from the back in O(1).
 fn push_pending(pending: &mut Vec<Pending>, p: Pending) {
-    let pos = pending.partition_point(|q| q.at_s > p.at_s || (q.at_s == p.at_s && q.seq > p.seq));
+    let pos = pending.partition_point(|q| match q.at_s.total_cmp(&p.at_s) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => q.seq > p.seq,
+    });
     pending.insert(pos, p);
 }
 
@@ -246,7 +250,7 @@ impl<'a> Engine<'a> {
     /// shedding on saturation and cancelling already-expired entries.
     fn drain_arrivals(&mut self, now: f64) {
         while self.pending.last().is_some_and(|p| p.at_s <= now) {
-            let p = self.pending.pop().expect("checked non-empty");
+            let Some(p) = self.pending.pop() else { break };
             if let Some(dl) = self.queue_deadline(&p.job) {
                 if p.at_s > dl {
                     // A retry scheduled past its own deadline: cancel at
@@ -353,12 +357,14 @@ impl<'a> Engine<'a> {
             return;
         };
         while !active.is_empty() && self.kv_demand(active, extra_tokens) > budget.get() {
-            let victim_pos = active
+            let Some(victim_pos) = active
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, a)| a.join_seq)
                 .map(|(i, _)| i)
-                .expect("non-empty batch");
+            else {
+                break; // unreachable: the loop guard keeps `active` non-empty
+            };
             let victim = active.remove(victim_pos);
             if active.is_empty() && self.kv_demand(&[], extra_tokens) == 0 {
                 // The victim alone exceeds the budget: no schedule can run
@@ -513,7 +519,9 @@ fn run_iteration_level(mut eng: Engine<'_>) -> ResilienceReport {
                 if !must_admit && !eng.admission_fits(&active, admitted_tokens, job) {
                     break;
                 }
-                let job = eng.queue.pop_front().expect("front exists");
+                let Some(job) = eng.queue.pop_front() else {
+                    break;
+                };
                 admitted_tokens += job.prefill_len();
                 admitted.push(job);
             } else if active.is_empty() && admitted.is_empty() {
@@ -669,12 +677,13 @@ fn run_chunked(mut eng: Engine<'_>, chunk_tokens: u64) -> ResilienceReport {
                 // Same KV-aware gate as the iteration-level loop: a busy
                 // server keeps an oversized head-of-queue waiting.
                 if active.is_empty() || eng.admission_fits(&active, 0, job) {
-                    let job = eng.queue.pop_front().expect("front exists");
-                    now = now.max(job.arrival_s);
-                    prefilling = Some(Prefilling {
-                        remaining_prompt: job.prefill_len(),
-                        job,
-                    });
+                    if let Some(job) = eng.queue.pop_front() {
+                        now = now.max(job.arrival_s);
+                        prefilling = Some(Prefilling {
+                            remaining_prompt: job.prefill_len(),
+                            job,
+                        });
+                    }
                 }
             } else if active.is_empty() {
                 if let Some(p) = eng.pending.pop() {
@@ -749,8 +758,8 @@ fn run_chunked(mut eng: Engine<'_>, chunk_tokens: u64) -> ResilienceReport {
             FaultDraw::Single(victim) => {
                 // Participant order: the prefilling slot first, then the
                 // batch in admission order.
-                if prefilling.is_some() && victim == 0 {
-                    let p = prefilling.take().expect("checked above");
+                let prefill_victim = if victim == 0 { prefilling.take() } else { None };
+                if let Some(p) = prefill_victim {
                     eng.fail_or_retry(p.job, now, FailureKind::BackendFault);
                     chunk_lost = true;
                 } else {

@@ -314,13 +314,14 @@ fn simulate_iteration<B: CostModel + ?Sized>(
         // chunked prefill solves).
         let mut admitted: Vec<ServingRequest> = Vec::new();
         while active.len() + admitted.len() < config.max_batch as usize {
-            match waiting.front() {
-                Some(r) if r.arrival_s <= now || active.is_empty() && admitted.is_empty() => {
-                    let r = waiting.pop_front().expect("front exists");
-                    admitted.push(r);
-                }
-                _ => break,
+            let admit = waiting
+                .front()
+                .is_some_and(|r| r.arrival_s <= now || active.is_empty() && admitted.is_empty());
+            if !admit {
+                break;
             }
+            let Some(r) = waiting.pop_front() else { break };
+            admitted.push(r);
         }
         if !admitted.is_empty() {
             let start = now.max(admitted.iter().map(|r| r.arrival_s).fold(0.0, f64::max));

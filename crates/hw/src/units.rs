@@ -576,6 +576,7 @@ impl Div<FlopsPerSec> for Flops {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

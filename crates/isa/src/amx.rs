@@ -396,6 +396,7 @@ impl fmt::Display for AmxUnit {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

@@ -194,6 +194,7 @@ pub fn avx512_gemm_bf16(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

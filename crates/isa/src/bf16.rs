@@ -128,6 +128,7 @@ pub fn dequantize_slice(xs: &[Bf16]) -> Vec<f32> {
 pub const BF16_RELATIVE_EPS: f32 = 1.0 / 256.0;
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

@@ -157,6 +157,7 @@ pub fn amx_gemm_int8(a: &QuantizedMatrix, b_t: &QuantizedMatrix) -> (Vec<f32>, A
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use crate::gemm::reference_gemm_f32;

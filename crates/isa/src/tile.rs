@@ -435,6 +435,7 @@ impl fmt::Debug for Tile {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use crate::bf16::Bf16;

@@ -10,13 +10,13 @@
 
 use crate::amx::AmxCostModel;
 use crate::avx512::AvxCostModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// GEMM problem shape (`M×K · K×N`, `batch` independent instances).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GemmShape {
     /// Output rows.
     pub m: u64,
@@ -67,7 +67,7 @@ impl fmt::Display for GemmShape {
 }
 
 /// Which matrix engine executes the GEMM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EngineKind {
     /// AMX TMUL, BF16 tiles.
     AmxBf16,
@@ -176,9 +176,15 @@ pub fn avx512_timing(shape: GemmShape) -> GemmTiming {
 /// thousands of times. Entries are `Copy`-sized, so the cache holds the
 /// [`GemmTiming`] itself; hit/miss counters are exposed for tests and
 /// diagnostics.
+///
+/// The memo is a `BTreeMap`, not a `HashMap`: `HashMap` iteration order is
+/// seeded per process by `RandomState`, and although today's accessors are
+/// point lookups, a deterministic container makes the no-iteration-order
+/// dependence invariant structural instead of a property every future
+/// change must re-prove (lint rule D001).
 #[derive(Debug, Default)]
 pub struct TimingCache {
-    map: Mutex<HashMap<(EngineKind, GemmShape), GemmTiming>>,
+    map: Mutex<BTreeMap<(EngineKind, GemmShape), GemmTiming>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -190,14 +196,20 @@ impl TimingCache {
         TimingCache::default()
     }
 
+    /// Locks the memo, recovering from poison: a panic elsewhere can only
+    /// have happened between map operations (inserts are atomic with
+    /// respect to unwinding), so the map itself is never half-updated.
+    fn lock_map(&self) -> MutexGuard<'_, BTreeMap<(EngineKind, GemmShape), GemmTiming>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// The timing of `shape` on `engine`, computing and memoizing it on
     /// first use.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache mutex was poisoned by a panicking computation.
     pub fn get(&self, engine: EngineKind, shape: GemmShape) -> GemmTiming {
-        let mut map = self.map.lock().expect("timing cache poisoned");
+        let mut map = self.lock_map();
         if let Some(&t) = map.get(&(engine, shape)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return t;
@@ -224,13 +236,9 @@ impl TimingCache {
     }
 
     /// Number of memoized `(engine, shape)` entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache mutex was poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("timing cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// Whether the cache is empty.
@@ -240,12 +248,8 @@ impl TimingCache {
     }
 
     /// Drops all entries and resets the counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache mutex was poisoned.
     pub fn clear(&self) {
-        self.map.lock().expect("timing cache poisoned").clear();
+        self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -287,6 +291,7 @@ pub fn gemm_efficiency(engine: EngineKind, shape: GemmShape) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 
@@ -363,6 +368,55 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_cold_computation() {
+        // Regression test for the BTreeMap conversion (lint rule D001):
+        // a memoized timing must reproduce the cold closed-form result
+        // down to the last mantissa bit, for both engines, across a grid
+        // of shapes including padding edge cases.
+        let cache = TimingCache::new();
+        let dims = [1u64, 7, 16, 33, 255, 1024, 4096];
+        for &m in &dims {
+            for &k in &[32u64, 65, 4096] {
+                for (engine, cold) in [
+                    (
+                        EngineKind::AmxBf16,
+                        amx_timing as fn(GemmShape) -> GemmTiming,
+                    ),
+                    (EngineKind::Avx512Bf16, avx512_timing),
+                ] {
+                    let shape = GemmShape::batched(m, 512, k, 2);
+                    let want = cold(shape);
+                    let miss = cache.get(engine, shape); // cold path, memoizes
+                    let hit = cache.get(engine, shape); // served from the map
+                    for got in [miss, hit] {
+                        assert_eq!(got.cycles.to_bits(), want.cycles.to_bits());
+                        assert_eq!(got.useful_flops.to_bits(), want.useful_flops.to_bits());
+                        assert_eq!(got.efficiency.to_bits(), want.efficiency.to_bits());
+                    }
+                }
+            }
+        }
+        assert_eq!(cache.misses(), 2 * dims.len() as u64 * 3);
+        assert_eq!(cache.hits(), cache.misses());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_panicking() {
+        // A worker that panics while holding the cache lock must not take
+        // every later caller down with it (P001: no panics in lib code).
+        let cache = std::sync::Arc::new(TimingCache::new());
+        let shape = GemmShape::new(64, 64, 64);
+        let c2 = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.map.lock().expect("first lock");
+            panic!("poison the cache lock");
+        })
+        .join();
+        assert_eq!(cache.get(EngineKind::AmxBf16, shape), amx_timing(shape));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -241,6 +241,7 @@ pub fn pack_b_vnni_bf16(tile: &mut Tile, src: &[crate::bf16::Bf16], k_dim: usize
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use crate::bf16::Bf16;

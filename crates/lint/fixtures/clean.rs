@@ -1,0 +1,43 @@
+//! Known-good fixture: near-misses for every rule. Linted as if at
+//! `crates/core/src/fixture.rs` (the strictest scope) and expected to
+//! produce zero findings.
+
+use std::collections::BTreeMap; // the deterministic sibling of "HashMap"
+use std::time::Duration; // mentions of "Instant" in comments are fine
+
+/// "HashMap", "thread_rng", "panic!" in strings must not trigger.
+pub const DOC: &str = "HashMap thread_rng panic! .unwrap() Instant";
+
+pub struct Timings {
+    pub prefill_time_s: f64,
+    pub decode_time_cycles: u64,
+    pub bandwidth_bps: f64,
+    pub latency_s: f64,
+    pub time_scale: f64,
+    pub timestamp: f64,
+}
+
+pub fn mean_gap_s(arrivals: &BTreeMap<u64, f64>, budget: Duration) -> f64 {
+    let sum: f64 = arrivals.values().sum();
+    let n = arrivals.len().max(1) as f64;
+    (sum / n).min(budget.as_secs_f64())
+}
+
+pub fn pick(x: Option<u64>) -> u64 {
+    // unwrap_or / expect_err lookalikes are not P001 violations.
+    x.unwrap_or(0)
+}
+
+pub fn seeded_stream(seed: u64) -> u64 {
+    // Seeded PRNG idiom: explicit u64 seed, no ambient entropy.
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

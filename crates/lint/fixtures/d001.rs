@@ -1,0 +1,10 @@
+//! Known-bad fixture for D001: hash collections in a simulation-state
+//! crate. Linted as if at `crates/core/src/fixture.rs`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct State {
+    pub by_id: HashMap<u64, f64>,
+    pub seen: HashSet<u64>,
+}

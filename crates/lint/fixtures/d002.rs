@@ -1,0 +1,11 @@
+//! Known-bad fixture for D002: wall-clock reads outside the bench
+//! driver. Linted as if at `crates/cluster/src/fixture.rs`.
+
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let t0 = Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_secs_f64()
+}

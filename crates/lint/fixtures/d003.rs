@@ -1,0 +1,11 @@
+//! Known-bad fixture for D003: ambient entropy. Linted as if at
+//! `crates/workload/src/fixture.rs`.
+
+pub fn draws() -> (u64, u64, u64) {
+    let mut rng = thread_rng();
+    let a = rng.next_u64();
+    let b: u64 = rand::random();
+    let state = std::collections::hash_map::RandomState::new();
+    let _ = state;
+    (a, b, 0)
+}

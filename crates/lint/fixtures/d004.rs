@@ -1,0 +1,16 @@
+//! Known-bad fixture for D004: an ad-hoc float reduction inside a spawn
+//! closure. Linted as if at `crates/isa/src/fixture.rs`.
+
+pub fn fan_out(parts: &[f64]) -> f64 {
+    let total = std::sync::Mutex::new(0.0f64);
+    std::thread::scope(|s| {
+        for p in parts {
+            s.spawn(|| {
+                // Completion-order accumulation: float addition is not
+                // associative, so the result bits depend on scheduling.
+                *total.lock().expect("lock") += *p;
+            });
+        }
+    });
+    total.into_inner().expect("lock")
+}

@@ -1,0 +1,15 @@
+//! Fixture for inline suppression: each violation carries a
+//! `lint:allow` directive with a written justification, so the file must
+//! lint clean — while the same file with directives stripped must not.
+
+use std::collections::HashMap; // lint:allow(D001): lookup-only map, never iterated; keys are unique u64 ids
+
+pub struct Memo {
+    // lint:allow(D001): lookup-only map, never iterated
+    pub cache: HashMap<u64, f64>,
+}
+
+pub fn front(q: &mut std::collections::VecDeque<u64>) -> u64 {
+    // lint:allow(P001): caller checked non-empty on the previous line
+    q.pop_front().unwrap()
+}

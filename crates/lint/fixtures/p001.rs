@@ -1,0 +1,11 @@
+//! Known-bad fixture for P001: panicking calls in non-test library code.
+//! Linted as if at `crates/model/src/fixture.rs`.
+
+pub fn lookup(xs: &[u64], name: Option<&str>) -> u64 {
+    let first = xs.first().unwrap();
+    let n = name.expect("name is present");
+    if n.is_empty() {
+        panic!("empty name");
+    }
+    *first
+}

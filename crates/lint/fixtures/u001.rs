@@ -1,0 +1,13 @@
+//! Known-bad fixture for U001: raw numeric quantities without unit
+//! suffixes. Linted as if at `crates/hw/src/fixture.rs`.
+
+pub struct LinkSpec {
+    pub latency: f64,
+    pub bandwidth: f64,
+    pub setup_time: u64,
+}
+
+pub fn total_time(spec: &LinkSpec) -> f64 {
+    let queue_time: f64 = 0.5;
+    spec.latency + queue_time
+}

@@ -1,0 +1,182 @@
+//! The checked-in allowlist: justified exceptions to the rule catalog.
+//!
+//! Format (`lint.allow` at the workspace root): one entry per line,
+//! tab-separated —
+//!
+//! ```text
+//! RULE<TAB>path<TAB>contains<TAB>reason
+//! ```
+//!
+//! * `RULE` — rule id the entry suppresses (`D001`, `P001`, …).
+//! * `path` — exact workspace-relative file path.
+//! * `contains` — substring the offending source line must contain, or
+//!   `*` to cover every line of the file (use sparingly).
+//! * `reason` — mandatory free-text justification. Entries without a
+//!   reason are a parse error: an exception nobody can defend is not an
+//!   exception.
+//!
+//! `#` lines and blank lines are comments. Entries that match no finding
+//! are reported as *stale* so the list cannot silently rot.
+
+use crate::findings::Finding;
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id to suppress.
+    pub rule: String,
+    /// Exact workspace-relative path.
+    pub path: String,
+    /// Required substring of the flagged line (`*` = any).
+    pub contains: String,
+    /// Written justification.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// One-line description used in stale-entry diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("{} {} ({:?})", self.rule, self.path, self.contains)
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub problem: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.allow line {}: {}", self.line, self.problem)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+impl Allowlist {
+    /// Parses allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line: wrong field count or an empty
+    /// reason.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowParseError> {
+        let mut entries = Vec::new();
+        for (ix, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.splitn(4, '\t').collect();
+            if fields.len() != 4 {
+                return Err(AllowParseError {
+                    line: ix + 1,
+                    problem: format!(
+                        "expected 4 tab-separated fields (rule, path, contains, reason), got {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let reason = fields[3].trim();
+            if reason.is_empty() {
+                return Err(AllowParseError {
+                    line: ix + 1,
+                    problem: "reason must not be empty".to_string(),
+                });
+            }
+            entries.push(AllowEntry {
+                rule: fields[0].trim().to_string(),
+                path: fields[1].trim().to_string(),
+                contains: fields[2].trim().to_string(),
+                reason: reason.to_string(),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Index of the first entry suppressing `finding` (whose source line
+    /// is `line_text`), if any.
+    #[must_use]
+    pub fn matches(&self, finding: &Finding, line_text: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == finding.rule
+                && e.path == finding.path
+                && (e.contains == "*" || line_text.contains(&e.contains))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            matched: "x".into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_entries() {
+        let a = Allowlist::parse(
+            "# header comment\n\nP001\tsrc/a.rs\t.expect(\"poisoned\")\tmutex poison is unrecoverable\n",
+        )
+        .expect("parses");
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].rule, "P001");
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = Allowlist::parse("P001\tsrc/a.rs\t*\t  \n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("reason"));
+        let err2 = Allowlist::parse("P001\tsrc/a.rs\t*\n").expect_err("must fail");
+        assert!(err2.problem.contains("4 tab-separated"));
+    }
+
+    #[test]
+    fn matching_requires_rule_path_and_substring() {
+        let a = Allowlist::parse("D001\tsrc/a.rs\tHashMap\tnever iterated\n").expect("parses");
+        assert_eq!(
+            a.matches(&finding("D001", "src/a.rs"), "map: HashMap<K, V>"),
+            Some(0)
+        );
+        assert_eq!(
+            a.matches(&finding("D001", "src/a.rs"), "no match here"),
+            None
+        );
+        assert_eq!(
+            a.matches(&finding("D001", "src/b.rs"), "map: HashMap<K, V>"),
+            None
+        );
+        assert_eq!(
+            a.matches(&finding("D002", "src/a.rs"), "map: HashMap<K, V>"),
+            None
+        );
+    }
+
+    #[test]
+    fn star_matches_any_line() {
+        let a = Allowlist::parse("P001\tsrc/a.rs\t*\tdriver binary, fails fast\n").expect("parses");
+        assert_eq!(a.matches(&finding("P001", "src/a.rs"), "anything"), Some(0));
+    }
+}

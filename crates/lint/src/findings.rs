@@ -1,0 +1,146 @@
+//! Findings: the linter's output records, with deterministic ordering and
+//! the two serializations (TSV for machines/CI artifacts, text for humans).
+
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D001`, `P001`, …).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The matched lexeme (e.g. `HashMap`, `unwrap`, `cycle_time`).
+    pub matched: String,
+    /// Human explanation with the suggested remedy.
+    pub message: String,
+}
+
+impl Finding {
+    /// Total order making every output byte-deterministic: by path, then
+    /// position, then rule, then matched text.
+    fn sort_key(&self) -> (&str, u32, u32, &str, &str) {
+        (&self.path, self.line, self.col, self.rule, &self.matched)
+    }
+}
+
+/// Sorts findings into the canonical deterministic order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()).then(Ordering::Equal));
+}
+
+/// Escapes a field for TSV (tabs/newlines cannot survive round-tripping).
+fn tsv_field(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+/// Renders findings as TSV with a header row. Byte-deterministic for a
+/// given (sorted) finding list.
+#[must_use]
+pub fn to_tsv(findings: &[Finding]) -> String {
+    let mut out = String::from("rule\tpath\tline\tcol\tmatch\tmessage\n");
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            f.rule,
+            tsv_field(&f.path),
+            f.line,
+            f.col,
+            tsv_field(&f.matched),
+            tsv_field(&f.message)
+        );
+    }
+    out
+}
+
+/// Renders findings as human-readable text, grouped by file.
+#[must_use]
+pub fn to_text(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "llmsim-lint: no findings\n".to_string();
+    }
+    let mut out = String::new();
+    let mut last_path = "";
+    for f in findings {
+        if f.path != last_path {
+            let _ = writeln!(out, "{}:", f.path);
+            last_path = &f.path;
+        }
+        let _ = writeln!(
+            out,
+            "  {}:{} [{}] {} — {}",
+            f.line, f.col, f.rule, f.matched, f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "llmsim-lint: {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, line: u32, col: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            col,
+            matched: "x".into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_by_content() {
+        let mut a = vec![
+            f("P001", "b.rs", 2, 1),
+            f("D001", "a.rs", 9, 4),
+            f("D002", "b.rs", 2, 1),
+            f("D001", "a.rs", 1, 1),
+        ];
+        sort_findings(&mut a);
+        let order: Vec<(&str, &str, u32)> = a
+            .iter()
+            .map(|x| (x.path.as_str(), x.rule, x.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", "D001", 1),
+                ("a.rs", "D001", 9),
+                ("b.rs", "D002", 2),
+                ("b.rs", "P001", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn tsv_escapes_and_has_header() {
+        let mut bad = f("D001", "a.rs", 1, 1);
+        bad.message = "tab\there".into();
+        let tsv = to_tsv(&[bad]);
+        assert!(tsv.starts_with("rule\tpath\tline\tcol\tmatch\tmessage\n"));
+        assert!(tsv.contains("tab here"));
+        assert_eq!(tsv.lines().count(), 2);
+    }
+
+    #[test]
+    fn text_groups_by_file_and_counts() {
+        let txt = to_text(&[f("D001", "a.rs", 1, 1), f("D002", "a.rs", 3, 1)]);
+        assert_eq!(txt.matches("a.rs:").count(), 1);
+        assert!(txt.contains("2 findings"));
+        assert!(to_text(&[]).contains("no findings"));
+    }
+}

@@ -1,0 +1,141 @@
+//! `llmsim-lint` — determinism & unit-consistency static analysis for the
+//! llmsim workspace.
+//!
+//! Every result this repository produces rests on one invariant: **same
+//! seed, same bytes**. The proptest suites check that invariant at runtime
+//! by sampling; this crate enforces its *source-level preconditions* at CI
+//! time, before a nondeterminism bug can ship and be discovered by a
+//! flaky figure. The linter is deliberately dependency-free: a minimal
+//! Rust tokenizer ([`tokenizer`]) feeds a small rule engine ([`rules`])
+//! that walks `crates/*/src` and `src/` ([`walk`]) and emits findings in a
+//! canonical order ([`findings`]) — the linter's own output is as
+//! reproducible as the simulator it guards.
+//!
+//! ## Rule catalog
+//!
+//! | id | rule |
+//! |------|------|
+//! | D001 | no `HashMap`/`HashSet` in simulation-state crates (iteration order is seeded by `RandomState`) |
+//! | D002 | no wall-clock reads (`std::time::Instant`/`SystemTime`) outside the bench driver |
+//! | D003 | no ambient randomness (`thread_rng`, `rand::random`, `RandomState`, `OsRng`, `from_entropy`) |
+//! | D004 | no ad-hoc compound-assign reductions inside `isa` spawn closures — use the deterministic merge helpers |
+//! | P001 | no `unwrap()`/`expect()`/`panic!` in non-test library code |
+//! | U001 | bare `latency`/`bandwidth`/`time` identifiers typed as raw numbers must carry a unit suffix (`_s`, `_cycles`, `_bytes`, `_bps`, `_tok`, …) or a unit newtype |
+//!
+//! Suppression is always explicit and justified: either an entry in the
+//! checked-in [`allowlist`] (`lint.allow`) or an inline
+//! `// lint:allow(RULE): reason` comment on/above the offending line.
+
+pub mod allowlist;
+pub mod findings;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;
+pub mod walk;
+
+use allowlist::Allowlist;
+use findings::{sort_findings, Finding};
+use source::SourceFile;
+
+/// Outcome of a lint run after allowlist filtering.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Findings not covered by any suppression, in canonical order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by the allowlist or inline directives, in
+    /// canonical order (reported for transparency, never fatal).
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale — worth pruning).
+    pub stale_allows: Vec<String>,
+}
+
+/// Lints one already-loaded file against the full rule catalog.
+#[must_use]
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in rules::catalog() {
+        rule.check(file, &mut out);
+    }
+    out
+}
+
+/// Lints a set of `(path, text)` pairs and applies suppressions.
+#[must_use]
+pub fn lint_sources<'a, I>(sources: I, allow: &Allowlist) -> LintReport
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut all = Vec::new();
+    let mut files = Vec::new();
+    for (path, text) in sources {
+        let file = SourceFile::new(path, text);
+        all.extend(lint_file(&file));
+        files.push(file);
+    }
+    sort_findings(&mut all);
+
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    for f in all {
+        let line_text = files
+            .iter()
+            .find(|s| s.path == f.path)
+            .map_or("", |s| s.line_text(f.line));
+        let inline = files
+            .iter()
+            .find(|s| s.path == f.path)
+            .is_some_and(|s| s.inline_allowed(f.rule, f.line));
+        if inline {
+            report.suppressed.push(f);
+            continue;
+        }
+        match allow.matches(&f, line_text) {
+            Some(ix) => {
+                used[ix] = true;
+                report.suppressed.push(f);
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (ix, entry) in allow.entries.iter().enumerate() {
+        if !used[ix] {
+            report.stale_allows.push(entry.describe());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "pub fn step_s(dt_s: f64) -> f64 { dt_s * 2.0 }\n";
+        let report = lint_sources([("crates/core/src/clean.rs", src)], &Allowlist::default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn findings_route_through_allowlist_and_mark_stale() {
+        let src = "use std::collections::HashMap;\n";
+        let allow = Allowlist::parse(
+            "D001\tcrates/core/src/m.rs\tHashMap\tjustified: never iterated\n\
+             D001\tcrates/core/src/other.rs\t*\tstale entry\n",
+        )
+        .expect("parses");
+        let report = lint_sources([("crates/core/src/m.rs", src)], &allow);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.stale_allows.len(), 1);
+        assert!(report.stale_allows[0].contains("other.rs"));
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "// lint:allow(D001): ordering-insensitive, lookup only\nuse std::collections::HashMap;\n";
+        let report = lint_sources([("crates/core/src/m.rs", src)], &Allowlist::default());
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! `llmsim-lint` CLI — the workspace determinism gate.
+//!
+//! ```sh
+//! cargo run -p llmsim-lint --release -- --check            # CI gate
+//! cargo run -p llmsim-lint --release -- --tsv findings.tsv # artifact
+//! cargo run -p llmsim-lint --release -- --rules            # catalog
+//! ```
+//!
+//! Exit codes: `0` clean (or findings while not in `--check` mode), `1`
+//! non-allowlisted findings under `--check`, `2` usage/I-O error.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)] // CLI surface
+
+use llmsim_lint::allowlist::Allowlist;
+use llmsim_lint::findings::{to_text, to_tsv};
+use llmsim_lint::rules;
+use llmsim_lint::walk::collect_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    root: PathBuf,
+    allow: Option<PathBuf>,
+    tsv: Option<PathBuf>,
+    check: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allow: None,
+        tsv: None,
+        check: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--allow" => {
+                opts.allow = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--allow needs a path".to_string())?,
+                ));
+            }
+            "--tsv" => {
+                opts.tsv = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--tsv needs a path".to_string())?,
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (known: --check, --rules, --root DIR, --allow FILE, --tsv FILE)"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    if opts.list_rules {
+        for rule in rules::catalog() {
+            println!("{}  {}", rule.id(), rule.title());
+        }
+        return Ok(true);
+    }
+
+    let allow_path = opts
+        .allow
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.allow"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text).map_err(|e| e.to_string())?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(format!("{}: {e}", allow_path.display())),
+    };
+
+    let files = collect_workspace(&opts.root).map_err(|e| format!("walk failed: {e}"))?;
+    let report = llmsim_lint::lint_sources(
+        files.iter().map(|f| (f.rel_path.as_str(), f.text.as_str())),
+        &allow,
+    );
+
+    if let Some(tsv_path) = &opts.tsv {
+        std::fs::write(tsv_path, to_tsv(&report.findings))
+            .map_err(|e| format!("{}: {e}", tsv_path.display()))?;
+    }
+
+    print!("{}", to_text(&report.findings));
+    if !report.suppressed.is_empty() {
+        println!(
+            "llmsim-lint: {} finding(s) suppressed by allowlist/inline directives",
+            report.suppressed.len()
+        );
+    }
+    for stale in &report.stale_allows {
+        println!("llmsim-lint: warning: stale allowlist entry matches nothing: {stale}");
+    }
+    Ok(report.findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("llmsim-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if opts.check && !clean {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("llmsim-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_covers_all_flags() {
+        let opts = parse_args(&[
+            "--check".into(),
+            "--root".into(),
+            "/tmp/x".into(),
+            "--allow".into(),
+            "a.allow".into(),
+            "--tsv".into(),
+            "out.tsv".into(),
+        ])
+        .expect("parses");
+        assert!(opts.check);
+        assert_eq!(opts.root, PathBuf::from("/tmp/x"));
+        assert_eq!(opts.allow, Some(PathBuf::from("a.allow")));
+        assert_eq!(opts.tsv, Some(PathBuf::from("out.tsv")));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_args(&["--wat".into()]).expect_err("must fail");
+        assert!(err.contains("--wat"));
+        assert!(parse_args(&["--root".into()]).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! D001 — no `HashMap`/`HashSet` in simulation-state crates.
+//!
+//! `std::collections::HashMap` seeds its hasher from process-random
+//! `RandomState`: iteration order differs run to run, so any `HashMap`
+//! that is ever iterated (directly, via `Debug`, or by draining) in a
+//! crate that holds simulation state is a latent reproducibility bug.
+//! `BTreeMap`/`BTreeSet` give deterministic order at the same API shape.
+//! A map that is provably never iterated may be allowlisted — with the
+//! ordering-insensitivity argument written into the allowlist reason.
+
+use super::{finding_at, Rule, SIM_STATE_CRATES};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// Rule instance.
+pub struct D001;
+
+impl Rule for D001 {
+    fn id(&self) -> &'static str {
+        "D001"
+    }
+
+    fn title(&self) -> &'static str {
+        "no HashMap/HashSet in simulation-state crates (randomized iteration order)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !SIM_STATE_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for (ix, tok) in file.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || file.in_test(ix) {
+                continue;
+            }
+            let replacement = match tok.text.as_str() {
+                "HashMap" => "BTreeMap",
+                "HashSet" => "BTreeSet",
+                _ => continue,
+            };
+            out.push(finding_at(
+                self.id(),
+                file,
+                tok,
+                format!(
+                    "{} has process-random iteration order; use {} (or allowlist with a written ordering-insensitivity argument)",
+                    tok.text, replacement
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        D001.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hash_collections_in_sim_state_crates() {
+        let src = "use std::collections::{HashMap, HashSet};\n";
+        for krate in ["core", "cluster", "isa", "workload", "mem"] {
+            let out = run(&format!("crates/{krate}/src/x.rs"), src);
+            assert_eq!(out.len(), 2, "{krate}");
+            assert!(out[0].message.contains("BTreeMap"));
+        }
+    }
+
+    #[test]
+    fn other_crates_and_tests_are_exempt() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(run("crates/report/src/x.rs", src).is_empty());
+        assert!(run("src/main.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        assert!(run("crates/core/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "// HashMap\nlet s = \"HashMap\";\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

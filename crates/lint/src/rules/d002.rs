@@ -1,0 +1,82 @@
+//! D002 — no wall-clock reads outside the bench driver.
+//!
+//! `std::time::Instant::now()` / `SystemTime::now()` import ambient,
+//! non-reproducible state. The simulator's only clock is simulated time
+//! (`Seconds` advanced by the event engine); wall-clock time belongs
+//! exclusively to `crates/bench`, which measures the *host*, not the
+//! simulation.
+
+use super::{finding_at, Rule, DRIVER_CRATE};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// Identifiers that read (or anchor to) the wall clock.
+const WALL_CLOCK: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Rule instance.
+pub struct D002;
+
+impl Rule for D002 {
+    fn id(&self) -> &'static str {
+        "D002"
+    }
+
+    fn title(&self) -> &'static str {
+        "no wall-clock reads (Instant/SystemTime) outside the bench driver"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name == DRIVER_CRATE {
+            return;
+        }
+        for tok in &file.tokens {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if WALL_CLOCK.contains(&tok.text.as_str()) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    tok,
+                    format!(
+                        "{} reads the wall clock; simulation code must use simulated time (Seconds) — wall-clock measurement belongs in crates/bench",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        D002.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wall_clock_types_everywhere_but_bench() {
+        let src = "use std::time::{Instant, SystemTime};\nlet t = Instant::now();\n";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 3);
+        assert_eq!(run("src/lib.rs", src).len(), 3);
+        assert!(run("crates/bench/src/bin/bench_kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn applies_even_in_test_code() {
+        // A test that reads the wall clock is a flaky test.
+        let src = "#[cfg(test)]\nmod tests { fn t() { let _ = std::time::Instant::now(); } }\n";
+        assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn duration_is_fine() {
+        let src = "use std::time::Duration;\nlet d = Duration::from_secs(1);\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

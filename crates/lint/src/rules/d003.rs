@@ -1,0 +1,108 @@
+//! D003 — no unseeded randomness, anywhere.
+//!
+//! Ambient entropy (`thread_rng`, `rand::random`, OS RNGs) breaks the
+//! same-seed-same-bytes contract outright, and `std`'s `RandomState` is
+//! the mechanism behind D001's randomized iteration order. Every random
+//! stream in this workspace must be derived from an explicit `u64` seed
+//! (see `vendor/rand`'s seeded PRNGs). This rule has no crate or test
+//! exemption: a nondeterministic test is a flaky test.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// Identifiers that reach for ambient entropy on their own.
+const AMBIENT: &[&str] = &[
+    "thread_rng",
+    "RandomState",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Rule instance.
+pub struct D003;
+
+impl Rule for D003 {
+    fn id(&self) -> &'static str {
+        "D003"
+    }
+
+    fn title(&self) -> &'static str {
+        "no unseeded randomness (thread_rng, rand::random, RandomState, OsRng)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for (ix, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if AMBIENT.contains(&tok.text.as_str()) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    tok,
+                    format!(
+                        "{} draws ambient entropy; derive every random stream from an explicit u64 seed",
+                        tok.text
+                    ),
+                ));
+                continue;
+            }
+            // `rand::random` — the only banned name that needs its path
+            // qualifier to avoid flagging unrelated `random` identifiers.
+            if tok.text == "rand"
+                && toks.get(ix + 1).is_some_and(|t| t.text == "::")
+                && toks.get(ix + 2).is_some_and(|t| t.text == "random")
+            {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    tok,
+                    "rand::random seeds from the OS; derive every random stream from an explicit u64 seed".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        D003.check(&SourceFile::new("crates/workload/src/x.rs", src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_ambient_entropy_sources() {
+        let src =
+            "let a = thread_rng();\nlet b: u32 = rand::random();\nlet s = RandomState::new();\n";
+        let out = run(src);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].matched, "thread_rng");
+        assert_eq!(out[1].matched, "rand");
+    }
+
+    #[test]
+    fn seeded_randomness_is_fine() {
+        let src = "let rng = SmallRng::seed_from_u64(42);\nlet x = rng.random_range(0..10);\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn bare_random_identifier_is_not_rand_random() {
+        let src = "fn random(x: u64) -> u64 { x }\nlet y = random(3);\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn applies_in_tests_too() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let _ = thread_rng(); } }\n";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! D004 — no ad-hoc compound-assign reductions inside `isa` spawn
+//! closures.
+//!
+//! The multi-core GEMM fan-out in `isa::parallel` is bit-deterministic
+//! because workers only write disjoint output bands and per-core
+//! statistics merge *after* the join, in core order (`sum_stats`,
+//! `merged_stats`, max-over-cores cycles). A `+=` on shared state inside
+//! a spawned closure reintroduces completion-order dependence — float
+//! addition is not associative, so even a mutex-protected accumulation
+//! changes bits run to run. Accumulate per worker, merge deterministically
+//! after joining.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Compound assignments that perform a reduction.
+const REDUCTIONS: &[&str] = &["+=", "-=", "*="];
+
+/// Rule instance.
+pub struct D004;
+
+impl Rule for D004 {
+    fn id(&self) -> &'static str {
+        "D004"
+    }
+
+    fn title(&self) -> &'static str {
+        "no ad-hoc += reductions inside isa spawn closures (merge after join)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name != "isa" {
+            return;
+        }
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let is_spawn_call =
+                toks[i].text == "spawn" && toks.get(i + 1).is_some_and(|t| t.text == "(");
+            if !is_spawn_call || file.in_test(i) {
+                i += 1;
+                continue;
+            }
+            // Walk the spawn(...) argument list to its closing paren.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    op if REDUCTIONS.contains(&op) => {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            &toks[j],
+                            format!(
+                                "`{op}` inside a spawn closure accumulates in completion order; collect per-core results and merge deterministically after the join (sum_stats / merged_stats / max-over-cores)"
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        D004.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    const BAD: &str = "
+        fn fan_out(total: &std::sync::Mutex<f64>) {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let part = work();
+                    *total.lock().unwrap() += part;
+                });
+            });
+        }
+    ";
+
+    #[test]
+    fn flags_reduction_inside_spawn_closure() {
+        let out = run("crates/isa/src/parallel.rs", BAD);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].matched, "+=");
+        assert!(out[0].message.contains("merge deterministically"));
+    }
+
+    #[test]
+    fn only_isa_is_in_scope() {
+        assert!(run("crates/core/src/x.rs", BAD).is_empty());
+    }
+
+    #[test]
+    fn accumulation_outside_spawn_is_fine() {
+        let src = "
+            fn serial() -> f64 {
+                let mut acc = 0.0;
+                for x in results() { acc += x; }
+                acc
+            }
+        ";
+        assert!(run("crates/isa/src/parallel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn per_worker_local_state_merged_after_join_is_the_blessed_shape() {
+        let src = "
+            fn good() {
+                let units = std::thread::scope(|s| {
+                    let h = s.spawn(|| run_band());
+                    h.join()
+                });
+                let merged = sum_stats(&units);
+            }
+        ";
+        assert!(run("crates/isa/src/parallel.rs", src).is_empty());
+    }
+}

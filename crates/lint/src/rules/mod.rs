@@ -1,0 +1,87 @@
+//! The rule catalog and the shared vocabulary rules are written in.
+//!
+//! Rules are deliberately *lexical*: they match identifier/operator
+//! patterns on the token stream, never type information. That keeps the
+//! linter dependency-free and fast, at the cost of needing the explicit
+//! suppression channels ([`crate::allowlist`], inline `lint:allow`) for
+//! the rare justified exception — which is a feature: every exception to
+//! a determinism invariant should have a written argument next to it.
+
+mod d001;
+mod d002;
+mod d003;
+mod d004;
+mod p001;
+mod u001;
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::Token;
+
+pub use d001::D001;
+pub use d002::D002;
+pub use d003::D003;
+pub use d004::D004;
+pub use p001::P001;
+pub use u001::U001;
+
+/// A single static-analysis rule.
+pub trait Rule: Sync {
+    /// Stable rule id (`D001`, …) used in findings, the allowlist and
+    /// inline suppressions.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--rules` output.
+    fn title(&self) -> &'static str;
+    /// Appends findings for `file`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// The full rule catalog, in id order.
+#[must_use]
+pub fn catalog() -> Vec<&'static dyn Rule> {
+    vec![&D001, &D002, &D003, &D004, &P001, &U001]
+}
+
+/// Crates that hold simulation state: a nondeterministic container or
+/// ambient input here changes simulation *results*, not just logs.
+pub(crate) const SIM_STATE_CRATES: &[&str] = &["cluster", "core", "isa", "mem", "workload"];
+
+/// The wall-clock/benchmark driver crate, exempt from D002/P001: it
+/// measures real elapsed time by design and fails fast on impossible
+/// configurations.
+pub(crate) const DRIVER_CRATE: &str = "bench";
+
+/// Builds a finding at `tok`.
+pub(crate) fn finding_at(
+    rule: &'static str,
+    file: &SourceFile,
+    tok: &Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        matched: tok.text.clone(),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let ids: Vec<&str> = catalog().iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids, vec!["D001", "D002", "D003", "D004", "P001", "U001"]);
+        for r in catalog() {
+            assert!(!r.title().is_empty());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! P001 — no `unwrap()`/`expect()`/`panic!` in non-test library code.
+//!
+//! Library code returns `SimError` (or a module error type); panicking is
+//! reserved for documented constructor contracts and invariants that are
+//! provably unreachable — and each of those must carry its argument in
+//! the allowlist or an inline `lint:allow(P001)` with a reason. Tests,
+//! examples, benches and binary entry points are exempt: a test *should*
+//! fail loudly, and a CLI's last resort is a message to the user.
+
+use super::{finding_at, Rule, DRIVER_CRATE};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// Rule instance.
+pub struct P001;
+
+impl Rule for P001 {
+    fn id(&self) -> &'static str {
+        "P001"
+    }
+
+    fn title(&self) -> &'static str {
+        "no unwrap()/expect()/panic! in non-test library code"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name == DRIVER_CRATE || file.is_bin {
+            return;
+        }
+        let toks = &file.tokens;
+        for (ix, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || file.in_test(ix) {
+                continue;
+            }
+            match tok.text.as_str() {
+                "unwrap" | "expect" => {
+                    let method_call = ix > 0
+                        && toks[ix - 1].text == "."
+                        && toks.get(ix + 1).is_some_and(|t| t.text == "(");
+                    if method_call {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            tok,
+                            format!(
+                                ".{}() panics at runtime; return a SimError/module error, or allowlist with the invariant argument",
+                                tok.text
+                            ),
+                        ));
+                    }
+                }
+                "panic" if toks.get(ix + 1).is_some_and(|t| t.text == "!") => {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        tok,
+                        "panic! in library code; return a SimError/module error, or allowlist with the documented-contract argument".to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P001.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    const BAD: &str = "
+        pub fn f(x: Option<u32>) -> u32 {
+            let a = x.unwrap();
+            let b = x.expect(\"present\");
+            if a + b == 0 { panic!(\"zero\"); }
+            a
+        }
+    ";
+
+    #[test]
+    fn flags_all_three_forms_in_lib_code() {
+        let out = run("crates/core/src/x.rs", BAD);
+        let matched: Vec<&str> = out.iter().map(|f| f.matched.as_str()).collect();
+        assert_eq!(matched, vec!["unwrap", "expect", "panic"]);
+    }
+
+    #[test]
+    fn tests_bins_and_bench_are_exempt() {
+        let in_test = format!("#[cfg(test)]\nmod tests {{ {BAD} }}");
+        assert!(run("crates/core/src/x.rs", &in_test).is_empty());
+        assert!(run("src/main.rs", BAD).is_empty());
+        assert!(run("crates/bench/src/experiments/fig.rs", BAD).is_empty());
+        assert!(run("crates/core/src/bin/tool.rs", BAD).is_empty());
+    }
+
+    #[test]
+    fn lookalikes_do_not_trigger() {
+        let src = "
+            pub fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap_or(0);
+                let b = x.unwrap_or_else(|| 1);
+                let c = r.expect_err(\"must fail\");
+                a + b + c.min(unwrap_helper())
+            }
+            fn unwrap_helper() -> u32 { 0 }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

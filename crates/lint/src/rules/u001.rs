@@ -1,0 +1,203 @@
+//! U001 — unit-suffix convention for raw numeric quantities.
+//!
+//! A bare `latency: f64` is a bug generator: seconds? milliseconds?
+//! cycles? The workspace convention is that a *raw numeric* field,
+//! parameter, binding or function return carrying a physical quantity
+//! names its unit as a suffix (`_s`, `_ms`, `_cycles`, `_bytes`, `_bps`,
+//! `_tok`, …) — or uses one of the `hw::units` newtypes (`Seconds`,
+//! `Bytes`, …), which carry the unit in the type and are exempt here by
+//! construction (the rule only fires on primitive numeric types).
+//!
+//! The rule flags declarations whose identifier's last snake-case segment
+//! is a bare quantity word (`latency`, `bandwidth`, `time`) and whose
+//! declared type or return type is a primitive number.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokenKind;
+
+/// Quantity words that must not terminate an identifier naming a raw
+/// number.
+const BARE_QUANTITIES: &[&str] = &["latency", "bandwidth", "time"];
+
+/// Primitive numeric types (a unit newtype would not match, which is the
+/// point: `Seconds` already says the unit).
+const NUMERIC: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Whether `ident`'s final snake-case segment is a bare quantity word.
+fn is_bare_quantity(ident: &str) -> bool {
+    ident
+        .rsplit('_')
+        .next()
+        .is_some_and(|last| BARE_QUANTITIES.contains(&last))
+}
+
+/// Rule instance.
+pub struct U001;
+
+impl Rule for U001 {
+    fn id(&self) -> &'static str {
+        "U001"
+    }
+
+    fn title(&self) -> &'static str {
+        "raw numeric latency/bandwidth/time identifiers must carry a unit suffix"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for (ix, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || file.in_test(ix) {
+                continue;
+            }
+
+            // `name: f64` — field, parameter or binding declaration.
+            if is_bare_quantity(&tok.text)
+                && toks.get(ix + 1).is_some_and(|t| t.text == ":")
+                && toks
+                    .get(ix + 2)
+                    .is_some_and(|t| NUMERIC.contains(&t.text.as_str()))
+            {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    tok,
+                    format!(
+                        "raw {} `{}` does not name its unit; add a unit suffix (e.g. `{}_s`, `{}_cycles`) or use a unit newtype",
+                        toks[ix + 2].text, tok.text, tok.text, tok.text
+                    ),
+                ));
+                continue;
+            }
+
+            // `fn name(...) -> f64` — function returning a raw number.
+            if tok.text == "fn" {
+                let Some(name) = toks.get(ix + 1) else {
+                    continue;
+                };
+                if name.kind != TokenKind::Ident || !is_bare_quantity(&name.text) {
+                    continue;
+                }
+                if let Some(ret_ix) = return_type_ix(toks, ix + 2) {
+                    if NUMERIC.contains(&toks[ret_ix].text.as_str()) {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            name,
+                            format!(
+                                "fn `{}` returns a raw {} without naming its unit; add a unit suffix or return a unit newtype",
+                                name.text, toks[ret_ix].text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Starting after a function name, finds the token index of the first
+/// return-type token (just past a top-level `->`), or `None` if the
+/// signature ends (at `{`, `;` or `where`) without one.
+fn return_type_ix(toks: &[crate::tokenizer::Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "->" if depth == 0 => return Some(i + 1),
+            "{" | ";" | "where" if depth <= 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        U001.check(&SourceFile::new("crates/core/src/x.rs", src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_quantity_fields_params_and_bindings() {
+        let src = "
+            pub struct R {
+                pub latency: f64,
+                pub cycle_time: u64,
+            }
+            fn f(bandwidth: f32) {
+                let queue_time: f64 = 0.0;
+            }
+        ";
+        let matched: Vec<String> = run(src).into_iter().map(|f| f.matched).collect();
+        assert_eq!(
+            matched,
+            vec!["latency", "cycle_time", "bandwidth", "queue_time"]
+        );
+    }
+
+    #[test]
+    fn flags_fn_returning_raw_number() {
+        let src = "pub fn decode_latency(&self, b: u64) -> f64 { 0.0 }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].matched, "decode_latency");
+    }
+
+    #[test]
+    fn unit_suffixes_and_newtypes_are_fine() {
+        let src = "
+            pub struct R {
+                pub latency_s: f64,
+                pub time: Seconds,
+                pub bandwidth_bps: f64,
+                pub decode_time_cycles: u64,
+            }
+            fn prefill_time(&self) -> Seconds { Seconds::new(0.0) }
+            fn warmup_time_s(&self) -> f64 { 0.0 }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn unrelated_words_containing_time_are_fine() {
+        let src = "
+            pub struct R {
+                pub timestamp: f64,
+                pub time_scale: f64,
+                pub lifetime: u64,
+                pub timing: f64,
+            }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn struct_init_and_paths_do_not_trigger() {
+        // `time:` followed by a value expression, and `time::` paths.
+        let src = "
+            fn g() {
+                let r = R { time: elapsed, latency: x };
+                let d = std::time::Duration::from_secs(1);
+            }
+        ";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { struct T { latency: f64 } }";
+        assert!(run(src).is_empty());
+    }
+}

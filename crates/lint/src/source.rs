@@ -1,0 +1,250 @@
+//! A lexed source file annotated with everything rules need: workspace
+//! position (crate, binary-ness), test-code spans, and inline suppressions.
+
+use crate::tokenizer::{tokenize, AllowDirective, Token, TokenKind};
+
+/// A file prepared for rule checking.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated (the stable key
+    /// used in findings and the allowlist).
+    pub path: String,
+    /// Crate the file belongs to: the directory name under `crates/`, or
+    /// `"llmsim"` for the root `src/`.
+    pub crate_name: String,
+    /// Whether the file is a binary entry point (`main.rs` or under a
+    /// `bin/` directory) — rules that target library code skip these.
+    pub is_bin: bool,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Inline `lint:allow` directives.
+    pub allows: Vec<AllowDirective>,
+    /// Source lines (for snippet extraction and allowlist matching).
+    pub lines: Vec<String>,
+    /// Half-open token-index ranges lexically inside `#[cfg(test)]` /
+    /// `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `text` as the workspace file `path`.
+    #[must_use]
+    pub fn new(path: &str, text: &str) -> Self {
+        let stream = tokenize(text);
+        let crate_name = crate_of(path);
+        let is_bin = {
+            let file = path.rsplit('/').next().unwrap_or(path);
+            file == "main.rs" || path.contains("/bin/")
+        };
+        let test_ranges = find_test_ranges(&stream.tokens);
+        SourceFile {
+            path: path.to_string(),
+            crate_name,
+            is_bin,
+            tokens: stream.tokens,
+            allows: stream.allows,
+            lines: text.lines().map(str::to_string).collect(),
+            test_ranges,
+        }
+    }
+
+    /// Whether the token at `ix` is inside test code (`#[cfg(test)]`
+    /// module or `#[test]` function).
+    #[must_use]
+    pub fn in_test(&self, ix: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| ix >= s && ix < e)
+    }
+
+    /// The trimmed source line containing `line` (1-based), or `""`.
+    #[must_use]
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map_or("", |l| l.trim())
+    }
+
+    /// Whether an inline directive suppresses `rule` on `line`: the
+    /// directive may trail the line itself, or sit alone on the line
+    /// directly above (a trailing directive does *not* leak onto the next
+    /// line).
+    #[must_use]
+    pub fn inline_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            let covers = a.line == line
+                || (a.line + 1 == line && !self.tokens.iter().any(|t| t.line == a.line));
+            covers && a.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+/// Derives the crate name from a workspace-relative path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        _ => "llmsim".to_string(),
+    }
+}
+
+/// Finds token ranges belonging to test items.
+///
+/// Recognizes an attribute `#[...]` whose identifier list contains `test`
+/// but not `not` (covering `#[test]` and `#[cfg(test)]` without tripping
+/// on `#[cfg(not(test))]`), then extends the range over any further
+/// attributes and the item that follows — up to the `;` of a declaration
+/// or the matching `}` of the item's first top-level brace.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_end, idents) = scan_attr(tokens, i + 1);
+            let is_test = idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+            if is_test {
+                let start = i;
+                let mut j = attr_end;
+                // Skip stacked attributes.
+                while tokens.get(j).is_some_and(|t| t.text == "#")
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    let (next_end, _) = scan_attr(tokens, j + 1);
+                    j = next_end;
+                }
+                let end = item_end(tokens, j);
+                ranges.push((start, end));
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Scans a bracketed attribute starting at its `[`; returns the index one
+/// past the closing `]` and the identifiers seen inside.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, Vec<String>) {
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, idents);
+                }
+            }
+            _ => {
+                if tokens[i].kind == TokenKind::Ident {
+                    idents.push(tokens[i].text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    (tokens.len(), idents)
+}
+
+/// Returns the index one past the end of the item starting at `i`: either
+/// past a top-level `;`, or past the `}` matching the first top-level `{`.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut entered_brace = false;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => {
+                brace += 1;
+                entered_brace = true;
+            }
+            "}" => {
+                brace -= 1;
+                if entered_brace && brace == 0 {
+                    return j + 1;
+                }
+            }
+            ";" if !entered_brace && paren == 0 && bracket == 0 && brace == 0 => {
+                return j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_range() {
+        let src = "
+            pub fn lib_code() -> u32 { 1 }
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert!(true); }
+            }
+        ";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        let lib_ix = f.tokens.iter().position(|t| t.text == "lib_code");
+        let assert_ix = f.tokens.iter().position(|t| t.text == "assert");
+        assert!(!f.in_test(lib_ix.expect("lib_code token")));
+        assert!(f.in_test(assert_ix.expect("assert token")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_range() {
+        let src = "#[cfg(not(test))]\nfn shipped() { body(); }";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        let ix = f.tokens.iter().position(|t| t.text == "body");
+        assert!(!f.in_test(ix.expect("body token")));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes() {
+        let src = "
+            #[test]
+            #[should_panic(expected = \"boom\")]
+            fn explodes() { panic!(\"boom\"); }
+            fn after() { tail(); }
+        ";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        let panic_ix = f.tokens.iter().position(|t| t.text == "panic");
+        let tail_ix = f.tokens.iter().position(|t| t.text == "tail");
+        assert!(f.in_test(panic_ix.expect("panic token")));
+        assert!(!f.in_test(tail_ix.expect("tail token")));
+    }
+
+    #[test]
+    fn crate_and_bin_detection() {
+        assert_eq!(
+            SourceFile::new("crates/cluster/src/engine.rs", "").crate_name,
+            "cluster"
+        );
+        assert_eq!(SourceFile::new("src/lib.rs", "").crate_name, "llmsim");
+        assert!(SourceFile::new("src/main.rs", "").is_bin);
+        assert!(SourceFile::new("crates/bench/src/bin/tool.rs", "").is_bin);
+        assert!(!SourceFile::new("crates/core/src/lib.rs", "").is_bin);
+    }
+
+    #[test]
+    fn inline_allow_covers_same_and_next_line() {
+        let src = "// lint:allow(P001): reason\nlet a = x.unwrap();\nlet b = y.unwrap(); // lint:allow(P001): tail\nlet c = z.unwrap();\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        assert!(f.inline_allowed("P001", 2));
+        assert!(f.inline_allowed("P001", 3));
+        assert!(!f.inline_allowed("P001", 4));
+        assert!(!f.inline_allowed("D001", 2));
+    }
+}

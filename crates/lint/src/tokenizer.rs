@@ -1,0 +1,567 @@
+//! A minimal, dependency-free Rust tokenizer — just enough lexical
+//! structure for the determinism rules in [`crate::rules`].
+//!
+//! The tokenizer understands the parts of Rust that would otherwise cause
+//! false findings in a plain text scan: line and (nested) block comments,
+//! string/byte-string literals, raw strings with arbitrary `#` fences, char
+//! literals vs. lifetimes, raw identifiers, and numeric literals. Rules
+//! then match on *identifier tokens*, so `"HashMap"` inside a string or a
+//! doc comment never triggers a finding.
+//!
+//! Comments are not discarded: any comment containing a
+//! `lint:allow(RULE, ...)` directive is surfaced to the rule engine as an
+//! inline suppression (see [`AllowDirective`]).
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are normalized: `r#type`
+    /// lexes as `type`).
+    Ident,
+    /// `'a` — distinguished from char literals.
+    Lifetime,
+    /// Integer or float literal.
+    Number,
+    /// String, byte-string, raw-string, or char literal.
+    Literal,
+    /// Operator / delimiter. Multi-character operators the rules care
+    /// about (`::`, `->`, `+=`, `-=`, `*=`, `/=`) lex as one token;
+    /// everything else is a single character.
+    Punct,
+}
+
+/// One lexical token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text (identifiers are raw-prefix-stripped).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// An inline `lint:allow(...)` suppression found in a comment.
+///
+/// The directive suppresses the named rules on the comment's own line and
+/// on the following source line (so it can trail the offending expression
+/// or sit on its own line directly above it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule ids named in the directive, e.g. `["P001"]`.
+    pub rules: Vec<String>,
+}
+
+/// Output of [`tokenize`]: the token stream plus inline suppressions.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Inline `lint:allow` directives in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extracts `lint:allow(A, B)` rule ids from a comment body, if present.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Character cursor with 1-based line/column tracking.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenizes Rust source. Invalid or truncated constructs (an unterminated
+/// string, say) end the affected token at end-of-input rather than
+/// failing: a linter must degrade gracefully on code it cannot fully lex.
+#[must_use]
+pub fn tokenize(text: &str) -> TokenStream {
+    let mut cur = Cursor::new(text);
+    let mut out = TokenStream::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        if c == '/' {
+            // Comment or operator.
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    let mut body = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        body.push(ch);
+                        cur.bump();
+                    }
+                    if let Some(rules) = parse_allow(&body) {
+                        out.allows.push(AllowDirective { line, rules });
+                    }
+                }
+                Some('*') => {
+                    cur.bump();
+                    let mut depth = 1u32;
+                    let mut body = String::new();
+                    while depth > 0 {
+                        match cur.bump() {
+                            Some('*') if cur.peek() == Some('/') => {
+                                cur.bump();
+                                depth -= 1;
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                cur.bump();
+                                depth += 1;
+                            }
+                            Some(ch) => body.push(ch),
+                            None => break,
+                        }
+                    }
+                    if let Some(rules) = parse_allow(&body) {
+                        out.allows.push(AllowDirective { line, rules });
+                    }
+                }
+                Some('=') => {
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "/=".into(),
+                        line,
+                        col,
+                    });
+                }
+                _ => out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "/".into(),
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+
+        if is_ident_start(c) {
+            // Raw strings / byte strings / raw identifiers share the
+            // ident-start path: look at the whole prefix first.
+            let mut ident = String::new();
+            while let Some(ch) = cur.peek() {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let next = cur.peek();
+            let starts_raw =
+                matches!(ident.as_str(), "r" | "br" | "b") && matches!(next, Some('"') | Some('#'));
+            if starts_raw {
+                if consume_raw_or_plain_string(&mut cur, &ident) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: format!("{ident}\"…\""),
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                // `r#ident`: raw identifier — re-lex the ident part.
+                if ident == "r" && cur.peek() == Some('#') {
+                    cur.bump();
+                    let mut raw = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if is_ident_continue(ch) {
+                            raw.push(ch);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: raw,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let mut num = String::new();
+            while let Some(ch) = cur.peek() {
+                // Good enough for findings: digits, radix prefixes,
+                // underscores, exponents, type suffixes, and the decimal
+                // point (consumed greedily; `1..2` ranges lex slightly
+                // fused, which no rule depends on).
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                    // Don't swallow `..` range operators or method calls
+                    // on literals (`1.max(2)`).
+                    if ch == '.' {
+                        let mut ahead = cur.chars.clone();
+                        ahead.next();
+                        match ahead.next() {
+                            Some(d) if d.is_ascii_digit() => {}
+                            _ => break,
+                        }
+                    }
+                    num.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: num,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '"' {
+            consume_plain_string(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"…\"".into(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            cur.bump();
+            match cur.peek() {
+                Some('\\') => {
+                    // Escaped char literal: consume escape then closing quote.
+                    cur.bump();
+                    cur.bump();
+                    if cur.peek() == Some('\'') {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "'…'".into(),
+                        line,
+                        col,
+                    });
+                }
+                Some(ch) if is_ident_start(ch) => {
+                    // Lifetime or alphanumeric char literal: disambiguate
+                    // by whether a `'` closes it immediately after one
+                    // ident char.
+                    let mut ahead = cur.chars.clone();
+                    ahead.next();
+                    if ahead.next() == Some('\'') {
+                        cur.bump();
+                        cur.bump();
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            text: "'…'".into(),
+                            line,
+                            col,
+                        });
+                    } else {
+                        let mut name = String::from("'");
+                        while let Some(ch) = cur.peek() {
+                            if is_ident_continue(ch) {
+                                name.push(ch);
+                                cur.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text: name,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                Some(other) => {
+                    // Non-alphanumeric char literal like ' ' or '#'.
+                    cur.bump();
+                    if cur.peek() == Some('\'') {
+                        cur.bump();
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            text: "'…'".into(),
+                            line,
+                            col,
+                        });
+                    } else {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: other.to_string(),
+                            line,
+                            col,
+                        });
+                    }
+                }
+                None => {}
+            }
+            continue;
+        }
+
+        // Punctuation: fuse the few multi-char operators rules match on.
+        cur.bump();
+        let two = cur.peek().map(|n| (c, n));
+        let fused = match two {
+            Some((':', ':')) => Some("::"),
+            Some(('-', '>')) => Some("->"),
+            Some(('+', '=')) => Some("+="),
+            Some(('-', '=')) => Some("-="),
+            Some(('*', '=')) => Some("*="),
+            _ => None,
+        };
+        if let Some(op) = fused {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.into(),
+                line,
+                col,
+            });
+        } else {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string body (opening quote at the cursor).
+fn consume_plain_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After lexing a `r`/`b`/`br` prefix, consumes the raw or plain string
+/// that follows. Returns `false` if the prefix turned out to be a raw
+/// identifier (`r#foo`) instead of a string.
+fn consume_raw_or_plain_string(cur: &mut Cursor<'_>, prefix: &str) -> bool {
+    let raw = prefix.contains('r');
+    if !raw {
+        // b"…": plain string body with escapes.
+        if cur.peek() == Some('"') {
+            consume_plain_string(cur);
+            return true;
+        }
+        return false;
+    }
+    // Count `#` fence.
+    let mut fence = 0usize;
+    let mut ahead = cur.chars.clone();
+    while ahead.peek() == Some(&'#') {
+        ahead.next();
+        fence += 1;
+    }
+    if ahead.peek() != Some(&'"') {
+        return false; // raw identifier, not a raw string
+    }
+    for _ in 0..fence {
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+                // Scan for `"` followed by `fence` hashes.
+    'outer: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            let mut look = cur.chars.clone();
+            for _ in 0..fence {
+                if look.next() != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..fence {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(text: &str) -> Vec<String> {
+        tokenize(text)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1, "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_lex() {
+        let toks = tokenize(r"let nl = '\n'; let q = '\''; let sp = ' ';").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn compound_operators_fuse() {
+        let texts: Vec<String> = tokenize("a += b; c::d; e -> f; g -= h; i *= j")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text.len() == 2)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, vec!["+=", "::", "->", "-=", "*="]);
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let src = "
+            let x = 1; // lint:allow(P001): justified
+            /* lint:allow(D001, D002) block form */
+            let y = 2;
+        ";
+        let ts = tokenize(src);
+        assert_eq!(ts.allows.len(), 2);
+        assert_eq!(ts.allows[0].rules, vec!["P001"]);
+        assert_eq!(ts.allows[0].line, 2);
+        assert_eq!(ts.allows[1].rules, vec!["D001", "D002"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines() {
+        let toks = tokenize("a\n  b").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_ranges_or_calls() {
+        let toks = tokenize("0..16 1.5 2.max(3)").tokens;
+        let nums: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "16", "1.5", "2", "3"]);
+        assert!(toks.iter().any(|t| t.text == "max"));
+    }
+
+    #[test]
+    fn unterminated_string_degrades_gracefully() {
+        let ts = tokenize("let s = \"never closed");
+        assert!(ts.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+}

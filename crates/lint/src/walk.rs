@@ -1,0 +1,119 @@
+//! Deterministic discovery of the lint scope: every `.rs` file under
+//! `crates/*/src` and the root `src/`, in sorted path order.
+//!
+//! Vendored stand-in crates (`vendor/`), fixtures, and target directories
+//! are deliberately out of scope: the gate protects the code we author,
+//! not the API-compatible stubs we bundle for the offline build.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file: workspace-relative path plus contents.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel_path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Collects every `.rs` file in scope under `root`, sorted by relative
+/// path so downstream output is byte-deterministic regardless of
+/// filesystem enumeration order.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered (a missing `crates/` directory
+/// is an error: linting nothing must never masquerade as a clean run).
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_roots: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_roots.sort();
+    for c in crate_roots {
+        let src = c.join("src");
+        if src.is_dir() {
+            dirs.push(src);
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        dirs.push(root_src);
+    }
+
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(&dir, &mut files)?;
+    }
+
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&path)?;
+        out.push(WorkspaceFile {
+            rel_path: rel,
+            text,
+        });
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+/// Recursively gathers `.rs` files under `dir` (any order; the caller
+/// sorts).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("repo root resolves")
+    }
+
+    #[test]
+    fn walks_sorted_and_in_scope_only() {
+        let files = collect_workspace(&repo_root()).expect("walk succeeds");
+        assert!(files.len() > 40, "found {}", files.len());
+        let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        assert_eq!(paths, sorted, "deterministic order");
+        assert!(paths.iter().all(|p| p.ends_with(".rs")));
+        assert!(paths.iter().all(|p| !p.starts_with("vendor/")));
+        assert!(paths.iter().all(|p| !p.contains("/fixtures/")));
+        assert!(paths.contains(&"crates/isa/src/timing.rs"));
+        assert!(paths.contains(&"src/main.rs"));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(collect_workspace(Path::new("/nonexistent-lint-root")).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Rule self-tests against the known-bad fixture snippets, plus the two
+//! meta-guarantees the CI gate relies on: the linter's own output is
+//! byte-deterministic, and the workspace itself lints clean under the
+//! checked-in allowlist.
+
+use llmsim_lint::allowlist::Allowlist;
+use llmsim_lint::findings::{to_tsv, Finding};
+use llmsim_lint::source::SourceFile;
+use llmsim_lint::walk::collect_workspace;
+use llmsim_lint::{lint_file, lint_sources};
+use std::path::Path;
+
+/// Lints a fixture as if it lived at `path` in the workspace.
+fn lint_fixture(path: &str, text: &str) -> Vec<Finding> {
+    lint_file(&SourceFile::new(path, text))
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn d001_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/d001.rs"),
+    );
+    assert_eq!(count(&f, "D001"), 4, "{f:?}"); // 2×HashMap + 2×HashSet
+}
+
+#[test]
+fn d002_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/d002.rs"),
+    );
+    assert_eq!(count(&f, "D002"), 3, "{f:?}");
+    // The same text inside the bench driver is legal.
+    let bench = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/d002.rs"),
+    );
+    assert_eq!(count(&bench, "D002"), 0);
+}
+
+#[test]
+fn d003_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/d003.rs"),
+    );
+    assert_eq!(count(&f, "D003"), 3, "{f:?}"); // thread_rng, rand::random, RandomState
+}
+
+#[test]
+fn d004_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/isa/src/fixture.rs",
+        include_str!("../fixtures/d004.rs"),
+    );
+    assert_eq!(count(&f, "D004"), 1, "{f:?}");
+}
+
+#[test]
+fn p001_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/model/src/fixture.rs",
+        include_str!("../fixtures/p001.rs"),
+    );
+    assert_eq!(count(&f, "P001"), 3, "{f:?}"); // unwrap, expect, panic!
+}
+
+#[test]
+fn u001_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/hw/src/fixture.rs",
+        include_str!("../fixtures/u001.rs"),
+    );
+    // latency, bandwidth, setup_time, queue_time fields/bindings + the
+    // total_time fn return.
+    assert_eq!(count(&f, "U001"), 5, "{f:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean_in_the_strictest_scope() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/clean.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn inline_allow_fixture_is_suppressed_not_clean() {
+    let text = include_str!("../fixtures/inline_allow.rs");
+    let report = lint_sources(
+        [("crates/core/src/fixture.rs", text)],
+        &Allowlist::default(),
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 3, "{:?}", report.suppressed);
+
+    // Stripping the directives must resurface every finding: the fixture
+    // is bad code, the directives are what make it pass.
+    let stripped: String = text
+        .lines()
+        .map(|l| match l.find("// lint:allow") {
+            Some(at) => format!("{}\n", &l[..at]),
+            None => format!("{l}\n"),
+        })
+        .collect::<Vec<_>>()
+        .concat();
+    let bare = lint_sources(
+        [("crates/core/src/fixture.rs", stripped.as_str())],
+        &Allowlist::default(),
+    );
+    assert_eq!(bare.findings.len(), 3, "{:?}", bare.findings);
+}
+
+fn repo_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// The CI gate, duplicated as a test: the workspace must lint clean under
+/// the checked-in allowlist, and no allowlist entry may be stale.
+#[test]
+fn workspace_is_clean_under_checked_in_allowlist() {
+    let root = repo_root();
+    let allow_text = std::fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let allow = Allowlist::parse(&allow_text).expect("lint.allow parses");
+    let files = collect_workspace(&root).expect("walk succeeds");
+    let report = lint_sources(
+        files.iter().map(|f| (f.rel_path.as_str(), f.text.as_str())),
+        &allow,
+    );
+    assert!(
+        report.findings.is_empty(),
+        "non-allowlisted findings:\n{}",
+        llmsim_lint::findings::to_text(&report.findings)
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.stale_allows
+    );
+}
+
+/// Findings output must be byte-identical across runs (and across file
+/// discovery order — `lint_sources` re-sorts internally).
+#[test]
+fn findings_are_byte_deterministic() {
+    let root = repo_root();
+    let files = collect_workspace(&root).expect("walk succeeds");
+    let allow = Allowlist::default();
+    let forward = lint_sources(
+        files.iter().map(|f| (f.rel_path.as_str(), f.text.as_str())),
+        &allow,
+    );
+    let reversed = lint_sources(
+        files
+            .iter()
+            .rev()
+            .map(|f| (f.rel_path.as_str(), f.text.as_str())),
+        &allow,
+    );
+    assert_eq!(to_tsv(&forward.findings), to_tsv(&reversed.findings));
+    assert!(to_tsv(&forward.findings).starts_with("rule\tpath\tline\tcol\tmatch\tmessage\n"));
+}

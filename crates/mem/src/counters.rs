@@ -98,6 +98,7 @@ pub fn synthesize(inputs: &CounterInputs) -> HwCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 

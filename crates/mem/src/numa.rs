@@ -205,6 +205,7 @@ impl MemSystem {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use llmsim_hw::presets;

@@ -441,6 +441,7 @@ impl<'m> GraphBuilder<'m> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
     use crate::families;

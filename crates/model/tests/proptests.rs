@@ -1,6 +1,8 @@
 //! Property-based tests of the model substrate: footprint scaling laws and
 //! operator-graph invariants hold for every paper model and workload shape.
 
+#![allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
+
 use llmsim_model::{decode_step_graph, families, prefill_graph, DType, OpClass};
 use proptest::prelude::*;
 

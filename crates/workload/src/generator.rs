@@ -213,10 +213,10 @@ impl ArrivalTrace {
     /// Mean inter-arrival time of the trace (0 for traces shorter than 2).
     #[must_use]
     pub fn mean_gap(&self) -> f64 {
-        if self.arrivals.len() < 2 {
+        let [first, .., last] = self.arrivals.as_slice() else {
             return 0.0;
-        }
-        let span = self.arrivals.last().unwrap() - self.arrivals[0];
+        };
+        let span = last - first;
         span / (self.arrivals.len() - 1) as f64
     }
 

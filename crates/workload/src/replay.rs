@@ -54,6 +54,9 @@ pub enum TraceParseError {
     Empty,
     /// The header is missing a required column (names the role).
     MissingColumn(&'static str),
+    /// Two header columns map to the same role — the trace is ambiguous
+    /// and silently picking one would misread the other's data.
+    DuplicateColumn(&'static str),
     /// A data row had a different field count than the header.
     RowArity {
         /// 1-based data-row number.
@@ -82,6 +85,9 @@ impl fmt::Display for TraceParseError {
             TraceParseError::Empty => write!(f, "trace is empty"),
             TraceParseError::MissingColumn(role) => {
                 write!(f, "header is missing a {role} column")
+            }
+            TraceParseError::DuplicateColumn(role) => {
+                write!(f, "header has more than one {role} column")
             }
             TraceParseError::RowArity { line, got, want } => {
                 write!(f, "row {line} has {got} fields, header has {want}")
@@ -130,13 +136,21 @@ pub fn parse_trace(text: &str) -> Result<Vec<ReplayRequest>, TraceParseError> {
     let sep = if header.contains('\t') { '\t' } else { ',' };
     let cols: Vec<&str> = header.split(sep).collect();
 
-    let find = |role: &'static str| -> Option<usize> {
-        cols.iter().position(|c| role_of(c) == Some(role))
+    let find = |role: &'static str| -> Result<Option<usize>, TraceParseError> {
+        let mut hits = cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| role_of(c) == Some(role));
+        let first = hits.next().map(|(i, _)| i);
+        if hits.next().is_some() {
+            return Err(TraceParseError::DuplicateColumn(role));
+        }
+        Ok(first)
     };
-    let ts_ix = find("timestamp").ok_or(TraceParseError::MissingColumn("timestamp"))?;
-    let prompt_ix = find("prompt_len").ok_or(TraceParseError::MissingColumn("prompt length"))?;
-    let gen_ix = find("gen_len").ok_or(TraceParseError::MissingColumn("generation length"))?;
-    let model_ix = find("model");
+    let ts_ix = find("timestamp")?.ok_or(TraceParseError::MissingColumn("timestamp"))?;
+    let prompt_ix = find("prompt_len")?.ok_or(TraceParseError::MissingColumn("prompt length"))?;
+    let gen_ix = find("gen_len")?.ok_or(TraceParseError::MissingColumn("generation length"))?;
+    let model_ix = find("model")?;
 
     let mut rows: Vec<(f64, u64, u64, String)> = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -226,6 +240,7 @@ pub fn scale_arrivals(mut requests: Vec<ReplayRequest>, time_scale: f64) -> Vec<
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 
@@ -307,6 +322,62 @@ timestamp,prompt_len,gen_len,model
                 .model
                 .contains("default")
         );
+    }
+
+    #[test]
+    fn duplicate_role_columns_are_rejected() {
+        // `timestamp` and `ts` are synonyms: picking one silently would
+        // misread the other's data, so the parse must fail instead.
+        assert_eq!(
+            parse_trace("timestamp,ts,prompt_len,gen_len\n0,0,8,4\n"),
+            Err(TraceParseError::DuplicateColumn("timestamp"))
+        );
+        assert_eq!(
+            parse_trace("time,prompt_tokens,input_tokens,gen_len\n0,8,8,4\n"),
+            Err(TraceParseError::DuplicateColumn("prompt_len"))
+        );
+        assert_eq!(
+            parse_trace("time,prompt_len,gen_len,model,model_name\n0,8,4,a,b\n"),
+            Err(TraceParseError::DuplicateColumn("model"))
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        // Whitespace/comment-only input is Empty, not a panic.
+        assert_eq!(
+            parse_trace("   \n# only a comment\n\n"),
+            Err(TraceParseError::Empty)
+        );
+        // Missing prompt and generation columns name their role.
+        assert_eq!(
+            parse_trace("timestamp,gen_len\n0,4\n"),
+            Err(TraceParseError::MissingColumn("prompt length"))
+        );
+        assert_eq!(
+            parse_trace("timestamp,prompt_len\n0,8\n"),
+            Err(TraceParseError::MissingColumn("generation length"))
+        );
+        // Non-numeric timestamps name the column and offending text.
+        assert_eq!(
+            parse_trace("timestamp,prompt_len,gen_len\n2024-01-01T00:00:00Z,8,4\n"),
+            Err(TraceParseError::BadField {
+                line: 1,
+                column: "timestamp".to_string(),
+                value: "2024-01-01T00:00:00Z".to_string(),
+            })
+        );
+        // NaN/inf are structurally numeric but rejected as values.
+        assert!(matches!(
+            parse_trace("timestamp,prompt_len,gen_len\nNaN,8,4\n"),
+            Err(TraceParseError::BadField { .. })
+        ));
+        // Every error Displays without panicking.
+        for bad in ["", "x\n", "timestamp,ts,prompt_len,gen_len\n0,0,8,4\n"] {
+            if let Err(e) = parse_trace(bad) {
+                assert!(!e.to_string().is_empty());
+            }
+        }
     }
 
     #[test]

@@ -226,6 +226,7 @@ impl fmt::Display for ResilienceScenario {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 
