@@ -116,6 +116,7 @@ pub fn burst_fleet(warm: usize, standby: usize, autoscale: bool) -> ClusterConfi
             scale_up_backlog_per_replica: 3.0,
             scale_down_idle_ticks: 10,
             min_warm: 2,
+            replace_failed: true,
         })
     } else {
         config

@@ -209,6 +209,7 @@ mod tests {
                     );
                 }
                 OutcomeState::Rejected => assert!(s.e2e_s().is_nan()),
+                OutcomeState::Failed => unreachable!("no chaos configured"),
             }
         }
     }

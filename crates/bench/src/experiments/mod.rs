@@ -3,6 +3,7 @@
 //! artifact. The DESIGN.md experiment index maps figures to these modules.
 
 pub mod ablations;
+pub mod ext_chaos;
 pub mod ext_cluster;
 pub mod ext_memory;
 pub mod ext_resilience;
@@ -59,6 +60,7 @@ fn sections() -> Vec<Section> {
         Box::new(ext_resilience::render),
         Box::new(ext_cluster::render),
         Box::new(ext_trace::render),
+        Box::new(ext_chaos::render),
     ]
 }
 

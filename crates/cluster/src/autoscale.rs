@@ -20,6 +20,11 @@ pub struct AutoscaleConfig {
     pub scale_down_idle_ticks: u32,
     /// Never scale below this many active (warm or warming) replicas.
     pub min_warm: usize,
+    /// Activate a standby replacement whenever a replica is down with a
+    /// crash, regardless of backlog. The replacement pays the same
+    /// hardware-derived cold start as any other activation; failed
+    /// replicas never count toward capacity either way.
+    pub replace_failed: bool,
 }
 
 impl Default for AutoscaleConfig {
@@ -29,6 +34,7 @@ impl Default for AutoscaleConfig {
             scale_up_backlog_per_replica: 4.0,
             scale_down_idle_ticks: 5,
             min_warm: 1,
+            replace_failed: true,
         }
     }
 }
@@ -47,7 +53,9 @@ pub(crate) enum ScaleDecision {
 /// A fleet-level gauge snapshot the autoscaler decides from.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FleetGauge {
-    /// Warm + warming replicas.
+    /// Warm + warming replicas. Failed and draining replicas are *not*
+    /// active: a crashed replica contributes no capacity until its
+    /// recovery cold start completes.
     pub active_replicas: usize,
     /// Standby replicas available to activate.
     pub standby_replicas: usize,
@@ -56,10 +64,15 @@ pub(crate) struct FleetGauge {
     /// Warm replicas with no queue and no active work whose idle-tick
     /// counter has crossed the scale-down threshold.
     pub idle_eligible: usize,
+    /// Replicas currently down with a crash (mid-recovery).
+    pub failed_replicas: usize,
 }
 
 impl AutoscaleConfig {
     pub(crate) fn decide(&self, gauge: FleetGauge) -> ScaleDecision {
+        if self.replace_failed && gauge.failed_replicas > 0 && gauge.standby_replicas > 0 {
+            return ScaleDecision::Up;
+        }
         if gauge.active_replicas == 0 {
             return if gauge.standby_replicas > 0 {
                 ScaleDecision::Up
@@ -88,6 +101,7 @@ mod tests {
             standby_replicas: standby,
             in_flight,
             idle_eligible: idle,
+            failed_replicas: 0,
         }
     }
 
@@ -110,5 +124,23 @@ mod tests {
     fn holds_in_steady_state() {
         let cfg = AutoscaleConfig::default();
         assert_eq!(cfg.decide(gauge(3, 2, 6, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn replaces_failed_replicas_from_standby() {
+        let cfg = AutoscaleConfig::default();
+        let mut g = gauge(2, 1, 0, 0);
+        g.failed_replicas = 1;
+        assert_eq!(cfg.decide(g), ScaleDecision::Up, "replacement spin-up");
+        // No standby left: the fleet just runs degraded until recovery.
+        g.standby_replicas = 0;
+        assert_eq!(cfg.decide(g), ScaleDecision::Hold);
+        // Replacement can be turned off; backlog rules take over.
+        let cfg = AutoscaleConfig {
+            replace_failed: false,
+            ..AutoscaleConfig::default()
+        };
+        g.standby_replicas = 1;
+        assert_eq!(cfg.decide(g), ScaleDecision::Hold);
     }
 }

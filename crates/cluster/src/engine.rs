@@ -2,19 +2,45 @@
 //!
 //! `simulate_fleet` replays a request trace against a heterogeneous fleet
 //! of replicas under a pluggable routing policy, with optional SLO
-//! accounting and autoscaling. Everything is analytic and seeded: the only
-//! sources of time are the backends' cost models, so two runs of the same
-//! configuration produce byte-identical reports.
+//! accounting, autoscaling, and fault injection. Everything is analytic
+//! and seeded: the only sources of time are the backends' cost models and
+//! the only randomness is the chaos configuration's [`SimRng`] streams,
+//! so two runs of the same configuration produce byte-identical reports.
+//!
+//! # Fault semantics
+//!
+//! With a [`ChaosConfig`] installed, replica-scoped faults become engine
+//! events. A **crash** destroys every queued and in-service request on
+//! the victim (each becomes a backend fault, re-routed under the
+//! fleet-wide retry budget with exponential backoff) and the replica pays
+//! its hardware-derived cold start again before serving. A **slowdown**
+//! multiplies the service time of work *dispatched* during its window. A
+//! **partition** hides the replica from the router for its window while
+//! accepted work keeps running. A **drain** stops admission, lets
+//! accepted work finish, and restores the replica when the window closes.
+//!
+//! Outcomes and spans are computed at dispatch but *emitted* at the
+//! terminal event: a crash or a lost hedge race can still invalidate a
+//! dispatched attempt. Invalidation is epoch-based — each crash bumps the
+//! replica's epoch, and completion/recovery events carry the epoch they
+//! were scheduled under — so stale events are recognized and dropped
+//! without ever touching the heap.
 
 use crate::autoscale::{AutoscaleConfig, FleetGauge, ScaleDecision};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{ChaosConfig, FaultKind};
 use crate::metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
 use crate::replica::{InFlight, Replica, ReplicaConfig, ReplicaStart, ReplicaState};
-use crate::router::{ReplicaView, RouterPolicy};
+use crate::router::{HealthSignal, ReplicaView, RouterPolicy};
+use llmsim_core::resilience::SimRng;
 use llmsim_core::trace::{NullSink, SpanOutcome, SpanRecord, SpanSink};
 use llmsim_core::CostModel;
 use llmsim_model::ModelConfig;
 use serde::Serialize;
+
+/// Substream tag for retry-backoff jitter, distinct from the per-replica
+/// fault streams (which use the replica index as the tag).
+const RETRY_JITTER_STREAM: u64 = 0x5245_5452_594A_4954;
 
 /// One request in the cluster workload.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -39,7 +65,8 @@ impl ClusterRequest {
     }
 }
 
-/// A fleet: replicas, the models they serve, and optional SLO/autoscaler.
+/// A fleet: replicas, the models they serve, and optional SLO, autoscaler
+/// and chaos configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// The fleet, in routing order.
@@ -50,10 +77,13 @@ pub struct ClusterConfig {
     pub slo: Option<SloTargets>,
     /// Autoscaler, if any.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Fault injection and recovery machinery, if any. `None` and
+    /// [`ChaosConfig::none`] are byte-identical (proptested).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ClusterConfig {
-    /// A warm fleet with no SLO and no autoscaler.
+    /// A warm fleet with no SLO, no autoscaler, and no chaos.
     #[must_use]
     pub fn new(replicas: Vec<ReplicaConfig>, models: Vec<ModelConfig>) -> Self {
         ClusterConfig {
@@ -61,6 +91,7 @@ impl ClusterConfig {
             models,
             slo: None,
             autoscale: None,
+            chaos: None,
         }
     }
 
@@ -75,6 +106,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
         self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Installs fault injection and recovery machinery.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -107,17 +145,33 @@ fn predict_service_s(
     })
 }
 
+/// Engine-side per-request bookkeeping across crash retries and hedges.
+#[derive(Debug, Clone, Default)]
+struct ReqRuntime {
+    /// Terminal outcome written (exactly once per request).
+    resolved: bool,
+    /// Crash-recovery re-routes consumed so far.
+    retries: u32,
+    /// Hedged duplicate dispatched.
+    hedged: bool,
+    /// Replicas currently holding a live attempt (queued or in service).
+    /// At most two entries: the primary and one hedge.
+    attempts: Vec<usize>,
+}
+
 /// Runs the fleet simulation to completion and reports.
 ///
 /// Requests may be in any order; they are replayed by arrival time (ties
 /// in input order). A request is *rejected* when the policy returns
 /// `None`, or returns a replica that cannot accept it — the engine never
-/// silently over-fills a bounded queue on a policy's behalf.
+/// silently over-fills a bounded queue on a policy's behalf. Under chaos,
+/// a request lost to crashes whose retries are exhausted terminates as
+/// *failed* instead.
 ///
 /// # Panics
 ///
-/// Panics if the fleet or model list is empty, or if a request's model
-/// index is out of range.
+/// Panics if the fleet or model list is empty, if a request's model index
+/// is out of range, or if the chaos configuration is invalid.
 pub fn simulate_fleet(
     config: &ClusterConfig,
     router: &mut dyn RouterPolicy,
@@ -129,9 +183,9 @@ pub fn simulate_fleet(
 /// [`simulate_fleet`] with per-request span tracing.
 ///
 /// Every request's full phase timeline — arrival, queue delay, dispatch,
-/// prefill end, aggregated decode time, completion (or rejection), the
-/// replica that served it and the batch width at dispatch — is emitted to
-/// `sink` as a [`SpanRecord`] at the moment the timeline becomes known.
+/// prefill end, aggregated decode time, completion (or rejection or
+/// failure), the replica that served it and the batch width at dispatch —
+/// is emitted to `sink` as a [`SpanRecord`] at its terminal event.
 /// Tracing is observational only: the returned report is bit-identical to
 /// [`simulate_fleet`]'s regardless of the sink (a proptest holds the
 /// engine to this).
@@ -157,6 +211,11 @@ pub fn simulate_fleet_traced(
         );
     }
 
+    let chaos = config.chaos.clone().unwrap_or_else(|| ChaosConfig::none(0));
+    let fault_schedule = chaos.schedule_for(config.replicas.len());
+    let mut retry_rng = SimRng::derive(chaos.seed, RETRY_JITTER_STREAM);
+    let mut retry_budget_left: Option<u64> = chaos.retry.retry_budget;
+
     let mut replicas: Vec<Replica> = config
         .replicas
         .iter()
@@ -173,6 +232,12 @@ pub fn simulate_fleet_traced(
             queue.push(ready, EventKind::WarmupDone { replica: i });
         }
     }
+    // The entire fault schedule goes in at setup, before any arrival or
+    // completion: a fault tied with another event on the timestamp fires
+    // first (see the event-queue docs for why that order is load-bearing).
+    for (i, f) in fault_schedule.iter().enumerate() {
+        queue.push(f.at_s, EventKind::Fault { fault: i });
+    }
     for req in requests {
         queue.push(req.arrival_s, EventKind::Arrival { request: req.id });
     }
@@ -188,44 +253,52 @@ pub fn simulate_fleet_traced(
     };
 
     let mut outcomes: Vec<Option<ClusterOutcome>> = vec![None; requests.len()];
+    let mut runtime: Vec<ReqRuntime> = vec![ReqRuntime::default(); requests.len()];
     let mut resolved = 0usize;
     let mut makespan_s = 0.0f64;
     let mut scale_ups = 0u64;
     let mut scale_downs = 0u64;
+    let mut wasted_tokens = 0u64;
+    let mut retries_total = 0u64;
+    let mut hedges_total = 0u64;
 
     while let Some(event) = queue.pop() {
         let now = event.time_s;
         match event.kind {
             EventKind::Arrival { request } => {
                 let req = *by_id(request);
-                let views: Vec<ReplicaView> = replicas
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| view_of(i, r, &config.models[req.model], &req, now))
-                    .collect();
-                let choice = router
-                    .route(&req, &views)
-                    .filter(|&i| i < replicas.len() && replicas[i].can_accept());
-                match choice {
+                match route_once(&req, now, &[], &replicas, config, router) {
                     Some(i) => {
-                        let est = views[i].est_service_s;
-                        replicas[i].queue.push_back(InFlight {
-                            request,
-                            est_service_s: est,
-                            completion_s: f64::INFINITY,
-                        });
-                        replicas[i].outstanding_tokens += req.total_tokens();
-                        replicas[i].queued_backlog_s += est;
-                        try_dispatch(
+                        admit(
                             i,
+                            &req,
                             now,
                             &mut replicas,
                             config,
                             requests,
                             &mut queue,
-                            &mut outcomes,
                             sink,
                         );
+                        runtime[request].attempts.push(i);
+                        if let Some(h) = &chaos.hedge {
+                            // Hedge deadline: a fraction of the e2e SLO,
+                            // or of the routed replica's own service
+                            // estimate when the fleet has no SLO.
+                            let deadline_s = match &config.slo {
+                                Some(slo) => slo.e2e_s,
+                                None => predict_service_s(
+                                    replicas[i].cfg.backend.as_ref(),
+                                    &config.models[req.model],
+                                    1,
+                                    req.prompt_len,
+                                    req.gen_len,
+                                ),
+                            };
+                            queue.push(
+                                req.arrival_s + h.after_frac * deadline_s,
+                                EventKind::HedgeFire { request },
+                            );
+                        }
                     }
                     None => {
                         outcomes[request] = Some(ClusterOutcome {
@@ -237,7 +310,10 @@ pub fn simulate_fleet_traced(
                             ttft_s: None,
                             e2e_s: None,
                             tokens: 0,
+                            retries: 0,
+                            hedged: false,
                         });
+                        runtime[request].resolved = true;
                         resolved += 1;
                         if sink.enabled() {
                             sink.record(SpanRecord::rejected(
@@ -247,6 +323,67 @@ pub fn simulate_fleet_traced(
                             ));
                         }
                     }
+                }
+            }
+            EventKind::Retry { request } => {
+                if runtime[request].resolved {
+                    continue;
+                }
+                let req = *by_id(request);
+                match route_once(&req, now, &[], &replicas, config, router) {
+                    Some(i) => {
+                        admit(
+                            i,
+                            &req,
+                            now,
+                            &mut replicas,
+                            config,
+                            requests,
+                            &mut queue,
+                            sink,
+                        );
+                        runtime[request].attempts.push(i);
+                    }
+                    // Nowhere to go right now: burns another retry (or
+                    // terminates) rather than waiting forever.
+                    None => retry_or_fail(
+                        request,
+                        now,
+                        &req,
+                        &chaos,
+                        &mut runtime,
+                        &mut retry_budget_left,
+                        &mut retry_rng,
+                        &mut retries_total,
+                        &mut queue,
+                        &mut outcomes,
+                        &mut resolved,
+                        &mut makespan_s,
+                        sink,
+                    ),
+                }
+            }
+            EventKind::HedgeFire { request } => {
+                let rt = &runtime[request];
+                if rt.resolved || rt.hedged || rt.attempts.is_empty() {
+                    continue;
+                }
+                let exclude = rt.attempts.clone();
+                let req = *by_id(request);
+                if let Some(i) = route_once(&req, now, &exclude, &replicas, config, router) {
+                    runtime[request].hedged = true;
+                    hedges_total += 1;
+                    admit(
+                        i,
+                        &req,
+                        now,
+                        &mut replicas,
+                        config,
+                        requests,
+                        &mut queue,
+                        sink,
+                    );
+                    runtime[request].attempts.push(i);
                 }
             }
             EventKind::WarmupDone { replica } => {
@@ -260,25 +397,68 @@ pub fn simulate_fleet_traced(
                             config,
                             requests,
                             &mut queue,
-                            &mut outcomes,
                             sink,
                         );
                     }
                 }
             }
-            EventKind::Completion { replica, request } => {
-                let r = &mut replicas[replica];
-                let slot = r
+            EventKind::Completion {
+                replica,
+                request,
+                epoch,
+            } => {
+                if replicas[replica].epoch != epoch {
+                    // Scheduled before a crash destroyed the attempt.
+                    continue;
+                }
+                let Some(slot) = replicas[replica]
                     .active
                     .iter()
                     .position(|a| a.request == request)
-                    .expect("completion for a request not in service");
-                r.active.swap_remove(slot);
-                r.outstanding_tokens = r
+                else {
+                    // Hedge loser: cancelled when its twin won.
+                    continue;
+                };
+                let inflight = replicas[replica].active.swap_remove(slot);
+                let req = *by_id(request);
+                replicas[replica].outstanding_tokens = replicas[replica]
                     .outstanding_tokens
-                    .saturating_sub(by_id(request).total_tokens());
+                    .saturating_sub(req.total_tokens());
                 makespan_s = makespan_s.max(now);
                 resolved += 1;
+                let rt = &mut runtime[request];
+                rt.resolved = true;
+                let losers: Vec<usize> = rt
+                    .attempts
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != replica)
+                    .collect();
+                rt.attempts.clear();
+                if let Some(mut out) = inflight.pending {
+                    out.retries = rt.retries;
+                    out.hedged = rt.hedged;
+                    outcomes[request] = Some(out);
+                }
+                if let Some(span) = inflight.span {
+                    sink.record(span);
+                }
+                router.observe(&HealthSignal::Success {
+                    replica,
+                    now_s: now,
+                });
+                for loser in losers {
+                    wasted_tokens += cancel_attempt(loser, &req, now, &mut replicas);
+                    try_dispatch(
+                        loser,
+                        now,
+                        &mut replicas,
+                        config,
+                        requests,
+                        &mut queue,
+                        sink,
+                    );
+                }
                 try_dispatch(
                     replica,
                     now,
@@ -286,9 +466,128 @@ pub fn simulate_fleet_traced(
                     config,
                     requests,
                     &mut queue,
-                    &mut outcomes,
                     sink,
                 );
+            }
+            EventKind::Fault { fault } => {
+                let f = fault_schedule[fault];
+                match f.kind {
+                    FaultKind::Crash => {
+                        let r = &mut replicas[f.replica];
+                        if matches!(r.state, ReplicaState::Standby | ReplicaState::Failed { .. }) {
+                            // Parked or already down: nothing to kill.
+                            continue;
+                        }
+                        r.epoch += 1;
+                        r.crashes += 1;
+                        r.warmups += 1;
+                        let queued: Vec<InFlight> = r.queue.drain(..).collect();
+                        let active: Vec<InFlight> = std::mem::take(&mut r.active);
+                        r.outstanding_tokens = 0;
+                        r.queued_backlog_s = 0.0;
+                        // Refund unrun service; the partial run is waste.
+                        for inf in &active {
+                            r.busy_slot_s -= (inf.completion_s - now).max(0.0);
+                            wasted_tokens += partial_tokens(inf, by_id(inf.request).gen_len, now);
+                        }
+                        let ready = now + r.cfg.warmup_time(&config.models).as_f64();
+                        let epoch = r.epoch;
+                        r.state = ReplicaState::Failed { ready_at_s: ready };
+                        queue.push(
+                            ready,
+                            EventKind::RecoveryDone {
+                                replica: f.replica,
+                                epoch,
+                            },
+                        );
+                        router.observe(&HealthSignal::Failure {
+                            replica: f.replica,
+                            now_s: now,
+                        });
+                        for inf in queued.iter().chain(active.iter()) {
+                            let victim = inf.request;
+                            let rt = &mut runtime[victim];
+                            rt.attempts.retain(|&x| x != f.replica);
+                            if rt.resolved || !rt.attempts.is_empty() {
+                                // A hedge twin is still alive elsewhere.
+                                continue;
+                            }
+                            let req = *by_id(victim);
+                            retry_or_fail(
+                                victim,
+                                now,
+                                &req,
+                                &chaos,
+                                &mut runtime,
+                                &mut retry_budget_left,
+                                &mut retry_rng,
+                                &mut retries_total,
+                                &mut queue,
+                                &mut outcomes,
+                                &mut resolved,
+                                &mut makespan_s,
+                                sink,
+                            );
+                        }
+                    }
+                    FaultKind::Slowdown { factor, duration_s } => {
+                        let r = &mut replicas[f.replica];
+                        r.slow_factor = factor;
+                        r.slow_until_s = r.slow_until_s.max(now + duration_s);
+                    }
+                    FaultKind::Partition { duration_s } => {
+                        let r = &mut replicas[f.replica];
+                        r.partitioned_until_s = r.partitioned_until_s.max(now + duration_s);
+                    }
+                    FaultKind::Drain { duration_s } => {
+                        let r = &mut replicas[f.replica];
+                        if r.state == ReplicaState::Warm {
+                            r.state = ReplicaState::Draining;
+                            queue.push(
+                                now + duration_s,
+                                EventKind::DrainEnd {
+                                    replica: f.replica,
+                                    epoch: r.epoch,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::RecoveryDone { replica, epoch } => {
+                let r = &mut replicas[replica];
+                if r.epoch != epoch {
+                    // A second crash struck mid-recovery; its own
+                    // RecoveryDone supersedes this one.
+                    continue;
+                }
+                if matches!(r.state, ReplicaState::Failed { .. }) {
+                    r.state = ReplicaState::Warm;
+                    try_dispatch(
+                        replica,
+                        now,
+                        &mut replicas,
+                        config,
+                        requests,
+                        &mut queue,
+                        sink,
+                    );
+                }
+            }
+            EventKind::DrainEnd { replica, epoch } => {
+                let r = &mut replicas[replica];
+                if r.epoch == epoch && r.state == ReplicaState::Draining {
+                    r.state = ReplicaState::Warm;
+                    try_dispatch(
+                        replica,
+                        now,
+                        &mut replicas,
+                        config,
+                        requests,
+                        &mut queue,
+                        sink,
+                    );
+                }
             }
             EventKind::ScaleTick => {
                 let Some(auto) = &config.autoscale else {
@@ -302,14 +601,14 @@ pub fn simulate_fleet_traced(
                     }
                 }
                 let gauge = FleetGauge {
-                    active_replicas: replicas.iter().filter(|r| r.routable()).count(),
+                    active_replicas: replicas.iter().filter(|r| r.routable(now)).count(),
                     standby_replicas: replicas
                         .iter()
                         .filter(|r| r.state == ReplicaState::Standby)
                         .count(),
                     in_flight: replicas
                         .iter()
-                        .filter(|r| r.routable())
+                        .filter(|r| r.routable(now))
                         .map(Replica::in_flight)
                         .sum(),
                     idle_eligible: replicas
@@ -319,6 +618,10 @@ pub fn simulate_fleet_traced(
                                 && r.in_flight() == 0
                                 && r.idle_ticks >= auto.scale_down_idle_ticks
                         })
+                        .count(),
+                    failed_replicas: replicas
+                        .iter()
+                        .filter(|r| matches!(r.state, ReplicaState::Failed { .. }))
                         .count(),
                 };
                 match auto.decide(gauge) {
@@ -374,6 +677,7 @@ pub fn simulate_fleet_traced(
         .map(|o| o.tokens)
         .sum();
 
+    let crashes: u64 = replicas.iter().map(|r| r.crashes).sum();
     let replica_stats = replicas
         .iter()
         .map(|r| ReplicaStats {
@@ -386,6 +690,7 @@ pub fn simulate_fleet_traced(
                 0.0
             },
             warmups: r.warmups,
+            crashes: r.crashes,
         })
         .collect();
 
@@ -395,10 +700,159 @@ pub fn simulate_fleet_traced(
         makespan_s,
         generated_tokens,
         goodput_tokens,
+        wasted_tokens,
+        retries: retries_total,
+        hedges: hedges_total,
+        crashes,
         slo: config.slo,
         replicas: replica_stats,
         scale_ups,
         scale_downs,
+    }
+}
+
+/// Routes one attempt of `req` at `now_s`: builds the fleet snapshot
+/// (hiding `exclude`d replicas — those already hosting an attempt of this
+/// request), asks the policy, and re-validates the choice.
+fn route_once(
+    req: &ClusterRequest,
+    now_s: f64,
+    exclude: &[usize],
+    replicas: &[Replica],
+    config: &ClusterConfig,
+    router: &mut dyn RouterPolicy,
+) -> Option<usize> {
+    let views: Vec<ReplicaView> = replicas
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut v = view_of(i, r, &config.models[req.model], req, now_s);
+            if exclude.contains(&i) {
+                v.queue_cap = 0;
+            }
+            v
+        })
+        .collect();
+    router
+        .route(req, &views)
+        .filter(|&i| i < replicas.len() && replicas[i].can_accept(now_s) && !exclude.contains(&i))
+}
+
+/// Enqueues one attempt of `req` on replica `i` and dispatches if a slot
+/// is free.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    i: usize,
+    req: &ClusterRequest,
+    now_s: f64,
+    replicas: &mut [Replica],
+    config: &ClusterConfig,
+    requests: &[ClusterRequest],
+    queue: &mut EventQueue,
+    sink: &mut dyn SpanSink,
+) {
+    let est = predict_service_s(
+        replicas[i].cfg.backend.as_ref(),
+        &config.models[req.model],
+        1,
+        req.prompt_len,
+        req.gen_len,
+    );
+    replicas[i].queue.push_back(InFlight::queued(req.id, est));
+    replicas[i].outstanding_tokens += req.total_tokens();
+    replicas[i].queued_backlog_s += est;
+    try_dispatch(i, now_s, replicas, config, requests, queue, sink);
+}
+
+/// Schedules another crash-recovery attempt for `request`, or terminates
+/// it as failed when its per-request retries or the fleet-wide budget are
+/// exhausted. Backoff is exponential with deterministic seeded jitter.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_fail(
+    request: usize,
+    now_s: f64,
+    req: &ClusterRequest,
+    chaos: &ChaosConfig,
+    runtime: &mut [ReqRuntime],
+    retry_budget_left: &mut Option<u64>,
+    retry_rng: &mut SimRng,
+    retries_total: &mut u64,
+    queue: &mut EventQueue,
+    outcomes: &mut [Option<ClusterOutcome>],
+    resolved: &mut usize,
+    makespan_s: &mut f64,
+    sink: &mut dyn SpanSink,
+) {
+    let rt = &mut runtime[request];
+    let budget_ok = !matches!(*retry_budget_left, Some(0));
+    if rt.retries < chaos.retry.max_retries && budget_ok {
+        if let Some(b) = *retry_budget_left {
+            *retry_budget_left = Some(b - 1);
+        }
+        rt.retries += 1;
+        *retries_total += 1;
+        let backoff_s = chaos.retry.base_backoff_s
+            * chaos.retry.multiplier.powi(rt.retries as i32 - 1)
+            * (1.0 + chaos.retry.jitter_frac * retry_rng.next_f64());
+        queue.push(now_s + backoff_s, EventKind::Retry { request });
+    } else {
+        rt.resolved = true;
+        *resolved += 1;
+        *makespan_s = makespan_s.max(now_s);
+        outcomes[request] = Some(ClusterOutcome {
+            id: request,
+            model: req.model,
+            replica: None,
+            state: OutcomeState::Failed,
+            queue_delay_s: None,
+            ttft_s: None,
+            e2e_s: None,
+            tokens: 0,
+            retries: rt.retries,
+            hedged: rt.hedged,
+        });
+        if sink.enabled() {
+            sink.record(SpanRecord::failed(
+                request as u64,
+                req.model,
+                req.arrival_s,
+                now_s,
+            ));
+        }
+    }
+}
+
+/// Removes a live attempt of `req` from replica `idx` (the hedge loser
+/// after its twin won). Returns the attempt's partial generation as
+/// wasted tokens — zero if it was still queued. The loser's scheduled
+/// completion event, if any, becomes stale (no matching active entry).
+fn cancel_attempt(idx: usize, req: &ClusterRequest, now_s: f64, replicas: &mut [Replica]) -> u64 {
+    let r = &mut replicas[idx];
+    if let Some(pos) = r.queue.iter().position(|q| q.request == req.id) {
+        if let Some(inf) = r.queue.remove(pos) {
+            r.queued_backlog_s = (r.queued_backlog_s - inf.est_service_s).max(0.0);
+            r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+        }
+        0
+    } else if let Some(pos) = r.active.iter().position(|a| a.request == req.id) {
+        let inf = r.active.swap_remove(pos);
+        r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+        // Refund the unrun tail of the slot; the run-so-far is waste.
+        r.busy_slot_s -= (inf.completion_s - now_s).max(0.0);
+        partial_tokens(&inf, req.gen_len, now_s)
+    } else {
+        0
+    }
+}
+
+/// Tokens a dispatched attempt had generated by `now_s`, pro-rated over
+/// its charged service time.
+fn partial_tokens(inf: &InFlight, gen_len: u64, now_s: f64) -> u64 {
+    if inf.service_s > 0.0 {
+        let frac = ((now_s - inf.dispatch_s) / inf.service_s).clamp(0.0, 1.0);
+        (gen_len as f64 * frac).floor() as u64
+    } else {
+        0
     }
 }
 
@@ -410,13 +864,15 @@ fn view_of(
     req: &ClusterRequest,
     now_s: f64,
 ) -> ReplicaView {
-    let routable = replica.routable();
+    let routable = replica.routable(now_s);
     ReplicaView {
         idx,
+        now_s,
         name: replica.cfg.backend.name(),
         queue_len: replica.queue.len(),
         active: replica.active.len(),
-        // Standbys are invisible to routers: report zero capacity.
+        // Standbys (and failed, draining or partitioned replicas) are
+        // invisible to routers: report zero capacity.
         queue_cap: if routable { replica.cfg.queue_cap } else { 0 },
         max_batch: replica.cfg.max_batch,
         outstanding_tokens: replica.outstanding_tokens,
@@ -434,11 +890,13 @@ fn view_of(
     }
 }
 
-/// Moves queued requests into free batch slots on a warm replica,
-/// scheduling their completions. Service time is priced at the batch
-/// width *after* admission, so later co-runners slow a dispatch down
-/// exactly as batching does on the single-server simulator.
-#[allow(clippy::too_many_arguments)]
+/// Moves queued requests into free batch slots on a warm (or draining)
+/// replica, scheduling their completions. Service time is priced at the
+/// batch width *after* admission, so later co-runners slow a dispatch
+/// down exactly as batching does on the single-server simulator, then
+/// scaled by any open slowdown window. The outcome and span this attempt
+/// will report are computed here — at dispatch, from dispatch-time values
+/// — but emitted only when the completion event survives to fire.
 fn try_dispatch(
     idx: usize,
     now_s: f64,
@@ -446,18 +904,14 @@ fn try_dispatch(
     config: &ClusterConfig,
     requests: &[ClusterRequest],
     queue: &mut EventQueue,
-    outcomes: &mut [Option<ClusterOutcome>],
     sink: &mut dyn SpanSink,
 ) {
     loop {
         let r = &mut replicas[idx];
-        if r.state != ReplicaState::Warm
-            || (r.active.len() as u64) >= r.cfg.max_batch
-            || r.queue.is_empty()
-        {
+        if !r.can_dispatch() || (r.active.len() as u64) >= r.cfg.max_batch || r.queue.is_empty() {
             return;
         }
-        let Some(inflight) = r.queue.pop_front() else {
+        let Some(mut inflight) = r.queue.pop_front() else {
             return;
         };
         r.queued_backlog_s = (r.queued_backlog_s - inflight.est_service_s).max(0.0);
@@ -468,36 +922,31 @@ fn try_dispatch(
             .expect("dispatched request must exist");
         let model = &config.models[req.model];
         let batch = r.active.len() as u64 + 1;
+        // Multiplying by the slowdown factor is exact: the factor is 1.0
+        // outside any window, and x × 1.0 is bitwise x.
+        let slow = r.slowdown_at(now_s);
         let prefill = r
             .cfg
             .backend
             .prefill_time(model, batch, req.prompt_len)
-            .as_f64();
+            .as_f64()
+            * slow;
         let service = predict_service_s(
             r.cfg.backend.as_ref(),
             model,
             batch,
             req.prompt_len,
             req.gen_len,
-        );
+        ) * slow;
         let queue_delay = now_s - req.arrival_s;
         let completion = now_s + service;
 
         r.busy_slot_s += service;
         r.dispatched += 1;
-        r.active.push(InFlight {
-            request: req.id,
-            est_service_s: inflight.est_service_s,
-            completion_s: completion,
-        });
-        queue.push(
-            completion,
-            EventKind::Completion {
-                replica: idx,
-                request: req.id,
-            },
-        );
-        outcomes[req.id] = Some(ClusterOutcome {
+        inflight.completion_s = completion;
+        inflight.dispatch_s = now_s;
+        inflight.service_s = service;
+        inflight.pending = Some(ClusterOutcome {
             id: req.id,
             model: req.model,
             replica: Some(idx),
@@ -506,9 +955,11 @@ fn try_dispatch(
             ttft_s: Some(queue_delay + prefill),
             e2e_s: Some(queue_delay + service),
             tokens: req.gen_len,
+            retries: 0,
+            hedged: false,
         });
         if sink.enabled() {
-            sink.record(SpanRecord {
+            inflight.span = Some(SpanRecord {
                 id: req.id as u64,
                 model: req.model,
                 replica: Some(idx),
@@ -523,6 +974,15 @@ fn try_dispatch(
                 batch_at_dispatch: batch,
             });
         }
+        queue.push(
+            completion,
+            EventKind::Completion {
+                replica: idx,
+                request: req.id,
+                epoch: r.epoch,
+            },
+        );
+        r.active.push(inflight);
     }
 }
 
@@ -703,6 +1163,7 @@ mod tests {
                     assert_eq!(s.outcome, SpanOutcome::Rejected);
                     assert!(s.e2e_s().is_nan());
                 }
+                OutcomeState::Failed => unreachable!("no chaos configured"),
             }
         }
         // Deterministic TSV: same run, same bytes.

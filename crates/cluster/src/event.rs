@@ -5,6 +5,14 @@
 //! order they were scheduled. That rule — together with the seeded
 //! workloads and the purely analytic cost models — is what makes two runs
 //! of the same configuration byte-identical.
+//!
+//! The push-order tie-break has one consequence worth spelling out for
+//! the fault layer: the entire fault schedule is pushed at setup, before
+//! any completion can be scheduled, so **a crash landing on the exact
+//! timestamp of a completion fires first and wins** — the completion
+//! arrives stale (its epoch no longer matches) and the request is treated
+//! as a crash victim. This is deterministic, documented, and pinned by a
+//! regression test in `tests/chaos.rs`.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -14,10 +22,30 @@ use std::collections::BinaryHeap;
 pub(crate) enum EventKind {
     /// Request `request` (index into the workload) reaches the router.
     Arrival { request: usize },
+    /// Request `request` re-reaches the router after a crash-retry
+    /// backoff.
+    Retry { request: usize },
     /// Replica `replica` finishes paging weights in and can serve.
     WarmupDone { replica: usize },
-    /// Request `request` finishes service on `replica`.
-    Completion { replica: usize, request: usize },
+    /// Request `request` finishes service on `replica`. `epoch` is the
+    /// replica's crash epoch at dispatch: a completion whose epoch lags
+    /// the replica's current one was scheduled before a crash destroyed
+    /// the attempt, and is ignored as stale.
+    Completion {
+        replica: usize,
+        request: usize,
+        epoch: u64,
+    },
+    /// Injected fault `fault` (index into the chaos schedule) strikes.
+    Fault { fault: usize },
+    /// Replica `replica` finishes its post-crash cold restart (stale if
+    /// `epoch` no longer matches — a second crash struck mid-recovery).
+    RecoveryDone { replica: usize, epoch: u64 },
+    /// A drain window closes on `replica`: admission resumes.
+    DrainEnd { replica: usize, epoch: u64 },
+    /// Hedge timer for `request`: if still unresolved, dispatch a
+    /// duplicate attempt to a second replica.
+    HedgeFire { request: usize },
     /// The autoscaler evaluates the fleet.
     ScaleTick,
 }

@@ -51,6 +51,7 @@
 pub mod autoscale;
 mod engine;
 mod event;
+pub mod faults;
 pub mod metrics;
 pub mod replay;
 mod replica;
@@ -58,9 +59,11 @@ pub mod router;
 
 pub use autoscale::AutoscaleConfig;
 pub use engine::{simulate_fleet, simulate_fleet_traced, ClusterConfig, ClusterRequest};
+pub use faults::{ChaosConfig, FaultEvent, FaultInjection, FaultKind, HedgePolicy};
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
 pub use replay::{bind_requests, parse_and_bind, UnknownModelError};
 pub use replica::{ReplicaConfig, ReplicaStart};
 pub use router::{
-    HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView, RoundRobin, RouterPolicy,
+    HealthAware, HealthSignal, HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView,
+    RoundRobin, RouterPolicy,
 };

@@ -100,16 +100,46 @@ impl ReplicaConfig {
     }
 }
 
-/// Warm/cold lifecycle state at runtime.
+/// Warm/cold/fault lifecycle state at runtime.
+///
+/// The fault layer adds three states to the original warm/warming/standby
+/// trio. The full machine (documented in DESIGN.md §11):
+///
+/// ```text
+/// Standby ──activate──▶ Warming ──ready──▶ Warm ◀──ready── Failed
+///    ▲                                     │  ▲               ▲
+///    └────────park (autoscaler)────────────┤  └─window closes─┤
+///                                          │     Draining     │
+///                                          ├──drain fault──▶──┘
+///                                          └──crash fault──▶ Failed
+/// ```
+///
+/// `Failed` replicas have lost all in-flight work and pay the
+/// hardware-derived cold start again before returning to `Warm`.
+/// `Draining` replicas stop admission but keep dispatching and finishing
+/// accepted work.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum ReplicaState {
     Warm,
-    Warming { ready_at_s: f64 },
+    Warming {
+        ready_at_s: f64,
+    },
     Standby,
+    /// Crashed; recovering until `ready_at_s` (a re-cold-start).
+    Failed {
+        ready_at_s: f64,
+    },
+    /// Admission stopped; accepted work still runs. Returns to `Warm`
+    /// when the drain window closes.
+    Draining,
 }
 
-/// A request waiting or in service on a replica.
-#[derive(Debug, Clone, Copy)]
+/// A request waiting or in service on a replica. The dispatch-time fields
+/// (`completion_s`, `pending`, `span`) are populated when the entry moves
+/// from the queue into a batch slot; outcomes are *finalized* only at the
+/// terminal event, because a crash or a hedge race can still destroy or
+/// cancel a dispatched attempt.
+#[derive(Debug, Clone)]
 pub(crate) struct InFlight {
     /// Index into the workload.
     pub request: usize,
@@ -118,6 +148,32 @@ pub(crate) struct InFlight {
     pub est_service_s: f64,
     /// Exact completion time, known once dispatched.
     pub completion_s: f64,
+    /// Dispatch instant (service start), known once dispatched.
+    pub dispatch_s: f64,
+    /// Charged service time of this attempt, known once dispatched.
+    pub service_s: f64,
+    /// The outcome this attempt will report if it wins, built at
+    /// dispatch so chaos-free runs reproduce the historical numbers
+    /// bit for bit.
+    pub pending: Option<crate::metrics::ClusterOutcome>,
+    /// The span this attempt will emit if it wins (assembled only when a
+    /// sink is enabled).
+    pub span: Option<llmsim_core::trace::SpanRecord>,
+}
+
+impl InFlight {
+    /// A freshly-queued, not-yet-dispatched entry.
+    pub(crate) fn queued(request: usize, est_service_s: f64) -> Self {
+        InFlight {
+            request,
+            est_service_s,
+            completion_s: f64::INFINITY,
+            dispatch_s: f64::INFINITY,
+            service_s: 0.0,
+            pending: None,
+            span: None,
+        }
+    }
 }
 
 /// Runtime state of one replica.
@@ -135,10 +191,22 @@ pub(crate) struct Replica {
     pub busy_slot_s: f64,
     /// Requests dispatched into service.
     pub dispatched: u64,
-    /// Cold starts paid (initial cold boot and autoscaler activations).
+    /// Cold starts paid (initial cold boot, autoscaler activations, and
+    /// post-crash restarts).
     pub warmups: u64,
     /// Consecutive autoscaler ticks this replica spent idle.
     pub idle_ticks: u32,
+    /// Crash epoch: bumped on every crash so completion/recovery events
+    /// scheduled before the crash are recognizably stale.
+    pub epoch: u64,
+    /// Crashes suffered.
+    pub crashes: u64,
+    /// End of the current slowdown window (`-inf` when none ever opened).
+    pub slow_until_s: f64,
+    /// Service multiplier while the slowdown window is open.
+    pub slow_factor: f64,
+    /// End of the current router-partition window (`-inf` when none).
+    pub partitioned_until_s: f64,
 }
 
 impl Replica {
@@ -160,6 +228,11 @@ impl Replica {
             dispatched: 0,
             warmups: 0,
             idle_ticks: 0,
+            epoch: 0,
+            crashes: 0,
+            slow_until_s: f64::NEG_INFINITY,
+            slow_factor: 1.0,
+            partitioned_until_s: f64::NEG_INFINITY,
         }
     }
 
@@ -168,20 +241,43 @@ impl Replica {
         self.queue.len() + self.active.len()
     }
 
-    /// Whether the router may add another request.
-    pub(crate) fn can_accept(&self) -> bool {
-        self.state != ReplicaState::Standby && self.in_flight() < self.cfg.queue_cap
+    /// Whether the router may add another request at `now_s`.
+    pub(crate) fn can_accept(&self, now_s: f64) -> bool {
+        self.routable(now_s) && self.in_flight() < self.cfg.queue_cap
     }
 
-    /// Whether the replica is routable at all (standbys are invisible).
-    pub(crate) fn routable(&self) -> bool {
-        self.state != ReplicaState::Standby
+    /// Whether the replica is visible to the router at `now_s`: standbys,
+    /// crashed replicas, draining replicas, and partitioned replicas are
+    /// all invisible (a partition hides an otherwise-healthy replica for
+    /// its window only).
+    pub(crate) fn routable(&self, now_s: f64) -> bool {
+        matches!(
+            self.state,
+            ReplicaState::Warm | ReplicaState::Warming { .. }
+        ) && now_s >= self.partitioned_until_s
+    }
+
+    /// Whether queued work may be moved into batch slots (draining
+    /// replicas keep serving what they accepted).
+    pub(crate) fn can_dispatch(&self) -> bool {
+        matches!(self.state, ReplicaState::Warm | ReplicaState::Draining)
+    }
+
+    /// The service-time multiplier for work dispatched at `now_s`.
+    pub(crate) fn slowdown_at(&self, now_s: f64) -> f64 {
+        if now_s < self.slow_until_s {
+            self.slow_factor
+        } else {
+            1.0
+        }
     }
 
     /// Time until this replica can serve (0 when warm).
     pub(crate) fn warmup_remaining_s(&self, now_s: f64) -> f64 {
         match self.state {
-            ReplicaState::Warming { ready_at_s } => (ready_at_s - now_s).max(0.0),
+            ReplicaState::Warming { ready_at_s } | ReplicaState::Failed { ready_at_s } => {
+                (ready_at_s - now_s).max(0.0)
+            }
             _ => 0.0,
         }
     }

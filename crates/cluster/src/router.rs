@@ -10,12 +10,15 @@
 //! other way.
 
 use crate::engine::ClusterRequest;
+use llmsim_core::resilience::SimRng;
 
 /// A router-visible snapshot of one replica at one arrival instant.
 #[derive(Debug, Clone)]
 pub struct ReplicaView {
     /// Fleet index (stable across the run).
     pub idx: usize,
+    /// Simulation time the snapshot was taken at (the routing instant).
+    pub now_s: f64,
     /// Backend name, e.g. `"Xeon 4th Max 9468 (quad_flat, 48c)"`.
     pub name: String,
     /// Requests waiting in the bounded queue.
@@ -62,6 +65,29 @@ impl ReplicaView {
     }
 }
 
+/// A replica health observation fed back to the router by the engine.
+///
+/// Signals arrive in event order (deterministically), so stateful
+/// policies — [`HealthAware`] in particular — can track per-replica
+/// health without ever touching the replicas directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthSignal {
+    /// `replica` completed a request at `now_s`.
+    Success {
+        /// Fleet index.
+        replica: usize,
+        /// Completion instant.
+        now_s: f64,
+    },
+    /// `replica` crashed at `now_s`, destroying its in-flight work.
+    Failure {
+        /// Fleet index.
+        replica: usize,
+        /// Crash instant.
+        now_s: f64,
+    },
+}
+
 /// A routing policy. `route` returns the chosen replica index, or `None`
 /// to reject the request (every acceptable replica is at capacity).
 ///
@@ -74,6 +100,10 @@ pub trait RouterPolicy {
 
     /// Picks a replica for `request`, or `None` if none can accept.
     fn route(&mut self, request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize>;
+
+    /// Health feedback from the engine. The default implementation
+    /// ignores it, so plain load-balancing policies need no changes.
+    fn observe(&mut self, _signal: &HealthSignal) {}
 }
 
 /// Helper: the acceptable view minimizing `key`, ties to the lowest index.
@@ -168,13 +198,150 @@ impl RouterPolicy for HeteroAware {
     }
 }
 
+/// Circuit-breaking wrapper: any policy, made crash-aware.
+///
+/// `HealthAware` counts consecutive [`HealthSignal::Failure`]s per
+/// replica. Once a replica crosses the failure threshold it is *ejected*
+/// — hidden from the inner policy (presented with zero capacity) for an
+/// ejection window with seeded jitter, so a herd of breakers does not
+/// re-admit a flapping replica in lockstep. When the window expires the
+/// breaker goes *half-open*: exactly one probe request is allowed
+/// through; a success closes the breaker (failure count resets), another
+/// failure re-ejects with a fresh jittered window.
+///
+/// The wrapper never changes which replicas *can* serve — it only changes
+/// what the inner policy sees — so wrapping a policy preserves its
+/// determinism: the jitter comes from a [`SimRng`] substream derived from
+/// the wrapper's seed.
+#[derive(Debug)]
+pub struct HealthAware<P> {
+    inner: P,
+    /// Consecutive failures needed to eject.
+    threshold: u32,
+    /// Base ejection window.
+    ejection_s: f64,
+    /// Window jitter: actual window is `ejection_s × (1 + frac·U[0,1))`.
+    jitter_frac: f64,
+    rng: SimRng,
+    fails: Vec<u32>,
+    ejected_until_s: Vec<f64>,
+    /// Half-open probe outstanding (allow no further traffic until it
+    /// resolves).
+    probing: Vec<bool>,
+}
+
+/// Substream tag for breaker jitter, distinct from the per-replica fault
+/// streams (which use the replica index).
+const HEALTH_JITTER_STREAM: u64 = 0x4845_414C_5448_4A54;
+
+impl<P: RouterPolicy> HealthAware<P> {
+    /// Wraps `inner` with default breaker tuning: eject after 2
+    /// consecutive crashes for a 5 s (±50 % jitter) window.
+    #[must_use]
+    pub fn new(inner: P, seed: u64) -> Self {
+        HealthAware {
+            inner,
+            threshold: 2,
+            ejection_s: 5.0,
+            jitter_frac: 0.5,
+            rng: SimRng::derive(seed, HEALTH_JITTER_STREAM),
+            fails: Vec::new(),
+            ejected_until_s: Vec::new(),
+            probing: Vec::new(),
+        }
+    }
+
+    /// Overrides the consecutive-failure ejection threshold (≥ 1).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: u32) -> Self {
+        self.threshold = threshold.max(1);
+        self
+    }
+
+    /// Overrides the base ejection window.
+    #[must_use]
+    pub fn with_ejection_s(mut self, ejection_s: f64) -> Self {
+        self.ejection_s = ejection_s;
+        self
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.fails.len() < n {
+            self.fails.resize(n, 0);
+            self.ejected_until_s.resize(n, f64::NEG_INFINITY);
+            self.probing.resize(n, false);
+        }
+    }
+
+    /// Whether replica `idx` must be hidden from the inner policy at
+    /// `now_s`.
+    fn masked(&self, idx: usize, now_s: f64) -> bool {
+        if self.fails[idx] < self.threshold {
+            return false;
+        }
+        // Ejected, or half-open with the single probe already in flight.
+        now_s < self.ejected_until_s[idx] || self.probing[idx]
+    }
+}
+
+impl<P: RouterPolicy> RouterPolicy for HealthAware<P> {
+    fn name(&self) -> String {
+        format!("health({})", self.inner.name())
+    }
+
+    fn route(&mut self, request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        self.ensure(replicas.len());
+        let now_s = replicas.first().map_or(0.0, |v| v.now_s);
+        let masked: Vec<ReplicaView> = replicas
+            .iter()
+            .map(|v| {
+                let mut v = v.clone();
+                if v.idx < self.fails.len() && self.masked(v.idx, now_s) {
+                    v.queue_cap = 0;
+                }
+                v
+            })
+            .collect();
+        let choice = self.inner.route(request, &masked);
+        if let Some(i) = choice {
+            if i < self.fails.len() && self.fails[i] >= self.threshold {
+                // The breaker was half-open and this is its probe.
+                self.probing[i] = true;
+            }
+        }
+        choice
+    }
+
+    fn observe(&mut self, signal: &HealthSignal) {
+        match *signal {
+            HealthSignal::Success { replica, .. } => {
+                self.ensure(replica + 1);
+                self.fails[replica] = 0;
+                self.probing[replica] = false;
+            }
+            HealthSignal::Failure { replica, now_s } => {
+                self.ensure(replica + 1);
+                self.probing[replica] = false;
+                self.fails[replica] += 1;
+                if self.fails[replica] >= self.threshold {
+                    let window_s = self.ejection_s * (1.0 + self.jitter_frac * self.rng.next_f64());
+                    self.ejected_until_s[replica] = now_s + window_s;
+                }
+            }
+        }
+        self.inner.observe(signal);
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
     use super::*;
 
     fn view(idx: usize, in_flight: usize, cap: usize) -> ReplicaView {
         ReplicaView {
             idx,
+            now_s: 0.0,
             name: format!("r{idx}"),
             queue_len: in_flight,
             active: 0,
@@ -232,5 +399,86 @@ mod tests {
         let mut jsq = JoinShortestQueue;
         let views = vec![view(1, 2, 4), view(0, 2, 4)];
         assert_eq!(jsq.route(&req(), &views), Some(0));
+    }
+
+    fn views_at(now_s: f64) -> Vec<ReplicaView> {
+        let mut views = vec![view(0, 0, 4), view(1, 0, 4)];
+        for v in &mut views {
+            v.now_s = now_s;
+        }
+        views
+    }
+
+    #[test]
+    fn health_aware_ejects_after_consecutive_failures() {
+        let mut h = HealthAware::new(JoinShortestQueue, 7);
+        // Replica 0 wins ties while healthy.
+        assert_eq!(h.route(&req(), &views_at(0.0)), Some(0));
+        h.observe(&HealthSignal::Failure {
+            replica: 0,
+            now_s: 1.0,
+        });
+        // One failure is below the threshold of 2: still routable.
+        assert_eq!(h.route(&req(), &views_at(1.0)), Some(0));
+        h.observe(&HealthSignal::Failure {
+            replica: 0,
+            now_s: 2.0,
+        });
+        // Ejected: traffic shifts to replica 1 for the whole window.
+        assert_eq!(h.route(&req(), &views_at(2.5)), Some(1));
+        assert_eq!(h.route(&req(), &views_at(6.0)), Some(1));
+    }
+
+    #[test]
+    fn health_aware_half_open_allows_one_probe_then_closes_on_success() {
+        let mut h = HealthAware::new(JoinShortestQueue, 7).with_ejection_s(2.0);
+        h.observe(&HealthSignal::Failure {
+            replica: 0,
+            now_s: 0.0,
+        });
+        h.observe(&HealthSignal::Failure {
+            replica: 0,
+            now_s: 0.0,
+        });
+        // Window is at most ejection_s × 1.5; past it the breaker is
+        // half-open and admits exactly one probe.
+        assert_eq!(h.route(&req(), &views_at(10.0)), Some(0), "probe");
+        assert_eq!(
+            h.route(&req(), &views_at(10.0)),
+            Some(1),
+            "no second request while the probe is outstanding"
+        );
+        h.observe(&HealthSignal::Success {
+            replica: 0,
+            now_s: 11.0,
+        });
+        assert_eq!(h.route(&req(), &views_at(11.0)), Some(0), "closed again");
+    }
+
+    #[test]
+    fn health_aware_reejects_on_failed_probe_with_seeded_jitter() {
+        let run = |seed: u64| {
+            let mut h = HealthAware::new(JoinShortestQueue, seed).with_ejection_s(2.0);
+            for _ in 0..2 {
+                h.observe(&HealthSignal::Failure {
+                    replica: 0,
+                    now_s: 0.0,
+                });
+            }
+            assert_eq!(h.route(&req(), &views_at(10.0)), Some(0), "probe");
+            h.observe(&HealthSignal::Failure {
+                replica: 0,
+                now_s: 10.0,
+            });
+            // Re-ejected: the probe failed.
+            assert_eq!(h.route(&req(), &views_at(10.5)), Some(1));
+            h.ejected_until_s[0]
+        };
+        assert_eq!(run(7), run(7), "same seed, same jittered window");
+        let w = run(7);
+        assert!(
+            (12.0..=13.0).contains(&w),
+            "window in [base, base×1.5]: {w}"
+        );
     }
 }

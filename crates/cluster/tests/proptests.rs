@@ -2,10 +2,11 @@
 //! sanity across randomly drawn heterogeneous fleets and traces.
 
 use llmsim_cluster::{
-    simulate_fleet, simulate_fleet_traced, AutoscaleConfig, ClusterConfig, ClusterRequest,
-    HeteroAware, JoinShortestQueue, LeastOutstandingTokens, OutcomeState, ReplicaConfig,
-    ReplicaStart, ReplicaView, RoundRobin, RouterPolicy, SloTargets,
+    simulate_fleet, simulate_fleet_traced, AutoscaleConfig, ChaosConfig, ClusterConfig,
+    ClusterRequest, FaultInjection, HeteroAware, JoinShortestQueue, LeastOutstandingTokens,
+    OutcomeState, ReplicaConfig, ReplicaStart, ReplicaView, RoundRobin, RouterPolicy, SloTargets,
 };
+use llmsim_core::resilience::RetryPolicy;
 use llmsim_core::{CostModel, CpuBackend, GpuBackend, VecSink};
 use llmsim_model::families;
 use proptest::prelude::*;
@@ -160,7 +161,7 @@ proptest! {
                     let e2e = o.e2e_s.unwrap();
                     prop_assert!(delay >= 0.0 && ttft >= delay && e2e >= ttft);
                 }
-                OutcomeState::Rejected => {
+                OutcomeState::Rejected | OutcomeState::Failed => {
                     prop_assert_eq!(o.tokens, 0);
                     prop_assert!(o.replica.is_none());
                 }
@@ -169,6 +170,127 @@ proptest! {
         let total: u64 = report.outcomes.iter().map(|o| o.tokens).sum();
         prop_assert_eq!(total, report.generated_tokens);
         prop_assert!(report.goodput_tokens <= report.generated_tokens);
+    }
+
+    /// Chaos as a passthrough: installing [`ChaosConfig::none`] — chaos
+    /// machinery present, every fault/retry/hedge feature disabled — must
+    /// leave the report byte-identical to a fleet with no chaos at all.
+    #[test]
+    fn passthrough_chaos_is_byte_identical(
+        reqs in arb_trace(),
+        n in 2usize..5,
+        cap in 2usize..12,
+        batch in 1u64..5,
+        router_ix in 0usize..4,
+        start_ix in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let config = fleet(n, cap, batch, starts()[start_ix]);
+        let base = simulate_fleet(&config, &mut *routers()[router_ix], &reqs);
+        let with_none = simulate_fleet(
+            &config.clone().with_chaos(ChaosConfig::none(seed)),
+            &mut *routers()[router_ix],
+            &reqs,
+        );
+        prop_assert_eq!(base.render(), with_none.render());
+        prop_assert_eq!(
+            format!("{:?}", base.outcomes),
+            format!("{:?}", with_none.outcomes)
+        );
+        prop_assert_eq!(
+            format!("{:?}", base.replicas),
+            format!("{:?}", with_none.replicas)
+        );
+    }
+
+    /// Same-seed fault schedules are byte-identical, and each replica's
+    /// stream is a function of `(seed, replica)` alone — growing the fleet
+    /// never changes the faults an existing replica sees.
+    #[test]
+    fn fault_schedules_deterministic_and_fleet_size_independent(
+        seed in any::<u64>(),
+        mtbf_s in 5.0f64..60.0,
+        n in 1usize..6,
+        extra in 1usize..4,
+    ) {
+        let chaos = ChaosConfig::none(seed)
+            .with_schedule(Vec::new());
+        let chaos = ChaosConfig {
+            injection: Some(FaultInjection::crashes(mtbf_s, 300.0)),
+            ..chaos
+        };
+        let a = chaos.schedule_for(n);
+        let b = chaos.schedule_for(n);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let grown = chaos.schedule_for(n + extra);
+        for r in 0..n {
+            let small: Vec<_> = a.iter().filter(|f| f.replica == r).collect();
+            let large: Vec<_> = grown.iter().filter(|f| f.replica == r).collect();
+            prop_assert_eq!(
+                format!("{small:?}"),
+                format!("{large:?}"),
+                "replica {} stream changed with fleet size",
+                r
+            );
+        }
+    }
+
+    /// Conservation under chaos: across crash/retry/hedge chains, every
+    /// arrival terminates in exactly one terminal state, retried requests
+    /// count their tokens once, and the whole thing is seed-deterministic.
+    #[test]
+    fn chaos_conserves_requests(
+        reqs in arb_trace(),
+        n in 2usize..5,
+        cap in 2usize..12,
+        batch in 1u64..5,
+        router_ix in 0usize..4,
+        seed in any::<u64>(),
+        mtbf_s in 3.0f64..30.0,
+        max_retries in 0u32..4,
+        hedge in any::<bool>(),
+    ) {
+        let chaos = ChaosConfig {
+            seed,
+            injection: Some(FaultInjection::crashes(mtbf_s, 120.0)),
+            schedule: Vec::new(),
+            retry: RetryPolicy {
+                max_retries,
+                base_backoff_s: 0.05,
+                multiplier: 2.0,
+                jitter_frac: 0.2,
+                retry_budget: Some(64),
+            },
+            hedge: None,
+        };
+        let chaos = if hedge { chaos.with_hedge(0.25) } else { chaos };
+        let config = fleet(n, cap, batch, ReplicaStart::Warm).with_chaos(chaos);
+        let report = simulate_fleet(&config, &mut *routers()[router_ix], &reqs);
+        prop_assert_eq!(report.outcomes.len(), reqs.len());
+        prop_assert_eq!(
+            report.completed() + report.rejected() + report.failed(),
+            reqs.len(),
+            "every arrival reaches exactly one terminal state"
+        );
+        for (o, req) in report.outcomes.iter().zip(&reqs) {
+            prop_assert_eq!(o.id, req.id);
+            match o.state {
+                OutcomeState::Completed => prop_assert_eq!(o.tokens, req.gen_len),
+                OutcomeState::Rejected | OutcomeState::Failed => {
+                    prop_assert_eq!(o.tokens, 0);
+                    prop_assert!(o.replica.is_none());
+                }
+            }
+        }
+        let total: u64 = report.outcomes.iter().map(|o| o.tokens).sum();
+        prop_assert_eq!(total, report.generated_tokens, "winners counted once");
+        // Seed-determinism holds with faults active too.
+        let again = simulate_fleet(&config, &mut *routers()[router_ix], &reqs);
+        prop_assert_eq!(report.render(), again.render());
+        prop_assert_eq!(
+            format!("{:?}", report.outcomes),
+            format!("{:?}", again.outcomes)
+        );
     }
 
     /// JSQ never routes to a full replica while a non-full one exists, and
@@ -182,6 +304,7 @@ proptest! {
             .enumerate()
             .map(|(idx, &(in_flight, cap))| ReplicaView {
                 idx,
+                now_s: 0.0,
                 name: format!("r{idx}"),
                 queue_len: in_flight.min(cap),
                 active: 0,

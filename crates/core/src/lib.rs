@@ -61,8 +61,8 @@ pub use report::{InferenceReport, OffloadBreakdown, PhaseReport};
 pub use request::Request;
 pub use resilience::{
     simulate_resilient, AdmissionPolicy, DegradationPolicy, FailureKind, FaultModel,
-    ResilienceConfig, ResilienceReport, ResilientOutcome, RetryPolicy, SloPolicy, TerminalState,
-    TimeoutPhase,
+    ResilienceConfig, ResilienceReport, ResilientOutcome, RetryPolicy, SimRng, SloPolicy,
+    TerminalState, TimeoutPhase,
 };
 pub use serving::{SchedulingPolicy, ServingConfig, ServingReport, ServingRequest};
 pub use trace::{NullSink, SpanOutcome, SpanRecord, SpanSink, VecSink};

@@ -38,6 +38,39 @@ mod metrics;
 pub use engine::simulate_resilient;
 pub use metrics::{percentile, ResilienceReport};
 
+#[cfg(test)]
+mod rng_tests {
+    use super::SimRng;
+
+    #[test]
+    fn derived_streams_are_stable_and_independent() {
+        let a1: Vec<u64> = {
+            let mut r = SimRng::derive(7, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = SimRng::derive(7, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2, "same (seed, stream) must replay identically");
+        let b: Vec<u64> = {
+            let mut r = SimRng::derive(7, 4);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a1, b, "distinct streams must decorrelate");
+    }
+
+    #[test]
+    fn exp_draws_are_positive_finite_for_finite_means() {
+        let mut r = SimRng::new(11);
+        for _ in 0..256 {
+            let x = r.exp_s(30.0);
+            assert!(x.is_finite() && x > 0.0);
+        }
+        assert!(SimRng::new(0).exp_s(f64::INFINITY).is_infinite());
+    }
+}
+
 use crate::serving::ServingConfig;
 use llmsim_hw::{Bytes, CpuSpec};
 use serde::{Deserialize, Serialize};
@@ -45,17 +78,40 @@ use std::fmt;
 
 /// Deterministic xorshift-free SplitMix64 stream used for every random
 /// draw the resilient engine makes. One seed → one byte-identical run.
+///
+/// Public so higher layers (the `llmsim-cluster` fault scheduler) can
+/// reuse the exact same deterministic stream instead of growing a second
+/// RNG convention. Use [`SimRng::derive`] to split independent substreams
+/// (e.g. one per replica) from a single run seed: the substream for a
+/// given index is the same no matter how many other substreams exist or
+/// in which order they are drawn from.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct SimRng {
+pub struct SimRng {
     state: u64,
 }
 
 impl SimRng {
-    pub(crate) fn new(seed: u64) -> Self {
+    /// A stream seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
         SimRng { state: seed }
     }
 
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    /// An independent substream for `stream` derived from `seed`.
+    ///
+    /// The derivation hashes `(seed, stream)` through one SplitMix64
+    /// round, so substreams for distinct indices are decorrelated and —
+    /// crucial for the cluster fault scheduler — the substream for index
+    /// `i` does not depend on any other index being instantiated.
+    #[must_use]
+    pub fn derive(seed: u64, stream: u64) -> Self {
+        let mut base = SimRng::new(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        let derived = base.next_u64();
+        SimRng::new(derived)
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -64,8 +120,21 @@ impl SimRng {
     }
 
     /// Uniform `f64` in `[0, 1)`.
-    pub(crate) fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential draw with mean `mean_s` seconds (inter-fault gaps).
+    ///
+    /// Returns infinity when `mean_s` is infinite (a disabled fault
+    /// process never fires) and clamps the uniform draw away from zero so
+    /// the result is always finite and positive for finite means.
+    pub fn exp_s(&mut self, mean_s: f64) -> f64 {
+        if mean_s.is_infinite() {
+            return f64::INFINITY;
+        }
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        -mean_s * u.ln()
     }
 }
 

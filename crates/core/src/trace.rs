@@ -24,6 +24,9 @@ pub enum SpanOutcome {
     Completed,
     /// Turned away before dispatch (admission/routing rejection).
     Rejected,
+    /// Lost to injected backend faults after its retries ran out (the
+    /// fleet engine's crash/retry chains terminate here).
+    Failed,
 }
 
 impl SpanOutcome {
@@ -33,6 +36,7 @@ impl SpanOutcome {
         match self {
             SpanOutcome::Completed => "completed",
             SpanOutcome::Rejected => "rejected",
+            SpanOutcome::Failed => "failed",
         }
     }
 }
@@ -92,6 +96,19 @@ impl SpanRecord {
             decode_steps: 0,
             completion_s: f64::NAN,
             batch_at_dispatch: 0,
+        }
+    }
+
+    /// A failed-request span: the request was admitted but every attempt
+    /// was destroyed by backend faults. Only identity, arrival, and the
+    /// time of the terminal failure are known; `completion_s` records the
+    /// failure instant so `e2e_s()` reports time-to-failure.
+    #[must_use]
+    pub fn failed(id: u64, model: usize, arrival_s: f64, failed_at_s: f64) -> Self {
+        SpanRecord {
+            completion_s: failed_at_s,
+            outcome: SpanOutcome::Failed,
+            ..SpanRecord::rejected(id, model, arrival_s)
         }
     }
 

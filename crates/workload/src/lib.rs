@@ -27,5 +27,5 @@ pub use generator::{
     RequestGenerator,
 };
 pub use replay::{model_mix, parse_trace, scale_arrivals, ReplayRequest, TraceParseError};
-pub use scenarios::{PrimaryMetric, ResilienceScenario, Scenario};
+pub use scenarios::{ChaosScenario, PrimaryMetric, ResilienceScenario, Scenario};
 pub use sweep::SweepPoint;

@@ -225,6 +225,164 @@ impl fmt::Display for ResilienceScenario {
     }
 }
 
+/// A named chaos condition for the fleet-level fault experiments: MMPP
+/// arrival shape plus a replica-scoped fault schedule and the recovery
+/// machinery (retry budget, hedging) as plain numbers. `llmsim-cluster`
+/// turns these into its `ChaosConfig`; keeping the preset here means the
+/// `ext_chaos` experiment and the cluster tests share one canonical
+/// configuration instead of each hand-rolling rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    /// Scenario name.
+    pub name: String,
+    /// Mean arrival rate, requests per second.
+    pub arrival_rate_per_sec: f64,
+    /// Burst rate multiplier (1 = plain Poisson arrivals).
+    pub burst_multiplier: f64,
+    /// Mean calm/burst phase duration, seconds.
+    pub mean_phase_s: f64,
+    /// Per-replica mean time between faults, seconds (infinite = no
+    /// faults are ever injected).
+    pub mtbf_s: f64,
+    /// Fault schedule horizon, seconds (faults are drawn in `[0, horizon)`).
+    pub fault_horizon_s: f64,
+    /// Relative weight of crash faults (lose in-flight work, re-cold-start).
+    pub crash_weight: f64,
+    /// Relative weight of transient slowdown faults.
+    pub slowdown_weight: f64,
+    /// Relative weight of router-partition faults.
+    pub partition_weight: f64,
+    /// Relative weight of maintenance-drain faults.
+    pub drain_weight: f64,
+    /// Service-time multiplier during a slowdown window (≥ 1).
+    pub slowdown_factor: f64,
+    /// Slowdown window duration, seconds.
+    pub slowdown_s: f64,
+    /// Partition window duration, seconds.
+    pub partition_s: f64,
+    /// Drain window duration, seconds.
+    pub drain_s: f64,
+    /// Retry attempts allowed per request beyond the first.
+    pub max_retries: u32,
+    /// Fleet-wide retry budget (`None` = unlimited).
+    pub retry_budget: Option<u64>,
+    /// Hedge a second dispatch after this fraction of the e2e SLO
+    /// (`None` disables hedging).
+    pub hedge_after_frac: Option<f64>,
+    /// TTFT budget for goodput accounting, seconds.
+    pub ttft_slo_s: f64,
+    /// End-to-end budget for goodput accounting, seconds.
+    pub e2e_slo_s: f64,
+}
+
+impl ChaosScenario {
+    /// The no-fault baseline: same arrivals and SLOs as the chaos runs,
+    /// but an infinite MTBF and no recovery machinery. A fleet under this
+    /// scenario must behave byte-identically to one with chaos disabled.
+    #[must_use]
+    pub fn fault_free() -> Self {
+        ChaosScenario {
+            name: "fault-free".into(),
+            arrival_rate_per_sec: 4.0,
+            burst_multiplier: 6.0,
+            mean_phase_s: 4.0,
+            mtbf_s: f64::INFINITY,
+            fault_horizon_s: 120.0,
+            crash_weight: 1.0,
+            slowdown_weight: 0.0,
+            partition_weight: 0.0,
+            drain_weight: 0.0,
+            slowdown_factor: 1.0,
+            slowdown_s: 0.0,
+            partition_s: 0.0,
+            drain_s: 0.0,
+            max_retries: 0,
+            retry_budget: Some(0),
+            hedge_after_frac: None,
+            ttft_slo_s: 8.0,
+            e2e_slo_s: 60.0,
+        }
+    }
+
+    /// Crash-dominated chaos: replicas die and re-cold-start, in-flight
+    /// work is lost, retries + hedging are the only defense.
+    #[must_use]
+    pub fn crashy_fleet() -> Self {
+        ChaosScenario {
+            name: "crashy-fleet".into(),
+            mtbf_s: 40.0,
+            crash_weight: 1.0,
+            max_retries: 3,
+            retry_budget: Some(64),
+            hedge_after_frac: Some(0.25),
+            ..Self::fault_free()
+        }
+    }
+
+    /// Network-shaped chaos: partitions hide replicas from the router and
+    /// slowdown windows stretch service times; crashes are rare.
+    #[must_use]
+    pub fn flaky_network() -> Self {
+        ChaosScenario {
+            name: "flaky-network".into(),
+            mtbf_s: 25.0,
+            crash_weight: 0.2,
+            slowdown_weight: 0.4,
+            partition_weight: 0.4,
+            slowdown_factor: 3.0,
+            slowdown_s: 6.0,
+            partition_s: 8.0,
+            max_retries: 3,
+            retry_budget: Some(64),
+            hedge_after_frac: Some(0.25),
+            ..Self::fault_free()
+        }
+    }
+
+    /// Rolling maintenance: drains cycle through the fleet, stopping
+    /// admission but finishing accepted work; nothing is ever lost.
+    #[must_use]
+    pub fn rolling_maintenance() -> Self {
+        ChaosScenario {
+            name: "rolling-maintenance".into(),
+            mtbf_s: 30.0,
+            crash_weight: 0.0,
+            drain_weight: 1.0,
+            drain_s: 10.0,
+            max_retries: 1,
+            retry_budget: Some(16),
+            ..Self::fault_free()
+        }
+    }
+
+    /// All chaos scenarios, mildest first.
+    #[must_use]
+    pub fn all() -> Vec<ChaosScenario> {
+        vec![
+            Self::fault_free(),
+            Self::rolling_maintenance(),
+            Self::flaky_network(),
+            Self::crashy_fleet(),
+        ]
+    }
+}
+
+impl fmt::Display for ChaosScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}/s x{} bursts, MTBF {}s, retries {}, hedge {})",
+            self.name,
+            self.arrival_rate_per_sec,
+            self.burst_multiplier,
+            self.mtbf_s,
+            self.max_retries,
+            self.hedge_after_frac
+                .map_or("off".into(), |h| format!("{h:.2}")),
+        )
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // exact float assertions are deliberate: determinism is bit-level
 mod tests {
@@ -243,6 +401,38 @@ mod tests {
         let c = Scenario::chatbot();
         assert_eq!(c.metric, PrimaryMetric::Ttft);
         assert_eq!(c.batch, 1);
+    }
+
+    #[test]
+    fn chaos_scenarios_share_arrivals_and_slos_with_the_baseline() {
+        let all = ChaosScenario::all();
+        assert_eq!(all.len(), 4);
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+        let base = ChaosScenario::fault_free();
+        assert!(base.mtbf_s.is_infinite(), "baseline injects nothing");
+        for s in &all {
+            // The sweep varies the fault axis only: same traffic, same SLOs.
+            assert_eq!(
+                s.arrival_rate_per_sec, base.arrival_rate_per_sec,
+                "{}",
+                s.name
+            );
+            assert_eq!(s.burst_multiplier, base.burst_multiplier, "{}", s.name);
+            assert_eq!(s.ttft_slo_s, base.ttft_slo_s, "{}", s.name);
+            assert_eq!(s.e2e_slo_s, base.e2e_slo_s, "{}", s.name);
+            let wsum = s.crash_weight + s.slowdown_weight + s.partition_weight + s.drain_weight;
+            assert!(wsum > 0.0, "{}: some fault kind must carry weight", s.name);
+            assert!(s.slowdown_factor >= 1.0, "{}", s.name);
+        }
+        for s in &all[1..] {
+            assert!(
+                s.mtbf_s.is_finite(),
+                "{}: stressed scenarios inject",
+                s.name
+            );
+            assert!(s.to_string().contains(&s.name));
+        }
     }
 
     #[test]
