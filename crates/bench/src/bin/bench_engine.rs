@@ -1,0 +1,288 @@
+//! Wall-clock benchmark of the fleet-engine replay fast path, emitting a
+//! JSON summary (`BENCH_engine.json` by default) so engine-throughput
+//! regressions are visible in CI artifacts and diffable across commits.
+//!
+//! Five replay paths are timed over seeded `service_day` synthetic traces:
+//!
+//! - `legacy_*`   — the preserved seed engine
+//!   ([`llmsim_cluster::simulate_fleet_legacy`]) with its per-arrival
+//!   re-pricing and O(n) id scans;
+//! - `fast_*`     — the rewritten hot path ([`llmsim_cluster::simulate_fleet`])
+//!   with slab slots, memoized pricing, and persistent router views;
+//! - `traced_*`   — the fast engine streaming TSV spans through a
+//!   [`StreamSink`] (span overhead, not disk speed: the writer is
+//!   [`std::io::sink`]);
+//! - `sharded_*`  — the fast engine over round-robin fleet shards replayed
+//!   on scoped threads ([`llmsim_cluster::simulate_shards`]).
+//!
+//! Legacy and fast replay the same trace on the same fleet and must render
+//! byte-identical reports (asserted on every run), so the headline
+//! `speedup_vs_legacy` is a pure engine-speed delta. The sharded case
+//! deliberately replays a *partitioned* fleet — cell-style scheduling, not
+//! the same simulation — so it is reported but never compared byte-for-byte
+//! against the single-fleet runs.
+//!
+//! With `--baseline <path>` the run exits non-zero if the `fast_1e5` case
+//! regressed more than 30% in requests/second against a previously
+//! committed summary — the CI throughput floor.
+
+use llmsim_cluster::{
+    shard_fleet, simulate_fleet, simulate_fleet_legacy, simulate_fleet_traced, simulate_shards,
+    ClusterConfig, ClusterRequest, FleetReport, JoinShortestQueue, ReplicaConfig, RouterPolicy,
+};
+use llmsim_core::{CostModel, CpuBackend, StreamSink};
+use llmsim_model::families;
+use llmsim_workload::synthetic::{synthesize, SyntheticSpec};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Trace seed: any fixed value works; this one spells "ENGINE" in hex-ish.
+const TRACE_SEED: u64 = 0x0E16_13E5;
+/// Mean stationary arrival rate for the `service_day` trace (req/s of
+/// simulated time; bursts run at 4x this). Sized so eight SPR replicas
+/// absorb the stationary load and shed part of each burst: most requests
+/// complete (exercising dispatch/batch/completion), the rest exercise the
+/// admission path.
+const RATE_PER_S: f64 = 1.5;
+
+/// Times `f` once and returns (seconds, output).
+fn time_one<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Eight warm Sapphire Rapids replicas sharing one backend `Arc`, serving
+/// OPT-13B. Sharing the `Arc` keeps the whole fleet in a single prediction
+/// group, which is the common production shape (homogeneous cells).
+fn fleet() -> ClusterConfig {
+    let spr: Arc<dyn CostModel + Send + Sync> = Arc::new(CpuBackend::paper_spr());
+    let replicas: Vec<ReplicaConfig> = (0..8).map(|_| ReplicaConfig::warm(spr.clone())).collect();
+    ClusterConfig::new(replicas, vec![families::opt_13b()])
+}
+
+/// Seeded `service_day` trace of `n` requests bound to model 0.
+fn trace(n: usize) -> Vec<ClusterRequest> {
+    let spec = SyntheticSpec::service_day(TRACE_SEED, n, RATE_PER_S);
+    synthesize(&spec)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| ClusterRequest {
+            id: i,
+            arrival_s: r.arrival_s,
+            prompt_len: r.prompt_len,
+            gen_len: r.gen_len,
+            model: 0,
+        })
+        .collect()
+}
+
+fn router() -> Box<dyn RouterPolicy> {
+    Box::new(JoinShortestQueue)
+}
+
+struct CaseRow {
+    name: &'static str,
+    requests: usize,
+    wall_s: f64,
+    report: FleetReport,
+}
+
+impl CaseRow {
+    fn req_per_s(&self) -> f64 {
+        self.requests as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn run_case(
+    name: &'static str,
+    requests: &[ClusterRequest],
+    f: impl FnOnce(&[ClusterRequest]) -> FleetReport,
+) -> CaseRow {
+    let (wall_s, report) = time_one(|| f(requests));
+    let row = CaseRow {
+        name,
+        requests: requests.len(),
+        wall_s,
+        report,
+    };
+    eprintln!(
+        "{:>14}: n={:>7} wall={:>9.3}s ({:>9.0} req/s) completed={} rejected={}",
+        row.name,
+        row.requests,
+        row.wall_s,
+        row.req_per_s(),
+        row.report.completed(),
+        row.report.rejected(),
+    );
+    row
+}
+
+/// Crude extraction of `"req_per_s"` for the named case from a previously
+/// emitted summary — the bench crate deliberately has no JSON parser.
+fn baseline_req_per_s(json: &str, case: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{case}\""))?;
+    let rest = &json[at..];
+    let key = "\"req_per_s\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
+    v[..end].parse().ok()
+}
+
+fn main() {
+    let mut out_path = "BENCH_engine.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other} (expected --out <path>, --baseline <path>, --quick)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = fleet();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    // Quick mode (CI) trims the legacy run to 1e4 — the seed engine is
+    // superlinear in trace length, so the quick speedup *understates* the
+    // full-trace ratio — and replays 1e5 instead of 1e6 on the wide cases.
+    let n_legacy = if quick { 10_000 } else { 100_000 };
+    let n_fast = 100_000;
+    let n_big = if quick { 100_000 } else { 1_000_000 };
+
+    let small = trace(n_legacy);
+    let fast_trace = trace(n_fast);
+    let big = trace(n_big);
+
+    let legacy_row = run_case("legacy", &small, |reqs| {
+        simulate_fleet_legacy(&config, &mut *router(), reqs)
+    });
+    // Byte-identity gate: the rewrite must not move a single output byte.
+    let fast_same = simulate_fleet(&config, &mut *router(), &small);
+    assert_eq!(
+        legacy_row.report.render(),
+        fast_same.render(),
+        "fast engine diverged from the seed engine on the bench trace"
+    );
+
+    let fast_row = run_case("fast_1e5", &fast_trace, |reqs| {
+        simulate_fleet(&config, &mut *router(), reqs)
+    });
+
+    let traced_row = run_case("traced_1e5", &fast_trace, |reqs| {
+        let mut sink = StreamSink::tsv(std::io::sink());
+        let report = simulate_fleet_traced(&config, &mut *router(), reqs, &mut sink);
+        sink.finish_into().expect("sink write cannot fail");
+        report
+    });
+    assert_eq!(
+        fast_row.report.render(),
+        traced_row.report.render(),
+        "tracing changed the simulation output"
+    );
+
+    let serial_big_row = run_case("fast_serial_big", &big, |reqs| {
+        simulate_fleet(&config, &mut *router(), reqs)
+    });
+
+    // At least four shards so the deal/merge machinery runs even on a
+    // single-core host (where the case measures shard overhead, not gain).
+    let shards = shard_fleet(&config, &big, threads.max(4));
+    let make_router: &(dyn Fn(usize) -> Box<dyn RouterPolicy> + Sync) = &|_| router();
+    let sharded_big_row = run_case("sharded_big", &big, |_| {
+        simulate_shards(&shards, make_router, threads)
+    });
+
+    let rows = [
+        &legacy_row,
+        &fast_row,
+        &traced_row,
+        &serial_big_row,
+        &sharded_big_row,
+    ];
+
+    // In quick mode legacy ran a shorter trace, so compare rates, not walls.
+    let speedup = fast_row.req_per_s() / legacy_row.req_per_s().max(1e-9);
+    let traced_overhead = traced_row.wall_s / fast_row.wall_s.max(1e-9) - 1.0;
+    let shard_speedup = serial_big_row.wall_s / sharded_big_row.wall_s.max(1e-9);
+
+    let mut json = String::new();
+    let mut w = |line: &str| {
+        let _ = writeln!(json, "{line}");
+    };
+    w("{");
+    w("  \"bench\": \"engine\",");
+    w(&format!("  \"quick\": {quick},"));
+    w(&format!(
+        "  \"fleet\": {{ \"replicas\": 8, \"backend\": \"spr\", \"model\": \"opt_13b\", \"rate_per_s\": {RATE_PER_S} }},"
+    ));
+    w(&format!("  \"threads\": {threads},"));
+    w("  \"cases\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        w(&format!(
+            "    {{ \"name\": \"{}\", \"requests\": {}, \"wall_s\": {:.4}, \"req_per_s\": {:.1}, \"events\": {}, \"completed\": {}, \"rejected\": {} }}{}",
+            row.name,
+            row.requests,
+            row.wall_s,
+            row.req_per_s(),
+            row.report.events_processed,
+            row.report.completed(),
+            row.report.rejected(),
+            comma,
+        ));
+    }
+    w("  ],");
+    w(&format!("  \"speedup_vs_legacy\": {speedup:.1},"));
+    w(&format!(
+        "  \"traced_overhead_frac\": {traced_overhead:.4},"
+    ));
+    w(&format!("  \"shard_speedup\": {shard_speedup:.2}"));
+    w("}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let Some(base) = baseline_req_per_s(&text, "fast_1e5") else {
+            eprintln!("baseline {path} has no fast_1e5 req_per_s");
+            std::process::exit(2);
+        };
+        let now = fast_row.req_per_s();
+        let floor = base * 0.7;
+        eprintln!(
+            "throughput floor: fast_1e5 {now:.0} req/s vs baseline {base:.0} (floor {floor:.0})"
+        );
+        if now < floor {
+            eprintln!("FAIL: fast_1e5 regressed more than 30% against {path}");
+            std::process::exit(1);
+        }
+    }
+}

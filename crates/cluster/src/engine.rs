@@ -1,4 +1,4 @@
-//! The fleet simulation loop.
+//! The fleet simulation loop (fast path).
 //!
 //! `simulate_fleet` replays a request trace against a heterogeneous fleet
 //! of replicas under a pluggable routing policy, with optional SLO
@@ -6,6 +6,32 @@
 //! and seeded: the only sources of time are the backends' cost models and
 //! the only randomness is the chaos configuration's [`SimRng`] streams,
 //! so two runs of the same configuration produce byte-identical reports.
+//!
+//! # The fast path
+//!
+//! This module is the profile-guided rewrite of the seed engine (kept
+//! verbatim as [`crate::simulate_fleet_legacy`] and proven byte-identical
+//! by proptest). The seed engine spent almost all of its wall-clock on
+//! four hot-path sins, each fixed here:
+//!
+//! - **O(n) id lookups per event** — `requests.iter().find(..)` on every
+//!   arrival, dispatch and completion made the whole replay O(n²). Ids
+//!   are validated once into a flat position table; lookups are O(1).
+//! - **Cost-model re-pricing per routing decision** — pricing a request
+//!   walks the model's phase graph per decode step (O(`gen_len`) graph
+//!   builds), and the router priced every replica on every arrival. A
+//!   [`PredictCache`] memoizes service and prefill predictions per
+//!   (backend, model, batch, shape); the memoized value is the *same
+//!   fold* the legacy engine computes, so reuse is bit-exact.
+//! - **Per-event allocation** — router snapshots (`Vec<ReplicaView>` with
+//!   a fresh name `String` per replica), in-flight records moved through
+//!   queues by value. Views are now built once and refreshed in place,
+//!   and in-flight records live in a generation-stamped [`Slab`] with
+//!   replicas holding 8-byte keys (see `slab.rs`).
+//! - **Linear stale-event filtering** — completions scanned `active` and
+//!   compared crash epochs. A [`SlotKey`]'s generation now proves
+//!   liveness in one lookup; crashes and hedge cancellations invalidate
+//!   by removal alone.
 //!
 //! # Fault semantics
 //!
@@ -21,26 +47,28 @@
 //!
 //! Outcomes and spans are computed at dispatch but *emitted* at the
 //! terminal event: a crash or a lost hedge race can still invalidate a
-//! dispatched attempt. Invalidation is epoch-based — each crash bumps the
-//! replica's epoch, and completion/recovery events carry the epoch they
-//! were scheduled under — so stale events are recognized and dropped
-//! without ever touching the heap.
+//! dispatched attempt.
 
 use crate::autoscale::{AutoscaleConfig, FleetGauge, ScaleDecision};
 use crate::event::{EventKind, EventQueue};
 use crate::faults::{ChaosConfig, FaultKind};
 use crate::metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
-use crate::replica::{InFlight, Replica, ReplicaConfig, ReplicaStart, ReplicaState};
+use crate::replica::{
+    ActiveEntry, InFlight, QueuedEntry, Replica, ReplicaConfig, ReplicaStart, ReplicaState,
+};
 use crate::router::{HealthSignal, ReplicaView, RouterPolicy};
+use crate::slab::Slab;
 use llmsim_core::resilience::SimRng;
 use llmsim_core::trace::{NullSink, SpanOutcome, SpanRecord, SpanSink};
 use llmsim_core::CostModel;
 use llmsim_model::ModelConfig;
 use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Substream tag for retry-backoff jitter, distinct from the per-replica
 /// fault streams (which use the replica index as the tag).
-const RETRY_JITTER_STREAM: u64 = 0x5245_5452_594A_4954;
+pub(crate) const RETRY_JITTER_STREAM: u64 = 0x5245_5452_594A_4954;
 
 /// One request in the cluster workload.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -125,12 +153,13 @@ impl ClusterConfig {
 /// single-server iteration-level simulator charges a lone request.
 ///
 /// The router's predictions and the replica's actual charging both call
-/// this, so prediction error can only come from batch-width changes after
-/// routing, never from the pricing itself. (An earlier version priced
-/// every decode step at the mid-generation KV length; the cross-check
-/// test below caught it drifting from the serving simulator on long
-/// generations.)
-fn predict_service_s(
+/// this (through [`PredictCache`] on the fast path), so prediction error
+/// can only come from batch-width changes after routing, never from the
+/// pricing itself. The fold order is load-bearing: the memoized fast path
+/// caches the *result* of this exact fold, never a re-associated prefix
+/// sum, because float addition order is part of the byte-identity
+/// contract with the legacy engine.
+pub(crate) fn predict_service_s(
     backend: &dyn CostModel,
     model: &ModelConfig,
     batch: u64,
@@ -145,8 +174,130 @@ fn predict_service_s(
     })
 }
 
+/// Memo of cost-model predictions, keyed by (backend group, model index,
+/// batch, prompt, gen). Replicas sharing one `Arc`'d backend share one
+/// group, so an 8-replica homogeneous fleet prices each distinct request
+/// shape once instead of 8× per arrival. `BTreeMap` rather than a hash
+/// map: iteration order never matters here (the memo is only probed), but
+/// the workspace determinism lint (D001) bans randomized-layout
+/// containers from sim-state crates outright, and at the few thousand
+/// distinct shapes a quantized trace produces the tree's O(log n) probes
+/// are already noise against the O(`gen_len`) graph walks they replace.
+struct PredictCache {
+    service: BTreeMap<(u32, u32, u64, u64, u64), f64>,
+    prefill: BTreeMap<(u32, u32, u64, u64), f64>,
+    /// Backend-identity group of each replica (`Arc::ptr_eq` classes).
+    groups: Vec<u32>,
+}
+
+impl PredictCache {
+    fn new(replicas: &[ReplicaConfig]) -> Self {
+        let mut reps: Vec<&Arc<dyn CostModel + Send + Sync>> = Vec::new();
+        let groups = replicas
+            .iter()
+            .map(|r| {
+                if let Some(g) = reps.iter().position(|b| Arc::ptr_eq(b, &r.backend)) {
+                    g as u32
+                } else {
+                    reps.push(&r.backend);
+                    (reps.len() - 1) as u32
+                }
+            })
+            .collect();
+        PredictCache {
+            service: BTreeMap::new(),
+            prefill: BTreeMap::new(),
+            groups,
+        }
+    }
+
+    /// Memoized [`predict_service_s`] for replica `idx`'s backend.
+    #[allow(clippy::too_many_arguments)] // mirrors predict_service_s plus the cache key parts
+    fn service(
+        &mut self,
+        idx: usize,
+        backend: &dyn CostModel,
+        model_ix: usize,
+        model: &ModelConfig,
+        batch: u64,
+        prompt_len: u64,
+        gen_len: u64,
+    ) -> f64 {
+        let key = (
+            self.groups[idx],
+            model_ix as u32,
+            batch,
+            prompt_len,
+            gen_len,
+        );
+        *self
+            .service
+            .entry(key)
+            .or_insert_with(|| predict_service_s(backend, model, batch, prompt_len, gen_len))
+    }
+
+    /// Memoized prefill time for replica `idx`'s backend.
+    fn prefill(
+        &mut self,
+        idx: usize,
+        backend: &dyn CostModel,
+        model_ix: usize,
+        model: &ModelConfig,
+        batch: u64,
+        prompt_len: u64,
+    ) -> f64 {
+        let key = (self.groups[idx], model_ix as u32, batch, prompt_len);
+        *self
+            .prefill
+            .entry(key)
+            .or_insert_with(|| backend.prefill_time(model, batch, prompt_len).as_f64())
+    }
+}
+
+/// Live attempts of one request: at most the primary and one hedge, so
+/// the set is two inline slots — no heap Vec per request.
+#[derive(Debug, Clone, Copy, Default)]
+struct Attempts {
+    slots: [usize; 2],
+    len: u8,
+}
+
+impl Attempts {
+    fn push(&mut self, replica: usize) {
+        assert!(
+            (self.len as usize) < 2,
+            "a request holds at most two live attempts (primary + hedge)"
+        );
+        self.slots[self.len as usize] = replica;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, replica: usize) {
+        let mut kept = 0u8;
+        for i in 0..self.len as usize {
+            if self.slots[i] != replica {
+                self.slots[kept as usize] = self.slots[i];
+                kept += 1;
+            }
+        }
+        self.len = kept;
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        &self.slots[..self.len as usize]
+    }
+}
+
 /// Engine-side per-request bookkeeping across crash retries and hedges.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct ReqRuntime {
     /// Terminal outcome written (exactly once per request).
     resolved: bool,
@@ -155,8 +306,303 @@ struct ReqRuntime {
     /// Hedged duplicate dispatched.
     hedged: bool,
     /// Replicas currently holding a live attempt (queued or in service).
-    /// At most two entries: the primary and one hedge.
-    attempts: Vec<usize>,
+    attempts: Attempts,
+}
+
+/// Everything the per-event handlers share. Bundling it keeps the helper
+/// signatures sane and makes the borrow structure explicit: `replicas`,
+/// `slab` and the event queue are the mutable hot state; `requests` and
+/// `config` are read-only.
+struct Engine<'a> {
+    config: &'a ClusterConfig,
+    requests: &'a [ClusterRequest],
+    /// `pos_of_id[id]` = index into `requests` (ids are a permutation of
+    /// `0..n`, validated at startup).
+    pos_of_id: Vec<u32>,
+    replicas: Vec<Replica>,
+    slab: Slab,
+    queue: EventQueue,
+    cache: PredictCache,
+    /// Persistent router snapshot, refreshed in place per routing call
+    /// (names are built once — the legacy engine allocated a `String` per
+    /// replica per arrival here).
+    views: Vec<ReplicaView>,
+    runtime: Vec<ReqRuntime>,
+    outcomes: Vec<Option<ClusterOutcome>>,
+    resolved: usize,
+    makespan_s: f64,
+    wasted_tokens: u64,
+    retries_total: u64,
+    hedges_total: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn request(&self, id: usize) -> ClusterRequest {
+        self.requests[self.pos_of_id[id] as usize]
+    }
+
+    /// Routes one attempt of `req` at `now_s`: refreshes the fleet
+    /// snapshot (hiding `exclude`d replicas — those already hosting an
+    /// attempt of this request), asks the policy, and re-validates the
+    /// choice.
+    fn route_once(
+        &mut self,
+        req: &ClusterRequest,
+        now_s: f64,
+        exclude: &[usize],
+        router: &mut dyn RouterPolicy,
+    ) -> Option<usize> {
+        let model = &self.config.models[req.model];
+        for (i, r) in self.replicas.iter().enumerate() {
+            let routable = r.routable(now_s);
+            let v = &mut self.views[i];
+            v.now_s = now_s;
+            v.queue_len = r.queue.len();
+            v.active = r.active.len();
+            // Standbys (and failed, draining, partitioned or excluded
+            // replicas) are invisible to routers: report zero capacity.
+            v.queue_cap = if routable && !exclude.contains(&i) {
+                r.cfg.queue_cap
+            } else {
+                0
+            };
+            v.outstanding_tokens = r.outstanding_tokens;
+            v.warm = r.state == ReplicaState::Warm;
+            v.warmup_remaining_s = r.warmup_remaining_s(now_s);
+            v.est_start_delay_s = r.est_start_delay_s(now_s);
+            v.est_service_s = self.cache.service(
+                i,
+                r.cfg.backend.as_ref(),
+                req.model,
+                model,
+                1,
+                req.prompt_len,
+                req.gen_len,
+            );
+            v.resident = r.cfg.backend.holds_resident(model);
+        }
+        router.route(req, &self.views).filter(|&i| {
+            i < self.replicas.len() && self.replicas[i].can_accept(now_s) && !exclude.contains(&i)
+        })
+    }
+
+    /// Enqueues one attempt of `req` on replica `i` and dispatches if a
+    /// slot is free.
+    fn admit(&mut self, i: usize, req: &ClusterRequest, now_s: f64, sink: &mut dyn SpanSink) {
+        let model = &self.config.models[req.model];
+        let est = self.cache.service(
+            i,
+            self.replicas[i].cfg.backend.as_ref(),
+            req.model,
+            model,
+            1,
+            req.prompt_len,
+            req.gen_len,
+        );
+        let key = self.slab.insert(InFlight::queued(req.id, est));
+        let r = &mut self.replicas[i];
+        r.queue.push_back(QueuedEntry {
+            key,
+            request: req.id,
+            est_service_s: est,
+        });
+        r.outstanding_tokens += req.total_tokens();
+        r.queued_backlog_s += est;
+        self.try_dispatch(i, now_s, sink);
+    }
+
+    /// Moves queued requests into free batch slots on a warm (or
+    /// draining) replica, scheduling their completions. Service time is
+    /// priced at the batch width *after* admission, so later co-runners
+    /// slow a dispatch down exactly as batching does on the single-server
+    /// simulator, then scaled by any open slowdown window. The outcome
+    /// and span this attempt will report are computed here — at dispatch,
+    /// from dispatch-time values — but emitted only when the completion
+    /// event survives to fire.
+    fn try_dispatch(&mut self, idx: usize, now_s: f64, sink: &mut dyn SpanSink) {
+        loop {
+            let r = &self.replicas[idx];
+            if !r.can_dispatch() || (r.active.len() as u64) >= r.cfg.max_batch || r.queue.is_empty()
+            {
+                return;
+            }
+            let Some(entry) = self.replicas[idx].queue.pop_front() else {
+                return;
+            };
+            let req = self.request(entry.request);
+            let model = &self.config.models[req.model];
+            let batch = self.replicas[idx].active.len() as u64 + 1;
+            // Multiplying by the slowdown factor is exact: the factor is
+            // 1.0 outside any window, and x × 1.0 is bitwise x.
+            let slow = self.replicas[idx].slowdown_at(now_s);
+            let prefill = self.cache.prefill(
+                idx,
+                self.replicas[idx].cfg.backend.as_ref(),
+                req.model,
+                model,
+                batch,
+                req.prompt_len,
+            ) * slow;
+            let service = self.cache.service(
+                idx,
+                self.replicas[idx].cfg.backend.as_ref(),
+                req.model,
+                model,
+                batch,
+                req.prompt_len,
+                req.gen_len,
+            ) * slow;
+            let queue_delay = now_s - req.arrival_s;
+            let completion = now_s + service;
+
+            let r = &mut self.replicas[idx];
+            r.queued_backlog_s = (r.queued_backlog_s - entry.est_service_s).max(0.0);
+            r.busy_slot_s += service;
+            r.dispatched += 1;
+            let Some(inflight) = self.slab.get_mut(entry.key) else {
+                debug_assert!(false, "queued entry must have a live slab record");
+                continue;
+            };
+            inflight.completion_s = completion;
+            inflight.dispatch_s = now_s;
+            inflight.service_s = service;
+            inflight.pending = Some(ClusterOutcome {
+                id: req.id,
+                model: req.model,
+                replica: Some(idx),
+                state: OutcomeState::Completed,
+                queue_delay_s: Some(queue_delay),
+                ttft_s: Some(queue_delay + prefill),
+                e2e_s: Some(queue_delay + service),
+                tokens: req.gen_len,
+                retries: 0,
+                hedged: false,
+            });
+            if sink.enabled() {
+                inflight.span = Some(SpanRecord {
+                    id: req.id as u64,
+                    model: req.model,
+                    replica: Some(idx),
+                    outcome: SpanOutcome::Completed,
+                    arrival_s: req.arrival_s,
+                    queue_delay_s: queue_delay,
+                    dispatch_s: now_s,
+                    prefill_end_s: now_s + prefill,
+                    decode_s: service - prefill,
+                    decode_steps: req.gen_len.saturating_sub(1),
+                    completion_s: completion,
+                    batch_at_dispatch: batch,
+                });
+            }
+            self.queue.push(
+                completion,
+                EventKind::SlotDone {
+                    replica: idx,
+                    slot: entry.key,
+                },
+            );
+            self.replicas[idx].active.push(ActiveEntry {
+                key: entry.key,
+                request: entry.request,
+                completion_s: completion,
+            });
+        }
+    }
+
+    /// Removes a live attempt of `req` from replica `idx` (the hedge
+    /// loser after its twin won). Returns the attempt's partial
+    /// generation as wasted tokens — zero if it was still queued. The
+    /// loser's scheduled completion event goes stale automatically: its
+    /// slot key's generation is bumped by the slab removal.
+    fn cancel_attempt(&mut self, idx: usize, req: &ClusterRequest, now_s: f64) -> u64 {
+        let r = &mut self.replicas[idx];
+        if let Some(pos) = r.queue.iter().position(|q| q.request == req.id) {
+            if let Some(entry) = r.queue.remove(pos) {
+                r.queued_backlog_s = (r.queued_backlog_s - entry.est_service_s).max(0.0);
+                r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+                self.slab.remove(entry.key);
+            }
+            0
+        } else if let Some(pos) = r.active.iter().position(|a| a.request == req.id) {
+            let entry = r.active.swap_remove(pos);
+            r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+            let Some(inf) = self.slab.remove(entry.key) else {
+                debug_assert!(false, "active entry must have a live slab record");
+                return 0;
+            };
+            // Refund the unrun tail of the slot; the run-so-far is waste.
+            r.busy_slot_s -= (inf.completion_s - now_s).max(0.0);
+            partial_tokens(&inf, req.gen_len, now_s)
+        } else {
+            0
+        }
+    }
+
+    /// Schedules another crash-recovery attempt for `request`, or
+    /// terminates it as failed when its per-request retries or the
+    /// fleet-wide budget are exhausted. Backoff is exponential with
+    /// deterministic seeded jitter.
+    #[allow(clippy::too_many_arguments)]
+    fn retry_or_fail(
+        &mut self,
+        request: usize,
+        now_s: f64,
+        req: &ClusterRequest,
+        chaos: &ChaosConfig,
+        retry_budget_left: &mut Option<u64>,
+        retry_rng: &mut SimRng,
+        sink: &mut dyn SpanSink,
+    ) {
+        let rt = &mut self.runtime[request];
+        let budget_ok = !matches!(*retry_budget_left, Some(0));
+        if rt.retries < chaos.retry.max_retries && budget_ok {
+            if let Some(b) = *retry_budget_left {
+                *retry_budget_left = Some(b - 1);
+            }
+            rt.retries += 1;
+            self.retries_total += 1;
+            let backoff_s = chaos.retry.base_backoff_s
+                * chaos.retry.multiplier.powi(rt.retries as i32 - 1)
+                * (1.0 + chaos.retry.jitter_frac * retry_rng.next_f64());
+            self.queue
+                .push(now_s + backoff_s, EventKind::Retry { request });
+        } else {
+            rt.resolved = true;
+            self.resolved += 1;
+            self.makespan_s = self.makespan_s.max(now_s);
+            self.outcomes[request] = Some(ClusterOutcome {
+                id: request,
+                model: req.model,
+                replica: None,
+                state: OutcomeState::Failed,
+                queue_delay_s: None,
+                ttft_s: None,
+                e2e_s: None,
+                tokens: 0,
+                retries: self.runtime[request].retries,
+                hedged: self.runtime[request].hedged,
+            });
+            if sink.enabled() {
+                sink.record(SpanRecord::failed(
+                    request as u64,
+                    req.model,
+                    req.arrival_s,
+                    now_s,
+                ));
+            }
+        }
+    }
+}
+
+/// Tokens a dispatched attempt had generated by `now_s`, pro-rated over
+/// its charged service time.
+pub(crate) fn partial_tokens(inf: &InFlight, gen_len: u64, now_s: f64) -> u64 {
+    if inf.service_s > 0.0 {
+        let frac = ((now_s - inf.dispatch_s) / inf.service_s).clamp(0.0, 1.0);
+        (gen_len as f64 * frac).floor() as u64
+    } else {
+        0
+    }
 }
 
 /// Runs the fleet simulation to completion and reports.
@@ -168,10 +614,14 @@ struct ReqRuntime {
 /// a request lost to crashes whose retries are exhausted terminates as
 /// *failed* instead.
 ///
+/// This is the fast engine; [`crate::simulate_fleet_legacy`] is the seed
+/// implementation it is benchmarked against and proven byte-identical to.
+///
 /// # Panics
 ///
-/// Panics if the fleet or model list is empty, if a request's model index
-/// is out of range, or if the chaos configuration is invalid.
+/// Panics if the fleet or model list is empty, if request ids are not a
+/// permutation of `0..requests.len()`, if a request's model index is out
+/// of range, or if the chaos configuration is invalid.
 pub fn simulate_fleet(
     config: &ClusterConfig,
     router: &mut dyn RouterPolicy,
@@ -188,7 +638,9 @@ pub fn simulate_fleet(
 /// is emitted to `sink` as a [`SpanRecord`] at its terminal event.
 /// Tracing is observational only: the returned report is bit-identical to
 /// [`simulate_fleet`]'s regardless of the sink (a proptest holds the
-/// engine to this).
+/// engine to this). The engine calls [`SpanSink::hint_len`] with the
+/// request count before the first record and [`SpanSink::finish`] after
+/// the last, so buffering sinks can reserve and flush without guesswork.
 ///
 /// # Panics
 ///
@@ -201,7 +653,8 @@ pub fn simulate_fleet_traced(
 ) -> FleetReport {
     assert!(!config.replicas.is_empty(), "fleet must have replicas");
     assert!(!config.models.is_empty(), "fleet must serve models");
-    for r in requests {
+    let mut pos_of_id: Vec<u32> = vec![u32::MAX; requests.len()];
+    for (pos, r) in requests.iter().enumerate() {
         assert!(
             r.model < config.models.len(),
             "request {} references model {} but the fleet serves {}",
@@ -209,6 +662,11 @@ pub fn simulate_fleet_traced(
             r.model,
             config.models.len()
         );
+        assert!(
+            r.id < requests.len() && pos_of_id[r.id] == u32::MAX,
+            "request ids must be unique and present (0..len)"
+        );
+        pos_of_id[r.id] = pos as u32;
     }
 
     let chaos = config.chaos.clone().unwrap_or_else(|| ChaosConfig::none(0));
@@ -216,21 +674,72 @@ pub fn simulate_fleet_traced(
     let mut retry_rng = SimRng::derive(chaos.seed, RETRY_JITTER_STREAM);
     let mut retry_budget_left: Option<u64> = chaos.retry.retry_budget;
 
-    let mut replicas: Vec<Replica> = config
+    let replicas: Vec<Replica> = config
         .replicas
         .iter()
         .map(|cfg| Replica::new(cfg.clone()))
         .collect();
-    let mut queue = EventQueue::new();
+    // Every arrival, every scheduled fault, one warmup/recovery per
+    // replica and the autoscaler tick fit without regrowing; completions
+    // reuse the space arrivals vacate.
+    let mut queue = EventQueue::with_capacity(
+        requests.len() + fault_schedule.len() + config.replicas.len() + 1,
+    );
 
     // Cold starters begin paging weights at t = 0.
-    for (i, replica) in replicas.iter_mut().enumerate() {
-        if replica.cfg.start == ReplicaStart::Cold {
-            let ready = replica.cfg.warmup_time(&config.models).as_f64();
-            replica.state = ReplicaState::Warming { ready_at_s: ready };
-            replica.warmups += 1;
-            queue.push(ready, EventKind::WarmupDone { replica: i });
+    let mut warmups_at_start: Vec<usize> = Vec::new();
+    for (i, cfg) in config.replicas.iter().enumerate() {
+        if cfg.start == ReplicaStart::Cold {
+            warmups_at_start.push(i);
         }
+    }
+    let mut engine = Engine {
+        config,
+        requests,
+        pos_of_id,
+        slab: Slab::with_capacity(
+            config
+                .replicas
+                .iter()
+                .map(|r| r.queue_cap)
+                .sum::<usize>()
+                .min(requests.len().max(1)),
+        ),
+        cache: PredictCache::new(&config.replicas),
+        views: replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ReplicaView {
+                idx: i,
+                now_s: 0.0,
+                name: r.cfg.backend.name(),
+                queue_len: 0,
+                active: 0,
+                queue_cap: 0,
+                max_batch: r.cfg.max_batch,
+                outstanding_tokens: 0,
+                warm: false,
+                warmup_remaining_s: 0.0,
+                est_start_delay_s: 0.0,
+                est_service_s: 0.0,
+                resident: false,
+            })
+            .collect(),
+        replicas,
+        queue: EventQueue::new(),
+        runtime: vec![ReqRuntime::default(); requests.len()],
+        outcomes: vec![None; requests.len()],
+        resolved: 0,
+        makespan_s: 0.0,
+        wasted_tokens: 0,
+        retries_total: 0,
+        hedges_total: 0,
+    };
+    for &i in &warmups_at_start {
+        let ready = engine.replicas[i].cfg.warmup_time(&config.models).as_f64();
+        engine.replicas[i].state = ReplicaState::Warming { ready_at_s: ready };
+        engine.replicas[i].warmups += 1;
+        queue.push(ready, EventKind::WarmupDone { replica: i });
     }
     // The entire fault schedule goes in at setup, before any arrival or
     // completion: a fault tied with another event on the timestamp fires
@@ -244,64 +753,52 @@ pub fn simulate_fleet_traced(
     if let Some(auto) = &config.autoscale {
         queue.push(auto.interval_s, EventKind::ScaleTick);
     }
+    engine.queue = queue;
 
-    let by_id = |id: usize| {
-        requests
-            .iter()
-            .find(|r| r.id == id)
-            .expect("request ids must be unique and present")
-    };
-
-    let mut outcomes: Vec<Option<ClusterOutcome>> = vec![None; requests.len()];
-    let mut runtime: Vec<ReqRuntime> = vec![ReqRuntime::default(); requests.len()];
-    let mut resolved = 0usize;
-    let mut makespan_s = 0.0f64;
     let mut scale_ups = 0u64;
     let mut scale_downs = 0u64;
-    let mut wasted_tokens = 0u64;
-    let mut retries_total = 0u64;
-    let mut hedges_total = 0u64;
+    let mut events_processed = 0u64;
+    let mut peak_in_flight = 0u64;
 
-    while let Some(event) = queue.pop() {
+    sink.hint_len(requests.len());
+
+    while let Some(event) = engine.queue.pop() {
+        events_processed += 1;
         let now = event.time_s;
         match event.kind {
             EventKind::Arrival { request } => {
-                let req = *by_id(request);
-                match route_once(&req, now, &[], &replicas, config, router) {
+                let req = engine.request(request);
+                match engine.route_once(&req, now, &[], router) {
                     Some(i) => {
-                        admit(
-                            i,
-                            &req,
-                            now,
-                            &mut replicas,
-                            config,
-                            requests,
-                            &mut queue,
-                            sink,
-                        );
-                        runtime[request].attempts.push(i);
+                        engine.admit(i, &req, now, sink);
+                        engine.runtime[request].attempts.push(i);
                         if let Some(h) = &chaos.hedge {
                             // Hedge deadline: a fraction of the e2e SLO,
                             // or of the routed replica's own service
                             // estimate when the fleet has no SLO.
                             let deadline_s = match &config.slo {
                                 Some(slo) => slo.e2e_s,
-                                None => predict_service_s(
-                                    replicas[i].cfg.backend.as_ref(),
-                                    &config.models[req.model],
-                                    1,
-                                    req.prompt_len,
-                                    req.gen_len,
-                                ),
+                                None => {
+                                    let model = &config.models[req.model];
+                                    engine.cache.service(
+                                        i,
+                                        engine.replicas[i].cfg.backend.as_ref(),
+                                        req.model,
+                                        model,
+                                        1,
+                                        req.prompt_len,
+                                        req.gen_len,
+                                    )
+                                }
                             };
-                            queue.push(
+                            engine.queue.push(
                                 req.arrival_s + h.after_frac * deadline_s,
                                 EventKind::HedgeFire { request },
                             );
                         }
                     }
                     None => {
-                        outcomes[request] = Some(ClusterOutcome {
+                        engine.outcomes[request] = Some(ClusterOutcome {
                             id: request,
                             model: req.model,
                             replica: None,
@@ -313,8 +810,8 @@ pub fn simulate_fleet_traced(
                             retries: 0,
                             hedged: false,
                         });
-                        runtime[request].resolved = true;
-                        resolved += 1;
+                        engine.runtime[request].resolved = true;
+                        engine.resolved += 1;
                         if sink.enabled() {
                             sink.record(SpanRecord::rejected(
                                 request as u64,
@@ -326,119 +823,80 @@ pub fn simulate_fleet_traced(
                 }
             }
             EventKind::Retry { request } => {
-                if runtime[request].resolved {
+                if engine.runtime[request].resolved {
                     continue;
                 }
-                let req = *by_id(request);
-                match route_once(&req, now, &[], &replicas, config, router) {
+                let req = engine.request(request);
+                match engine.route_once(&req, now, &[], router) {
                     Some(i) => {
-                        admit(
-                            i,
-                            &req,
-                            now,
-                            &mut replicas,
-                            config,
-                            requests,
-                            &mut queue,
-                            sink,
-                        );
-                        runtime[request].attempts.push(i);
+                        engine.admit(i, &req, now, sink);
+                        engine.runtime[request].attempts.push(i);
                     }
                     // Nowhere to go right now: burns another retry (or
                     // terminates) rather than waiting forever.
-                    None => retry_or_fail(
+                    None => engine.retry_or_fail(
                         request,
                         now,
                         &req,
                         &chaos,
-                        &mut runtime,
                         &mut retry_budget_left,
                         &mut retry_rng,
-                        &mut retries_total,
-                        &mut queue,
-                        &mut outcomes,
-                        &mut resolved,
-                        &mut makespan_s,
                         sink,
                     ),
                 }
             }
             EventKind::HedgeFire { request } => {
-                let rt = &runtime[request];
+                let rt = &engine.runtime[request];
                 if rt.resolved || rt.hedged || rt.attempts.is_empty() {
                     continue;
                 }
-                let exclude = rt.attempts.clone();
-                let req = *by_id(request);
-                if let Some(i) = route_once(&req, now, &exclude, &replicas, config, router) {
-                    runtime[request].hedged = true;
-                    hedges_total += 1;
-                    admit(
-                        i,
-                        &req,
-                        now,
-                        &mut replicas,
-                        config,
-                        requests,
-                        &mut queue,
-                        sink,
-                    );
-                    runtime[request].attempts.push(i);
+                let mut exclude = [0usize; 2];
+                let n_exclude = rt.attempts.as_slice().len();
+                exclude[..n_exclude].copy_from_slice(rt.attempts.as_slice());
+                let req = engine.request(request);
+                if let Some(i) = engine.route_once(&req, now, &exclude[..n_exclude], router) {
+                    engine.runtime[request].hedged = true;
+                    engine.hedges_total += 1;
+                    engine.admit(i, &req, now, sink);
+                    engine.runtime[request].attempts.push(i);
                 }
             }
             EventKind::WarmupDone { replica } => {
-                if let ReplicaState::Warming { ready_at_s } = replicas[replica].state {
+                if let ReplicaState::Warming { ready_at_s } = engine.replicas[replica].state {
                     if ready_at_s <= now {
-                        replicas[replica].state = ReplicaState::Warm;
-                        try_dispatch(
-                            replica,
-                            now,
-                            &mut replicas,
-                            config,
-                            requests,
-                            &mut queue,
-                            sink,
-                        );
+                        engine.replicas[replica].state = ReplicaState::Warm;
+                        engine.try_dispatch(replica, now, sink);
                     }
                 }
             }
-            EventKind::Completion {
-                replica,
-                request,
-                epoch,
-            } => {
-                if replicas[replica].epoch != epoch {
-                    // Scheduled before a crash destroyed the attempt.
-                    continue;
-                }
-                let Some(slot) = replicas[replica]
-                    .active
-                    .iter()
-                    .position(|a| a.request == request)
-                else {
-                    // Hedge loser: cancelled when its twin won.
+            EventKind::SlotDone { replica, slot } => {
+                // A stale key (crash destroyed the attempt, or a hedge
+                // twin won and cancelled it) simply fails to resolve —
+                // the slab removal that invalidated it already bumped the
+                // slot's generation.
+                let Some(inflight) = engine.slab.remove(slot) else {
                     continue;
                 };
-                let inflight = replicas[replica].active.swap_remove(slot);
-                let req = *by_id(request);
-                replicas[replica].outstanding_tokens = replicas[replica]
-                    .outstanding_tokens
-                    .saturating_sub(req.total_tokens());
-                makespan_s = makespan_s.max(now);
-                resolved += 1;
-                let rt = &mut runtime[request];
+                let request = inflight.request;
+                let r = &mut engine.replicas[replica];
+                let Some(pos) = r.active.iter().position(|a| a.key == slot) else {
+                    debug_assert!(false, "a live dispatched slot must be in `active`");
+                    continue;
+                };
+                r.active.swap_remove(pos);
+                let req = engine.request(request);
+                let r = &mut engine.replicas[replica];
+                r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+                engine.makespan_s = engine.makespan_s.max(now);
+                engine.resolved += 1;
+                let rt = &mut engine.runtime[request];
                 rt.resolved = true;
-                let losers: Vec<usize> = rt
-                    .attempts
-                    .iter()
-                    .copied()
-                    .filter(|&r| r != replica)
-                    .collect();
+                let losers = rt.attempts;
                 rt.attempts.clear();
                 if let Some(mut out) = inflight.pending {
-                    out.retries = rt.retries;
-                    out.hedged = rt.hedged;
-                    outcomes[request] = Some(out);
+                    out.retries = engine.runtime[request].retries;
+                    out.hedged = engine.runtime[request].hedged;
+                    engine.outcomes[request] = Some(out);
                 }
                 if let Some(span) = inflight.span {
                     sink.record(span);
@@ -447,33 +905,26 @@ pub fn simulate_fleet_traced(
                     replica,
                     now_s: now,
                 });
-                for loser in losers {
-                    wasted_tokens += cancel_attempt(loser, &req, now, &mut replicas);
-                    try_dispatch(
-                        loser,
-                        now,
-                        &mut replicas,
-                        config,
-                        requests,
-                        &mut queue,
-                        sink,
-                    );
+                for &loser in losers.as_slice() {
+                    if loser == replica {
+                        continue;
+                    }
+                    engine.wasted_tokens += engine.cancel_attempt(loser, &req, now);
+                    engine.try_dispatch(loser, now, sink);
                 }
-                try_dispatch(
-                    replica,
-                    now,
-                    &mut replicas,
-                    config,
-                    requests,
-                    &mut queue,
-                    sink,
+                engine.try_dispatch(replica, now, sink);
+            }
+            EventKind::Completion { .. } => {
+                debug_assert!(
+                    false,
+                    "the fast engine schedules SlotDone, never Completion"
                 );
             }
             EventKind::Fault { fault } => {
                 let f = fault_schedule[fault];
                 match f.kind {
                     FaultKind::Crash => {
-                        let r = &mut replicas[f.replica];
+                        let r = &mut engine.replicas[f.replica];
                         if matches!(r.state, ReplicaState::Standby | ReplicaState::Failed { .. }) {
                             // Parked or already down: nothing to kill.
                             continue;
@@ -481,19 +932,29 @@ pub fn simulate_fleet_traced(
                         r.epoch += 1;
                         r.crashes += 1;
                         r.warmups += 1;
-                        let queued: Vec<InFlight> = r.queue.drain(..).collect();
-                        let active: Vec<InFlight> = std::mem::take(&mut r.active);
+                        let queued: Vec<QueuedEntry> = r.queue.drain(..).collect();
+                        let active: Vec<ActiveEntry> = std::mem::take(&mut r.active);
                         r.outstanding_tokens = 0;
                         r.queued_backlog_s = 0.0;
-                        // Refund unrun service; the partial run is waste.
-                        for inf in &active {
-                            r.busy_slot_s -= (inf.completion_s - now).max(0.0);
-                            wasted_tokens += partial_tokens(inf, by_id(inf.request).gen_len, now);
+                        for q in &queued {
+                            engine.slab.remove(q.key);
                         }
+                        // Refund unrun service; the partial run is waste.
+                        for a in &active {
+                            let Some(inf) = engine.slab.remove(a.key) else {
+                                debug_assert!(false, "active entry must have a live slab record");
+                                continue;
+                            };
+                            let gen_len = engine.request(inf.request).gen_len;
+                            let r = &mut engine.replicas[f.replica];
+                            r.busy_slot_s -= (inf.completion_s - now).max(0.0);
+                            engine.wasted_tokens += partial_tokens(&inf, gen_len, now);
+                        }
+                        let r = &mut engine.replicas[f.replica];
                         let ready = now + r.cfg.warmup_time(&config.models).as_f64();
                         let epoch = r.epoch;
                         r.state = ReplicaState::Failed { ready_at_s: ready };
-                        queue.push(
+                        engine.queue.push(
                             ready,
                             EventKind::RecoveryDone {
                                 replica: f.replica,
@@ -504,46 +965,43 @@ pub fn simulate_fleet_traced(
                             replica: f.replica,
                             now_s: now,
                         });
-                        for inf in queued.iter().chain(active.iter()) {
-                            let victim = inf.request;
-                            let rt = &mut runtime[victim];
-                            rt.attempts.retain(|&x| x != f.replica);
+                        for victim in queued
+                            .iter()
+                            .map(|q| q.request)
+                            .chain(active.iter().map(|a| a.request))
+                        {
+                            let rt = &mut engine.runtime[victim];
+                            rt.attempts.remove(f.replica);
                             if rt.resolved || !rt.attempts.is_empty() {
                                 // A hedge twin is still alive elsewhere.
                                 continue;
                             }
-                            let req = *by_id(victim);
-                            retry_or_fail(
+                            let req = engine.request(victim);
+                            engine.retry_or_fail(
                                 victim,
                                 now,
                                 &req,
                                 &chaos,
-                                &mut runtime,
                                 &mut retry_budget_left,
                                 &mut retry_rng,
-                                &mut retries_total,
-                                &mut queue,
-                                &mut outcomes,
-                                &mut resolved,
-                                &mut makespan_s,
                                 sink,
                             );
                         }
                     }
                     FaultKind::Slowdown { factor, duration_s } => {
-                        let r = &mut replicas[f.replica];
+                        let r = &mut engine.replicas[f.replica];
                         r.slow_factor = factor;
                         r.slow_until_s = r.slow_until_s.max(now + duration_s);
                     }
                     FaultKind::Partition { duration_s } => {
-                        let r = &mut replicas[f.replica];
+                        let r = &mut engine.replicas[f.replica];
                         r.partitioned_until_s = r.partitioned_until_s.max(now + duration_s);
                     }
                     FaultKind::Drain { duration_s } => {
-                        let r = &mut replicas[f.replica];
+                        let r = &mut engine.replicas[f.replica];
                         if r.state == ReplicaState::Warm {
                             r.state = ReplicaState::Draining;
-                            queue.push(
+                            engine.queue.push(
                                 now + duration_s,
                                 EventKind::DrainEnd {
                                     replica: f.replica,
@@ -555,7 +1013,7 @@ pub fn simulate_fleet_traced(
                 }
             }
             EventKind::RecoveryDone { replica, epoch } => {
-                let r = &mut replicas[replica];
+                let r = &mut engine.replicas[replica];
                 if r.epoch != epoch {
                     // A second crash struck mid-recovery; its own
                     // RecoveryDone supersedes this one.
@@ -563,37 +1021,21 @@ pub fn simulate_fleet_traced(
                 }
                 if matches!(r.state, ReplicaState::Failed { .. }) {
                     r.state = ReplicaState::Warm;
-                    try_dispatch(
-                        replica,
-                        now,
-                        &mut replicas,
-                        config,
-                        requests,
-                        &mut queue,
-                        sink,
-                    );
+                    engine.try_dispatch(replica, now, sink);
                 }
             }
             EventKind::DrainEnd { replica, epoch } => {
-                let r = &mut replicas[replica];
+                let r = &mut engine.replicas[replica];
                 if r.epoch == epoch && r.state == ReplicaState::Draining {
                     r.state = ReplicaState::Warm;
-                    try_dispatch(
-                        replica,
-                        now,
-                        &mut replicas,
-                        config,
-                        requests,
-                        &mut queue,
-                        sink,
-                    );
+                    engine.try_dispatch(replica, now, sink);
                 }
             }
             EventKind::ScaleTick => {
                 let Some(auto) = &config.autoscale else {
                     continue;
                 };
-                for r in replicas.iter_mut() {
+                for r in engine.replicas.iter_mut() {
                     if r.state == ReplicaState::Warm && r.in_flight() == 0 {
                         r.idle_ticks += 1;
                     } else {
@@ -601,17 +1043,20 @@ pub fn simulate_fleet_traced(
                     }
                 }
                 let gauge = FleetGauge {
-                    active_replicas: replicas.iter().filter(|r| r.routable(now)).count(),
-                    standby_replicas: replicas
+                    active_replicas: engine.replicas.iter().filter(|r| r.routable(now)).count(),
+                    standby_replicas: engine
+                        .replicas
                         .iter()
                         .filter(|r| r.state == ReplicaState::Standby)
                         .count(),
-                    in_flight: replicas
+                    in_flight: engine
+                        .replicas
                         .iter()
                         .filter(|r| r.routable(now))
                         .map(Replica::in_flight)
                         .sum(),
-                    idle_eligible: replicas
+                    idle_eligible: engine
+                        .replicas
                         .iter()
                         .filter(|r| {
                             r.state == ReplicaState::Warm
@@ -619,50 +1064,66 @@ pub fn simulate_fleet_traced(
                                 && r.idle_ticks >= auto.scale_down_idle_ticks
                         })
                         .count(),
-                    failed_replicas: replicas
+                    failed_replicas: engine
+                        .replicas
                         .iter()
                         .filter(|r| matches!(r.state, ReplicaState::Failed { .. }))
                         .count(),
                 };
                 match auto.decide(gauge) {
                     ScaleDecision::Up => {
-                        if let Some(i) = replicas
+                        if let Some(i) = engine
+                            .replicas
                             .iter()
                             .position(|r| r.state == ReplicaState::Standby)
                         {
-                            let ready = now + replicas[i].cfg.warmup_time(&config.models).as_f64();
-                            replicas[i].state = ReplicaState::Warming { ready_at_s: ready };
-                            replicas[i].warmups += 1;
+                            let ready =
+                                now + engine.replicas[i].cfg.warmup_time(&config.models).as_f64();
+                            engine.replicas[i].state = ReplicaState::Warming { ready_at_s: ready };
+                            engine.replicas[i].warmups += 1;
                             scale_ups += 1;
-                            queue.push(ready, EventKind::WarmupDone { replica: i });
+                            engine
+                                .queue
+                                .push(ready, EventKind::WarmupDone { replica: i });
                         }
                     }
                     ScaleDecision::Down => {
-                        if let Some(i) = replicas.iter().position(|r| {
+                        if let Some(i) = engine.replicas.iter().position(|r| {
                             r.state == ReplicaState::Warm
                                 && r.in_flight() == 0
                                 && r.idle_ticks >= auto.scale_down_idle_ticks
                         }) {
-                            replicas[i].state = ReplicaState::Standby;
-                            replicas[i].idle_ticks = 0;
+                            engine.replicas[i].state = ReplicaState::Standby;
+                            engine.replicas[i].idle_ticks = 0;
                             scale_downs += 1;
                         }
                     }
                     ScaleDecision::Hold => {}
                 }
                 // Keep ticking only while work remains unresolved.
-                if resolved < requests.len() {
-                    queue.push(now + auto.interval_s, EventKind::ScaleTick);
+                if engine.resolved < requests.len() {
+                    engine
+                        .queue
+                        .push(now + auto.interval_s, EventKind::ScaleTick);
                 }
             }
         }
+        let in_flight_now: usize = engine.replicas.iter().map(Replica::in_flight).sum();
+        peak_in_flight = peak_in_flight.max(in_flight_now as u64);
     }
+    sink.finish();
 
-    debug_assert_eq!(resolved, requests.len(), "every request must terminate");
-    let outcomes: Vec<ClusterOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every request must have a terminal outcome"))
-        .collect();
+    debug_assert_eq!(
+        engine.resolved,
+        requests.len(),
+        "every request must terminate"
+    );
+    let outcomes: Vec<ClusterOutcome> = engine.outcomes.into_iter().flatten().collect();
+    assert_eq!(
+        outcomes.len(),
+        requests.len(),
+        "every request must have a terminal outcome"
+    );
 
     let generated_tokens: u64 = outcomes.iter().map(|o| o.tokens).sum();
     let goodput_tokens: u64 = outcomes
@@ -677,8 +1138,10 @@ pub fn simulate_fleet_traced(
         .map(|o| o.tokens)
         .sum();
 
-    let crashes: u64 = replicas.iter().map(|r| r.crashes).sum();
-    let replica_stats = replicas
+    let crashes: u64 = engine.replicas.iter().map(|r| r.crashes).sum();
+    let makespan_s = engine.makespan_s;
+    let replica_stats = engine
+        .replicas
         .iter()
         .map(|r| ReplicaStats {
             name: r.cfg.backend.name(),
@@ -700,289 +1163,16 @@ pub fn simulate_fleet_traced(
         makespan_s,
         generated_tokens,
         goodput_tokens,
-        wasted_tokens,
-        retries: retries_total,
-        hedges: hedges_total,
+        wasted_tokens: engine.wasted_tokens,
+        retries: engine.retries_total,
+        hedges: engine.hedges_total,
         crashes,
         slo: config.slo,
         replicas: replica_stats,
         scale_ups,
         scale_downs,
-    }
-}
-
-/// Routes one attempt of `req` at `now_s`: builds the fleet snapshot
-/// (hiding `exclude`d replicas — those already hosting an attempt of this
-/// request), asks the policy, and re-validates the choice.
-fn route_once(
-    req: &ClusterRequest,
-    now_s: f64,
-    exclude: &[usize],
-    replicas: &[Replica],
-    config: &ClusterConfig,
-    router: &mut dyn RouterPolicy,
-) -> Option<usize> {
-    let views: Vec<ReplicaView> = replicas
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let mut v = view_of(i, r, &config.models[req.model], req, now_s);
-            if exclude.contains(&i) {
-                v.queue_cap = 0;
-            }
-            v
-        })
-        .collect();
-    router
-        .route(req, &views)
-        .filter(|&i| i < replicas.len() && replicas[i].can_accept(now_s) && !exclude.contains(&i))
-}
-
-/// Enqueues one attempt of `req` on replica `i` and dispatches if a slot
-/// is free.
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    i: usize,
-    req: &ClusterRequest,
-    now_s: f64,
-    replicas: &mut [Replica],
-    config: &ClusterConfig,
-    requests: &[ClusterRequest],
-    queue: &mut EventQueue,
-    sink: &mut dyn SpanSink,
-) {
-    let est = predict_service_s(
-        replicas[i].cfg.backend.as_ref(),
-        &config.models[req.model],
-        1,
-        req.prompt_len,
-        req.gen_len,
-    );
-    replicas[i].queue.push_back(InFlight::queued(req.id, est));
-    replicas[i].outstanding_tokens += req.total_tokens();
-    replicas[i].queued_backlog_s += est;
-    try_dispatch(i, now_s, replicas, config, requests, queue, sink);
-}
-
-/// Schedules another crash-recovery attempt for `request`, or terminates
-/// it as failed when its per-request retries or the fleet-wide budget are
-/// exhausted. Backoff is exponential with deterministic seeded jitter.
-#[allow(clippy::too_many_arguments)]
-fn retry_or_fail(
-    request: usize,
-    now_s: f64,
-    req: &ClusterRequest,
-    chaos: &ChaosConfig,
-    runtime: &mut [ReqRuntime],
-    retry_budget_left: &mut Option<u64>,
-    retry_rng: &mut SimRng,
-    retries_total: &mut u64,
-    queue: &mut EventQueue,
-    outcomes: &mut [Option<ClusterOutcome>],
-    resolved: &mut usize,
-    makespan_s: &mut f64,
-    sink: &mut dyn SpanSink,
-) {
-    let rt = &mut runtime[request];
-    let budget_ok = !matches!(*retry_budget_left, Some(0));
-    if rt.retries < chaos.retry.max_retries && budget_ok {
-        if let Some(b) = *retry_budget_left {
-            *retry_budget_left = Some(b - 1);
-        }
-        rt.retries += 1;
-        *retries_total += 1;
-        let backoff_s = chaos.retry.base_backoff_s
-            * chaos.retry.multiplier.powi(rt.retries as i32 - 1)
-            * (1.0 + chaos.retry.jitter_frac * retry_rng.next_f64());
-        queue.push(now_s + backoff_s, EventKind::Retry { request });
-    } else {
-        rt.resolved = true;
-        *resolved += 1;
-        *makespan_s = makespan_s.max(now_s);
-        outcomes[request] = Some(ClusterOutcome {
-            id: request,
-            model: req.model,
-            replica: None,
-            state: OutcomeState::Failed,
-            queue_delay_s: None,
-            ttft_s: None,
-            e2e_s: None,
-            tokens: 0,
-            retries: rt.retries,
-            hedged: rt.hedged,
-        });
-        if sink.enabled() {
-            sink.record(SpanRecord::failed(
-                request as u64,
-                req.model,
-                req.arrival_s,
-                now_s,
-            ));
-        }
-    }
-}
-
-/// Removes a live attempt of `req` from replica `idx` (the hedge loser
-/// after its twin won). Returns the attempt's partial generation as
-/// wasted tokens — zero if it was still queued. The loser's scheduled
-/// completion event, if any, becomes stale (no matching active entry).
-fn cancel_attempt(idx: usize, req: &ClusterRequest, now_s: f64, replicas: &mut [Replica]) -> u64 {
-    let r = &mut replicas[idx];
-    if let Some(pos) = r.queue.iter().position(|q| q.request == req.id) {
-        if let Some(inf) = r.queue.remove(pos) {
-            r.queued_backlog_s = (r.queued_backlog_s - inf.est_service_s).max(0.0);
-            r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
-        }
-        0
-    } else if let Some(pos) = r.active.iter().position(|a| a.request == req.id) {
-        let inf = r.active.swap_remove(pos);
-        r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
-        // Refund the unrun tail of the slot; the run-so-far is waste.
-        r.busy_slot_s -= (inf.completion_s - now_s).max(0.0);
-        partial_tokens(&inf, req.gen_len, now_s)
-    } else {
-        0
-    }
-}
-
-/// Tokens a dispatched attempt had generated by `now_s`, pro-rated over
-/// its charged service time.
-fn partial_tokens(inf: &InFlight, gen_len: u64, now_s: f64) -> u64 {
-    if inf.service_s > 0.0 {
-        let frac = ((now_s - inf.dispatch_s) / inf.service_s).clamp(0.0, 1.0);
-        (gen_len as f64 * frac).floor() as u64
-    } else {
-        0
-    }
-}
-
-/// Snapshot one replica for the router, pricing `req` on its backend.
-fn view_of(
-    idx: usize,
-    replica: &Replica,
-    model: &ModelConfig,
-    req: &ClusterRequest,
-    now_s: f64,
-) -> ReplicaView {
-    let routable = replica.routable(now_s);
-    ReplicaView {
-        idx,
-        now_s,
-        name: replica.cfg.backend.name(),
-        queue_len: replica.queue.len(),
-        active: replica.active.len(),
-        // Standbys (and failed, draining or partitioned replicas) are
-        // invisible to routers: report zero capacity.
-        queue_cap: if routable { replica.cfg.queue_cap } else { 0 },
-        max_batch: replica.cfg.max_batch,
-        outstanding_tokens: replica.outstanding_tokens,
-        warm: replica.state == ReplicaState::Warm,
-        warmup_remaining_s: replica.warmup_remaining_s(now_s),
-        est_start_delay_s: replica.est_start_delay_s(now_s),
-        est_service_s: predict_service_s(
-            replica.cfg.backend.as_ref(),
-            model,
-            1,
-            req.prompt_len,
-            req.gen_len,
-        ),
-        resident: replica.cfg.backend.holds_resident(model),
-    }
-}
-
-/// Moves queued requests into free batch slots on a warm (or draining)
-/// replica, scheduling their completions. Service time is priced at the
-/// batch width *after* admission, so later co-runners slow a dispatch
-/// down exactly as batching does on the single-server simulator, then
-/// scaled by any open slowdown window. The outcome and span this attempt
-/// will report are computed here — at dispatch, from dispatch-time values
-/// — but emitted only when the completion event survives to fire.
-fn try_dispatch(
-    idx: usize,
-    now_s: f64,
-    replicas: &mut [Replica],
-    config: &ClusterConfig,
-    requests: &[ClusterRequest],
-    queue: &mut EventQueue,
-    sink: &mut dyn SpanSink,
-) {
-    loop {
-        let r = &mut replicas[idx];
-        if !r.can_dispatch() || (r.active.len() as u64) >= r.cfg.max_batch || r.queue.is_empty() {
-            return;
-        }
-        let Some(mut inflight) = r.queue.pop_front() else {
-            return;
-        };
-        r.queued_backlog_s = (r.queued_backlog_s - inflight.est_service_s).max(0.0);
-
-        let req = requests
-            .iter()
-            .find(|q| q.id == inflight.request)
-            .expect("dispatched request must exist");
-        let model = &config.models[req.model];
-        let batch = r.active.len() as u64 + 1;
-        // Multiplying by the slowdown factor is exact: the factor is 1.0
-        // outside any window, and x × 1.0 is bitwise x.
-        let slow = r.slowdown_at(now_s);
-        let prefill = r
-            .cfg
-            .backend
-            .prefill_time(model, batch, req.prompt_len)
-            .as_f64()
-            * slow;
-        let service = predict_service_s(
-            r.cfg.backend.as_ref(),
-            model,
-            batch,
-            req.prompt_len,
-            req.gen_len,
-        ) * slow;
-        let queue_delay = now_s - req.arrival_s;
-        let completion = now_s + service;
-
-        r.busy_slot_s += service;
-        r.dispatched += 1;
-        inflight.completion_s = completion;
-        inflight.dispatch_s = now_s;
-        inflight.service_s = service;
-        inflight.pending = Some(ClusterOutcome {
-            id: req.id,
-            model: req.model,
-            replica: Some(idx),
-            state: OutcomeState::Completed,
-            queue_delay_s: Some(queue_delay),
-            ttft_s: Some(queue_delay + prefill),
-            e2e_s: Some(queue_delay + service),
-            tokens: req.gen_len,
-            retries: 0,
-            hedged: false,
-        });
-        if sink.enabled() {
-            inflight.span = Some(SpanRecord {
-                id: req.id as u64,
-                model: req.model,
-                replica: Some(idx),
-                outcome: SpanOutcome::Completed,
-                arrival_s: req.arrival_s,
-                queue_delay_s: queue_delay,
-                dispatch_s: now_s,
-                prefill_end_s: now_s + prefill,
-                decode_s: service - prefill,
-                decode_steps: req.gen_len.saturating_sub(1),
-                completion_s: completion,
-                batch_at_dispatch: batch,
-            });
-        }
-        queue.push(
-            completion,
-            EventKind::Completion {
-                replica: idx,
-                request: req.id,
-                epoch: r.epoch,
-            },
-        );
-        r.active.push(inflight);
+        events_processed,
+        peak_in_flight,
     }
 }
 
@@ -1042,6 +1232,19 @@ mod tests {
         let b = simulate_fleet(&config, &mut JoinShortestQueue, &reqs);
         assert_eq!(a.render(), b.render());
         assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+    }
+
+    #[test]
+    fn engine_counters_are_populated() {
+        let config = cpu_fleet(2);
+        let reqs = trace(20, 0.05);
+        let report = simulate_fleet(&config, &mut RoundRobin::new(), &reqs);
+        // At minimum one arrival event per request was processed.
+        assert!(report.events_processed >= reqs.len() as u64);
+        assert!(report.peak_in_flight >= 1);
+        assert!(report.peak_in_flight <= reqs.len() as u64);
+        assert!(report.render().contains("events="));
+        assert!(report.render().contains("peak_in_flight="));
     }
 
     #[test]
@@ -1185,5 +1388,25 @@ mod tests {
         assert_eq!(report.completed(), 2);
         assert_eq!(report.rejected(), 8);
         assert!(report.reject_rate() > 0.7);
+    }
+
+    #[test]
+    fn shared_backend_arc_shares_one_prediction_group() {
+        // Pricing must be identical whether replicas share one backend
+        // Arc (one memo group) or own four equal backends (four groups):
+        // grouping is a lookup optimization, never a semantic input.
+        let shared: Arc<dyn CostModel + Send + Sync> = Arc::new(CpuBackend::paper_spr());
+        let config_shared = ClusterConfig::new(
+            (0..4)
+                .map(|_| ReplicaConfig::warm(shared.clone()))
+                .collect(),
+            vec![families::opt_13b()],
+        );
+        let config_owned = cpu_fleet(4);
+        let reqs = trace(40, 0.02);
+        let a = simulate_fleet(&config_shared, &mut RoundRobin::new(), &reqs);
+        let b = simulate_fleet(&config_owned, &mut RoundRobin::new(), &reqs);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
     }
 }

@@ -14,6 +14,7 @@
 //! as a crash victim. This is deterministic, documented, and pinned by a
 //! regression test in `tests/chaos.rs`.
 
+use crate::slab::SlotKey;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -30,12 +31,18 @@ pub(crate) enum EventKind {
     /// Request `request` finishes service on `replica`. `epoch` is the
     /// replica's crash epoch at dispatch: a completion whose epoch lags
     /// the replica's current one was scheduled before a crash destroyed
-    /// the attempt, and is ignored as stale.
+    /// the attempt, and is ignored as stale. Used by the legacy engine;
+    /// the fast path schedules [`EventKind::SlotDone`] instead.
     Completion {
         replica: usize,
         request: usize,
         epoch: u64,
     },
+    /// The slab slot `slot` on `replica` finishes service (fast engine's
+    /// completion event). Staleness needs no epoch: a crash or a lost
+    /// hedge race removes the slot from the slab, bumping its generation,
+    /// so the key embedded here simply stops resolving.
+    SlotDone { replica: usize, slot: SlotKey },
     /// Injected fault `fault` (index into the chaos schedule) strikes.
     Fault { fault: usize },
     /// Replica `replica` finishes its post-crash cold restart (stale if
@@ -92,6 +99,17 @@ pub(crate) struct EventQueue {
 impl EventQueue {
     pub(crate) fn new() -> Self {
         EventQueue::default()
+    }
+
+    /// An empty queue with heap room for `cap` events. The engines size
+    /// this from the request count plus fleet size, so a million-request
+    /// replay never pays a mid-run heap regrow (each of which copies
+    /// every pending event).
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `kind` at `time_s`.

@@ -50,15 +50,19 @@
 
 pub mod autoscale;
 mod engine;
+mod engine_legacy;
 mod event;
 pub mod faults;
 pub mod metrics;
 pub mod replay;
 mod replica;
 pub mod router;
+pub mod shard;
+mod slab;
 
 pub use autoscale::AutoscaleConfig;
 pub use engine::{simulate_fleet, simulate_fleet_traced, ClusterConfig, ClusterRequest};
+pub use engine_legacy::{simulate_fleet_legacy, simulate_fleet_traced_legacy};
 pub use faults::{ChaosConfig, FaultEvent, FaultInjection, FaultKind, HedgePolicy};
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
 pub use replay::{bind_requests, parse_and_bind, UnknownModelError};
@@ -67,3 +71,4 @@ pub use router::{
     HealthAware, HealthSignal, HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView,
     RoundRobin, RouterPolicy,
 };
+pub use shard::{merge_reports, shard_fleet, simulate_shards, simulate_shards_traced, FleetShard};

@@ -8,6 +8,7 @@
 //! than being a free parameter. That makes scale-up latency a property of
 //! the machines, exactly like every other latency in the simulator.
 
+use crate::slab::SlotKey;
 use llmsim_core::CostModel;
 use llmsim_hw::Seconds;
 use llmsim_model::ModelConfig;
@@ -176,13 +177,40 @@ impl InFlight {
     }
 }
 
+/// A waiting request's slim handle: the [`InFlight`] record itself lives
+/// in the engine's slab; the queue holds only what routing and dispatch
+/// scan for (16 bytes + key vs ~200 bytes inline).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedEntry {
+    /// Slab handle of the full record.
+    pub key: SlotKey,
+    /// Index into the workload (what cancellation scans match on).
+    pub request: usize,
+    /// Routing-time service estimate, mirrored out of the record so the
+    /// queued-backlog gauge updates without a slab lookup.
+    pub est_service_s: f64,
+}
+
+/// An in-service request's slim handle; `completion_s` is mirrored so
+/// slot-availability estimates ([`Replica::est_start_delay_s`]) never
+/// touch the slab.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActiveEntry {
+    /// Slab handle of the full record.
+    pub key: SlotKey,
+    /// Index into the workload.
+    pub request: usize,
+    /// Exact completion time of this attempt.
+    pub completion_s: f64,
+}
+
 /// Runtime state of one replica.
 #[derive(Debug)]
 pub(crate) struct Replica {
     pub cfg: ReplicaConfig,
     pub state: ReplicaState,
-    pub queue: VecDeque<InFlight>,
-    pub active: Vec<InFlight>,
+    pub queue: VecDeque<QueuedEntry>,
+    pub active: Vec<ActiveEntry>,
     /// Prompt + generation tokens across queue and active slots.
     pub outstanding_tokens: u64,
     /// Sum of routing-time service estimates over *queued* requests.

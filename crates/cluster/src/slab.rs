@@ -1,0 +1,158 @@
+//! Generation-stamped slab for in-flight request state.
+//!
+//! The engine's hot path admits, dispatches, and completes hundreds of
+//! thousands of [`InFlight`] records per simulated day. Keeping those
+//! records inline in each replica's queue/active collections meant every
+//! `swap_remove` and crash drain moved ~200-byte structs (a pending
+//! outcome plus an optional span) around memory, and every admit was a
+//! fresh allocation once the collections shrank and regrew.
+//!
+//! The slab fixes both: records live in one flat arena, replicas hold
+//! 8-byte [`SlotKey`] handles, and freed slots go on a free list for
+//! reuse — after warm-up the steady state allocates nothing. Each slot
+//! carries a **generation** counter bumped on every removal, and a key
+//! embeds the generation it was minted with, so a key that outlives its
+//! record (a completion event racing a crash, a hedge loser's completion
+//! firing after cancellation) misses cleanly instead of aliasing whatever
+//! request reused the slot. That replaces the legacy engine's epoch check
+//! *and* its linear scan of `active` for completion events with a single
+//! indexed lookup (see DESIGN.md §12).
+
+use crate::replica::InFlight;
+
+/// Handle to a live slab entry: slot index plus the generation the slot
+/// had when this key was minted. A key is invalidated by the entry's
+/// removal — lookups with an outdated generation return `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotKey {
+    index: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Bumped on every removal; wrapping is harmless (a key would need to
+    /// survive 2^32 reuses of its slot to alias).
+    gen: u32,
+    val: Option<InFlight>,
+}
+
+/// Free-list slab of [`InFlight`] records keyed by [`SlotKey`].
+#[derive(Debug, Default)]
+pub(crate) struct Slab {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    /// An empty slab with room for `cap` concurrent entries.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Stores `val`, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, val: InFlight) -> SlotKey {
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.val.is_none(), "free list pointed at a live slot");
+            entry.val = Some(val);
+            SlotKey {
+                index,
+                gen: entry.gen,
+            }
+        } else {
+            let index = self.entries.len() as u32;
+            self.entries.push(Entry {
+                gen: 0,
+                val: Some(val),
+            });
+            SlotKey { index, gen: 0 }
+        }
+    }
+
+    /// The live entry for `key`, or `None` if it was removed (possibly
+    /// with the slot since reused under a newer generation).
+    pub(crate) fn get_mut(&mut self, key: SlotKey) -> Option<&mut InFlight> {
+        self.entries
+            .get_mut(key.index as usize)
+            .filter(|e| e.gen == key.gen)
+            .and_then(|e| e.val.as_mut())
+    }
+
+    /// Removes and returns the entry for `key`, bumping the slot's
+    /// generation so every outstanding copy of the key goes stale.
+    /// Returns `None` if the key is already stale — the caller treats
+    /// that as "this event no longer applies", never as an error.
+    pub(crate) fn remove(&mut self, key: SlotKey) -> Option<InFlight> {
+        let entry = self
+            .entries
+            .get_mut(key.index as usize)
+            .filter(|e| e.gen == key.gen)?;
+        let val = entry.val.take()?;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(key.index);
+        Some(val)
+    }
+
+    /// Live entry count.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inflight(request: usize) -> InFlight {
+        InFlight::queued(request, 1.0)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::with_capacity(4);
+        let a = slab.insert(inflight(7));
+        let b = slab.insert(inflight(9));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get_mut(a).map(|e| e.request), Some(7));
+        assert_eq!(slab.remove(b).map(|e| e.request), Some(9));
+        assert_eq!(slab.len(), 1);
+        assert!(slab.remove(b).is_none(), "double remove is a clean miss");
+    }
+
+    #[test]
+    fn stale_key_misses_after_slot_reuse() {
+        let mut slab = Slab::with_capacity(1);
+        let old = slab.insert(inflight(1));
+        assert!(slab.remove(old).is_some());
+        let new = slab.insert(inflight(2));
+        assert_eq!(new.index, old.index, "slot must be reused");
+        assert!(slab.get_mut(old).is_none(), "old generation must miss");
+        assert!(slab.remove(old).is_none());
+        assert_eq!(slab.get_mut(new).map(|e| e.request), Some(2));
+    }
+
+    #[test]
+    fn free_list_reuse_keeps_capacity_flat() {
+        let mut slab = Slab::with_capacity(8);
+        let mut keys = Vec::new();
+        for round in 0..100 {
+            for i in 0..8 {
+                keys.push(slab.insert(inflight(round * 8 + i)));
+            }
+            for k in keys.drain(..) {
+                assert!(slab.remove(k).is_some());
+            }
+        }
+        assert_eq!(slab.len(), 0);
+        assert!(
+            slab.entries.len() <= 8,
+            "churn must reuse slots, not grow the arena: {}",
+            slab.entries.len()
+        );
+    }
+}

@@ -65,4 +65,4 @@ pub use resilience::{
     TerminalState, TimeoutPhase,
 };
 pub use serving::{SchedulingPolicy, ServingConfig, ServingReport, ServingRequest};
-pub use trace::{NullSink, SpanOutcome, SpanRecord, SpanSink, VecSink};
+pub use trace::{NullSink, SpanFormat, SpanOutcome, SpanRecord, SpanSink, StreamSink, VecSink};

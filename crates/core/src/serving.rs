@@ -163,7 +163,8 @@ pub fn simulate_traced<B: CostModel + ?Sized>(
         requests.iter().all(|r| r.prompt_len > 0 && r.gen_len > 0),
         "request lengths must be positive"
     );
-    match config.policy {
+    sink.hint_len(requests.len());
+    let report = match config.policy {
         SchedulingPolicy::Static => simulate_static(backend, model, config, requests, sink),
         SchedulingPolicy::IterationLevel => {
             simulate_iteration(backend, model, config, requests, sink)
@@ -172,7 +173,9 @@ pub fn simulate_traced<B: CostModel + ?Sized>(
             assert!(chunk_tokens > 0, "chunk size must be positive");
             simulate_chunked(backend, model, config, requests, chunk_tokens, sink)
         }
-    }
+    };
+    sink.finish();
+    report
 }
 
 fn simulate_static<B: CostModel + ?Sized>(

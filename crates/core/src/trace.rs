@@ -15,7 +15,7 @@
 //! rounding, and those reconcile with the engine's reported per-request
 //! latencies. Tests in `llmsim-cluster` and `llmsim-bench` assert both.
 
-use llmsim_report::spanlog::{Cell, TabularLog};
+use llmsim_report::spanlog::{self, Cell, TabularLog};
 
 /// Terminal state of a traced request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +200,18 @@ pub trait SpanSink {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Expected number of records, called by the engines before the first
+    /// [`record`](SpanSink::record). Buffering sinks reserve from it;
+    /// the default ignores it.
+    fn hint_len(&mut self, _expected: usize) {}
+
+    /// Flush hook, called by the engines exactly once after the last
+    /// record. File-backed sinks write out any buffered tail here —
+    /// without this hook an early return on the caller's side would
+    /// silently drop everything still sitting in the sink's buffer.
+    /// Must be safe to call more than once; the default does nothing.
+    fn finish(&mut self) {}
 }
 
 /// Discards spans without assembling them — the zero-cost default.
@@ -229,6 +241,16 @@ impl VecSink {
         VecSink::default()
     }
 
+    /// An empty sink with room for `expected` spans (what
+    /// [`SpanSink::hint_len`] also provides when the engine knows the
+    /// request count up front).
+    #[must_use]
+    pub fn with_capacity(expected: usize) -> Self {
+        VecSink {
+            spans: Vec::with_capacity(expected),
+        }
+    }
+
     /// Renders the collected spans as TSV, rows sorted by request id so
     /// the artifact is stable under event-order-preserving refactors.
     #[must_use]
@@ -250,6 +272,169 @@ impl VecSink {
 impl SpanSink for VecSink {
     fn record(&mut self, span: SpanRecord) {
         self.spans.push(span);
+    }
+
+    fn hint_len(&mut self, expected: usize) {
+        // Reserve up front: a million-request replay used to reallocate
+        // the span vector ~20 times, each a full copy of every record.
+        self.spans
+            .reserve(expected.saturating_sub(self.spans.len()));
+    }
+}
+
+/// Wire format of a [`StreamSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanFormat {
+    /// Tab-separated values with a header line.
+    Tsv,
+    /// JSON Lines, one object per span.
+    Jsonl,
+}
+
+/// Streams spans to a writer as they are emitted, with bounded buffering.
+///
+/// Unlike [`VecSink`], which holds every record until the run ends, a
+/// `StreamSink` renders each span into an internal text buffer the moment
+/// it is recorded and flushes that buffer to the writer whenever it
+/// crosses the configured threshold — a traced million-request replay
+/// holds kilobytes, not gigabytes. Rows appear in *emission order* (the
+/// engines' deterministic event order); the bytes are identical to
+/// rendering the same spans through [`span_log`] (proptested in
+/// `llmsim-cluster`), because both go through the same line renderers in
+/// `llmsim_report::spanlog`.
+///
+/// I/O errors do not panic (this is library code): the first error is
+/// stored, subsequent records are dropped, and [`StreamSink::finish_into`]
+/// surfaces it. The engines call [`SpanSink::finish`] after the final
+/// record, which flushes the tail; call `finish_into` to get the writer
+/// back and check for errors.
+#[derive(Debug)]
+pub struct StreamSink<W: std::io::Write> {
+    writer: W,
+    format: SpanFormat,
+    columns: Vec<String>,
+    buf: String,
+    /// Flush to the writer once the buffer holds this many bytes.
+    flush_at_bytes: usize,
+    header_pending: bool,
+    records: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> StreamSink<W> {
+    const DEFAULT_BUFFER_BYTES: usize = 64 * 1024;
+
+    /// A TSV streaming sink over `writer` (64 KiB buffer).
+    #[must_use]
+    pub fn tsv(writer: W) -> Self {
+        StreamSink::new(writer, SpanFormat::Tsv)
+    }
+
+    /// A JSONL streaming sink over `writer` (64 KiB buffer).
+    #[must_use]
+    pub fn jsonl(writer: W) -> Self {
+        StreamSink::new(writer, SpanFormat::Jsonl)
+    }
+
+    /// A streaming sink over `writer` in `format` (64 KiB buffer).
+    #[must_use]
+    pub fn new(writer: W, format: SpanFormat) -> Self {
+        StreamSink {
+            writer,
+            format,
+            columns: SpanRecord::columns(),
+            buf: String::with_capacity(Self::DEFAULT_BUFFER_BYTES + 1024),
+            flush_at_bytes: Self::DEFAULT_BUFFER_BYTES,
+            header_pending: format == SpanFormat::Tsv,
+            records: 0,
+            error: None,
+        }
+    }
+
+    /// Overrides the buffer threshold (clamped to ≥ 1: every record
+    /// flushes immediately at 1, useful in tests).
+    #[must_use]
+    pub fn with_buffer_bytes(mut self, flush_at_bytes: usize) -> Self {
+        self.flush_at_bytes = flush_at_bytes.max(1);
+        self
+    }
+
+    /// Spans recorded so far (including any lost to a write error).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The first I/O error encountered, if any.
+    #[must_use]
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    fn flush_buf(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if self.header_pending {
+            // An empty traced run still yields a valid header-only TSV,
+            // matching `span_log(&[]).to_tsv()`.
+            let mut header = self.columns.join("\t");
+            header.push('\n');
+            if let Err(e) = self.writer.write_all(header.as_bytes()) {
+                self.error = Some(e);
+                return;
+            }
+            self.header_pending = false;
+        }
+        if !self.buf.is_empty() {
+            let res = self.writer.write_all(self.buf.as_bytes());
+            self.buf.clear();
+            if let Err(e) = res {
+                self.error = Some(e);
+                return;
+            }
+        }
+        if let Err(e) = self.writer.flush() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Flushes the tail and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink encountered (records after it
+    /// were dropped).
+    pub fn finish_into(mut self) -> Result<W, std::io::Error> {
+        self.flush_buf();
+        match self.error.take() {
+            None => Ok(self.writer),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl<W: std::io::Write> SpanSink for StreamSink<W> {
+    fn record(&mut self, span: SpanRecord) {
+        self.records += 1;
+        if self.error.is_some() {
+            return;
+        }
+        let cells = span.cells();
+        match self.format {
+            SpanFormat::Tsv => self.buf.push_str(&spanlog::tsv_line(&cells)),
+            SpanFormat::Jsonl => self
+                .buf
+                .push_str(&spanlog::jsonl_line(&self.columns, &cells)),
+        }
+        self.buf.push('\n');
+        if self.buf.len() >= self.flush_at_bytes {
+            self.flush_buf();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush_buf();
     }
 }
 
@@ -313,5 +498,78 @@ mod tests {
     fn null_sink_reports_disabled() {
         assert!(!NullSink.enabled());
         assert!(VecSink::new().enabled());
+    }
+
+    #[test]
+    fn stream_sink_tsv_matches_buffered_render() {
+        let spans = vec![
+            completed_span(2),
+            SpanRecord::rejected(0, 1, 0.1),
+            SpanRecord::failed(5, 0, 0.2, 3.5),
+        ];
+        // Tiny buffer forces a flush per record — the worst case for
+        // byte-identity with the one-shot buffered render.
+        let mut sink = StreamSink::tsv(Vec::new()).with_buffer_bytes(1);
+        sink.hint_len(spans.len());
+        for s in &spans {
+            sink.record(*s);
+        }
+        sink.finish();
+        assert_eq!(sink.records(), 3);
+        let bytes = sink.finish_into().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), span_log(&spans).to_tsv());
+    }
+
+    #[test]
+    fn stream_sink_jsonl_matches_buffered_render() {
+        let spans = vec![SpanRecord::rejected(7, 2, 1.25), completed_span(1)];
+        let mut sink = StreamSink::jsonl(Vec::new());
+        for s in &spans {
+            sink.record(*s);
+        }
+        let bytes = sink.finish_into().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            span_log(&spans).to_jsonl()
+        );
+    }
+
+    #[test]
+    fn stream_sink_empty_tsv_is_header_only() {
+        let sink = StreamSink::tsv(Vec::new());
+        let bytes = sink.finish_into().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), span_log(&[]).to_tsv());
+    }
+
+    #[test]
+    fn stream_sink_surfaces_io_errors_without_panicking() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = StreamSink::tsv(Failing).with_buffer_bytes(1);
+        sink.record(completed_span(0));
+        sink.record(completed_span(1)); // dropped, error already latched
+        assert!(sink.io_error().is_some());
+        assert_eq!(sink.records(), 2);
+        assert!(sink.finish_into().is_err());
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut sink = StreamSink::tsv(Vec::new());
+        sink.record(completed_span(0));
+        sink.finish();
+        sink.finish();
+        let bytes = sink.finish_into().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            span_log(&[completed_span(0)]).to_tsv()
+        );
     }
 }

@@ -24,7 +24,10 @@ pub enum Cell {
 }
 
 impl Cell {
-    fn tsv(&self) -> String {
+    /// Renders this cell as one TSV field (tabs/newlines in strings are
+    /// replaced by spaces; floats use shortest-roundtrip `Display`).
+    #[must_use]
+    pub fn to_tsv_field(&self) -> String {
         match self {
             Cell::Str(s) => s.replace(['\t', '\n', '\r'], " "),
             Cell::Int(i) => i.to_string(),
@@ -32,7 +35,10 @@ impl Cell {
         }
     }
 
-    fn json(&self) -> String {
+    /// Renders this cell as one JSON value (`NaN`/infinities become
+    /// `null`, strings are escaped).
+    #[must_use]
+    pub fn to_json_value(&self) -> String {
         match self {
             Cell::Str(s) => json_escape(s),
             Cell::Int(i) => i.to_string(),
@@ -40,6 +46,47 @@ impl Cell {
             Cell::Num(_) => "null".to_string(),
         }
     }
+}
+
+/// Renders one TSV data line (no trailing newline) from a row of cells.
+///
+/// [`TabularLog::to_tsv`] and the streaming span sink in `llmsim-core`
+/// both go through this function, which is what makes a streamed file
+/// byte-identical to a buffered render of the same rows.
+#[must_use]
+pub fn tsv_line(cells: &[Cell]) -> String {
+    let fields: Vec<String> = cells.iter().map(Cell::to_tsv_field).collect();
+    fields.join("\t")
+}
+
+/// Renders one JSONL object line (no trailing newline) from column names
+/// and a row of cells. Shared by [`TabularLog::to_jsonl`] and the
+/// streaming span sink for the same byte-identity reason as [`tsv_line`].
+///
+/// # Panics
+///
+/// Panics if `columns` and `cells` have different lengths.
+#[must_use]
+pub fn jsonl_line(columns: &[String], cells: &[Cell]) -> String {
+    assert_eq!(
+        columns.len(),
+        cells.len(),
+        "row arity {} != column count {}",
+        cells.len(),
+        columns.len()
+    );
+    let mut out = String::new();
+    out.push('{');
+    for (i, (col, cell)) in columns.iter().zip(cells).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_escape(col));
+        out.push(':');
+        out.push_str(&cell.to_json_value());
+    }
+    out.push('}');
+    out
 }
 
 /// Escapes a string as a JSON string literal.
@@ -120,8 +167,7 @@ impl TabularLog {
         let mut out = self.columns.join("\t");
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> = row.iter().map(Cell::tsv).collect();
-            out.push_str(&line.join("\t"));
+            out.push_str(&tsv_line(row));
             out.push('\n');
         }
         out
@@ -132,16 +178,8 @@ impl TabularLog {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            out.push('{');
-            for (i, (col, cell)) in self.columns.iter().zip(row).enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&json_escape(col));
-                out.push(':');
-                out.push_str(&cell.json());
-            }
-            out.push_str("}\n");
+            out.push_str(&jsonl_line(&self.columns, row));
+            out.push('\n');
         }
         out
     }

@@ -21,6 +21,7 @@ pub mod generator;
 pub mod replay;
 pub mod scenarios;
 pub mod sweep;
+pub mod synthetic;
 
 pub use generator::{
     sharegpt_like_lengths, ArrivalTrace, GeneratedRequest, LogNormalLengths, RequestBounds,
@@ -29,3 +30,4 @@ pub use generator::{
 pub use replay::{model_mix, parse_trace, scale_arrivals, ReplayRequest, TraceParseError};
 pub use scenarios::{ChaosScenario, PrimaryMetric, ResilienceScenario, Scenario};
 pub use sweep::SweepPoint;
+pub use synthetic::{synthesize, LengthClass, SyntheticRequest, SyntheticSpec};
