@@ -12,6 +12,9 @@
 //! - `traced_*`   — the fast engine streaming TSV spans through a
 //!   [`StreamSink`] (span overhead, not disk speed: the writer is
 //!   [`std::io::sink`]);
+//! - `paged_1e5`  — the fast engine with paged KV and prefix caching on a
+//!   multi-turn session trace (block growth events, admission gating, and
+//!   prefix probes on top of the fast path);
 //! - `sharded_*`  — the fast engine over round-robin fleet shards replayed
 //!   on scoped threads ([`llmsim_cluster::simulate_shards`]).
 //!
@@ -22,17 +25,18 @@
 //! the same simulation — so it is reported but never compared byte-for-byte
 //! against the single-fleet runs.
 //!
-//! With `--baseline <path>` the run exits non-zero if the `fast_1e5` case
-//! regressed more than 30% in requests/second against a previously
-//! committed summary — the CI throughput floor.
+//! With `--baseline <path>` the run exits non-zero if the `fast_1e5` or
+//! `paged_1e5` case regressed more than 30% in requests/second against a
+//! previously committed summary — the CI throughput floor.
 
 use llmsim_cluster::{
     shard_fleet, simulate_fleet, simulate_fleet_legacy, simulate_fleet_traced, simulate_shards,
-    ClusterConfig, ClusterRequest, FleetReport, JoinShortestQueue, ReplicaConfig, RouterPolicy,
+    ClusterConfig, ClusterRequest, FleetReport, JoinShortestQueue, KvConfig, ReplicaConfig,
+    RouterPolicy,
 };
 use llmsim_core::{CostModel, CpuBackend, StreamSink};
 use llmsim_model::families;
-use llmsim_workload::synthetic::{synthesize, SyntheticSpec};
+use llmsim_workload::synthetic::{synthesize, synthesize_sessions, SessionSpec, SyntheticSpec};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,7 +77,27 @@ fn trace(n: usize) -> Vec<ClusterRequest> {
             arrival_s: r.arrival_s,
             prompt_len: r.prompt_len,
             gen_len: r.gen_len,
+            ..ClusterRequest::default()
+        })
+        .collect()
+}
+
+/// Seeded multi-turn session trace of roughly `sessions` x 5 requests
+/// (2-8 turns each), the workload shape for the paged-KV case.
+fn session_trace(sessions: usize) -> Vec<ClusterRequest> {
+    let spec = SessionSpec::chat_day(TRACE_SEED ^ 0x5E55, sessions, 0.35);
+    synthesize_sessions(&spec)
+        .iter()
+        .enumerate()
+        .map(|(i, r)| ClusterRequest {
+            id: i,
+            arrival_s: r.arrival_s,
+            prompt_len: r.prompt_len,
+            gen_len: r.gen_len,
             model: 0,
+            prefix_id: r.prefix_id,
+            prefix_len: r.prefix_len,
+            session: r.session,
         })
         .collect()
 }
@@ -200,6 +224,14 @@ fn main() {
         "tracing changed the simulation output"
     );
 
+    // Paged-KV case: same fleet plus a memory-derived block pool, on a
+    // session trace sized to ~1e5 requests (20k sessions x ~5 turns).
+    let paged_config = fleet().with_kv(KvConfig::new());
+    let paged_trace = session_trace(20_000);
+    let paged_row = run_case("paged_1e5", &paged_trace, |reqs| {
+        simulate_fleet(&paged_config, &mut *router(), reqs)
+    });
+
     let serial_big_row = run_case("fast_serial_big", &big, |reqs| {
         simulate_fleet(&config, &mut *router(), reqs)
     });
@@ -216,6 +248,7 @@ fn main() {
         &legacy_row,
         &fast_row,
         &traced_row,
+        &paged_row,
         &serial_big_row,
         &sharded_big_row,
     ];
@@ -271,17 +304,25 @@ fn main() {
             eprintln!("failed to read baseline {path}: {e}");
             std::process::exit(2);
         });
-        let Some(base) = baseline_req_per_s(&text, "fast_1e5") else {
-            eprintln!("baseline {path} has no fast_1e5 req_per_s");
-            std::process::exit(2);
-        };
-        let now = fast_row.req_per_s();
-        let floor = base * 0.7;
-        eprintln!(
-            "throughput floor: fast_1e5 {now:.0} req/s vs baseline {base:.0} (floor {floor:.0})"
-        );
-        if now < floor {
-            eprintln!("FAIL: fast_1e5 regressed more than 30% against {path}");
+        let mut failed = false;
+        for (case, now) in [
+            ("fast_1e5", fast_row.req_per_s()),
+            ("paged_1e5", paged_row.req_per_s()),
+        ] {
+            let Some(base) = baseline_req_per_s(&text, case) else {
+                eprintln!("baseline {path} has no {case} req_per_s");
+                std::process::exit(2);
+            };
+            let floor = base * 0.7;
+            eprintln!(
+                "throughput floor: {case} {now:.0} req/s vs baseline {base:.0} (floor {floor:.0})"
+            );
+            if now < floor {
+                eprintln!("FAIL: {case} regressed more than 30% against {path}");
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -66,6 +66,7 @@ pub fn routing_workload() -> Vec<ClusterRequest> {
             prompt_len: 128 + 128 * (i as u64 % 3),
             gen_len: 16 + 16 * (i as u64 % 3),
             model: usize::from(i % 3 == 0),
+            ..ClusterRequest::default()
         })
         .collect()
 }
@@ -136,7 +137,7 @@ pub fn burst_workload() -> Vec<ClusterRequest> {
             arrival_s,
             prompt_len: 128 + 64 * (i as u64 % 3),
             gen_len: 16 + 8 * (i as u64 % 4),
-            model: 0,
+            ..ClusterRequest::default()
         })
         .collect()
 }

@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod ext_chaos;
 pub mod ext_cluster;
+pub mod ext_kvcache;
 pub mod ext_memory;
 pub mod ext_resilience;
 pub mod ext_speculative;
@@ -59,6 +60,7 @@ fn sections() -> Vec<Section> {
         Box::new(ext_speculative::render),
         Box::new(ext_resilience::render),
         Box::new(ext_cluster::render),
+        Box::new(ext_kvcache::render),
         Box::new(ext_trace::render),
         Box::new(ext_chaos::render),
     ]

@@ -83,6 +83,19 @@ pub struct ClusterRequest {
     pub gen_len: u64,
     /// Index into [`ClusterConfig::models`].
     pub model: usize,
+    /// Shared-prefix identity (e.g. a tenant's system prompt): requests
+    /// with equal non-zero `prefix_id` begin with the same
+    /// [`prefix_len`](Self::prefix_len) prompt tokens, which the paged KV
+    /// cache can serve from one shared allocation. `0` = no shared prefix.
+    pub prefix_id: u64,
+    /// Leading prompt tokens covered by `prefix_id` (ignored when
+    /// `prefix_id` is 0; must not exceed `prompt_len`).
+    pub prefix_len: u64,
+    /// Multi-turn session identity: non-zero means this request continues
+    /// a conversation whose earlier turns' full context is a prefix of
+    /// this prompt, so the replica that served them may still hold its KV.
+    /// `0` = sessionless.
+    pub session: u64,
 }
 
 impl ClusterRequest {
@@ -90,6 +103,24 @@ impl ClusterRequest {
     #[must_use]
     pub fn total_tokens(&self) -> u64 {
         self.prompt_len + self.gen_len
+    }
+}
+
+impl Default for ClusterRequest {
+    /// A zero request: id 0, arriving at t = 0, with empty lengths and no
+    /// prefix or session identity. Exists so workload builders can spell
+    /// only the fields they care about (`..ClusterRequest::default()`).
+    fn default() -> Self {
+        ClusterRequest {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_len: 0,
+            gen_len: 0,
+            model: 0,
+            prefix_id: 0,
+            prefix_len: 0,
+            session: 0,
+        }
     }
 }
 
@@ -108,6 +139,10 @@ pub struct ClusterConfig {
     /// Fault injection and recovery machinery, if any. `None` and
     /// [`ChaosConfig::none`] are byte-identical (proptested).
     pub chaos: Option<ChaosConfig>,
+    /// Paged KV-cache modeling, if any. `None` (the default) keeps the
+    /// fixed-slot dispatch path, byte-identical to the seed engine
+    /// (proptested).
+    pub kv: Option<crate::kv::KvConfig>,
 }
 
 impl ClusterConfig {
@@ -120,6 +155,7 @@ impl ClusterConfig {
             slo: None,
             autoscale: None,
             chaos: None,
+            kv: None,
         }
     }
 
@@ -142,6 +178,63 @@ impl ClusterConfig {
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
         self
+    }
+
+    /// Enables paged KV-cache modeling (block allocation, prefix caching,
+    /// continuous batching with preemption).
+    #[must_use]
+    pub fn with_kv(mut self, kv: crate::kv::KvConfig) -> Self {
+        self.kv = Some(kv);
+        self
+    }
+
+    /// Structural validation, run by both engines before replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedConfig`] when a replica's `queue_cap`
+    /// is zero or smaller than its `max_batch` (the batch could never fill
+    /// — historically this truncated silently), when `max_batch` is zero,
+    /// or when paged KV is enabled with a zero block size or a replica
+    /// whose memory budget holds zero blocks.
+    pub fn validate(&self) -> Result<(), llmsim_core::SimError> {
+        use llmsim_core::SimError::UnsupportedConfig;
+        for (i, r) in self.replicas.iter().enumerate() {
+            if r.max_batch == 0 {
+                return Err(UnsupportedConfig(format!(
+                    "replica {i} ({}): max_batch must be at least 1",
+                    r.backend.name()
+                )));
+            }
+            if (r.queue_cap as u64) < r.max_batch {
+                return Err(UnsupportedConfig(format!(
+                    "replica {i} ({}): queue_cap {} < max_batch {} — queue_cap bounds total \
+                     in-flight work (queued + active), so the batch could never fill; raise \
+                     queue_cap to at least max_batch",
+                    r.backend.name(),
+                    r.queue_cap,
+                    r.max_batch
+                )));
+            }
+        }
+        if let Some(kv) = &self.kv {
+            if kv.block_tokens == 0 {
+                return Err(UnsupportedConfig(
+                    "kv.block_tokens must be at least 1".into(),
+                ));
+            }
+            for (i, r) in self.replicas.iter().enumerate() {
+                let blocks = kv.capacity_blocks(r.backend.as_ref(), &self.models);
+                if blocks == 0 {
+                    return Err(UnsupportedConfig(format!(
+                        "replica {i} ({}): weights leave no memory for KV blocks \
+                         (capacity_blocks = 0)",
+                        r.backend.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -305,6 +398,8 @@ struct ReqRuntime {
     retries: u32,
     /// Hedged duplicate dispatched.
     hedged: bool,
+    /// Times this request was preempted off a batch for KV blocks.
+    preemptions: u32,
     /// Replicas currently holding a live attempt (queued or in service).
     attempts: Attempts,
 }
@@ -334,6 +429,10 @@ struct Engine<'a> {
     wasted_tokens: u64,
     retries_total: u64,
     hedges_total: u64,
+    /// Prompt tokens served from the prefix cache (counted at completion,
+    /// so preempted-and-retried attempts are never double-counted).
+    prefix_hit_tokens: u64,
+    preemptions_total: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -359,9 +458,14 @@ impl<'a> Engine<'a> {
             v.now_s = now_s;
             v.queue_len = r.queue.len();
             v.active = r.active.len();
+            // A replica whose whole pool cannot hold this request's final
+            // context can never dispatch it: hide it like a partition.
+            let kv_fits =
+                r.kv.as_ref()
+                    .is_none_or(|kv| kv.blocks_for(req.total_tokens()) <= kv.total_blocks);
             // Standbys (and failed, draining, partitioned or excluded
             // replicas) are invisible to routers: report zero capacity.
-            v.queue_cap = if routable && !exclude.contains(&i) {
+            v.queue_cap = if routable && kv_fits && !exclude.contains(&i) {
                 r.cfg.queue_cap
             } else {
                 0
@@ -380,9 +484,51 @@ impl<'a> Engine<'a> {
                 req.gen_len,
             );
             v.resident = r.cfg.backend.holds_resident(model);
+            // Prefix-cache signals (zeros / false on the fixed-slot path,
+            // so cache-aware policies degrade gracefully without KV).
+            if let Some(kv) = &r.kv {
+                let hit_tokens = kv.probe_hits(req) * kv.block_tokens;
+                v.predicted_hit_tokens = hit_tokens;
+                v.est_prefix_saved_s = if hit_tokens > 0 {
+                    let full = self.cache.prefill(
+                        i,
+                        r.cfg.backend.as_ref(),
+                        req.model,
+                        model,
+                        1,
+                        req.prompt_len,
+                    );
+                    let suffix = self.cache.prefill(
+                        i,
+                        r.cfg.backend.as_ref(),
+                        req.model,
+                        model,
+                        1,
+                        req.prompt_len.saturating_sub(hit_tokens).max(1),
+                    );
+                    (full - suffix).max(0.0)
+                } else {
+                    0.0
+                };
+                v.session_resident = kv.session_resident(req);
+                v.kv_free_blocks = kv.free_blocks + kv.cached_blocks;
+                v.kv_total_blocks = kv.total_blocks;
+            } else {
+                v.predicted_hit_tokens = 0;
+                v.est_prefix_saved_s = 0.0;
+                v.session_resident = false;
+                v.kv_free_blocks = 0;
+                v.kv_total_blocks = 0;
+            }
         }
         router.route(req, &self.views).filter(|&i| {
-            i < self.replicas.len() && self.replicas[i].can_accept(now_s) && !exclude.contains(&i)
+            i < self.replicas.len()
+                && self.replicas[i].can_accept(now_s)
+                && !exclude.contains(&i)
+                && self.replicas[i]
+                    .kv
+                    .as_ref()
+                    .is_none_or(|kv| kv.blocks_for(req.total_tokens()) <= kv.total_blocks)
         })
     }
 
@@ -426,6 +572,30 @@ impl<'a> Engine<'a> {
             {
                 return;
             }
+            // Paged-KV admission gate (iteration-level): the queue head
+            // must secure its prompt blocks now or wait for decode
+            // completions to free some — FCFS, so a big head holds the
+            // line rather than being starved by small latecomers.
+            let kv_plan = if let Some(kv) = &r.kv {
+                let Some(front) = r.queue.front() else {
+                    unreachable!("checked non-empty")
+                };
+                let head = self.request(front.request);
+                let dispatch_blocks = kv.blocks_for(head.prompt_len + 1);
+                let final_blocks = kv.blocks_for(head.total_tokens().max(head.prompt_len + 1));
+                let hits = kv.probe_hits(&head);
+                // Budget the hit blocks too, not just the private suffix:
+                // pinning converts up to `hits` blocks from cached (where
+                // `can_allocate` counts them evictable) to pinned (where
+                // they are not), so clearing only `dispatch - hits` here
+                // could send `allocate_private` into a dry eviction loop.
+                if !kv.can_allocate(dispatch_blocks) {
+                    return;
+                }
+                Some((dispatch_blocks, final_blocks, hits))
+            } else {
+                None
+            };
             let Some(entry) = self.replicas[idx].queue.pop_front() else {
                 return;
             };
@@ -435,23 +605,63 @@ impl<'a> Engine<'a> {
             // Multiplying by the slowdown factor is exact: the factor is
             // 1.0 outside any window, and x × 1.0 is bitwise x.
             let slow = self.replicas[idx].slowdown_at(now_s);
-            let prefill = self.cache.prefill(
-                idx,
-                self.replicas[idx].cfg.backend.as_ref(),
-                req.model,
-                model,
-                batch,
-                req.prompt_len,
-            ) * slow;
-            let service = self.cache.service(
-                idx,
-                self.replicas[idx].cfg.backend.as_ref(),
-                req.model,
-                model,
-                batch,
-                req.prompt_len,
-                req.gen_len,
-            ) * slow;
+            let hit_tokens = match (&kv_plan, &self.replicas[idx].kv) {
+                (Some((_, _, hits)), Some(kv)) => hits * kv.block_tokens,
+                _ => 0,
+            };
+            // With prefix hits, the replica prefills only the uncovered
+            // suffix; decode still walks the full (prompt + step) context
+            // because the cached KV participates in every attention step.
+            // The hit-free arm runs the exact historical float ops, so a
+            // KV-less fleet reproduces the seed engine bit for bit.
+            let (prefill, service) = if hit_tokens > 0 {
+                let suffix = req.prompt_len.saturating_sub(hit_tokens).max(1);
+                let p_suffix = self.cache.prefill(
+                    idx,
+                    self.replicas[idx].cfg.backend.as_ref(),
+                    req.model,
+                    model,
+                    batch,
+                    suffix,
+                ) * slow;
+                let p_full = self.cache.prefill(
+                    idx,
+                    self.replicas[idx].cfg.backend.as_ref(),
+                    req.model,
+                    model,
+                    batch,
+                    req.prompt_len,
+                ) * slow;
+                let s_full = self.cache.service(
+                    idx,
+                    self.replicas[idx].cfg.backend.as_ref(),
+                    req.model,
+                    model,
+                    batch,
+                    req.prompt_len,
+                    req.gen_len,
+                ) * slow;
+                (p_suffix, s_full - p_full + p_suffix)
+            } else {
+                let prefill = self.cache.prefill(
+                    idx,
+                    self.replicas[idx].cfg.backend.as_ref(),
+                    req.model,
+                    model,
+                    batch,
+                    req.prompt_len,
+                ) * slow;
+                let service = self.cache.service(
+                    idx,
+                    self.replicas[idx].cfg.backend.as_ref(),
+                    req.model,
+                    model,
+                    batch,
+                    req.prompt_len,
+                    req.gen_len,
+                ) * slow;
+                (prefill, service)
+            };
             let queue_delay = now_s - req.arrival_s;
             let completion = now_s + service;
 
@@ -492,7 +702,42 @@ impl<'a> Engine<'a> {
                     decode_steps: req.gen_len.saturating_sub(1),
                     completion_s: completion,
                     batch_at_dispatch: batch,
+                    prefix_hit_tokens: hit_tokens,
+                    preemptions: u64::from(self.runtime[entry.request].preemptions),
                 });
+            }
+            if let Some((dispatch_blocks, final_blocks, hits)) = kv_plan {
+                inflight.kv = Some(crate::kv::KvSeq {
+                    hit_blocks: hits,
+                    private_blocks: dispatch_blocks - hits,
+                    final_blocks,
+                });
+                let Some(kv) = self.replicas[idx].kv.as_mut() else {
+                    unreachable!("kv plan requires kv")
+                };
+                kv.pin_hits(&req, hits, now_s);
+                kv.allocate_private(dispatch_blocks - hits, now_s);
+                let bt = kv.block_tokens;
+                // One growth event per future block: block b fills when
+                // token (b-1)·bt + 1 is generated, pro-rated over the
+                // decode span. Pushed before SlotDone so a growth tied
+                // with its own completion fires (and claims) first.
+                for b in dispatch_blocks + 1..=final_blocks {
+                    let tokens_b = (b - 1) * bt + 1;
+                    let frac = if req.gen_len > 1 {
+                        ((tokens_b - req.prompt_len - 1) as f64 / (req.gen_len - 1) as f64)
+                            .clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    self.queue.push(
+                        now_s + service * frac,
+                        EventKind::KvGrow {
+                            replica: idx,
+                            slot: entry.key,
+                        },
+                    );
+                }
             }
             self.queue.push(
                 completion,
@@ -532,10 +777,104 @@ impl<'a> Engine<'a> {
             };
             // Refund the unrun tail of the slot; the run-so-far is waste.
             r.busy_slot_s -= (inf.completion_s - now_s).max(0.0);
+            if let (Some(seq), Some(kv)) = (inf.kv, r.kv.as_mut()) {
+                kv.release_hits(req, seq.hit_blocks, now_s);
+                kv.free_private(seq.private_blocks, now_s);
+            }
             partial_tokens(&inf, req.gen_len, now_s)
         } else {
             0
         }
+    }
+
+    /// Claims one more KV block for a decode step of the sequence at
+    /// `slot`, preempting the youngest co-resident sequence (recompute
+    /// policy) when neither the free list nor LRU eviction can supply one.
+    fn grow_one_block(&mut self, idx: usize, slot: crate::slab::SlotKey, now_s: f64) {
+        loop {
+            let Some(kv) = self.replicas[idx].kv.as_mut() else {
+                unreachable!("KvGrow requires kv state")
+            };
+            if kv.can_allocate(1) {
+                kv.allocate_private(1, now_s);
+                break;
+            }
+            // Victim: the latest-dispatched other sequence (ties broken by
+            // higher request id) — it has the least sunk work to waste.
+            let mut victim: Option<(f64, usize, ActiveEntry)> = None;
+            for a in &self.replicas[idx].active {
+                if a.key == slot {
+                    continue;
+                }
+                let d = self
+                    .slab
+                    .get(a.key)
+                    .map_or(f64::NEG_INFINITY, |i| i.dispatch_s);
+                if victim
+                    .as_ref()
+                    .is_none_or(|&(vd, vr, _)| (d, a.request) > (vd, vr))
+                {
+                    victim = Some((d, a.request, *a));
+                }
+            }
+            // Progress is guaranteed: routing rejects requests whose final
+            // context exceeds the pool, so a lone sequence can never
+            // exhaust it.
+            let Some((_, _, victim)) = victim else {
+                unreachable!("a growing sequence cannot exhaust the KV pool alone")
+            };
+            self.preempt(idx, victim, now_s);
+        }
+        let Some(seq) = self.slab.get_mut(slot).and_then(|inf| inf.kv.as_mut()) else {
+            unreachable!("caller checked liveness and the slot dispatched under kv")
+        };
+        seq.private_blocks += 1;
+        debug_assert!(
+            seq.hit_blocks + seq.private_blocks <= seq.final_blocks,
+            "a sequence never grows past its final context"
+        );
+    }
+
+    /// Preempts a dispatched sequence for its KV blocks: frees them,
+    /// voids its scheduled events (the slab removal stales them), counts
+    /// the partial generation as waste — mirroring the crash path — and
+    /// requeues it at the *front* of the same replica's queue to re-run
+    /// prefill over its full context once blocks free up (often cheap:
+    /// its own chain blocks may still be cached).
+    fn preempt(&mut self, idx: usize, victim: ActiveEntry, now_s: f64) {
+        let r = &mut self.replicas[idx];
+        let Some(pos) = r.active.iter().position(|a| a.key == victim.key) else {
+            unreachable!("victim is active")
+        };
+        r.active.swap_remove(pos);
+        let Some(inf) = self.slab.remove(victim.key) else {
+            unreachable!("victim has a live record")
+        };
+        let req = self.request(inf.request);
+        let Some(seq) = inf.kv else {
+            unreachable!("preemption only happens under kv")
+        };
+        let r = &mut self.replicas[idx];
+        r.busy_slot_s -= (inf.completion_s - now_s).max(0.0);
+        let Some(kv) = r.kv.as_mut() else {
+            unreachable!("kv state installed")
+        };
+        kv.release_hits(&req, seq.hit_blocks, now_s);
+        kv.free_private(seq.private_blocks, now_s);
+        self.wasted_tokens += partial_tokens(&inf, req.gen_len, now_s);
+        self.preemptions_total += 1;
+        self.runtime[inf.request].preemptions += 1;
+        // `outstanding_tokens` stays: the request is still in flight here.
+        let key = self
+            .slab
+            .insert(InFlight::queued(inf.request, inf.est_service_s));
+        let r = &mut self.replicas[idx];
+        r.queue.push_front(QueuedEntry {
+            key,
+            request: inf.request,
+            est_service_s: inf.est_service_s,
+        });
+        r.queued_backlog_s += inf.est_service_s;
     }
 
     /// Schedules another crash-recovery attempt for `request`, or
@@ -619,9 +958,10 @@ pub(crate) fn partial_tokens(inf: &InFlight, gen_len: u64, now_s: f64) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if the fleet or model list is empty, if request ids are not a
-/// permutation of `0..requests.len()`, if a request's model index is out
-/// of range, or if the chaos configuration is invalid.
+/// Panics if the fleet or model list is empty, if [`ClusterConfig::validate`]
+/// rejects the configuration, if request ids are not a permutation of
+/// `0..requests.len()`, if a request's model index is out of range, or if
+/// the chaos configuration is invalid.
 pub fn simulate_fleet(
     config: &ClusterConfig,
     router: &mut dyn RouterPolicy,
@@ -653,6 +993,12 @@ pub fn simulate_fleet_traced(
 ) -> FleetReport {
     assert!(!config.replicas.is_empty(), "fleet must have replicas");
     assert!(!config.models.is_empty(), "fleet must serve models");
+    let validated = config.validate();
+    assert!(
+        validated.is_ok(),
+        "invalid cluster config: {}",
+        validated.unwrap_err()
+    );
     let mut pos_of_id: Vec<u32> = vec![u32::MAX; requests.len()];
     for (pos, r) in requests.iter().enumerate() {
         assert!(
@@ -677,7 +1023,18 @@ pub fn simulate_fleet_traced(
     let replicas: Vec<Replica> = config
         .replicas
         .iter()
-        .map(|cfg| Replica::new(cfg.clone()))
+        .map(|cfg| {
+            let mut r = Replica::new(cfg.clone());
+            if let Some(kvc) = &config.kv {
+                let blocks = kvc.capacity_blocks(r.cfg.backend.as_ref(), &config.models);
+                r.kv = Some(crate::kv::KvState::new(
+                    blocks,
+                    kvc.block_tokens,
+                    kvc.prefix_caching,
+                ));
+            }
+            r
+        })
         .collect();
     // Every arrival, every scheduled fault, one warmup/recovery per
     // replica and the autoscaler tick fit without regrowing; completions
@@ -723,6 +1080,11 @@ pub fn simulate_fleet_traced(
                 est_start_delay_s: 0.0,
                 est_service_s: 0.0,
                 resident: false,
+                predicted_hit_tokens: 0,
+                est_prefix_saved_s: 0.0,
+                session_resident: false,
+                kv_free_blocks: 0,
+                kv_total_blocks: 0,
             })
             .collect(),
         replicas,
@@ -734,6 +1096,8 @@ pub fn simulate_fleet_traced(
         wasted_tokens: 0,
         retries_total: 0,
         hedges_total: 0,
+        prefix_hit_tokens: 0,
+        preemptions_total: 0,
     };
     for &i in &warmups_at_start {
         let ready = engine.replicas[i].cfg.warmup_time(&config.models).as_f64();
@@ -887,6 +1251,14 @@ pub fn simulate_fleet_traced(
                 let req = engine.request(request);
                 let r = &mut engine.replicas[replica];
                 r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+                if let (Some(seq), Some(kv)) = (inflight.kv, r.kv.as_mut()) {
+                    engine.prefix_hit_tokens += seq.hit_blocks * kv.block_tokens;
+                    kv.release_hits(&req, seq.hit_blocks, now);
+                    // Donate the finished context to the prefix pool: the
+                    // next turn of this session (or the next request with
+                    // this prefix) hits these blocks and skips prefill.
+                    kv.commit_chain(&req, seq.hit_blocks, seq.private_blocks, now);
+                }
                 engine.makespan_s = engine.makespan_s.max(now);
                 engine.resolved += 1;
                 let rt = &mut engine.runtime[request];
@@ -914,6 +1286,14 @@ pub fn simulate_fleet_traced(
                 }
                 engine.try_dispatch(replica, now, sink);
             }
+            EventKind::KvGrow { replica, slot } => {
+                // Stale key (the sequence completed, crashed, was hedge-
+                // cancelled, or was itself preempted): nothing to grow.
+                if engine.slab.get(slot).is_none() {
+                    continue;
+                }
+                engine.grow_one_block(replica, slot, now);
+            }
             EventKind::Completion { .. } => {
                 debug_assert!(
                     false,
@@ -936,6 +1316,10 @@ pub fn simulate_fleet_traced(
                         let active: Vec<ActiveEntry> = std::mem::take(&mut r.active);
                         r.outstanding_tokens = 0;
                         r.queued_backlog_s = 0.0;
+                        // Host memory is gone: prefix cache and all.
+                        if let Some(kv) = r.kv.as_mut() {
+                            kv.reset(now);
+                        }
                         for q in &queued {
                             engine.slab.remove(q.key);
                         }
@@ -1110,8 +1494,25 @@ pub fn simulate_fleet_traced(
         }
         let in_flight_now: usize = engine.replicas.iter().map(Replica::in_flight).sum();
         peak_in_flight = peak_in_flight.max(in_flight_now as u64);
+        // Block conservation holds after *every* event, not just at the
+        // end: a leak or double-free surfaces at the exact event that
+        // caused it (the ISSUE's acceptance invariant; O(replicas) and
+        // only on KV-enabled runs, so the fixed-slot path pays nothing).
+        if config.kv.is_some() {
+            for kv in engine.replicas.iter().filter_map(|r| r.kv.as_ref()) {
+                kv.assert_conserved();
+            }
+        }
     }
     sink.finish();
+    // Close the occupancy integrals at the makespan so mean occupancy
+    // reflects the whole run.
+    let final_note_s = engine.makespan_s;
+    for r in engine.replicas.iter_mut() {
+        if let Some(kv) = r.kv.as_mut() {
+            kv.note(final_note_s);
+        }
+    }
 
     debug_assert_eq!(
         engine.resolved,
@@ -1154,6 +1555,14 @@ pub fn simulate_fleet_traced(
             },
             warmups: r.warmups,
             crashes: r.crashes,
+            kv_peak_occupancy: r
+                .kv
+                .as_ref()
+                .map_or(0.0, crate::kv::KvState::peak_occupancy),
+            kv_mean_occupancy: r
+                .kv
+                .as_ref()
+                .map_or(0.0, |kv| kv.mean_occupancy(makespan_s)),
         })
         .collect();
 
@@ -1167,6 +1576,8 @@ pub fn simulate_fleet_traced(
         retries: engine.retries_total,
         hedges: engine.hedges_total,
         crashes,
+        prefix_hit_tokens: engine.prefix_hit_tokens,
+        preemptions: engine.preemptions_total,
         slo: config.slo,
         replicas: replica_stats,
         scale_ups,
@@ -1208,7 +1619,7 @@ mod tests {
                 arrival_s: i as f64 * gap_s,
                 prompt_len: 128,
                 gen_len: 32,
-                model: 0,
+                ..ClusterRequest::default()
             })
             .collect()
     }
@@ -1288,7 +1699,7 @@ mod tests {
                 arrival_s: 0.0,
                 prompt_len,
                 gen_len,
-                model: 0,
+                ..ClusterRequest::default()
             };
             let fleet_e2e = simulate_fleet(&fleet, &mut RoundRobin::new(), &[req]).outcomes[0]
                 .e2e_s

@@ -163,6 +163,17 @@ pub fn simulate_fleet_traced_legacy(
 ) -> FleetReport {
     assert!(!config.replicas.is_empty(), "fleet must have replicas");
     assert!(!config.models.is_empty(), "fleet must serve models");
+    let validated = config.validate();
+    assert!(
+        validated.is_ok(),
+        "invalid cluster config: {}",
+        validated.unwrap_err()
+    );
+    assert!(
+        config.kv.is_none(),
+        "paged KV is a fast-engine feature; the legacy engine exists to pin \
+         the pre-KV seed semantics — run simulate_fleet instead"
+    );
     for r in requests {
         assert!(
             r.model < config.models.len(),
@@ -231,6 +242,9 @@ pub fn simulate_fleet_traced_legacy(
         events_processed += 1;
         let now = event.time_s;
         match event.kind {
+            EventKind::KvGrow { .. } => {
+                unreachable!("legacy engine rejects paged-KV configs at entry")
+            }
             EventKind::Arrival { request } => {
                 let req = *by_id(request);
                 match route_once(&req, now, &[], &replicas, config, router) {
@@ -660,6 +674,8 @@ pub fn simulate_fleet_traced_legacy(
             },
             warmups: r.warmups,
             crashes: r.crashes,
+            kv_peak_occupancy: 0.0,
+            kv_mean_occupancy: 0.0,
         })
         .collect();
 
@@ -679,6 +695,8 @@ pub fn simulate_fleet_traced_legacy(
         scale_downs,
         events_processed,
         peak_in_flight,
+        prefix_hit_tokens: 0,
+        preemptions: 0,
     }
 }
 
@@ -840,6 +858,13 @@ fn view_of(
         queue_cap: if routable { replica.cfg.queue_cap } else { 0 },
         max_batch: replica.cfg.max_batch,
         outstanding_tokens: replica.outstanding_tokens,
+        // The legacy engine predates paged KV (the feature is rejected at
+        // entry), so the KV-derived signals are always their neutral zeros.
+        predicted_hit_tokens: 0,
+        est_prefix_saved_s: 0.0,
+        session_resident: false,
+        kv_free_blocks: 0,
+        kv_total_blocks: 0,
         warm: replica.state == ReplicaState::Warm,
         warmup_remaining_s: replica.warmup_remaining_s(now_s),
         est_start_delay_s: replica.est_start_delay_s(now_s),
@@ -935,6 +960,8 @@ fn try_dispatch(
                 decode_steps: req.gen_len.saturating_sub(1),
                 completion_s: completion,
                 batch_at_dispatch: batch,
+                prefix_hit_tokens: 0,
+                preemptions: 0,
             });
         }
         queue.push(
@@ -976,7 +1003,7 @@ mod tests {
                 arrival_s: i as f64 * gap_s,
                 prompt_len: 128 + (i as u64 % 7) * 16,
                 gen_len: 16 + (i as u64 % 5) * 8,
-                model: 0,
+                ..ClusterRequest::default()
             })
             .collect()
     }

@@ -43,6 +43,11 @@ pub(crate) enum EventKind {
     /// hedge race removes the slot from the slab, bumping its generation,
     /// so the key embedded here simply stops resolving.
     SlotDone { replica: usize, slot: SlotKey },
+    /// A decode step of the sequence at `slot` on `replica` needs its next
+    /// KV block (paged-KV runs only; stale if the slot's generation moved
+    /// on — the sequence completed, crashed, was cancelled, or was itself
+    /// preempted).
+    KvGrow { replica: usize, slot: SlotKey },
     /// Injected fault `fault` (index into the chaos schedule) strikes.
     Fault { fault: usize },
     /// Replica `replica` finishes its post-crash cold restart (stale if

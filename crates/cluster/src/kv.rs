@@ -1,0 +1,554 @@
+//! Paged KV-cache model with hash-based prefix caching (vLLM-style).
+//!
+//! Each replica owns a fixed pool of KV blocks sized from its backend's
+//! memory budget after weights ([`CostModel::kv_capacity_bytes`]). In-flight
+//! sequences hold *pinned* prefix blocks (shared, refcounted) and *private*
+//! blocks (their own suffix + generated tokens). Completed sequences donate
+//! their blocks back to the prefix pool under chain keys — a later turn of
+//! the same session, or another request sharing the same system prompt,
+//! hits those blocks and skips prefill for the covered tokens. Unreferenced
+//! cached blocks are reclaimed in strict LRU order; when even eviction
+//! cannot find a free block for a decode step, the engine preempts the
+//! youngest co-resident sequence and requeues it (wasted-token accounting
+//! mirrors PR 6's crash path).
+//!
+//! Everything here is deterministic: the pool and LRU index are `BTreeMap`s
+//! (lint D001), LRU ages come from a monotonic use counter, and all sizing
+//! is integer block arithmetic. The engine asserts block conservation
+//! (`free + pinned + cached + private == total`) after every event.
+
+use crate::engine::ClusterRequest;
+use llmsim_core::CostModel;
+use llmsim_model::{DType, ModelConfig};
+use std::collections::BTreeMap;
+
+/// Paged-KV configuration, attached to a fleet via
+/// [`crate::ClusterConfig::with_kv`]. `None` (the default) leaves the
+/// engine on its byte-identical fixed-slot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvConfig {
+    /// Tokens per KV block (vLLM defaults to 16).
+    pub block_tokens: u64,
+    /// Dtype of the cached K/V tensors (sets bytes-per-token).
+    pub kv_dtype: DType,
+    /// Keep completed sequences' blocks as a refcounted prefix cache. When
+    /// off, blocks still page (allocation, growth, preemption) but every
+    /// request pays full prefill.
+    pub prefix_caching: bool,
+    /// Fixed per-replica pool size in blocks, overriding the
+    /// memory-derived capacity. Used by capacity-sweep experiments.
+    pub capacity_blocks_override: Option<u64>,
+}
+
+impl KvConfig {
+    /// vLLM-flavored defaults: 16-token blocks, fp16 KV, prefix caching on.
+    #[must_use]
+    pub fn new() -> Self {
+        KvConfig {
+            block_tokens: 16,
+            kv_dtype: DType::Fp16,
+            prefix_caching: true,
+            capacity_blocks_override: None,
+        }
+    }
+
+    /// Sets the block size in tokens.
+    #[must_use]
+    pub fn with_block_tokens(mut self, tokens: u64) -> Self {
+        self.block_tokens = tokens;
+        self
+    }
+
+    /// Sets the KV dtype.
+    #[must_use]
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.kv_dtype = dtype;
+        self
+    }
+
+    /// Enables or disables the prefix cache.
+    #[must_use]
+    pub fn with_prefix_caching(mut self, on: bool) -> Self {
+        self.prefix_caching = on;
+        self
+    }
+
+    /// Pins every replica's pool to a fixed block count.
+    #[must_use]
+    pub fn with_capacity_blocks(mut self, blocks: u64) -> Self {
+        self.capacity_blocks_override = Some(blocks);
+        self
+    }
+
+    /// Blocks a replica backend can hold: KV budget after weights, divided
+    /// by the block footprint of the *largest* served model (conservative:
+    /// a heterogeneous model list is sized for its worst case so the pool
+    /// never overcommits).
+    #[must_use]
+    pub fn capacity_blocks(&self, backend: &dyn CostModel, models: &[ModelConfig]) -> u64 {
+        if let Some(blocks) = self.capacity_blocks_override {
+            return blocks;
+        }
+        let per_token = models
+            .iter()
+            .map(|m| m.kv_bytes_per_token(self.kv_dtype))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        backend.kv_capacity_bytes(models).get() / (per_token * self.block_tokens.max(1))
+    }
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Identity of a shareable block: `(tag, chain id, position)`. Tag 0 chains
+/// hang off an explicit `prefix_id` (shared system prompts); tag 1 chains
+/// hang off a `session` id (multi-turn context). Position is the block
+/// index within the chain, so a chain is shareable exactly up to its first
+/// divergence.
+pub(crate) type BlockKey = (u8, u64, u32);
+
+/// Chain key for block `k` of `req`'s context, or `None` when that block
+/// is anonymous (no prefix or session identity covers it). The serving
+/// model is folded into the chain id (high 16 bits): the same system
+/// prompt produces different KV tensors under different models, so chains
+/// must never alias across them.
+pub(crate) fn chain_key(req: &ClusterRequest, k: u64, block_tokens: u64) -> Option<BlockKey> {
+    let end = (k + 1) * block_tokens;
+    let pos = u32::try_from(k).ok()?;
+    if req.prefix_id != 0 && end <= req.prefix_len {
+        Some((0, chain_ident(req.model, req.prefix_id), pos))
+    } else if req.session != 0 && end <= req.prompt_len + req.gen_len {
+        Some((1, chain_ident(req.model, req.session), pos))
+    } else {
+        None
+    }
+}
+
+/// Packs the serving model into the high bits of a chain id.
+fn chain_ident(model: usize, id: u64) -> u64 {
+    (model as u64) << 48 | (id & 0xFFFF_FFFF_FFFF)
+}
+
+/// A resident shareable block in a replica's prefix pool.
+#[derive(Debug, Clone, Copy)]
+struct PrefixBlock {
+    /// In-flight sequences currently pinning this block. Zero means the
+    /// block is cached (evictable); nonzero means pinned.
+    refs: u32,
+    /// Monotonic age for LRU ordering; refreshed whenever the block drops
+    /// back to cached.
+    last_use: u64,
+}
+
+/// Per-sequence block accounting, carried on the in-flight record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KvSeq {
+    /// Shared chain blocks pinned at dispatch (prefill skipped for these).
+    pub hit_blocks: u64,
+    /// Blocks this sequence allocated for itself (suffix + generated).
+    pub private_blocks: u64,
+    /// Blocks the full context (prompt + generation) will occupy.
+    pub final_blocks: u64,
+}
+
+/// A replica's paged KV pool: block counters, the refcounted prefix pool,
+/// and its LRU index, plus occupancy telemetry.
+#[derive(Debug, Clone)]
+pub(crate) struct KvState {
+    /// Tokens per block (copied from [`KvConfig`]).
+    pub block_tokens: u64,
+    /// Pool size in blocks; fixed for the life of the replica.
+    pub total_blocks: u64,
+    /// Unallocated blocks.
+    pub free_blocks: u64,
+    /// Shared blocks with at least one in-flight reference.
+    pub pinned_blocks: u64,
+    /// Shared blocks with zero references — resident and evictable.
+    pub cached_blocks: u64,
+    /// Blocks owned by exactly one in-flight sequence.
+    pub private_blocks: u64,
+    prefix_caching: bool,
+    /// Resident shareable blocks, pinned and cached alike.
+    pool: BTreeMap<BlockKey, PrefixBlock>,
+    /// Evictable blocks ordered oldest-first: `(last_use, key)`.
+    lru: BTreeMap<(u64, BlockKey), ()>,
+    /// Monotonic LRU clock.
+    use_counter: u64,
+    /// `∫ in_use dt` for mean-occupancy reporting.
+    occ_integral: f64,
+    /// Timestamp of the last accounting change.
+    last_note_s: f64,
+    /// Peak in-use (pinned + private) block count.
+    pub peak_in_use: u64,
+}
+
+impl KvState {
+    pub(crate) fn new(total_blocks: u64, block_tokens: u64, prefix_caching: bool) -> Self {
+        KvState {
+            block_tokens,
+            total_blocks,
+            free_blocks: total_blocks,
+            pinned_blocks: 0,
+            cached_blocks: 0,
+            private_blocks: 0,
+            prefix_caching,
+            pool: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            use_counter: 0,
+            occ_integral: 0.0,
+            last_note_s: 0.0,
+            peak_in_use: 0,
+        }
+    }
+
+    /// Blocks needed to hold `tokens` tokens of context.
+    pub(crate) fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_tokens.max(1))
+    }
+
+    /// Blocks currently backing in-flight sequences.
+    pub(crate) fn in_use(&self) -> u64 {
+        self.pinned_blocks + self.private_blocks
+    }
+
+    /// Accumulates the occupancy integral up to `now_s`. Called at the top
+    /// of every mutation and once more at end of simulation.
+    pub(crate) fn note(&mut self, now_s: f64) {
+        if now_s > self.last_note_s {
+            self.occ_integral += self.in_use() as f64 * (now_s - self.last_note_s);
+            self.last_note_s = now_s;
+        }
+    }
+
+    fn bump_peak(&mut self) {
+        self.peak_in_use = self.peak_in_use.max(self.in_use());
+    }
+
+    fn next_use(&mut self) -> u64 {
+        self.use_counter += 1;
+        self.use_counter
+    }
+
+    /// Mean occupancy fraction over a run of `makespan_s`.
+    pub(crate) fn mean_occupancy(&self, makespan_s: f64) -> f64 {
+        if makespan_s <= 0.0 || self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.occ_integral / (makespan_s * self.total_blocks as f64)
+    }
+
+    /// Peak occupancy fraction.
+    pub(crate) fn peak_occupancy(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.peak_in_use as f64 / self.total_blocks as f64
+    }
+
+    /// Consecutive leading chain blocks of `req`'s *prompt* that are
+    /// resident right now — the prefix-cache hit length in blocks. Only
+    /// whole blocks fully inside the prompt count (a generated token can
+    /// never hit).
+    pub(crate) fn probe_hits(&self, req: &ClusterRequest) -> u64 {
+        if !self.prefix_caching {
+            return 0;
+        }
+        let max_blocks = req.prompt_len / self.block_tokens.max(1); // full blocks only
+        let mut hits = 0;
+        while hits < max_blocks {
+            match chain_key(req, hits, self.block_tokens) {
+                Some(key) if self.pool.contains_key(&key) => hits += 1,
+                _ => break,
+            }
+        }
+        hits
+    }
+
+    /// Whether any block of `req`'s session chain is resident — the
+    /// router's cheap "is this session's context here" signal. A range
+    /// probe, not a block-0 lookup: a session whose opening blocks are
+    /// covered by a shared system prefix starts its own chain later.
+    pub(crate) fn session_resident(&self, req: &ClusterRequest) -> bool {
+        if req.session == 0 {
+            return false;
+        }
+        let ident = chain_ident(req.model, req.session);
+        self.pool
+            .range((1, ident, 0)..=(1, ident, u32::MAX))
+            .next()
+            .is_some()
+    }
+
+    /// Whether `needed` fresh blocks can be produced from free + evictable
+    /// stock without touching any in-flight sequence.
+    pub(crate) fn can_allocate(&self, needed: u64) -> bool {
+        needed <= self.free_blocks + self.cached_blocks
+    }
+
+    /// Pins the first `hits` chain blocks of `req` (refcount bump; cached →
+    /// pinned on the 0→1 edge). The caller probed first, so the blocks
+    /// exist.
+    pub(crate) fn pin_hits(&mut self, req: &ClusterRequest, hits: u64, now_s: f64) {
+        self.note(now_s);
+        for k in 0..hits {
+            let Some(key) = chain_key(req, k, self.block_tokens) else {
+                unreachable!("probed block has a chain key")
+            };
+            let Some(block) = self.pool.get_mut(&key) else {
+                unreachable!("probed block is resident")
+            };
+            if block.refs == 0 {
+                self.lru.remove(&(block.last_use, key));
+                self.cached_blocks -= 1;
+                self.pinned_blocks += 1;
+            }
+            block.refs += 1;
+        }
+        self.bump_peak();
+    }
+
+    /// Drops `hits` pins taken by [`Self::pin_hits`]; blocks whose
+    /// refcount hits zero become cached with fresh LRU age.
+    pub(crate) fn release_hits(&mut self, req: &ClusterRequest, hits: u64, now_s: f64) {
+        self.note(now_s);
+        for k in 0..hits {
+            let Some(key) = chain_key(req, k, self.block_tokens) else {
+                unreachable!("pinned block has a chain key")
+            };
+            let Some(block) = self.pool.get_mut(&key) else {
+                unreachable!("pinned block is resident")
+            };
+            block.refs -= 1;
+            if block.refs == 0 {
+                let age = self.next_use();
+                let Some(block) = self.pool.get_mut(&key) else {
+                    unreachable!("still resident")
+                };
+                block.last_use = age;
+                self.lru.insert((age, key), ());
+                self.pinned_blocks -= 1;
+                self.cached_blocks += 1;
+            }
+        }
+    }
+
+    /// Claims `needed` private blocks, evicting cached blocks oldest-first
+    /// when the free list runs dry. The caller checked
+    /// [`Self::can_allocate`].
+    pub(crate) fn allocate_private(&mut self, needed: u64, now_s: f64) {
+        self.note(now_s);
+        while self.free_blocks < needed {
+            self.evict_one();
+        }
+        self.free_blocks -= needed;
+        self.private_blocks += needed;
+        self.bump_peak();
+    }
+
+    /// Evicts the least-recently-used cached block.
+    fn evict_one(&mut self) {
+        let Some(&entry) = self.lru.keys().next() else {
+            unreachable!("eviction requires a cached block")
+        };
+        self.lru.remove(&entry);
+        self.pool.remove(&entry.1);
+        self.cached_blocks -= 1;
+        self.free_blocks += 1;
+    }
+
+    /// Returns `n` private blocks to the free list (preemption, hedge-loser
+    /// cancellation).
+    pub(crate) fn free_private(&mut self, n: u64, now_s: f64) {
+        self.note(now_s);
+        self.private_blocks -= n;
+        self.free_blocks += n;
+    }
+
+    /// Completion: donates a finished sequence's private blocks to the
+    /// prefix pool under chain keys `hit_blocks..` (so the next turn of the
+    /// session — or the next request sharing the prefix — hits them), and
+    /// frees anonymous or duplicate leftovers.
+    pub(crate) fn commit_chain(
+        &mut self,
+        req: &ClusterRequest,
+        hit_blocks: u64,
+        private_blocks: u64,
+        now_s: f64,
+    ) {
+        self.note(now_s);
+        for k in hit_blocks..hit_blocks + private_blocks {
+            self.private_blocks -= 1;
+            let key = if self.prefix_caching {
+                chain_key(req, k, self.block_tokens)
+            } else {
+                None
+            };
+            match key {
+                Some(key) if !self.pool.contains_key(&key) => {
+                    let age = self.next_use();
+                    self.pool.insert(
+                        key,
+                        PrefixBlock {
+                            refs: 0,
+                            last_use: age,
+                        },
+                    );
+                    self.lru.insert((age, key), ());
+                    self.cached_blocks += 1;
+                }
+                // Anonymous position, or another sequence already cached
+                // this chain block: our copy is redundant.
+                _ => self.free_blocks += 1,
+            }
+        }
+    }
+
+    /// Crash recovery: host memory is gone, so the whole pool resets.
+    pub(crate) fn reset(&mut self, now_s: f64) {
+        self.note(now_s);
+        self.pool.clear();
+        self.lru.clear();
+        self.free_blocks = self.total_blocks;
+        self.pinned_blocks = 0;
+        self.cached_blocks = 0;
+        self.private_blocks = 0;
+    }
+
+    /// Block-conservation invariant, asserted by the engine after every
+    /// event: every block is in exactly one of the four states, and the
+    /// pool indexes exactly the shared (pinned + cached) blocks.
+    pub(crate) fn assert_conserved(&self) {
+        assert_eq!(
+            self.free_blocks + self.pinned_blocks + self.cached_blocks + self.private_blocks,
+            self.total_blocks,
+            "KV block conservation violated: free={} pinned={} cached={} private={} total={}",
+            self.free_blocks,
+            self.pinned_blocks,
+            self.cached_blocks,
+            self.private_blocks,
+            self.total_blocks,
+        );
+        assert_eq!(
+            self.pool.len() as u64,
+            self.pinned_blocks + self.cached_blocks,
+            "prefix pool out of sync with shared-block counters",
+        );
+        assert_eq!(
+            self.lru.len() as u64,
+            self.cached_blocks,
+            "LRU index out of sync with cached-block counter",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(prompt: u64, gen: u64, prefix_id: u64, prefix_len: u64, session: u64) -> ClusterRequest {
+        ClusterRequest {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_len: prompt,
+            gen_len: gen,
+            prefix_id,
+            prefix_len,
+            session,
+            ..ClusterRequest::default()
+        }
+    }
+
+    #[test]
+    fn chain_keys_prefer_prefix_then_session() {
+        let r = req(40, 8, 7, 32, 9);
+        // Blocks 0..2 lie inside the 32-token prefix; block 2 spills past
+        // it and falls back to the session chain; the context ends at 48
+        // so block 2 (tokens 32..48) is the last chainable one.
+        assert_eq!(chain_key(&r, 0, 16), Some((0, 7, 0)));
+        assert_eq!(chain_key(&r, 1, 16), Some((0, 7, 1)));
+        assert_eq!(chain_key(&r, 2, 16), Some((1, 9, 2)));
+        assert_eq!(chain_key(&r, 3, 16), None);
+        // No session either → anonymous past the prefix.
+        let r = req(40, 8, 7, 32, 0);
+        assert_eq!(chain_key(&r, 2, 16), None);
+    }
+
+    #[test]
+    fn commit_then_probe_hits_the_chain() {
+        let mut kv = KvState::new(16, 16, true);
+        let turn1 = req(40, 8, 0, 0, 5);
+        // Turn 1: 3 dispatch blocks (41 tokens), grows to 3 final (48).
+        kv.allocate_private(3, 0.0);
+        assert_eq!(kv.private_blocks, 3);
+        kv.commit_chain(&turn1, 0, 3, 1.0);
+        kv.assert_conserved();
+        assert_eq!(kv.cached_blocks, 3);
+        // Turn 2 of the same session: prompt = 48 prior tokens + 16 new.
+        let turn2 = req(64, 8, 0, 0, 5);
+        assert_eq!(kv.probe_hits(&turn2), 3);
+        kv.pin_hits(&turn2, 3, 2.0);
+        assert_eq!((kv.pinned_blocks, kv.cached_blocks), (3, 0));
+        kv.release_hits(&turn2, 3, 3.0);
+        kv.assert_conserved();
+    }
+
+    #[test]
+    fn eviction_is_lru_and_conserves() {
+        let mut kv = KvState::new(4, 16, true);
+        let a = req(32, 16, 0, 0, 1);
+        kv.allocate_private(3, 0.0);
+        kv.commit_chain(&a, 0, 3, 1.0); // session-1 blocks 0..3 cached
+        let b = req(16, 16, 0, 0, 2);
+        kv.allocate_private(1, 2.0);
+        kv.commit_chain(&b, 0, 1, 3.0); // session-2 block 0 cached, pool full
+        assert_eq!(kv.cached_blocks, 4);
+        // A 2-block allocation must evict session 1's two oldest blocks.
+        assert!(kv.can_allocate(2));
+        kv.allocate_private(2, 4.0);
+        kv.assert_conserved();
+        assert_eq!(kv.probe_hits(&req(32, 0, 0, 0, 1)), 0); // block 0 evicted
+        assert!(kv.session_resident(&b)); // newer chain survives
+    }
+
+    #[test]
+    fn prefix_caching_off_never_caches() {
+        let mut kv = KvState::new(8, 16, false);
+        let r = req(32, 16, 3, 32, 4);
+        kv.allocate_private(3, 0.0);
+        kv.commit_chain(&r, 0, 3, 1.0);
+        kv.assert_conserved();
+        assert_eq!(kv.cached_blocks, 0);
+        assert_eq!(kv.free_blocks, 8);
+        assert_eq!(kv.probe_hits(&r), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut kv = KvState::new(8, 16, true);
+        let r = req(32, 16, 0, 0, 6);
+        kv.allocate_private(3, 0.0);
+        kv.commit_chain(&r, 0, 3, 1.0);
+        kv.pin_hits(&req(48, 8, 0, 0, 6), 3, 2.0);
+        kv.reset(3.0);
+        kv.assert_conserved();
+        assert_eq!(kv.free_blocks, 8);
+        assert!(!kv.session_resident(&r));
+        assert!(kv.peak_in_use >= 3);
+    }
+
+    #[test]
+    fn occupancy_integral_tracks_holding_time() {
+        let mut kv = KvState::new(10, 16, true);
+        kv.allocate_private(5, 0.0);
+        kv.free_private(5, 2.0); // 5 blocks held for 2 s of a 4 s run
+        kv.note(4.0);
+        let mean = kv.mean_occupancy(4.0);
+        assert!((mean - 0.25).abs() < 1e-12, "mean occupancy {mean}");
+        assert!((kv.peak_occupancy() - 0.5).abs() < 1e-12);
+    }
+}

@@ -39,7 +39,7 @@
 //!     arrival_s: 0.0,
 //!     prompt_len: 128,
 //!     gen_len: 32,
-//!     model: 0,
+//!     ..ClusterRequest::default()
 //! }];
 //! let report = simulate_fleet(&config, &mut HeteroAware, &requests);
 //! assert_eq!(report.completed(), 1);
@@ -53,6 +53,7 @@ mod engine;
 mod engine_legacy;
 mod event;
 pub mod faults;
+pub mod kv;
 pub mod metrics;
 pub mod replay;
 mod replica;
@@ -64,11 +65,12 @@ pub use autoscale::AutoscaleConfig;
 pub use engine::{simulate_fleet, simulate_fleet_traced, ClusterConfig, ClusterRequest};
 pub use engine_legacy::{simulate_fleet_legacy, simulate_fleet_traced_legacy};
 pub use faults::{ChaosConfig, FaultEvent, FaultInjection, FaultKind, HedgePolicy};
+pub use kv::KvConfig;
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
 pub use replay::{bind_requests, parse_and_bind, UnknownModelError};
 pub use replica::{ReplicaConfig, ReplicaStart};
 pub use router::{
-    HealthAware, HealthSignal, HeteroAware, JoinShortestQueue, LeastOutstandingTokens, ReplicaView,
-    RoundRobin, RouterPolicy,
+    HealthAware, HealthSignal, HeteroAware, JoinShortestQueue, LeastOutstandingTokens, PrefixAware,
+    ReplicaView, RoundRobin, RouterPolicy,
 };
 pub use shard::{merge_reports, shard_fleet, simulate_shards, simulate_shards_traced, FleetShard};

@@ -68,6 +68,8 @@ pub fn bind_requests(
                 prompt_len: r.prompt_len,
                 gen_len: r.gen_len,
                 model,
+                // Real-trace rows carry no prefix or session identity.
+                ..ClusterRequest::default()
             })
         })
         .collect()

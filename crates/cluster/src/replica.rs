@@ -34,9 +34,15 @@ pub struct ReplicaConfig {
     /// The single-server cost model this replica schedules with.
     pub backend: Arc<dyn CostModel + Send + Sync>,
     /// Bounded in-flight capacity (waiting + in service). Arrivals routed
-    /// to a replica at capacity are rejected by the engine.
+    /// to a replica at capacity are rejected by the engine. Must be at
+    /// least `max_batch` (validated by [`crate::ClusterConfig::validate`])
+    /// so the batch can actually fill.
     pub queue_cap: usize,
-    /// Concurrent sequences the replica serves at once.
+    /// Ceiling on concurrently-served *sequences*. With paged KV enabled
+    /// ([`crate::ClusterConfig::with_kv`]) this is a secondary bound: the
+    /// effective batch at any instant is `min(max_batch, sequences whose
+    /// blocks fit)`, so block capacity — not this knob — usually limits
+    /// long-context batches.
     pub max_batch: u64,
     /// Initial warm/cold/standby state.
     pub start: ReplicaStart,
@@ -160,6 +166,9 @@ pub(crate) struct InFlight {
     /// The span this attempt will emit if it wins (assembled only when a
     /// sink is enabled).
     pub span: Option<llmsim_core::trace::SpanRecord>,
+    /// Block accounting for this attempt when paged KV is on; `None` on
+    /// the fixed-slot path and while queued.
+    pub kv: Option<crate::kv::KvSeq>,
 }
 
 impl InFlight {
@@ -173,6 +182,7 @@ impl InFlight {
             service_s: 0.0,
             pending: None,
             span: None,
+            kv: None,
         }
     }
 }
@@ -235,6 +245,10 @@ pub(crate) struct Replica {
     pub slow_factor: f64,
     /// End of the current router-partition window (`-inf` when none).
     pub partitioned_until_s: f64,
+    /// Paged KV pool; `Some` only when the fleet enables
+    /// [`crate::KvConfig`] (installed by the engine, which knows the model
+    /// set and thus the block capacity).
+    pub kv: Option<crate::kv::KvState>,
 }
 
 impl Replica {
@@ -261,6 +275,7 @@ impl Replica {
             slow_until_s: f64::NEG_INFINITY,
             slow_factor: 1.0,
             partitioned_until_s: f64::NEG_INFINITY,
+            kv: None,
         }
     }
 

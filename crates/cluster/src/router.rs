@@ -43,6 +43,19 @@ pub struct ReplicaView {
     /// Whether this request's model serves weight-resident here (false =
     /// offloaded/streamed — the Fig. 17/19 signal).
     pub resident: bool,
+    /// Prompt tokens of *this* request predicted to hit this replica's
+    /// prefix cache (0 without paged KV).
+    pub predicted_hit_tokens: u64,
+    /// Predicted prefill seconds saved by those hits (0 without paged KV
+    /// — so prefix-aware policies degrade to latency-aware ones).
+    pub est_prefix_saved_s: f64,
+    /// Whether this request's session still has cached context here.
+    pub session_resident: bool,
+    /// KV blocks obtainable right now (free + evictable; 0 without
+    /// paged KV).
+    pub kv_free_blocks: u64,
+    /// Total KV blocks in this replica's pool (0 without paged KV).
+    pub kv_total_blocks: u64,
 }
 
 impl ReplicaView {
@@ -195,6 +208,45 @@ impl RouterPolicy for HeteroAware {
 
     fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
         argmin_by(replicas, ReplicaView::predicted_latency_s)
+    }
+}
+
+/// Prefix-cache-aware routing with emergent session affinity.
+///
+/// The choice minimizes `est_start_delay + est_service −
+/// est_prefix_saved`: [`HeteroAware`]'s predicted latency with the
+/// prefill seconds the replica's resident KV blocks would skip
+/// subtracted. The savings signal comes from the engine probing each
+/// replica's actual block pool for this request's prefix and session
+/// chains, so session affinity is *emergent* rather than pinned: the
+/// replica holding a session's chain predicts hits, scores lower, and
+/// keeps the session — until queueing there costs more wall clock than
+/// the saved prefill, at which point the session migrates, re-prefills
+/// once on its new home, and is sticky there from the next turn on. A
+/// hard affinity table would hotspot under load for exactly the turns
+/// where migration is cheapest (short resident chains).
+///
+/// Without paged KV every savings signal is zero and the policy degrades
+/// to latency-aware routing. No state, so no crash feedback needed: a
+/// crashed replica's emptied pool stops predicting hits by itself.
+#[derive(Debug, Default)]
+pub struct PrefixAware;
+
+impl PrefixAware {
+    /// Creates a prefix-aware router.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefixAware
+    }
+}
+
+impl RouterPolicy for PrefixAware {
+    fn name(&self) -> String {
+        "prefix-aware".into()
+    }
+
+    fn route(&mut self, _request: &ClusterRequest, replicas: &[ReplicaView]) -> Option<usize> {
+        argmin_by(replicas, |v| v.predicted_latency_s() - v.est_prefix_saved_s)
     }
 }
 
@@ -353,6 +405,11 @@ mod tests {
             est_start_delay_s: in_flight as f64,
             est_service_s: 1.0,
             resident: true,
+            predicted_hit_tokens: 0,
+            est_prefix_saved_s: 0.0,
+            session_resident: false,
+            kv_free_blocks: 0,
+            kv_total_blocks: 0,
         }
     }
 
@@ -362,7 +419,7 @@ mod tests {
             arrival_s: 0.0,
             prompt_len: 64,
             gen_len: 16,
-            model: 0,
+            ..ClusterRequest::default()
         }
     }
 
@@ -392,6 +449,45 @@ mod tests {
         let mut fast = view(1, 2, 4);
         fast.est_service_s = 3.0;
         assert_eq!(h.route(&req(), &[slow, fast]), Some(1));
+    }
+
+    #[test]
+    fn prefix_aware_trades_predicted_savings_against_queueing() {
+        let mut p = PrefixAware::new();
+        // Equal load, but replica 1 holds this request's prefix: the
+        // predicted savings win the tie (emergent affinity).
+        let cold = view(0, 1, 4);
+        let mut warm_cache = view(1, 1, 4);
+        warm_cache.predicted_hit_tokens = 48;
+        warm_cache.est_prefix_saved_s = 0.4;
+        let mut r = req();
+        r.session = 77;
+        assert_eq!(p.route(&r, &[cold.clone(), warm_cache.clone()]), Some(1));
+        // Savings hold the session home even when an idle replica offers
+        // a shorter queue — as long as the saved prefill covers the wait.
+        let mut idle = cold.clone();
+        idle.est_start_delay_s = 0.7;
+        warm_cache.est_start_delay_s = 1.0;
+        assert_eq!(p.route(&r, &[idle.clone(), warm_cache.clone()]), Some(1));
+        // Once queueing at home exceeds the savings, the session migrates.
+        warm_cache.est_start_delay_s = 1.2;
+        assert_eq!(p.route(&r, &[idle, warm_cache.clone()]), Some(0));
+        // A full home is simply not routable.
+        let mut full_home = warm_cache;
+        full_home.queue_len = 4;
+        assert_eq!(p.route(&r, &[cold, full_home]), Some(0));
+    }
+
+    #[test]
+    fn prefix_aware_without_kv_degrades_to_latency_aware() {
+        // All prefix signals zero → same choice as HeteroAware.
+        let mut p = PrefixAware::new();
+        let mut h = HeteroAware;
+        let mut slow = view(0, 0, 4);
+        slow.est_service_s = 100.0;
+        let fast = view(1, 2, 4);
+        let views = [slow, fast];
+        assert_eq!(p.route(&req(), &views), h.route(&req(), &views));
     }
 
     #[test]

@@ -198,6 +198,8 @@ pub fn merge_reports(shards: &[FleetShard], reports: Vec<FleetReport>) -> FleetR
         retries: 0,
         hedges: 0,
         crashes: 0,
+        prefix_hit_tokens: 0,
+        preemptions: 0,
         slo: shards[0].config.slo,
         replicas: Vec::with_capacity(replicas_per_shard * shards.len()),
         scale_ups: 0,
@@ -217,6 +219,8 @@ pub fn merge_reports(shards: &[FleetShard], reports: Vec<FleetReport>) -> FleetR
         merged.retries += report.retries;
         merged.hedges += report.hedges;
         merged.crashes += report.crashes;
+        merged.prefix_hit_tokens += report.prefix_hit_tokens;
+        merged.preemptions += report.preemptions;
         merged.scale_ups += report.scale_ups;
         merged.scale_downs += report.scale_downs;
         merged.events_processed += report.events_processed;
@@ -330,7 +334,7 @@ mod tests {
                 arrival_s: i as f64 * 0.03,
                 prompt_len: 64 + (i as u64 % 5) * 32,
                 gen_len: 8 + (i as u64 % 3) * 8,
-                model: 0,
+                ..ClusterRequest::default()
             })
             .collect()
     }

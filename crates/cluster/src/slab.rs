@@ -75,6 +75,14 @@ impl Slab {
 
     /// The live entry for `key`, or `None` if it was removed (possibly
     /// with the slot since reused under a newer generation).
+    pub(crate) fn get(&self, key: SlotKey) -> Option<&InFlight> {
+        self.entries
+            .get(key.index as usize)
+            .filter(|e| e.gen == key.gen)
+            .and_then(|e| e.val.as_ref())
+    }
+
+    /// Mutable variant of [`Slab::get`].
     pub(crate) fn get_mut(&mut self, key: SlotKey) -> Option<&mut InFlight> {
         self.entries
             .get_mut(key.index as usize)

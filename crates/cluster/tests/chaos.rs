@@ -26,7 +26,7 @@ fn req(id: usize, arrival_s: f64) -> ClusterRequest {
         arrival_s,
         prompt_len: 128,
         gen_len: 32,
-        model: 0,
+        ..ClusterRequest::default()
     }
 }
 

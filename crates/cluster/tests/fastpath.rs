@@ -33,9 +33,11 @@ fn fleet(n: usize, queue_cap: usize, max_batch: u64, tail_start: ReplicaStart) -
                 2 => Arc::new(GpuBackend::paper_a100()),
                 _ => Arc::new(GpuBackend::paper_h100()),
             };
+            // Drawn independently, so clamp the batch to the queue cap:
+            // `ClusterConfig::validate` rejects queue_cap < max_batch.
             let mut cfg = ReplicaConfig::warm(backend)
                 .with_queue_cap(queue_cap)
-                .with_max_batch(max_batch);
+                .with_max_batch(max_batch.min(queue_cap as u64));
             if i == n - 1 {
                 cfg.start = tail_start;
             }
@@ -59,6 +61,7 @@ fn arb_trace() -> impl Strategy<Value = Vec<ClusterRequest>> {
                 prompt_len: p0 + 13 * (i as u64 % 7),
                 gen_len: g0 + 5 * (i as u64 % 4),
                 model: i % 2,
+                ..ClusterRequest::default()
             })
             .collect()
     })

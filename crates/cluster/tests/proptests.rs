@@ -24,9 +24,11 @@ fn fleet(n: usize, queue_cap: usize, max_batch: u64, tail_start: ReplicaStart) -
                 2 => Arc::new(GpuBackend::paper_a100()),
                 _ => Arc::new(GpuBackend::paper_h100()),
             };
+            // Drawn independently, so clamp the batch to the queue cap:
+            // `ClusterConfig::validate` rejects queue_cap < max_batch.
             let mut cfg = ReplicaConfig::warm(backend)
                 .with_queue_cap(queue_cap)
-                .with_max_batch(max_batch);
+                .with_max_batch(max_batch.min(queue_cap as u64));
             if i == n - 1 {
                 cfg.start = tail_start;
             }
@@ -50,6 +52,7 @@ fn arb_trace() -> impl Strategy<Value = Vec<ClusterRequest>> {
                 prompt_len: p0 + 13 * (i as u64 % 7),
                 gen_len: g0 + 5 * (i as u64 % 4),
                 model: i % 2,
+                ..ClusterRequest::default()
             })
             .collect()
     })
@@ -311,6 +314,11 @@ proptest! {
                 queue_cap: cap,
                 max_batch: 4,
                 outstanding_tokens: 64 * in_flight as u64,
+                predicted_hit_tokens: 0,
+                est_prefix_saved_s: 0.0,
+                session_resident: false,
+                kv_free_blocks: 0,
+                kv_total_blocks: 0,
                 warm: true,
                 warmup_remaining_s: 0.0,
                 est_start_delay_s: in_flight as f64,
@@ -323,7 +331,7 @@ proptest! {
             arrival_s: 0.0,
             prompt_len: 64,
             gen_len: 8,
-            model: 0,
+            ..ClusterRequest::default()
         };
         let choice = JoinShortestQueue.route(&req, &views);
         let any_open = views.iter().any(ReplicaView::can_accept);

@@ -57,6 +57,13 @@ pub trait CostModel: Backend {
     /// Whether `model`'s weights stay resident in this backend's fast
     /// local memory (false = streamed/offloaded every pass).
     fn holds_resident(&self, model: &ModelConfig) -> bool;
+
+    /// Bytes left for KV-cache state after the fleet's weight footprint
+    /// is placed: the memory pool serving reads KV from, minus the weight
+    /// bytes of every model in `models` that lives in that pool. Zero
+    /// (saturating) when the weights alone overflow it — such a backend
+    /// can hold no paged cache at all.
+    fn kv_capacity_bytes(&self, models: &[ModelConfig]) -> Bytes;
 }
 
 /// A thin owner of a boxed backend with convenience sweep helpers.

@@ -449,6 +449,18 @@ impl CostModel for CpuBackend {
         };
         model.weight_bytes(self.weight_dtype) <= available
     }
+
+    fn kv_capacity_bytes(&self, models: &[ModelConfig]) -> Bytes {
+        // Weights and KV share one memory pool on a CPU (the NUMA-mode
+        // capacity); whatever the fleet's weights leave behind is cache.
+        let available = match self.numa().memory {
+            MemoryMode::HbmOnly => self.cpu().hbm.as_ref().map_or(Bytes::ZERO, |h| h.capacity),
+            _ => self.cpu().total_memory_capacity(),
+        };
+        models.iter().fold(available, |left, m| {
+            left.saturating_sub(m.weight_bytes(self.weight_dtype))
+        })
+    }
 }
 
 #[cfg(test)]

@@ -280,6 +280,17 @@ impl CostModel for GpuBackend {
     fn holds_resident(&self, model: &ModelConfig) -> bool {
         self.serves_resident(model)
     }
+
+    fn kv_capacity_bytes(&self, models: &[ModelConfig]) -> Bytes {
+        // Only resident weights occupy device memory — offloaded models'
+        // weights stream from host and never crowd the on-device cache.
+        models
+            .iter()
+            .filter(|m| self.serves_resident(m))
+            .fold(self.gpu.usable_memory(), |left, m| {
+                left.saturating_sub(m.weight_bytes(self.dtype))
+            })
+    }
 }
 
 #[cfg(test)]

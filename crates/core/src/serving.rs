@@ -240,6 +240,8 @@ fn simulate_static<B: CostModel + ?Sized>(
                     decode_steps: r.gen_len - 1,
                     completion_s: done,
                     batch_at_dispatch: b,
+                    prefix_hit_tokens: 0,
+                    preemptions: 0,
                 });
             }
         }
@@ -294,6 +296,8 @@ fn span_of(a: &Active, completion_s: f64) -> SpanRecord {
         decode_steps: a.decode_steps,
         completion_s,
         batch_at_dispatch: a.batch_at_dispatch,
+        prefix_hit_tokens: 0,
+        preemptions: 0,
     }
 }
 

@@ -77,6 +77,12 @@ pub struct SpanRecord {
     /// Sequences sharing the batch at the moment of dispatch (including
     /// this one).
     pub batch_at_dispatch: u64,
+    /// Prompt tokens whose KV was served from a shared prefix cache
+    /// (skipping their prefill). Zero whenever paged-KV modeling is off.
+    pub prefix_hit_tokens: u64,
+    /// Times this request was preempted off a batch slot (KV blocks
+    /// exhausted) and recomputed. Zero whenever paged-KV modeling is off.
+    pub preemptions: u64,
 }
 
 impl SpanRecord {
@@ -96,6 +102,8 @@ impl SpanRecord {
             decode_steps: 0,
             completion_s: f64::NAN,
             batch_at_dispatch: 0,
+            prefix_hit_tokens: 0,
+            preemptions: 0,
         }
     }
 
@@ -146,6 +154,8 @@ impl SpanRecord {
             "decode_steps",
             "completion_s",
             "batch_at_dispatch",
+            "prefix_hit_tokens",
+            "preemptions",
         ]
         .map(String::from)
         .to_vec()
@@ -170,6 +180,8 @@ impl SpanRecord {
             Cell::Int(self.decode_steps as i64),
             Cell::Num(self.completion_s),
             Cell::Int(self.batch_at_dispatch as i64),
+            Cell::Int(self.prefix_hit_tokens as i64),
+            Cell::Int(self.preemptions as i64),
         ]
     }
 }
@@ -457,6 +469,8 @@ mod tests {
             decode_steps: 15,
             completion_s: 5.0,
             batch_at_dispatch: 2,
+            prefix_hit_tokens: 0,
+            preemptions: 0,
         }
     }
 

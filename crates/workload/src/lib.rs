@@ -30,4 +30,7 @@ pub use generator::{
 pub use replay::{model_mix, parse_trace, scale_arrivals, ReplayRequest, TraceParseError};
 pub use scenarios::{ChaosScenario, PrimaryMetric, ResilienceScenario, Scenario};
 pub use sweep::SweepPoint;
-pub use synthetic::{synthesize, LengthClass, SyntheticRequest, SyntheticSpec};
+pub use synthetic::{
+    synthesize, synthesize_sessions, LengthClass, SessionRequest, SessionSpec, SyntheticRequest,
+    SyntheticSpec,
+};

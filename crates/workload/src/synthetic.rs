@@ -212,6 +212,180 @@ pub fn synthesize(spec: &SyntheticSpec) -> Vec<SyntheticRequest> {
         .collect()
 }
 
+/// Specification of a multi-turn chat-session trace: the workload shape
+/// paged-KV prefix caching exists for. Every session shares one of a few
+/// system prompts (a cross-session prefix) and then grows its own context
+/// turn by turn (a per-session prefix): turn `t+1`'s prompt is exactly
+/// turn `t`'s prompt plus its generation plus the new user message, so a
+/// KV cache that kept the session's blocks can skip re-prefilling all but
+/// the new suffix. Two specs with equal fields generate byte-identical
+/// traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Master seed (session starts and shapes derive independent streams).
+    pub seed: u64,
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Per-session turn count, drawn uniformly from this inclusive range.
+    pub turns: (u32, u32),
+    /// Number of distinct shared system prompts; each session draws one.
+    pub system_prompts: u64,
+    /// Length of every system prompt, in tokens (quantized up).
+    pub system_prompt_len: u64,
+    /// Per-turn user-message length distribution.
+    pub user: LogNormalLengths,
+    /// Per-turn generation length distribution.
+    pub gen: LogNormalLengths,
+    /// Mean think time between a turn and the next (exponential gaps).
+    pub mean_think_s: f64,
+    /// Poisson rate of session starts.
+    pub session_rate_per_s: f64,
+    /// Prompt lengths are rounded up to a multiple of this (≥ 1).
+    pub prompt_quantum: u64,
+    /// Generation lengths are rounded up to a multiple of this (≥ 1).
+    pub gen_quantum: u64,
+    /// Sessions stop growing (end early) once the next prompt would
+    /// exceed this many tokens.
+    pub max_context: u64,
+}
+
+impl SessionSpec {
+    /// A chat-service-like session mixture at `rate_per_s` session
+    /// starts: 2–8 turns, four shared 512-token system prompts, short
+    /// user messages and answers on a 16-token grid (one default KV
+    /// block), 8k context windows.
+    #[must_use]
+    pub fn chat_day(seed: u64, sessions: usize, rate_per_s: f64) -> Self {
+        SessionSpec {
+            seed,
+            sessions,
+            turns: (2, 8),
+            system_prompts: 4,
+            system_prompt_len: 512,
+            user: LogNormalLengths {
+                mu: 4.2,
+                sigma: 0.6,
+                clamp: (16, 512),
+            },
+            gen: LogNormalLengths {
+                mu: 4.5,
+                sigma: 0.6,
+                clamp: (16, 384),
+            },
+            mean_think_s: 10.0,
+            session_rate_per_s: rate_per_s,
+            prompt_quantum: 16,
+            gen_quantum: 16,
+            max_context: 8192,
+        }
+    }
+}
+
+/// One turn of one synthetic session, ready to become a fleet request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRequest {
+    /// Arrival time at the router.
+    pub arrival_s: f64,
+    /// Full-context prompt tokens (system prompt + whole conversation so
+    /// far + this turn's user message, quantized).
+    pub prompt_len: u64,
+    /// Tokens to generate (quantized).
+    pub gen_len: u64,
+    /// Shared system prompt id (1-based; 0 is "no shared prefix").
+    pub prefix_id: u64,
+    /// Length of the shared system prompt, in tokens.
+    pub prefix_len: u64,
+    /// Session id (1-based; unique per session, 0 is "no session").
+    pub session: u64,
+    /// Turn index within the session (0-based).
+    pub turn: u32,
+}
+
+/// Generates the session trace described by `spec`, sorted by arrival
+/// time (ties broken by session id, then turn).
+///
+/// Per session, turn `t+1`'s prompt is `prompt_t + gen_t + user draw`,
+/// rounded up to the prompt quantum — always a strict superset of the
+/// previous turn's context, which is the invariant the paged-KV session
+/// chain relies on. Gaps between turns are exponential think times; the
+/// trace is open-loop, so think time stands in for (and need not exceed)
+/// the previous turn's service time.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate: no sessions, an empty or inverted
+/// turn range, no system prompts, a zero quantum, a non-positive rate or
+/// think time, or a context window too small for even a first turn.
+#[must_use]
+pub fn synthesize_sessions(spec: &SessionSpec) -> Vec<SessionRequest> {
+    assert!(spec.sessions > 0, "trace must have sessions");
+    assert!(
+        spec.turns.0 >= 1 && spec.turns.0 <= spec.turns.1,
+        "turn range must be non-empty"
+    );
+    assert!(spec.system_prompts >= 1, "need at least one system prompt");
+    assert!(
+        spec.prompt_quantum >= 1 && spec.gen_quantum >= 1,
+        "quanta must be at least 1"
+    );
+    assert!(
+        spec.session_rate_per_s > 0.0 && spec.mean_think_s > 0.0,
+        "rates must be positive"
+    );
+    let prefix_len = spec.system_prompt_len.div_ceil(spec.prompt_quantum) * spec.prompt_quantum;
+    assert!(
+        prefix_len + spec.user.clamp.1 <= spec.max_context,
+        "max_context cannot fit the system prompt plus one user message"
+    );
+
+    let mut starts_rng = StdRng::seed_from_u64(spec.seed ^ 0xC3C3_1E1E_0F0F_A5A5);
+    let mut shape_rng = StdRng::seed_from_u64(spec.seed ^ 0x3C3C_E1E1_F0F0_5A5A);
+
+    let mut out = Vec::new();
+    let mut start_s = 0.0f64;
+    for session in 1..=spec.sessions as u64 {
+        // Poisson session starts: exponential inter-start gaps.
+        let u: f64 = starts_rng.gen_range(0.0..1.0);
+        start_s += -(1.0 - u).ln() / spec.session_rate_per_s;
+
+        let turns = shape_rng.gen_range(spec.turns.0..=spec.turns.1);
+        let prefix_id = 1 + shape_rng.gen_range(0..spec.system_prompts);
+        let mut arrival_s = start_s;
+        let mut ctx = prefix_len; // tokens already in the conversation
+        for turn in 0..turns {
+            let user = spec.user.sample(&mut shape_rng);
+            let prompt_len = (ctx + user).div_ceil(spec.prompt_quantum) * spec.prompt_quantum;
+            if prompt_len > spec.max_context {
+                break; // context window exhausted: session ends early
+            }
+            let gen_len = quantize(
+                spec.gen.sample(&mut shape_rng),
+                spec.gen_quantum,
+                spec.gen.clamp.1,
+            );
+            out.push(SessionRequest {
+                arrival_s,
+                prompt_len,
+                gen_len,
+                prefix_id,
+                prefix_len,
+                session,
+                turn,
+            });
+            ctx = prompt_len + gen_len;
+            let u: f64 = shape_rng.gen_range(0.0..1.0);
+            arrival_s += -(1.0 - u).ln() * spec.mean_think_s;
+        }
+    }
+    out.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then(a.session.cmp(&b.session))
+            .then(a.turn.cmp(&b.turn))
+    });
+    out
+}
+
 /// Number of distinct `(prompt_len, gen_len)` shapes in a trace — the
 /// quantity the engine's prediction memo scales with, reported by the
 /// engine benchmark so shape-bucketing regressions are visible.
@@ -293,6 +467,63 @@ mod tests {
         for (f, c) in fractions.iter().zip(&spec.classes) {
             assert!((f - c.weight).abs() < 0.02, "{fractions:?}");
         }
+    }
+
+    #[test]
+    fn same_session_spec_same_trace() {
+        let spec = SessionSpec::chat_day(17, 500, 2.0);
+        let a = synthesize_sessions(&spec);
+        let b = synthesize_sessions(&spec);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[1].arrival_s >= w[0].arrival_s));
+    }
+
+    #[test]
+    fn turns_extend_the_previous_context_exactly() {
+        let spec = SessionSpec::chat_day(23, 300, 2.0);
+        let t = synthesize_sessions(&spec);
+        let mut by_session: std::collections::BTreeMap<u64, Vec<&SessionRequest>> =
+            std::collections::BTreeMap::new();
+        for r in &t {
+            by_session.entry(r.session).or_default().push(r);
+        }
+        for turns in by_session.values() {
+            for w in turns.windows(2) {
+                let (prev, next) = (w[0], w[1]);
+                assert_eq!(next.turn, prev.turn + 1);
+                assert!(next.arrival_s > prev.arrival_s);
+                // The KV session-chain invariant: the next prompt embeds
+                // the whole previous context (prompt + generation).
+                assert!(next.prompt_len >= prev.prompt_len + prev.gen_len);
+                assert_eq!(next.prefix_id, prev.prefix_id);
+            }
+            for r in turns {
+                assert!(r.prompt_len <= spec.max_context);
+                assert_eq!(r.prompt_len % spec.prompt_quantum, 0);
+                assert_eq!(r.gen_len % spec.gen_quantum, 0);
+                assert!(r.prefix_id >= 1 && r.prefix_id <= spec.system_prompts);
+                assert!(r.prompt_len >= r.prefix_len);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_share_few_system_prompts() {
+        let spec = SessionSpec::chat_day(29, 1_000, 5.0);
+        let t = synthesize_sessions(&spec);
+        let mut ids: Vec<u64> = t.iter().map(|r| r.prefix_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "turn range")]
+    fn inverted_turn_range_panics() {
+        let mut spec = SessionSpec::chat_day(1, 10, 1.0);
+        spec.turns = (5, 2);
+        let _ = synthesize_sessions(&spec);
     }
 
     #[test]

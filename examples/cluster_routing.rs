@@ -54,6 +54,7 @@ fn main() {
             prompt_len: 128 + 128 * (i as u64 % 3),
             gen_len: 16 + 16 * (i as u64 % 3),
             model: usize::from(i % 3 == 0),
+            ..ClusterRequest::default()
         })
         .collect();
 

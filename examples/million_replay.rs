@@ -51,7 +51,7 @@ fn main() {
             arrival_s: r.arrival_s,
             prompt_len: r.prompt_len,
             gen_len: r.gen_len,
-            model: 0,
+            ..ClusterRequest::default()
         })
         .collect();
     println!(
