@@ -99,6 +99,10 @@ fn producers() -> Vec<Producer> {
         ("ext_resilience.txt", Box::new(exp::ext_resilience::render)),
         ("ext_cluster.txt", Box::new(exp::ext_cluster::render)),
         ("ext_kvcache.txt", Box::new(exp::ext_kvcache::render)),
+        (
+            "ext_multisocket.txt",
+            Box::new(exp::ext_multisocket::render),
+        ),
         ("ext_trace.txt", Box::new(exp::ext_trace::render)),
         ("ext_chaos.txt", Box::new(exp::ext_chaos::render)),
     ]
@@ -129,7 +133,7 @@ mod tests {
     fn writes_every_artifact() {
         let dir = std::env::temp_dir().join(format!("llmsim_artifacts_{}", std::process::id()));
         let paths = write_all(&dir).expect("artifacts write");
-        assert_eq!(paths.len(), 23);
+        assert_eq!(paths.len(), 24);
         for p in &paths {
             let content = std::fs::read_to_string(p).expect("readable");
             assert!(content.len() > 100, "{} too small", p.display());

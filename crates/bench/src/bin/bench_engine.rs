@@ -15,6 +15,9 @@
 //! - `paged_1e5`  — the fast engine with paged KV and prefix caching on a
 //!   multi-turn session trace (block growth events, admission gating, and
 //!   prefix probes on top of the fast path);
+//! - `tp_1e5`     — the fast engine over replicas backed by 2-socket
+//!   tensor-parallel groups ([`llmsim_core::TensorParallel`]), so every
+//!   prediction prices a sharded graph plus per-layer UPI all-reduces;
 //! - `sharded_*`  — the fast engine over round-robin fleet shards replayed
 //!   on scoped threads ([`llmsim_cluster::simulate_shards`]).
 //!
@@ -25,16 +28,16 @@
 //! the same simulation — so it is reported but never compared byte-for-byte
 //! against the single-fleet runs.
 //!
-//! With `--baseline <path>` the run exits non-zero if the `fast_1e5` or
-//! `paged_1e5` case regressed more than 30% in requests/second against a
-//! previously committed summary — the CI throughput floor.
+//! With `--baseline <path>` the run exits non-zero if the `fast_1e5`,
+//! `paged_1e5`, or `tp_1e5` case regressed more than 30% in requests/second
+//! against a previously committed summary — the CI throughput floor.
 
 use llmsim_cluster::{
     shard_fleet, simulate_fleet, simulate_fleet_legacy, simulate_fleet_traced, simulate_shards,
     ClusterConfig, ClusterRequest, FleetReport, JoinShortestQueue, KvConfig, ReplicaConfig,
     RouterPolicy,
 };
-use llmsim_core::{CostModel, CpuBackend, StreamSink};
+use llmsim_core::{CostModel, CpuBackend, StreamSink, TensorParallel};
 use llmsim_model::families;
 use llmsim_workload::synthetic::{synthesize, synthesize_sessions, SessionSpec, SyntheticSpec};
 use std::fmt::Write as _;
@@ -80,6 +83,17 @@ fn trace(n: usize) -> Vec<ClusterRequest> {
             ..ClusterRequest::default()
         })
         .collect()
+}
+
+/// Eight warm replicas each backed by a 2-socket SPR tensor-parallel
+/// group — the multi-socket serving shape. Shares one `Arc` like
+/// [`fleet`] so the prediction cache stays in a single group.
+fn tp_fleet() -> ClusterConfig {
+    let tp2 = TensorParallel::across_sockets(CpuBackend::paper_spr(), 2)
+        .expect("degree 2 is valid for the bench model");
+    let tp2: Arc<dyn CostModel + Send + Sync> = Arc::new(tp2);
+    let replicas: Vec<ReplicaConfig> = (0..8).map(|_| ReplicaConfig::warm(tp2.clone())).collect();
+    ClusterConfig::new(replicas, vec![families::opt_13b()])
 }
 
 /// Seeded multi-turn session trace of roughly `sessions` x 5 requests
@@ -232,6 +246,14 @@ fn main() {
         simulate_fleet(&paged_config, &mut *router(), reqs)
     });
 
+    // Tensor-parallel case: the same 1e5 trace on the TP2 fleet. Every
+    // routing prediction walks the sharded graph and adds the all-reduce
+    // tax, so this bounds the memoized-pricing overhead of `core::tp`.
+    let tp_config = tp_fleet();
+    let tp_row = run_case("tp_1e5", &fast_trace, |reqs| {
+        simulate_fleet(&tp_config, &mut *router(), reqs)
+    });
+
     let serial_big_row = run_case("fast_serial_big", &big, |reqs| {
         simulate_fleet(&config, &mut *router(), reqs)
     });
@@ -249,6 +271,7 @@ fn main() {
         &fast_row,
         &traced_row,
         &paged_row,
+        &tp_row,
         &serial_big_row,
         &sharded_big_row,
     ];
@@ -308,6 +331,7 @@ fn main() {
         for (case, now) in [
             ("fast_1e5", fast_row.req_per_s()),
             ("paged_1e5", paged_row.req_per_s()),
+            ("tp_1e5", tp_row.req_per_s()),
         ] {
             let Some(base) = baseline_req_per_s(&text, case) else {
                 eprintln!("baseline {path} has no {case} req_per_s");

@@ -7,6 +7,7 @@ pub mod ext_chaos;
 pub mod ext_cluster;
 pub mod ext_kvcache;
 pub mod ext_memory;
+pub mod ext_multisocket;
 pub mod ext_resilience;
 pub mod ext_speculative;
 pub mod ext_trace;
@@ -61,6 +62,7 @@ fn sections() -> Vec<Section> {
         Box::new(ext_resilience::render),
         Box::new(ext_cluster::render),
         Box::new(ext_kvcache::render),
+        Box::new(ext_multisocket::render),
         Box::new(ext_trace::render),
         Box::new(ext_chaos::render),
     ]

@@ -143,6 +143,10 @@ pub struct ClusterConfig {
     /// fixed-slot dispatch path, byte-identical to the seed engine
     /// (proptested).
     pub kv: Option<crate::kv::KvConfig>,
+    /// Pipeline-parallel stage chains, if any. `None` (the default)
+    /// leaves every replica standalone, byte-identical to a fleet that
+    /// predates pipeline groups (proptested).
+    pub pipeline: Option<crate::pipeline::PipelineConfig>,
 }
 
 impl ClusterConfig {
@@ -156,6 +160,7 @@ impl ClusterConfig {
             autoscale: None,
             chaos: None,
             kv: None,
+            pipeline: None,
         }
     }
 
@@ -185,6 +190,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_kv(mut self, kv: crate::kv::KvConfig) -> Self {
         self.kv = Some(kv);
+        self
+    }
+
+    /// Installs pipeline-parallel stage chains (see [`crate::pipeline`]).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: crate::pipeline::PipelineConfig) -> Self {
+        self.pipeline = Some(pipeline);
         self
     }
 
@@ -232,6 +244,35 @@ impl ClusterConfig {
                         r.backend.name()
                     )));
                 }
+            }
+        }
+        if let Some(pipeline) = &self.pipeline {
+            pipeline
+                .validate(self.replicas.len())
+                .map_err(UnsupportedConfig)?;
+            // A stage chain is one logical server, not a set of
+            // independent failure/capacity domains — the layers below
+            // all assume the latter.
+            if self.chaos.is_some() {
+                return Err(UnsupportedConfig(
+                    "pipeline groups do not compose with chaos injection: a stage \
+                     crash would need chain-wide recovery semantics"
+                        .into(),
+                ));
+            }
+            if self.kv.is_some() {
+                return Err(UnsupportedConfig(
+                    "pipeline groups do not compose with paged KV: per-stage block \
+                     pools would need sharded sequence ownership"
+                        .into(),
+                ));
+            }
+            if self.autoscale.is_some() {
+                return Err(UnsupportedConfig(
+                    "pipeline groups do not compose with autoscaling: parking one \
+                     stage would stall its whole chain"
+                        .into(),
+                ));
             }
         }
         Ok(())
@@ -400,8 +441,23 @@ struct ReqRuntime {
     hedged: bool,
     /// Times this request was preempted off a batch for KV blocks.
     preemptions: u32,
+    /// Arrival-to-dispatch wait at pipeline stage 0 (the router-visible
+    /// queue delay a chained request reports; 0.0 outside pipelines).
+    pp_queue_delay_s: f64,
     /// Replicas currently holding a live attempt (queued or in service).
     attempts: Attempts,
+}
+
+/// A replica's position in its pipeline chain, precomputed at startup so
+/// the hot path pays one `Vec` index instead of a group scan.
+#[derive(Debug, Clone, Copy)]
+struct StagePos {
+    /// Index into [`crate::pipeline::PipelineConfig::groups`].
+    group: usize,
+    /// Stage index in the chain (0 = head).
+    stage: usize,
+    /// Chain length.
+    depth: usize,
 }
 
 /// Everything the per-event handlers share. Bundling it keeps the helper
@@ -433,6 +489,11 @@ struct Engine<'a> {
     /// so preempted-and-retried attempts are never double-counted).
     prefix_hit_tokens: u64,
     preemptions_total: u64,
+    /// `stage_of[i]` = replica `i`'s pipeline position (`None` outside
+    /// every group; all-`None` when the fleet has no pipeline config).
+    stage_of: Vec<Option<StagePos>>,
+    /// Inter-stage activation handoffs performed.
+    pipeline_handoffs: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -463,9 +524,13 @@ impl<'a> Engine<'a> {
             let kv_fits =
                 r.kv.as_ref()
                     .is_none_or(|kv| kv.blocks_for(req.total_tokens()) <= kv.total_blocks);
-            // Standbys (and failed, draining, partitioned or excluded
-            // replicas) are invisible to routers: report zero capacity.
-            v.queue_cap = if routable && kv_fits && !exclude.contains(&i) {
+            // A downstream pipeline stage only ever receives work from
+            // its upstream stage, never from the router.
+            let is_head = self.stage_of[i].is_none_or(|p| p.stage == 0);
+            // Standbys (and failed, draining, partitioned, excluded or
+            // non-head replicas) are invisible to routers: report zero
+            // capacity.
+            v.queue_cap = if routable && kv_fits && is_head && !exclude.contains(&i) {
                 r.cfg.queue_cap
             } else {
                 0
@@ -525,6 +590,7 @@ impl<'a> Engine<'a> {
             i < self.replicas.len()
                 && self.replicas[i].can_accept(now_s)
                 && !exclude.contains(&i)
+                && self.stage_of[i].is_none_or(|p| p.stage == 0)
                 && self.replicas[i]
                     .kv
                     .as_ref()
@@ -533,10 +599,12 @@ impl<'a> Engine<'a> {
     }
 
     /// Enqueues one attempt of `req` on replica `i` and dispatches if a
-    /// slot is free.
+    /// slot is free. On a pipeline member (head via routing, downstream
+    /// via [`EventKind::StageArrive`]) the backlog estimate is the
+    /// replica's own stage share — `1/depth` of the full prediction.
     fn admit(&mut self, i: usize, req: &ClusterRequest, now_s: f64, sink: &mut dyn SpanSink) {
         let model = &self.config.models[req.model];
-        let est = self.cache.service(
+        let mut est = self.cache.service(
             i,
             self.replicas[i].cfg.backend.as_ref(),
             req.model,
@@ -545,6 +613,13 @@ impl<'a> Engine<'a> {
             req.prompt_len,
             req.gen_len,
         );
+        // Gated on depth > 1 so a single-stage chain stays bitwise
+        // identical to a standalone replica.
+        if let Some(p) = self.stage_of[i] {
+            if p.depth > 1 {
+                est /= p.depth as f64;
+            }
+        }
         let key = self.slab.insert(InFlight::queued(req.id, est));
         let r = &mut self.replicas[i];
         r.queue.push_back(QueuedEntry {
@@ -662,8 +737,29 @@ impl<'a> Engine<'a> {
                 ) * slow;
                 (prefill, service)
             };
+            // Pipeline stage share: each stage of a chain runs 1/depth of
+            // the layer stack, so it charges 1/depth of the full
+            // prediction. Gated on depth > 1 so a single-stage chain
+            // stays bitwise identical to a standalone replica.
+            let stage = self.stage_of[idx];
+            let (prefill, service) = match stage {
+                Some(p) if p.depth > 1 => (prefill / p.depth as f64, service / p.depth as f64),
+                _ => (prefill, service),
+            };
             let queue_delay = now_s - req.arrival_s;
             let completion = now_s + service;
+
+            if let Some(p) = stage {
+                if p.stage == 0 {
+                    // The router-visible queue delay the chained request
+                    // will report from its final stage.
+                    self.runtime[entry.request].pp_queue_delay_s = queue_delay;
+                } else if let Some(idle) = self.replicas[idx].pp_idle_since_s.take() {
+                    // This downstream stage sat idle waiting for the
+                    // handoff that just dispatched: a pipeline bubble.
+                    self.replicas[idx].pipeline_bubble_s += now_s - idle;
+                }
+            }
 
             let r = &mut self.replicas[idx];
             r.queued_backlog_s = (r.queued_backlog_s - entry.est_service_s).max(0.0);
@@ -676,35 +772,47 @@ impl<'a> Engine<'a> {
             inflight.completion_s = completion;
             inflight.dispatch_s = now_s;
             inflight.service_s = service;
-            inflight.pending = Some(ClusterOutcome {
-                id: req.id,
-                model: req.model,
-                replica: Some(idx),
-                state: OutcomeState::Completed,
-                queue_delay_s: Some(queue_delay),
-                ttft_s: Some(queue_delay + prefill),
-                e2e_s: Some(queue_delay + service),
-                tokens: req.gen_len,
-                retries: 0,
-                hedged: false,
-            });
-            if sink.enabled() {
-                inflight.span = Some(SpanRecord {
-                    id: req.id as u64,
+            // A non-final pipeline stage resolves nothing: its SlotDone
+            // hands the request to the next stage, and the outcome/span
+            // belong to the final stage alone.
+            let is_final = stage.is_none_or(|p| p.stage + 1 == p.depth);
+            if is_final {
+                inflight.pending = Some(ClusterOutcome {
+                    id: req.id,
                     model: req.model,
                     replica: Some(idx),
-                    outcome: SpanOutcome::Completed,
-                    arrival_s: req.arrival_s,
-                    queue_delay_s: queue_delay,
-                    dispatch_s: now_s,
-                    prefill_end_s: now_s + prefill,
-                    decode_s: service - prefill,
-                    decode_steps: req.gen_len.saturating_sub(1),
-                    completion_s: completion,
-                    batch_at_dispatch: batch,
-                    prefix_hit_tokens: hit_tokens,
-                    preemptions: u64::from(self.runtime[entry.request].preemptions),
+                    state: OutcomeState::Completed,
+                    // A chained request reports the wait it saw at the
+                    // router (stage 0); `queue_delay` here is its total
+                    // arrival-to-final-dispatch wall clock.
+                    queue_delay_s: Some(match stage {
+                        Some(_) => self.runtime[entry.request].pp_queue_delay_s,
+                        None => queue_delay,
+                    }),
+                    ttft_s: Some(queue_delay + prefill),
+                    e2e_s: Some(queue_delay + service),
+                    tokens: req.gen_len,
+                    retries: 0,
+                    hedged: false,
                 });
+                if sink.enabled() {
+                    inflight.span = Some(SpanRecord {
+                        id: req.id as u64,
+                        model: req.model,
+                        replica: Some(idx),
+                        outcome: SpanOutcome::Completed,
+                        arrival_s: req.arrival_s,
+                        queue_delay_s: queue_delay,
+                        dispatch_s: now_s,
+                        prefill_end_s: now_s + prefill,
+                        decode_s: service - prefill,
+                        decode_steps: req.gen_len.saturating_sub(1),
+                        completion_s: completion,
+                        batch_at_dispatch: batch,
+                        prefix_hit_tokens: hit_tokens,
+                        preemptions: u64::from(self.runtime[entry.request].preemptions),
+                    });
+                }
             }
             if let Some((dispatch_blocks, final_blocks, hits)) = kv_plan {
                 inflight.kv = Some(crate::kv::KvSeq {
@@ -751,6 +859,19 @@ impl<'a> Engine<'a> {
                 request: entry.request,
                 completion_s: completion,
             });
+        }
+    }
+
+    /// Marks a downstream pipeline stage idle-from-`now_s` when its batch
+    /// just drained: the bubble it opens closes at the stage's next
+    /// dispatch. Heads are exempt — waiting for arrivals is not a bubble
+    /// — and the call is a no-op outside pipeline groups.
+    fn note_stage_idle(&mut self, idx: usize, now_s: f64) {
+        if let Some(p) = self.stage_of[idx] {
+            let r = &mut self.replicas[idx];
+            if p.stage > 0 && r.active.is_empty() && r.pp_idle_since_s.is_none() {
+                r.pp_idle_since_s = Some(now_s);
+            }
         }
     }
 
@@ -1050,6 +1171,18 @@ pub fn simulate_fleet_traced(
             warmups_at_start.push(i);
         }
     }
+    let mut stage_of: Vec<Option<StagePos>> = vec![None; config.replicas.len()];
+    if let Some(pipeline) = &config.pipeline {
+        for (g, group) in pipeline.groups.iter().enumerate() {
+            for (s, &r) in group.replicas.iter().enumerate() {
+                stage_of[r] = Some(StagePos {
+                    group: g,
+                    stage: s,
+                    depth: group.replicas.len(),
+                });
+            }
+        }
+    }
     let mut engine = Engine {
         config,
         requests,
@@ -1085,8 +1218,13 @@ pub fn simulate_fleet_traced(
                 session_resident: false,
                 kv_free_blocks: 0,
                 kv_total_blocks: 0,
+                pipeline_group: stage_of[i].map(|p| p.group),
+                pipeline_stage: stage_of[i].map_or(0, |p| p.stage),
+                pipeline_depth: stage_of[i].map_or(1, |p| p.depth),
             })
             .collect(),
+        stage_of,
+        pipeline_handoffs: 0,
         replicas,
         queue: EventQueue::new(),
         runtime: vec![ReqRuntime::default(); requests.len()],
@@ -1251,6 +1389,41 @@ pub fn simulate_fleet_traced(
                 let req = engine.request(request);
                 let r = &mut engine.replicas[replica];
                 r.outstanding_tokens = r.outstanding_tokens.saturating_sub(req.total_tokens());
+                // Pipeline handoff: a non-final stage forwards the
+                // request's activations to the next stage over the group
+                // link instead of resolving it — outcome, span, makespan
+                // and router feedback all belong to the final stage.
+                if let Some(p) = engine.stage_of[replica] {
+                    if p.stage + 1 < p.depth {
+                        let Some(pipeline) = &engine.config.pipeline else {
+                            unreachable!("stage positions require a pipeline config")
+                        };
+                        let group = &pipeline.groups[p.group];
+                        let next = group.replicas[p.stage + 1];
+                        let model = &engine.config.models[req.model];
+                        // One hop of the prompt's bf16 activation rows;
+                        // per-token decode handoffs ride along (they are
+                        // orders of magnitude smaller).
+                        let hop = group
+                            .link
+                            .transfer_time(llmsim_hw::Bytes::new(
+                                req.prompt_len * model.d_model * 2,
+                            ))
+                            .as_f64();
+                        engine.pipeline_handoffs += 1;
+                        engine.queue.push(
+                            now + hop,
+                            EventKind::StageArrive {
+                                request,
+                                replica: next,
+                            },
+                        );
+                        engine.try_dispatch(replica, now, sink);
+                        engine.note_stage_idle(replica, now);
+                        continue;
+                    }
+                }
+                let r = &mut engine.replicas[replica];
                 if let (Some(seq), Some(kv)) = (inflight.kv, r.kv.as_mut()) {
                     engine.prefix_hit_tokens += seq.hit_blocks * kv.block_tokens;
                     kv.release_hits(&req, seq.hit_blocks, now);
@@ -1285,6 +1458,15 @@ pub fn simulate_fleet_traced(
                     engine.try_dispatch(loser, now, sink);
                 }
                 engine.try_dispatch(replica, now, sink);
+                engine.note_stage_idle(replica, now);
+            }
+            EventKind::StageArrive { request, replica } => {
+                // The upstream stage's handoff lands: admit directly —
+                // stage admission bypasses `queue_cap` (stage-0 admission
+                // already bounded the chain's in-flight work) and never
+                // consults the router.
+                let req = engine.request(request);
+                engine.admit(replica, &req, now, sink);
             }
             EventKind::KvGrow { replica, slot } => {
                 // Stale key (the sequence completed, crashed, was hedge-
@@ -1563,6 +1745,7 @@ pub fn simulate_fleet_traced(
                 .kv
                 .as_ref()
                 .map_or(0.0, |kv| kv.mean_occupancy(makespan_s)),
+            pipeline_bubble_s: r.pipeline_bubble_s,
         })
         .collect();
 
@@ -1584,6 +1767,11 @@ pub fn simulate_fleet_traced(
         scale_downs,
         events_processed,
         peak_in_flight,
+        pipeline_groups: config
+            .pipeline
+            .as_ref()
+            .map_or(0, |p| p.groups.len() as u64),
+        pipeline_handoffs: engine.pipeline_handoffs,
     }
 }
 

@@ -174,6 +174,12 @@ pub fn simulate_fleet_traced_legacy(
         "paged KV is a fast-engine feature; the legacy engine exists to pin \
          the pre-KV seed semantics — run simulate_fleet instead"
     );
+    assert!(
+        config.pipeline.is_none(),
+        "pipeline parallelism is a fast-engine feature; the legacy engine \
+         exists to pin the pre-pipeline seed semantics — run simulate_fleet \
+         instead"
+    );
     for r in requests {
         assert!(
             r.model < config.models.len(),
@@ -244,6 +250,9 @@ pub fn simulate_fleet_traced_legacy(
         match event.kind {
             EventKind::KvGrow { .. } => {
                 unreachable!("legacy engine rejects paged-KV configs at entry")
+            }
+            EventKind::StageArrive { .. } => {
+                unreachable!("legacy engine rejects pipeline configs at entry")
             }
             EventKind::Arrival { request } => {
                 let req = *by_id(request);
@@ -676,6 +685,7 @@ pub fn simulate_fleet_traced_legacy(
             crashes: r.crashes,
             kv_peak_occupancy: 0.0,
             kv_mean_occupancy: 0.0,
+            pipeline_bubble_s: 0.0,
         })
         .collect();
 
@@ -697,6 +707,8 @@ pub fn simulate_fleet_traced_legacy(
         peak_in_flight,
         prefix_hit_tokens: 0,
         preemptions: 0,
+        pipeline_groups: 0,
+        pipeline_handoffs: 0,
     }
 }
 
@@ -858,13 +870,16 @@ fn view_of(
         queue_cap: if routable { replica.cfg.queue_cap } else { 0 },
         max_batch: replica.cfg.max_batch,
         outstanding_tokens: replica.outstanding_tokens,
-        // The legacy engine predates paged KV (the feature is rejected at
-        // entry), so the KV-derived signals are always their neutral zeros.
+        // The legacy engine predates paged KV and pipeline groups (both
+        // rejected at entry), so their signals are always neutral zeros.
         predicted_hit_tokens: 0,
         est_prefix_saved_s: 0.0,
         session_resident: false,
         kv_free_blocks: 0,
         kv_total_blocks: 0,
+        pipeline_group: None,
+        pipeline_stage: 0,
+        pipeline_depth: 1,
         warm: replica.state == ReplicaState::Warm,
         warmup_remaining_s: replica.warmup_remaining_s(now_s),
         est_start_delay_s: replica.est_start_delay_s(now_s),

@@ -48,6 +48,11 @@ pub(crate) enum EventKind {
     /// on — the sequence completed, crashed, was cancelled, or was itself
     /// preempted).
     KvGrow { replica: usize, slot: SlotKey },
+    /// Request `request`'s activations finish their inter-stage hop and
+    /// reach pipeline stage replica `replica` (pipeline runs only; the
+    /// admission bypasses `queue_cap` — upstream stage-0 admission
+    /// already bounded the chain's in-flight work).
+    StageArrive { request: usize, replica: usize },
     /// Injected fault `fault` (index into the chaos schedule) strikes.
     Fault { fault: usize },
     /// Replica `replica` finishes its post-crash cold restart (stale if

@@ -551,4 +551,22 @@ mod tests {
         assert!((mean - 0.25).abs() < 1e-12, "mean occupancy {mean}");
         assert!((kv.peak_occupancy() - 0.5).abs() < 1e-12);
     }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact zeros are the guards' contract, not approximations
+    fn degenerate_pools_report_zero_occupancy_not_nan() {
+        // Zero makespan: every request rejected at t=0, or an empty trace.
+        // The integral is 0/0 without the guard; must come back 0.0.
+        let kv = KvState::new(10, 16, true);
+        assert_eq!(kv.mean_occupancy(0.0), 0.0);
+        assert_eq!(kv.mean_occupancy(-1.0), 0.0);
+
+        // Zero-block pool: a replica whose KV budget rounds down to nothing.
+        let mut empty = KvState::new(0, 16, true);
+        empty.note(5.0);
+        assert_eq!(empty.mean_occupancy(5.0), 0.0);
+        assert_eq!(empty.peak_occupancy(), 0.0);
+        assert!(empty.mean_occupancy(5.0).is_finite());
+        assert!(empty.peak_occupancy().is_finite());
+    }
 }

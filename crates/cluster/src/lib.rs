@@ -55,6 +55,7 @@ mod event;
 pub mod faults;
 pub mod kv;
 pub mod metrics;
+pub mod pipeline;
 pub mod replay;
 mod replica;
 pub mod router;
@@ -67,6 +68,7 @@ pub use engine_legacy::{simulate_fleet_legacy, simulate_fleet_traced_legacy};
 pub use faults::{ChaosConfig, FaultEvent, FaultInjection, FaultKind, HedgePolicy};
 pub use kv::KvConfig;
 pub use metrics::{ClusterOutcome, FleetReport, OutcomeState, ReplicaStats, SloTargets};
+pub use pipeline::{PipelineConfig, PipelineGroup};
 pub use replay::{bind_requests, parse_and_bind, UnknownModelError};
 pub use replica::{ReplicaConfig, ReplicaStart};
 pub use router::{

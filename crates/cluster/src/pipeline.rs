@@ -1,0 +1,133 @@
+//! Pipeline-parallel stage groups spanning fleet replicas.
+//!
+//! A [`PipelineGroup`] binds an *ordered chain* of replicas into one
+//! logical server: stage 0 (the head) is the only member routers see,
+//! and a request admitted there flows through every stage in order,
+//! paying each stage `1/depth` of the full service time plus an
+//! activation-handoff hop priced on the group's [`LinkSpec`]. The §VI
+//! motivation is multi-socket CPU serving: two SPR sockets chained over
+//! UPI nearly double steady-state decode throughput, but single-request
+//! latency does *not* improve (each request still sums all stage times
+//! plus hops) and stage idle gaps — pipeline bubbles — are accounted per
+//! downstream replica and surfaced in the fleet report.
+//!
+//! Groups are validated structurally by [`crate::ClusterConfig::validate`]:
+//! every member index in range, no member in two groups, no empty groups,
+//! and no composition with chaos, paged KV, or autoscaling (those layers
+//! reason about replicas as independent failure/capacity domains, which a
+//! stage chain is not).
+
+use llmsim_hw::LinkSpec;
+
+/// An ordered chain of replicas acting as one pipeline-parallel server.
+#[derive(Debug, Clone)]
+pub struct PipelineGroup {
+    /// Fleet indices of the member replicas, head first. A request routed
+    /// to `replicas[0]` is served by every member in order.
+    pub replicas: Vec<usize>,
+    /// Link carrying inter-stage activation handoffs (UPI for sockets,
+    /// NVLink for GPUs).
+    pub link: LinkSpec,
+}
+
+impl PipelineGroup {
+    /// A group chaining `replicas` (head first) over `link`.
+    #[must_use]
+    pub fn new(replicas: Vec<usize>, link: LinkSpec) -> Self {
+        PipelineGroup { replicas, link }
+    }
+
+    /// Number of stages in the chain.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+/// Pipeline-parallel layout of a fleet: zero or more disjoint stage
+/// chains. Replicas outside every group serve standalone, exactly as
+/// before — a fleet with `pipeline: None` is byte-identical to one that
+/// predates this module (proptested in `tests/pipeline.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// The stage chains. Memberships must be disjoint.
+    pub groups: Vec<PipelineGroup>,
+}
+
+impl PipelineConfig {
+    /// A layout with the given chains.
+    #[must_use]
+    pub fn new(groups: Vec<PipelineGroup>) -> Self {
+        PipelineConfig { groups }
+    }
+
+    /// Structural validation against a fleet of `fleet_size` replicas:
+    /// every group non-empty, every member in range, and no replica in
+    /// two groups (or twice in one chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self, fleet_size: usize) -> Result<(), String> {
+        let mut member_of = vec![None::<usize>; fleet_size];
+        for (g, group) in self.groups.iter().enumerate() {
+            if group.replicas.is_empty() {
+                return Err(format!("pipeline group {g} has no stages"));
+            }
+            for &r in &group.replicas {
+                if r >= fleet_size {
+                    return Err(format!(
+                        "pipeline group {g} references replica {r} but the fleet has {fleet_size}"
+                    ));
+                }
+                if let Some(prev) = member_of[r] {
+                    return Err(format!(
+                        "replica {r} appears in pipeline group {prev} and group {g} — \
+                         stage memberships must be disjoint"
+                    ));
+                }
+                member_of[r] = Some(g);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim_hw::presets;
+
+    #[test]
+    fn disjoint_groups_validate() {
+        let p = PipelineConfig::new(vec![
+            PipelineGroup::new(vec![0, 1], presets::upi_link()),
+            PipelineGroup::new(vec![3, 2], presets::upi_link()),
+        ]);
+        assert!(p.validate(4).is_ok());
+        assert_eq!(p.groups[0].depth(), 2);
+    }
+
+    #[test]
+    fn empty_group_is_rejected() {
+        let p = PipelineConfig::new(vec![PipelineGroup::new(vec![], presets::upi_link())]);
+        assert!(p.validate(2).unwrap_err().contains("no stages"));
+    }
+
+    #[test]
+    fn out_of_range_member_is_rejected() {
+        let p = PipelineConfig::new(vec![PipelineGroup::new(vec![0, 5], presets::upi_link())]);
+        assert!(p.validate(2).unwrap_err().contains("replica 5"));
+    }
+
+    #[test]
+    fn overlapping_groups_are_rejected() {
+        let p = PipelineConfig::new(vec![
+            PipelineGroup::new(vec![0, 1], presets::upi_link()),
+            PipelineGroup::new(vec![1, 2], presets::upi_link()),
+        ]);
+        assert!(p.validate(3).unwrap_err().contains("disjoint"));
+        let twice = PipelineConfig::new(vec![PipelineGroup::new(vec![0, 0], presets::upi_link())]);
+        assert!(twice.validate(1).is_err());
+    }
+}

@@ -249,6 +249,13 @@ pub(crate) struct Replica {
     /// [`crate::KvConfig`] (installed by the engine, which knows the model
     /// set and thus the block capacity).
     pub kv: Option<crate::kv::KvState>,
+    /// Accumulated pipeline-bubble seconds: idle gaps on a downstream
+    /// (stage > 0) pipeline replica between draining its batch and the
+    /// next stage handoff arriving. Stays 0.0 outside pipeline groups.
+    pub pipeline_bubble_s: f64,
+    /// Instant this downstream stage replica last drained to idle
+    /// (`None` while busy, before first service, or outside a group).
+    pub pp_idle_since_s: Option<f64>,
 }
 
 impl Replica {
@@ -276,6 +283,8 @@ impl Replica {
             slow_factor: 1.0,
             partitioned_until_s: f64::NEG_INFINITY,
             kv: None,
+            pipeline_bubble_s: 0.0,
+            pp_idle_since_s: None,
         }
     }
 

@@ -56,6 +56,14 @@ pub struct ReplicaView {
     pub kv_free_blocks: u64,
     /// Total KV blocks in this replica's pool (0 without paged KV).
     pub kv_total_blocks: u64,
+    /// Pipeline group this replica belongs to (`None` outside every
+    /// group). Non-head stages are also hidden via zero `queue_cap`,
+    /// but policies can use this to reason about chain membership.
+    pub pipeline_group: Option<usize>,
+    /// Stage index within the group (0 = head; 0 when ungrouped).
+    pub pipeline_stage: usize,
+    /// Stage count of the group (1 when ungrouped).
+    pub pipeline_depth: usize,
 }
 
 impl ReplicaView {
@@ -410,6 +418,9 @@ mod tests {
             session_resident: false,
             kv_free_blocks: 0,
             kv_total_blocks: 0,
+            pipeline_group: None,
+            pipeline_stage: 0,
+            pipeline_depth: 1,
         }
     }
 

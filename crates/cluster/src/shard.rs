@@ -206,6 +206,8 @@ pub fn merge_reports(shards: &[FleetShard], reports: Vec<FleetReport>) -> FleetR
         scale_downs: 0,
         events_processed: 0,
         peak_in_flight: 0,
+        pipeline_groups: 0,
+        pipeline_handoffs: 0,
     };
     for (ix, (shard, report)) in shards.iter().zip(reports).enumerate() {
         if ix == 0 {
@@ -225,6 +227,8 @@ pub fn merge_reports(shards: &[FleetShard], reports: Vec<FleetReport>) -> FleetR
         merged.scale_downs += report.scale_downs;
         merged.events_processed += report.events_processed;
         merged.peak_in_flight += report.peak_in_flight;
+        merged.pipeline_groups += report.pipeline_groups;
+        merged.pipeline_handoffs += report.pipeline_handoffs;
         merged.replicas.extend(report.replicas);
         for mut outcome in report.outcomes {
             let source = shard.source_ids.get(outcome.id).copied();

@@ -319,6 +319,9 @@ proptest! {
                 session_resident: false,
                 kv_free_blocks: 0,
                 kv_total_blocks: 0,
+                pipeline_group: None,
+                pipeline_stage: 0,
+                pipeline_depth: 1,
                 warm: true,
                 warmup_remaining_s: 0.0,
                 est_start_delay_s: in_flight as f64,

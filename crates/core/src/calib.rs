@@ -69,6 +69,14 @@ pub const OFFLOAD_CPU_S_PER_LAYER_PER_SEQ: f64 = 0.35e-3;
 /// share of loading time falls with batch mainly because compute grows.
 pub const OFFLOAD_OVERLAP_EFF: f64 = 0.30;
 
+/// Software latency of one tensor-parallel all-reduce collective, seconds:
+/// rank synchronization, kernel launch, and reduction arithmetic, on top of
+/// the wire time priced from the link. Shared-memory (cross-socket) and
+/// NCCL small-message all-reduce latencies both sit in the 10–30 µs band;
+/// at two all-reduces per layer this is what makes §VI's decode scaling
+/// sublinear even when the payloads are tiny.
+pub const TP_ALLREDUCE_SW_S: f64 = 15e-6;
+
 /// Architectural FLOPs retired per dynamic instruction for instruction-count
 /// synthesis (Figs. 11/12): one `TDPBF16PS` = 16 384 FLOPs.
 pub const AMX_FLOPS_PER_INSTR: f64 = 16_384.0;
@@ -102,5 +110,6 @@ mod tests {
     fn overheads_are_microseconds_scale() {
         assert!(CPU_OP_OVERHEAD_S < 1e-3);
         assert!(GPU_KERNEL_OVERHEAD_S < 1e-3);
+        assert!(TP_ALLREDUCE_SW_S < 1e-3);
     }
 }

@@ -48,6 +48,11 @@ pub struct CpuBackend {
     /// Optional software effect: per-sequence per-layer decode attention
     /// overhead (unfused kernels); zero by default.
     attn_overhead_per_seq_layer: Seconds,
+    /// Tensor-parallel shard denominator: this backend executes a
+    /// `1/tp_shard` Megatron-style shard of every model (1 = whole model).
+    /// Interconnect cost is *not* included here — [`crate::TensorParallel`]
+    /// wraps shards and prices the all-reduces.
+    tp_shard: u64,
 }
 
 impl CpuBackend {
@@ -78,7 +83,28 @@ impl CpuBackend {
             weight_dtype: dtype,
             kv_keep_ratio: 1.0,
             attn_overhead_per_seq_layer: Seconds::ZERO,
+            tp_shard: 1,
         })
+    }
+
+    /// Turns this backend into one rank of a `degree`-way tensor-parallel
+    /// group: every graph it executes is the per-rank Megatron shard
+    /// (heads and FFN columns split, norms replicated), and capacity
+    /// checks size the shard, not the whole model. All-reduce time is
+    /// deliberately excluded — wrap shards in [`crate::TensorParallel`]
+    /// to price the interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedConfig`] if `degree` is zero.
+    pub fn with_tensor_degree(mut self, degree: u64) -> Result<Self, SimError> {
+        if degree == 0 {
+            return Err(SimError::UnsupportedConfig(
+                "tensor-parallel degree must be at least 1".into(),
+            ));
+        }
+        self.tp_shard = degree;
+        Ok(self)
     }
 
     /// Enables weight-only quantization: weights stream in `dtype` (e.g.
@@ -168,11 +194,18 @@ impl CpuBackend {
     }
 
     /// Total resident state for `model` serving `request` (weights + final
-    /// KV cache + peak activations).
+    /// KV cache + peak activations). Under tensor parallelism this is one
+    /// rank's shard: weights and KV divide by the degree (activations are
+    /// conservatively kept whole — residual streams are replicated).
     #[must_use]
     pub fn footprint(&self, model: &ModelConfig, request: &Request) -> Bytes {
-        let weights = model.weight_bytes(self.weight_dtype);
-        let kv = model.kv_cache_bytes(request.final_context(), request.batch, self.dtype);
+        let weights = Bytes::new(model.weight_bytes(self.weight_dtype).get() / self.tp_shard);
+        let kv = Bytes::new(
+            model
+                .kv_cache_bytes(request.final_context(), request.batch, self.dtype)
+                .get()
+                / self.tp_shard,
+        );
         let act = model.activation_bytes(
             request.batch * request.prompt_len,
             request.prompt_len,
@@ -193,6 +226,9 @@ impl CpuBackend {
         let footprint = self.footprint(model, &Request::new(batch, prompt_len, 1));
         let eff_mem = self.mem.effective(self.cores, footprint);
         let mut g = llmsim_model::prefill_graph(model, batch, prompt_len, self.dtype);
+        if self.tp_shard > 1 {
+            g = g.with_tensor_parallel(self.tp_shard);
+        }
         if self.weight_dtype != self.dtype {
             g = g.with_weight_dtype(self.weight_dtype);
         }
@@ -207,10 +243,14 @@ impl CpuBackend {
     /// Panics if the arguments are zero or the model is invalid.
     #[must_use]
     pub fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
-        let footprint =
+        let whole =
             model.weight_bytes(self.weight_dtype) + model.kv_cache_bytes(kv_len, batch, self.dtype);
+        let footprint = Bytes::new(whole.get() / self.tp_shard);
         let eff_mem = self.mem.effective(self.cores, footprint);
         let mut g = llmsim_model::decode_step_graph(model, batch, kv_len, self.dtype);
+        if self.tp_shard > 1 {
+            g = g.with_tensor_parallel(self.tp_shard);
+        }
         if self.weight_dtype != self.dtype {
             g = g.with_weight_dtype(self.weight_dtype);
         }
@@ -321,6 +361,11 @@ impl Backend for CpuBackend {
 
     fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
         model.validate().map_err(SimError::InvalidRequest)?;
+        if self.tp_shard > 1 {
+            model
+                .supports_tensor_parallel(self.tp_shard)
+                .map_err(SimError::InvalidRequest)?;
+        }
         let footprint = self.footprint(model, request);
         let cpu = self.cpu();
         let available = match self.numa().memory {
@@ -340,6 +385,9 @@ impl Backend for CpuBackend {
         // --- prefill ---
         let mut prefill_graph =
             llmsim_model::prefill_graph(model, request.batch, request.prompt_len, self.dtype);
+        if self.tp_shard > 1 {
+            prefill_graph = prefill_graph.with_tensor_parallel(self.tp_shard);
+        }
         if self.weight_dtype != self.dtype {
             prefill_graph = prefill_graph.with_weight_dtype(self.weight_dtype);
         }
@@ -353,6 +401,9 @@ impl Backend for CpuBackend {
         for step in 0..request.decode_steps() {
             let kv_len = request.prompt_len + 1 + step;
             let mut g = llmsim_model::decode_step_graph(model, request.batch, kv_len, self.dtype);
+            if self.tp_shard > 1 {
+                g = g.with_tensor_parallel(self.tp_shard);
+            }
             if self.weight_dtype != self.dtype {
                 g = g.with_weight_dtype(self.weight_dtype);
             }
@@ -387,7 +438,8 @@ impl Backend for CpuBackend {
         };
         let snc_inflation = 0.1 * eff_mem.snc_remote_fraction;
         let traffic_factor = 1.0 + cache_mode_inflation + snc_inflation;
-        let total_dram = (prefill.dram_bytes + decode.dram_bytes) * traffic_factor;
+        let raw_dram = prefill.dram_bytes + decode.dram_bytes;
+        let total_dram = raw_dram * traffic_factor;
         let upi_capacity = cpu.upi.effective_bandwidth().bytes_per_sec();
         let remote_fraction = eff_mem
             .snc_remote_fraction
@@ -400,7 +452,11 @@ impl Backend for CpuBackend {
             store_bytes: prefill.store_bytes + decode.store_bytes,
             compute_busy: prefill.compute_busy + decode.compute_busy,
             elapsed: e2e,
-            upi_bytes: total_dram * eff_mem.cross_socket_fraction,
+            // UPI carries the cross-socket share of the *raw* demand:
+            // SNC snoops and HBM-cache fills are intra-socket traffic, so
+            // applying `traffic_factor` here double-counted them and
+            // over-reported `upi_utilization` under SNC/cache modes.
+            upi_bytes: raw_dram * eff_mem.cross_socket_fraction,
             upi_capacity_bytes_per_sec: upi_capacity,
             remote_fraction,
         });
@@ -447,18 +503,21 @@ impl CostModel for CpuBackend {
             MemoryMode::HbmOnly => self.cpu().hbm.as_ref().map_or(Bytes::ZERO, |h| h.capacity),
             _ => self.cpu().total_memory_capacity(),
         };
-        model.weight_bytes(self.weight_dtype) <= available
+        Bytes::new(model.weight_bytes(self.weight_dtype).get() / self.tp_shard) <= available
     }
 
     fn kv_capacity_bytes(&self, models: &[ModelConfig]) -> Bytes {
         // Weights and KV share one memory pool on a CPU (the NUMA-mode
         // capacity); whatever the fleet's weights leave behind is cache.
+        // Under TP each rank stores only its weight shard.
         let available = match self.numa().memory {
             MemoryMode::HbmOnly => self.cpu().hbm.as_ref().map_or(Bytes::ZERO, |h| h.capacity),
             _ => self.cpu().total_memory_capacity(),
         };
         models.iter().fold(available, |left, m| {
-            left.saturating_sub(m.weight_bytes(self.weight_dtype))
+            left.saturating_sub(Bytes::new(
+                m.weight_bytes(self.weight_dtype).get() / self.tp_shard,
+            ))
         })
     }
 }
@@ -553,6 +612,55 @@ mod tests {
             t96.e2e_latency
         );
         assert!(t96.counters.upi_utilization > t48.counters.upi_utilization);
+    }
+
+    #[test]
+    fn upi_bytes_exclude_snc_and_cache_inflation() {
+        // Regression for the counter-accounting bug: `upi_bytes` used the
+        // SNC/cache-inflated `total_dram`, double-counting intra-socket
+        // snoop and HBM-fill traffic on the cross-socket link. UPI bytes
+        // must equal the *raw* DRAM demand times the cross-socket
+        // fraction (0.5 for an unmanaged two-socket span), regardless of
+        // the clustering/memory mode.
+        let cpu = llmsim_hw::presets::spr_max_9468();
+        let cap = cpu.upi.effective_bandwidth().bytes_per_sec();
+        // Compute-bound prefill at a 64-core (1.33-socket) span keeps the
+        // byte rate below the UPI clamp so the equality is observable.
+        let req = Request::new(4, 2048, 1);
+        let m = families::llama2_13b();
+        let run = |numa| {
+            CpuBackend::new(cpu.clone(), numa, 64, DType::Bf16)
+                .unwrap()
+                .run(&m, &req)
+                .unwrap()
+        };
+        for numa in [NumaConfig::SNC_FLAT, NumaConfig::QUAD_CACHE] {
+            let r = run(numa);
+            let raw = r.prefill.dram_bytes + r.decode.dram_bytes;
+            let util = r.counters.upi_utilization;
+            assert!(util > 0.0 && util < 0.95, "{numa}: unclamped util {util}");
+            let expected = raw * 0.5 / (cap * r.e2e_latency.as_f64());
+            assert!(
+                (util - expected).abs() <= 1e-9 * expected,
+                "{numa}: upi_utilization {util} vs raw-traffic expectation {expected}"
+            );
+        }
+        // §VI shape: the same model/request moves the same raw bytes in
+        // every NUMA mode, so UPI *bytes* (util × elapsed × capacity)
+        // must agree between QUAD_FLAT and SNC_FLAT even though SNC's
+        // snoop inflation shows up in the DRAM counters.
+        let quad = run(NumaConfig::QUAD_FLAT);
+        let snc = run(NumaConfig::SNC_FLAT);
+        let quad_bytes = quad.counters.upi_utilization * quad.e2e_latency.as_f64() * cap;
+        let snc_bytes = snc.counters.upi_utilization * snc.e2e_latency.as_f64() * cap;
+        assert!(
+            (quad_bytes - snc_bytes).abs() <= 1e-9 * quad_bytes,
+            "UPI bytes must be NUMA-mode invariant: {quad_bytes} vs {snc_bytes}"
+        );
+        assert!(
+            snc.counters.llc_misses > quad.counters.llc_misses,
+            "SNC snoop inflation must still show in the DRAM-derived counters"
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct GpuBackend {
     dtype: DType,
     /// Host memory available for offloaded state.
     host_memory: Bytes,
+    /// Tensor-parallel shard denominator: this backend executes a
+    /// `1/tp_shard` Megatron shard on the *resident* path (1 = whole
+    /// model). Sharding can make an otherwise-offloading model resident;
+    /// if even the shard must offload, the offload path conservatively
+    /// prices the whole model (multi-GPU offload is not modeled).
+    tp_shard: u64,
 }
 
 impl GpuBackend {
@@ -49,7 +55,25 @@ impl GpuBackend {
             gpu,
             dtype,
             host_memory,
+            tp_shard: 1,
         }
+    }
+
+    /// Turns this backend into one rank of a `degree`-way tensor-parallel
+    /// group (see the `tp_shard` field for semantics). NVLink all-reduce
+    /// time is excluded — wrap shards in [`crate::TensorParallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedConfig`] if `degree` is zero.
+    pub fn with_tensor_degree(mut self, degree: u64) -> Result<Self, SimError> {
+        if degree == 0 {
+            return Err(SimError::UnsupportedConfig(
+                "tensor-parallel degree must be at least 1".into(),
+            ));
+        }
+        self.tp_shard = degree;
+        Ok(self)
     }
 
     /// The paper's A100-40GB server (Table II) with 512 GB of host DRAM.
@@ -81,8 +105,15 @@ impl GpuBackend {
     /// Model state (weights + final KV + activations) for a request.
     #[must_use]
     pub fn footprint(&self, model: &ModelConfig, request: &Request) -> Bytes {
-        model.weight_bytes(self.dtype)
-            + model.kv_cache_bytes(request.final_context(), request.batch, self.dtype)
+        let weights = Bytes::new(model.weight_bytes(self.dtype).get() / self.tp_shard);
+        let kv = Bytes::new(
+            model
+                .kv_cache_bytes(request.final_context(), request.batch, self.dtype)
+                .get()
+                / self.tp_shard,
+        );
+        weights
+            + kv
             + model.activation_bytes(
                 request.batch * request.prompt_len,
                 request.prompt_len,
@@ -104,7 +135,7 @@ impl GpuBackend {
     #[must_use]
     pub fn serves_resident(&self, model: &ModelConfig) -> bool {
         let pinnable = (self.gpu.usable_memory().as_f64() * 0.8) as u64;
-        model.weight_bytes(self.dtype) <= Bytes::new(pinnable)
+        Bytes::new(model.weight_bytes(self.dtype).get() / self.tp_shard) <= Bytes::new(pinnable)
     }
 
     /// Wall-clock cost of one prefill pass (`batch` prompts of
@@ -118,7 +149,10 @@ impl GpuBackend {
     #[must_use]
     pub fn prefill_time(&self, model: &ModelConfig, batch: u64, prompt_len: u64) -> Seconds {
         if self.serves_resident(model) {
-            let g = llmsim_model::prefill_graph(model, batch, prompt_len, self.dtype);
+            let mut g = llmsim_model::prefill_graph(model, batch, prompt_len, self.dtype);
+            if self.tp_shard > 1 {
+                g = g.with_tensor_parallel(self.tp_shard);
+            }
             self.run_phase_resident(&g).time
         } else {
             let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
@@ -139,7 +173,10 @@ impl GpuBackend {
     #[must_use]
     pub fn decode_step_time(&self, model: &ModelConfig, batch: u64, kv_len: u64) -> Seconds {
         if self.serves_resident(model) {
-            let g = llmsim_model::decode_step_graph(model, batch, kv_len, self.dtype);
+            let mut g = llmsim_model::decode_step_graph(model, batch, kv_len, self.dtype);
+            if self.tp_shard > 1 {
+                g = g.with_tensor_parallel(self.tp_shard);
+            }
             self.run_phase_resident(&g).time
         } else {
             let plan = OffloadPlan::new(&self.gpu, model, self.dtype);
@@ -198,17 +235,29 @@ impl Backend for GpuBackend {
 
     fn run(&self, model: &ModelConfig, request: &Request) -> Result<InferenceReport, SimError> {
         model.validate().map_err(SimError::InvalidRequest)?;
+        if self.tp_shard > 1 {
+            model
+                .supports_tensor_parallel(self.tp_shard)
+                .map_err(SimError::InvalidRequest)?;
+        }
         let footprint = self.footprint(model, request);
 
         if self.fits_resident(model, request) {
             // --- resident path ---
-            let prefill_graph =
+            let mut prefill_graph =
                 llmsim_model::prefill_graph(model, request.batch, request.prompt_len, self.dtype);
+            if self.tp_shard > 1 {
+                prefill_graph = prefill_graph.with_tensor_parallel(self.tp_shard);
+            }
             let prefill = self.run_phase_resident(&prefill_graph);
             let mut decode = PhaseAccum::default();
             for step in 0..request.decode_steps() {
                 let kv_len = request.prompt_len + 1 + step;
-                let g = llmsim_model::decode_step_graph(model, request.batch, kv_len, self.dtype);
+                let mut g =
+                    llmsim_model::decode_step_graph(model, request.batch, kv_len, self.dtype);
+                if self.tp_shard > 1 {
+                    g = g.with_tensor_parallel(self.tp_shard);
+                }
                 decode.merge(&self.run_phase_resident(&g));
             }
             let ttft = prefill.time;
@@ -284,12 +333,12 @@ impl CostModel for GpuBackend {
     fn kv_capacity_bytes(&self, models: &[ModelConfig]) -> Bytes {
         // Only resident weights occupy device memory — offloaded models'
         // weights stream from host and never crowd the on-device cache.
-        models
-            .iter()
-            .filter(|m| self.serves_resident(m))
-            .fold(self.gpu.usable_memory(), |left, m| {
-                left.saturating_sub(m.weight_bytes(self.dtype))
-            })
+        models.iter().filter(|m| self.serves_resident(m)).fold(
+            self.gpu.usable_memory(),
+            |left, m| {
+                left.saturating_sub(Bytes::new(m.weight_bytes(self.dtype).get() / self.tp_shard))
+            },
+        )
     }
 }
 

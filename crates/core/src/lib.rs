@@ -49,6 +49,7 @@ pub mod request;
 pub mod resilience;
 pub mod roofline;
 pub mod serving;
+pub mod tp;
 pub mod trace;
 
 pub use backend::{Backend, CostModel, Simulator};
@@ -65,4 +66,5 @@ pub use resilience::{
     TerminalState, TimeoutPhase,
 };
 pub use serving::{SchedulingPolicy, ServingConfig, ServingReport, ServingRequest};
+pub use tp::TensorParallel;
 pub use trace::{NullSink, SpanFormat, SpanOutcome, SpanRecord, SpanSink, StreamSink, VecSink};

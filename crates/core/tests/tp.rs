@@ -1,0 +1,74 @@
+//! Byte-identity of degree-1 tensor parallelism.
+//!
+//! A `TensorParallel` group of one rank adds no collectives, shards
+//! nothing, and must therefore be indistinguishable — to the last bit of
+//! every float and the last byte of every string — from the plain backend
+//! it wraps. Same contract (and same test pattern) as the KV-off and
+//! fast-vs-legacy engine proptests in `llmsim-cluster`.
+
+use llmsim_core::{Backend, CostModel, CpuBackend, GpuBackend, Request, TensorParallel};
+use llmsim_model::families;
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (1u64..17, 16u64..1025, 1u64..65)
+        .prop_map(|(batch, prompt_len, gen_len)| Request::new(batch, prompt_len, gen_len))
+}
+
+fn arb_model() -> impl Strategy<Value = llmsim_model::ModelConfig> {
+    (0usize..4).prop_map(|i| match i {
+        0 => families::opt_6_7b(),
+        1 => families::opt_13b(),
+        2 => families::llama2_7b(),
+        _ => families::llama2_13b(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tp1_cpu_run_is_byte_identical(req in arb_request(), m in arb_model()) {
+        let plain = CpuBackend::paper_spr();
+        let tp = TensorParallel::across_sockets(CpuBackend::paper_spr(), 1).unwrap();
+        let a = plain.run(&m, &req).unwrap();
+        let b = tp.run(&m, &req).unwrap();
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn tp1_cpu_cost_model_is_byte_identical(
+        req in arb_request(),
+        m in arb_model(),
+        kv_len in 16u64..2049,
+    ) {
+        let plain = CpuBackend::paper_spr();
+        let tp = TensorParallel::across_sockets(CpuBackend::paper_spr(), 1).unwrap();
+        let p0 = plain.prefill_time(&m, req.batch, req.prompt_len);
+        let p1 = tp.prefill_time(&m, req.batch, req.prompt_len);
+        prop_assert_eq!(p0.as_f64().to_bits(), p1.as_f64().to_bits());
+        let d0 = plain.decode_step_time(&m, req.batch, kv_len);
+        let d1 = tp.decode_step_time(&m, req.batch, kv_len);
+        prop_assert_eq!(d0.as_f64().to_bits(), d1.as_f64().to_bits());
+        prop_assert_eq!(plain.weight_bytes(&m), tp.weight_bytes(&m));
+        prop_assert_eq!(
+            plain.weight_load_bandwidth().as_f64().to_bits(),
+            tp.weight_load_bandwidth().as_f64().to_bits()
+        );
+        prop_assert_eq!(plain.holds_resident(&m), tp.holds_resident(&m));
+        let models = [m.clone()];
+        prop_assert_eq!(
+            plain.kv_capacity_bytes(&models),
+            tp.kv_capacity_bytes(&models)
+        );
+    }
+
+    #[test]
+    fn tp1_gpu_run_is_byte_identical(req in arb_request(), m in arb_model()) {
+        let plain = GpuBackend::paper_a100();
+        let tp = TensorParallel::across_gpus(GpuBackend::paper_a100(), 1).unwrap();
+        let a = plain.run(&m, &req).unwrap();
+        let b = tp.run(&m, &req).unwrap();
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -207,6 +207,36 @@ impl ModelConfig {
         }
         Ok(())
     }
+
+    /// Whether this model can be tensor-parallelized `degree` ways:
+    /// attention heads, KV heads, FFN columns, hidden dim, and vocabulary
+    /// must all split evenly so every rank's shard is a well-formed graph
+    /// (the dims [`crate::OpGraph::with_tensor_parallel`] divides).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first indivisible
+    /// dimension.
+    pub fn supports_tensor_parallel(&self, degree: u64) -> Result<(), String> {
+        if degree == 0 {
+            return Err(format!("{}: zero tensor-parallel degree", self.name));
+        }
+        for (dim, what) in [
+            (self.n_heads, "attention heads"),
+            (self.n_kv_heads, "KV heads"),
+            (self.d_model, "hidden dim"),
+            (self.d_ff, "FFN dim"),
+            (self.vocab_size, "vocabulary"),
+        ] {
+            if !dim.is_multiple_of(degree) {
+                return Err(format!(
+                    "{}: {what} ({dim}) not divisible by TP degree {degree}",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for ModelConfig {

@@ -137,6 +137,90 @@ impl OpGraph {
         self
     }
 
+    /// Rewrites the graph into the per-rank shard of a Megatron-style
+    /// `degree`-way tensor-parallel execution: attention heads and FFN
+    /// columns split across ranks, norms/residuals/embeddings replicated.
+    /// Column-parallel projections (Q/K/V, FFN up/gate, LM head) shard
+    /// their output dimension; row-parallel projections (attention output,
+    /// FFN down) shard their inner dimension. The all-reduce that stitches
+    /// ranks back together is *not* represented here — interconnect pricing
+    /// lives in the backend layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero or does not evenly divide the sharded
+    /// dimensions (use [`crate::ModelConfig::supports_tensor_parallel`] to
+    /// pre-validate).
+    #[must_use]
+    pub fn with_tensor_parallel(mut self, degree: u64) -> OpGraph {
+        assert!(degree > 0, "tensor-parallel degree must be positive");
+        if degree == 1 {
+            return self;
+        }
+        let shard = |dim: &mut u64, what: &str| {
+            assert!(
+                dim.is_multiple_of(degree),
+                "tensor parallelism degree {degree} must divide {what} = {dim}"
+            );
+            *dim /= degree;
+        };
+        for op in &mut self.ops {
+            let column_parallel = matches!(
+                op.name.as_str(),
+                "attn.q_proj"
+                    | "attn.k_proj"
+                    | "attn.v_proj"
+                    | "ffn.fc1"
+                    | "ffn.gate_proj"
+                    | "ffn.up_proj"
+                    | "final.lm_head"
+            );
+            let row_parallel = matches!(
+                op.name.as_str(),
+                "attn.out_proj" | "ffn.fc2" | "ffn.down_proj"
+            );
+            let sharded_elementwise =
+                matches!(op.name.as_str(), "attn.rope" | "ffn.gelu" | "ffn.silu_mul");
+            match &mut op.kind {
+                OpKind::Linear {
+                    shape,
+                    weight_elems,
+                } if column_parallel => {
+                    shard(&mut shape.n, "projection output dim");
+                    *weight_elems /= degree;
+                }
+                OpKind::Linear {
+                    shape,
+                    weight_elems,
+                } if row_parallel => {
+                    shard(&mut shape.k, "projection inner dim");
+                    *weight_elems /= degree;
+                }
+                OpKind::AttentionScore {
+                    shape,
+                    kv_read_bytes,
+                }
+                | OpKind::AttentionContext {
+                    shape,
+                    kv_read_bytes,
+                } => {
+                    // `batch` is request-batch × heads; heads shard.
+                    shard(&mut shape.batch, "batch x heads");
+                    *kv_read_bytes /= degree;
+                }
+                OpKind::Softmax { rows, .. } => shard(rows, "softmax rows"),
+                OpKind::KvAppend { bytes } => *bytes /= degree,
+                OpKind::Elementwise { elems, .. } if sharded_elementwise => {
+                    // These act on sharded head/FFN activations; residual
+                    // adds stay on the replicated d_model stream.
+                    *elems /= degree;
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
     /// Number of distinct operators (not counting repeats).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -574,6 +658,57 @@ mod tests {
         // ...while weight traffic is untouched.
         assert_eq!(ct.weight_bytes, gt.weight_bytes);
         assert!(ct.flops < gt.flops);
+    }
+
+    #[test]
+    fn tensor_parallel_shards_gemms_and_replicates_norms() {
+        for m in [families::opt_13b(), families::llama2_70b()] {
+            assert!(m.supports_tensor_parallel(2).is_ok());
+            let g = prefill_graph(&m, 4, 256, DType::Bf16);
+            let s = g.clone().with_tensor_parallel(2);
+            let (gt, st) = (g.totals(), s.totals());
+            // GEMM work (the sharded classes) halves exactly.
+            for class in [OpClass::Gemm, OpClass::Attention] {
+                assert_eq!(
+                    g.totals_for_class(class).flops,
+                    2.0 * s.totals_for_class(class).flops,
+                    "{}: {class} must shard",
+                    m.name
+                );
+            }
+            // Weight traffic per rank halves exactly except the replicated
+            // embedding gathers.
+            assert!(st.weight_bytes <= gt.weight_bytes / 2 + 8 * m.d_model * 256);
+            // KV cache is head-sharded.
+            assert_eq!(st.kv_read_bytes, gt.kv_read_bytes / 2);
+            assert_eq!(st.kv_write_bytes, gt.kv_write_bytes / 2);
+            // Norms/residuals are replicated: per-rank work is strictly
+            // more than half the full pass.
+            assert!(
+                st.flops > gt.flops / 2.0,
+                "{}: replicated ops must keep the shard above half",
+                m.name
+            );
+            let norm = g.totals_for_class(OpClass::Normalization).flops;
+            // Softmax rows shard, norms do not; the class loses less
+            // than half its flops.
+            assert!(s.totals_for_class(OpClass::Normalization).flops > norm / 2.0);
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_degree_one_is_identity() {
+        let m = families::llama2_13b();
+        let g = decode_step_graph(&m, 2, 512, DType::Bf16);
+        assert_eq!(g.clone().with_tensor_parallel(1), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn tensor_parallel_indivisible_heads_panic() {
+        // 32 heads / 5120 d_model: degree 3 divides neither.
+        let m = families::opt_6_7b();
+        let _ = prefill_graph(&m, 1, 64, DType::Bf16).with_tensor_parallel(3);
     }
 
     #[test]
