@@ -105,6 +105,7 @@ impl ServingReport {
     /// Mean time-to-first-token across requests.
     #[must_use]
     pub fn mean_ttft(&self) -> f64 {
+        // lint:ordered: outcomes is a Vec in deterministic completion order
         self.outcomes.iter().map(|o| o.ttft_s).sum::<f64>() / self.outcomes.len() as f64
     }
 

@@ -36,6 +36,7 @@ impl QuantizedMatrix {
         let mut scales = vec![0.0f32; rows];
         for r in 0..rows {
             let row = &src[r * cols..(r + 1) * cols];
+            // lint:ordered: max is commutative and associative — the fold is order-insensitive
             let absmax = row.iter().fold(0.0f32, |m, &x| {
                 assert!(x.is_finite(), "cannot quantize non-finite value {x}");
                 m.max(x.abs())

@@ -1,0 +1,34 @@
+//! Known-bad fixture for S001 (counter coverage). Linted as if it lived
+//! in a sim-state crate. Two findings expected:
+//!   * `dropped` is zero-initialized but never folded in `merge_minis`
+//!     (struct-literal keys are writes, not reads), and
+//!   * `busy_s` is merged but never rendered.
+//! `served` is covered on both paths and `label` is non-numeric, so
+//! neither may be flagged.
+
+pub struct MiniReport {
+    pub served: u64,
+    pub dropped: u64,
+    pub busy_s: f64,
+    pub label: String,
+}
+
+pub fn merge_minis(reports: Vec<MiniReport>) -> MiniReport {
+    let mut merged = MiniReport {
+        served: 0,
+        dropped: 0,
+        busy_s: 0.0,
+        label: String::new(),
+    };
+    for r in reports {
+        merged.served += r.served;
+        merged.busy_s += r.busy_s;
+    }
+    merged
+}
+
+impl MiniReport {
+    pub fn render(&self) -> String {
+        format!("served={} dropped={}", self.served, self.dropped)
+    }
+}

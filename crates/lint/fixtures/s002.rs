@@ -1,0 +1,22 @@
+//! Known-bad fixture for S002 (unit-of-measure inference). Three findings
+//! expected: seconds+milliseconds, bytes-vs-tokens comparison, and
+//! hertz-minus-seconds. Like-unit arithmetic and division (which destroys
+//! units by design) must stay clean.
+
+pub fn mixed(start_s: f64, elapsed_ms: f64, cap_bytes: u64, used_tokens: u64) -> f64 {
+    let deadline = start_s + elapsed_ms;
+    let over = cap_bytes < used_tokens;
+    if over {
+        return 0.0;
+    }
+    deadline
+}
+
+pub fn also_mixed(rate_hz: f64, period_s: f64) -> f64 {
+    rate_hz - period_s
+}
+
+pub fn fine(start_s: f64, step_s: f64, total_bytes: f64, window_s: f64) -> f64 {
+    let end_s = start_s + step_s;
+    end_s + total_bytes / window_s
+}

@@ -1,0 +1,34 @@
+//! Known-bad fixture for S003 (unordered float reductions). Linted as if
+//! it lived in a sim-state crate. Three findings expected: a turbofished
+//! float `.sum()`, a `.map(..).sum()` whose closure yields a float-unit
+//! quantity, and a float-seeded `.fold()`. The annotated sum, the
+//! order-insensitive max fold, and the integer sum must stay clean.
+
+pub struct Sample {
+    pub wait_s: f64,
+}
+
+pub fn bad_turbofish(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn bad_mapped(xs: &[Sample]) -> f64 {
+    xs.iter().map(|sample| sample.wait_s).sum()
+}
+
+pub fn bad_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn fine_annotated(xs: &[f64]) -> f64 {
+    // lint:ordered: xs arrives pre-sorted by the caller
+    xs.iter().sum::<f64>()
+}
+
+pub fn fine_max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::MIN, f64::max)
+}
+
+pub fn fine_int(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture for S004 (wildcard-arm drift). Linted as if it lived
+//! in an engine crate. One finding expected: the `_ =>` arm over
+//! `SimError`. The match over a `bool` is closed and must stay clean.
+
+pub enum SimError {
+    Timeout,
+    Crash { code: u32 },
+}
+
+pub fn classify(err: &SimError) -> u8 {
+    match err {
+        SimError::Timeout => 1,
+        SimError::Crash { .. } => 2,
+        _ => 0,
+    }
+}
+
+pub fn fine(flag: bool) -> u8 {
+    match flag {
+        true => 1,
+        _ => 0,
+    }
+}

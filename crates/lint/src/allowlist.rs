@@ -32,6 +32,9 @@ pub struct AllowEntry {
     pub contains: String,
     /// Written justification.
     pub reason: String,
+    /// 1-based line in `lint.allow` the entry was parsed from (input to
+    /// [`prune`]).
+    pub line: usize,
 }
 
 impl AllowEntry {
@@ -102,6 +105,7 @@ impl Allowlist {
                 path: fields[1].trim().to_string(),
                 contains: fields[2].trim().to_string(),
                 reason: reason.to_string(),
+                line: ix + 1,
             });
         }
         Ok(Allowlist { entries })
@@ -117,6 +121,22 @@ impl Allowlist {
                 && (e.contains == "*" || line_text.contains(&e.contains))
         })
     }
+}
+
+/// Rewrites allowlist text with the entries on `stale_lines` (1-based)
+/// removed. Comments, blank lines, and live entries pass through
+/// byte-for-byte, so `--fix-stale` is a pure deletion.
+#[must_use]
+pub fn prune(text: &str, stale_lines: &[usize]) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (ix, line) in text.lines().enumerate() {
+        if stale_lines.contains(&(ix + 1)) {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -178,5 +198,23 @@ mod tests {
     fn star_matches_any_line() {
         let a = Allowlist::parse("P001\tsrc/a.rs\t*\tdriver binary, fails fast\n").expect("parses");
         assert_eq!(a.matches(&finding("P001", "src/a.rs"), "anything"), Some(0));
+    }
+
+    #[test]
+    fn entries_record_their_source_line() {
+        let a = Allowlist::parse(
+            "# header\n\nD001\tsrc/a.rs\t*\tfirst\n# mid comment\nP001\tsrc/b.rs\t*\tsecond\n",
+        )
+        .expect("parses");
+        let lines: Vec<usize> = a.entries.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![3, 5]);
+    }
+
+    #[test]
+    fn prune_removes_only_stale_entry_lines() {
+        let text = "# header\nD001\tsrc/a.rs\t*\tlive\nP001\tsrc/b.rs\t*\tstale\n\n# tail\n";
+        let pruned = prune(text, &[3]);
+        assert_eq!(pruned, "# header\nD001\tsrc/a.rs\t*\tlive\n\n# tail\n");
+        assert_eq!(prune(text, &[]), text, "no stale lines = byte-identical");
     }
 }

@@ -1,5 +1,6 @@
 //! Findings: the linter's output records, with deterministic ordering and
-//! the two serializations (TSV for machines/CI artifacts, text for humans).
+//! the three serializations (TSV and JSONL for machines/CI artifacts,
+//! text for humans).
 
 use std::cmp::Ordering;
 use std::fmt::Write as _;
@@ -54,6 +55,46 @@ pub fn to_tsv(findings: &[Finding]) -> String {
             f.col,
             tsv_field(&f.matched),
             tsv_field(&f.message)
+        );
+    }
+    out
+}
+
+/// Escapes a string for a JSON string body (hand-rolled: the linter is
+/// dependency-free by design).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as JSON Lines — one object per finding, keys in a
+/// fixed order. Byte-deterministic for a given (sorted) finding list.
+#[must_use]
+pub fn to_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"match\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.matched),
+            json_escape(&f.message)
         );
     }
     out
@@ -134,6 +175,20 @@ mod tests {
         assert!(tsv.starts_with("rule\tpath\tline\tcol\tmatch\tmessage\n"));
         assert!(tsv.contains("tab here"));
         assert_eq!(tsv.lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_is_one_object_per_line() {
+        let mut bad = f("D001", "a \"quoted\".rs", 1, 2);
+        bad.message = "line1\nline2\ttabbed \\ backslash".into();
+        let jsonl = to_jsonl(&[bad.clone(), f("D002", "b.rs", 3, 4)]);
+        assert_eq!(jsonl.lines().count(), 2);
+        let first = jsonl.lines().next().expect("first line");
+        assert!(first.contains("\"rule\":\"D001\""));
+        assert!(first.contains("a \\\"quoted\\\".rs"));
+        assert!(first.contains("line1\\nline2\\ttabbed \\\\ backslash"));
+        assert!(first.contains("\"line\":1,\"col\":2"));
+        assert!(to_jsonl(&[]).is_empty());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! by sampling; this crate enforces its *source-level preconditions* at CI
 //! time, before a nondeterminism bug can ship and be discovered by a
 //! flaky figure. The linter is deliberately dependency-free: a minimal
-//! Rust tokenizer ([`tokenizer`]) feeds a small rule engine ([`rules`])
-//! that walks `crates/*/src` and `src/` ([`walk`]) and emits findings in a
+//! Rust tokenizer ([`tokenizer`]) feeds a recursive-descent parser
+//! ([`parser`]) and a small rule engine ([`rules`]) that walks
+//! `crates/*/src` and `src/` ([`walk`]) and emits findings in a
 //! canonical order ([`findings`]) — the linter's own output is as
 //! reproducible as the simulator it guards.
 //!
@@ -18,16 +19,23 @@
 //! | D001 | no `HashMap`/`HashSet` in simulation-state crates (iteration order is seeded by `RandomState`) |
 //! | D002 | no wall-clock reads (`std::time::Instant`/`SystemTime`) outside the bench driver |
 //! | D003 | no ambient randomness (`thread_rng`, `rand::random`, `RandomState`, `OsRng`, `from_entropy`) |
-//! | D004 | no ad-hoc compound-assign reductions inside `isa` spawn closures — use the deterministic merge helpers |
+//! | D004 | no ad-hoc compound-assign reductions inside `isa`/`cluster` spawn closures — use the deterministic merge helpers |
 //! | P001 | no `unwrap()`/`expect()`/`panic!` in non-test library code |
+//! | S001 | every numeric field of a `*Report`/`*Stats` struct in a sim-state crate must be read on its merge and render paths (counter coverage) |
+//! | S002 | no mixed-unit arithmetic: `+`/`-`/comparisons over suffix-typed quantities need like units |
+//! | S003 | float `.sum()`/`.fold()` reductions in sim-state crates need a `// lint:ordered: reason` annotation |
+//! | S004 | no `_ =>` arms over `SimError`/`FaultKind`/`Event` in engine crates (variant drift) |
 //! | U001 | bare `latency`/`bandwidth`/`time` identifiers typed as raw numbers must carry a unit suffix (`_s`, `_cycles`, `_bytes`, `_bps`, `_tok`, …) or a unit newtype |
 //!
-//! Suppression is always explicit and justified: either an entry in the
-//! checked-in [`allowlist`] (`lint.allow`) or an inline
-//! `// lint:allow(RULE): reason` comment on/above the offending line.
+//! Suppression is always explicit and justified: an entry in the
+//! checked-in [`allowlist`] (`lint.allow`), an inline
+//! `// lint:allow(RULE): reason` comment on/above the offending line, or
+//! (S003 only) a `// lint:ordered: reason` annotation stating why the
+//! reduction's source order is deterministic.
 
 pub mod allowlist;
 pub mod findings;
+pub mod parser;
 pub mod rules;
 pub mod source;
 pub mod tokenizer;
@@ -47,6 +55,9 @@ pub struct LintReport {
     pub suppressed: Vec<Finding>,
     /// Allowlist entries that matched nothing (stale — worth pruning).
     pub stale_allows: Vec<String>,
+    /// 1-based `lint.allow` line numbers of the stale entries (input to
+    /// `--fix-stale`).
+    pub stale_lines: Vec<usize>,
 }
 
 /// Lints one already-loaded file against the full rule catalog.
@@ -71,6 +82,9 @@ where
         let file = SourceFile::new(path, text);
         all.extend(lint_file(&file));
         files.push(file);
+    }
+    for rule in rules::workspace_catalog() {
+        rule.check_workspace(&files, &mut all);
     }
     sort_findings(&mut all);
 
@@ -100,6 +114,7 @@ where
     for (ix, entry) in allow.entries.iter().enumerate() {
         if !used[ix] {
             report.stale_allows.push(entry.describe());
+            report.stale_lines.push(entry.line);
         }
     }
     report

@@ -1,9 +1,11 @@
 //! `llmsim-lint` CLI — the workspace determinism gate.
 //!
 //! ```sh
-//! cargo run -p llmsim-lint --release -- --check            # CI gate
-//! cargo run -p llmsim-lint --release -- --tsv findings.tsv # artifact
-//! cargo run -p llmsim-lint --release -- --rules            # catalog
+//! cargo run -p llmsim-lint --release -- --check              # CI gate
+//! cargo run -p llmsim-lint --release -- --tsv findings.tsv   # artifact
+//! cargo run -p llmsim-lint --release -- --jsonl findings.jsonl
+//! cargo run -p llmsim-lint --release -- --fix-stale          # prune lint.allow
+//! cargo run -p llmsim-lint --release -- --rules              # catalog
 //! ```
 //!
 //! Exit codes: `0` clean (or findings while not in `--check` mode), `1`
@@ -11,8 +13,8 @@
 
 #![allow(clippy::print_stdout, clippy::print_stderr)] // CLI surface
 
-use llmsim_lint::allowlist::Allowlist;
-use llmsim_lint::findings::{to_text, to_tsv};
+use llmsim_lint::allowlist::{prune, Allowlist};
+use llmsim_lint::findings::{to_jsonl, to_text, to_tsv};
 use llmsim_lint::rules;
 use llmsim_lint::walk::collect_workspace;
 use std::path::PathBuf;
@@ -23,7 +25,9 @@ struct Options {
     root: PathBuf,
     allow: Option<PathBuf>,
     tsv: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
     check: bool,
+    fix_stale: bool,
     list_rules: bool,
 }
 
@@ -32,13 +36,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         allow: None,
         tsv: None,
+        jsonl: None,
         check: false,
+        fix_stale: false,
         list_rules: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => opts.check = true,
+            "--fix-stale" => opts.fix_stale = true,
             "--rules" => opts.list_rules = true,
             "--root" => {
                 opts.root = PathBuf::from(
@@ -55,9 +62,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     it.next().ok_or_else(|| "--tsv needs a path".to_string())?,
                 ));
             }
+            "--jsonl" => {
+                opts.jsonl = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--jsonl needs a path".to_string())?,
+                ));
+            }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?} (known: --check, --rules, --root DIR, --allow FILE, --tsv FILE)"
+                    "unknown argument {other:?} (known: --check, --fix-stale, --rules, --root DIR, --allow FILE, --tsv FILE, --jsonl FILE)"
                 ))
             }
         }
@@ -70,6 +83,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         for rule in rules::catalog() {
             println!("{}  {}", rule.id(), rule.title());
         }
+        for rule in rules::workspace_catalog() {
+            println!("{}  {} [workspace]", rule.id(), rule.title());
+        }
         return Ok(true);
     }
 
@@ -77,10 +93,14 @@ fn run(opts: &Options) -> Result<bool, String> {
         .allow
         .clone()
         .unwrap_or_else(|| opts.root.join("lint.allow"));
-    let allow = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => Allowlist::parse(&text).map_err(|e| e.to_string())?,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+    let allow_text = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
         Err(e) => return Err(format!("{}: {e}", allow_path.display())),
+    };
+    let allow = match &allow_text {
+        Some(text) => Allowlist::parse(text).map_err(|e| e.to_string())?,
+        None => Allowlist::default(),
     };
 
     let files = collect_workspace(&opts.root).map_err(|e| format!("walk failed: {e}"))?;
@@ -93,6 +113,10 @@ fn run(opts: &Options) -> Result<bool, String> {
         std::fs::write(tsv_path, to_tsv(&report.findings))
             .map_err(|e| format!("{}: {e}", tsv_path.display()))?;
     }
+    if let Some(jsonl_path) = &opts.jsonl {
+        std::fs::write(jsonl_path, to_jsonl(&report.findings))
+            .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+    }
 
     print!("{}", to_text(&report.findings));
     if !report.suppressed.is_empty() {
@@ -101,8 +125,25 @@ fn run(opts: &Options) -> Result<bool, String> {
             report.suppressed.len()
         );
     }
-    for stale in &report.stale_allows {
-        println!("llmsim-lint: warning: stale allowlist entry matches nothing: {stale}");
+    if opts.fix_stale && !report.stale_lines.is_empty() {
+        if let Some(text) = &allow_text {
+            std::fs::write(&allow_path, prune(text, &report.stale_lines))
+                .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+            println!(
+                "llmsim-lint: pruned {} stale allowlist entr{} from {}",
+                report.stale_lines.len(),
+                if report.stale_lines.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                allow_path.display()
+            );
+        }
+    } else {
+        for stale in &report.stale_allows {
+            println!("llmsim-lint: warning: stale allowlist entry matches nothing: {stale}");
+        }
     }
     Ok(report.findings.is_empty())
 }
@@ -139,18 +180,23 @@ mod tests {
     fn parse_args_covers_all_flags() {
         let opts = parse_args(&[
             "--check".into(),
+            "--fix-stale".into(),
             "--root".into(),
             "/tmp/x".into(),
             "--allow".into(),
             "a.allow".into(),
             "--tsv".into(),
             "out.tsv".into(),
+            "--jsonl".into(),
+            "out.jsonl".into(),
         ])
         .expect("parses");
         assert!(opts.check);
+        assert!(opts.fix_stale);
         assert_eq!(opts.root, PathBuf::from("/tmp/x"));
         assert_eq!(opts.allow, Some(PathBuf::from("a.allow")));
         assert_eq!(opts.tsv, Some(PathBuf::from("out.tsv")));
+        assert_eq!(opts.jsonl, Some(PathBuf::from("out.jsonl")));
     }
 
     #[test]
@@ -158,5 +204,6 @@ mod tests {
         let err = parse_args(&["--wat".into()]).expect_err("must fail");
         assert!(err.contains("--wat"));
         assert!(parse_args(&["--root".into()]).is_err());
+        assert!(parse_args(&["--jsonl".into()]).is_err());
     }
 }

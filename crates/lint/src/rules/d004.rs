@@ -1,14 +1,14 @@
-//! D004 — no ad-hoc compound-assign reductions inside `isa` spawn
-//! closures.
+//! D004 — no ad-hoc compound-assign reductions inside spawn closures in
+//! the threaded crates (`isa`, `cluster`).
 //!
-//! The multi-core GEMM fan-out in `isa::parallel` is bit-deterministic
-//! because workers only write disjoint output bands and per-core
-//! statistics merge *after* the join, in core order (`sum_stats`,
-//! `merged_stats`, max-over-cores cycles). A `+=` on shared state inside
-//! a spawned closure reintroduces completion-order dependence — float
-//! addition is not associative, so even a mutex-protected accumulation
-//! changes bits run to run. Accumulate per worker, merge deterministically
-//! after joining.
+//! The multi-core GEMM fan-out in `isa::parallel` and the sharded replay
+//! in `cluster::shard` are bit-deterministic because workers only write
+//! disjoint state and per-worker results merge *after* the join, in
+//! worker order (`sum_stats`, `merged_stats`, `merge_reports`). A `+=`
+//! on shared state inside a spawned closure reintroduces completion-order
+//! dependence — float addition is not associative, so even a
+//! mutex-protected accumulation changes bits run to run. Accumulate per
+//! worker, merge deterministically after joining.
 
 use super::{finding_at, Rule};
 use crate::findings::Finding;
@@ -26,11 +26,11 @@ impl Rule for D004 {
     }
 
     fn title(&self) -> &'static str {
-        "no ad-hoc += reductions inside isa spawn closures (merge after join)"
+        "no ad-hoc += reductions inside isa/cluster spawn closures (merge after join)"
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if file.crate_name != "isa" {
+        if !matches!(file.crate_name.as_str(), "isa" | "cluster") {
             return;
         }
         let toks = &file.tokens;
@@ -60,7 +60,7 @@ impl Rule for D004 {
                             file,
                             &toks[j],
                             format!(
-                                "`{op}` inside a spawn closure accumulates in completion order; collect per-core results and merge deterministically after the join (sum_stats / merged_stats / max-over-cores)"
+                                "`{op}` inside a spawn closure accumulates in completion order; collect per-worker results and merge deterministically after the join (sum_stats / merged_stats / merge_reports)"
                             ),
                         ));
                     }
@@ -103,8 +103,16 @@ mod tests {
     }
 
     #[test]
-    fn only_isa_is_in_scope() {
+    fn cluster_scoped_threads_are_in_scope() {
+        let out = run("crates/cluster/src/shard.rs", BAD);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].matched, "+=");
+    }
+
+    #[test]
+    fn unthreaded_crates_are_out_of_scope() {
         assert!(run("crates/core/src/x.rs", BAD).is_empty());
+        assert!(run("crates/workload/src/x.rs", BAD).is_empty());
     }
 
     #[test]

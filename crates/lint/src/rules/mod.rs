@@ -1,18 +1,29 @@
 //! The rule catalog and the shared vocabulary rules are written in.
 //!
-//! Rules are deliberately *lexical*: they match identifier/operator
-//! patterns on the token stream, never type information. That keeps the
-//! linter dependency-free and fast, at the cost of needing the explicit
-//! suppression channels ([`crate::allowlist`], inline `lint:allow`) for
-//! the rare justified exception — which is a feature: every exception to
-//! a determinism invariant should have a written argument next to it.
+//! Two rule families live here. The D/P/U rules are *lexical*: they match
+//! identifier/operator patterns on the token stream. The S rules are
+//! *semantic*: they walk the simplified parse tree ([`crate::parser`]) to
+//! reason about dataflow the token stream can't express — counter
+//! coverage across merge/render paths (S001), unit propagation through
+//! expressions (S002), float-reduction ordering (S003), and match-arm
+//! drift (S004). Neither family uses type information from the compiler,
+//! which keeps the linter dependency-free and fast, at the cost of
+//! needing the explicit suppression channels ([`crate::allowlist`],
+//! inline `lint:allow`, `lint:ordered`) for the rare justified
+//! exception — which is a feature: every exception to a determinism
+//! invariant should have a written argument next to it.
 
 mod d001;
 mod d002;
 mod d003;
 mod d004;
 mod p001;
+mod s001;
+mod s002;
+mod s003;
+mod s004;
 mod u001;
+mod units;
 
 use crate::findings::Finding;
 use crate::source::SourceFile;
@@ -23,9 +34,13 @@ pub use d002::D002;
 pub use d003::D003;
 pub use d004::D004;
 pub use p001::P001;
+pub use s001::S001;
+pub use s002::S002;
+pub use s003::S003;
+pub use s004::S004;
 pub use u001::U001;
 
-/// A single static-analysis rule.
+/// A single static-analysis rule checked one file at a time.
 pub trait Rule: Sync {
     /// Stable rule id (`D001`, …) used in findings, the allowlist and
     /// inline suppressions.
@@ -36,10 +51,31 @@ pub trait Rule: Sync {
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
 }
 
-/// The full rule catalog, in id order.
+/// A rule that needs the whole workspace at once (cross-file dataflow,
+/// e.g. a struct defined in one file and merged in another). Findings
+/// must not depend on the order of `files` — the determinism contract
+/// (same input, byte-identical output) is proptested over permutations.
+pub trait WorkspaceRule: Sync {
+    /// Stable rule id (`S001`, …).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--rules` output.
+    fn title(&self) -> &'static str;
+    /// Appends findings computed over every workspace file.
+    fn check_workspace(&self, files: &[SourceFile], out: &mut Vec<Finding>);
+}
+
+/// The full per-file rule catalog, in id order.
 #[must_use]
 pub fn catalog() -> Vec<&'static dyn Rule> {
-    vec![&D001, &D002, &D003, &D004, &P001, &U001]
+    vec![
+        &D001, &D002, &D003, &D004, &P001, &S002, &S003, &S004, &U001,
+    ]
+}
+
+/// The workspace-rule catalog, in id order.
+#[must_use]
+pub fn workspace_catalog() -> Vec<&'static dyn WorkspaceRule> {
+    vec![&S001]
 }
 
 /// Crates that hold simulation state: a nondeterministic container or
@@ -79,9 +115,22 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted);
-        assert_eq!(ids, vec!["D001", "D002", "D003", "D004", "P001", "U001"]);
+        assert_eq!(
+            ids,
+            vec!["D001", "D002", "D003", "D004", "P001", "S002", "S003", "S004", "U001"]
+        );
         for r in catalog() {
             assert!(!r.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn workspace_catalog_is_sorted_and_disjoint_from_per_file_ids() {
+        let ids: Vec<&str> = workspace_catalog().iter().map(|r| r.id()).collect();
+        assert_eq!(ids, vec!["S001"]);
+        for w in workspace_catalog() {
+            assert!(!w.title().is_empty());
+            assert!(!catalog().iter().any(|r| r.id() == w.id()));
         }
     }
 }

@@ -1,0 +1,455 @@
+//! S001 — counter coverage: every numeric field of a report/metrics
+//! struct must be *read* on its merge and render paths.
+//!
+//! The bug class this catches mechanically was found by hand twice:
+//! a counter added to `FleetReport` but forgotten in `merge_reports`
+//! silently reports zero for sharded runs, and one forgotten in
+//! `render` is invisible to operators. The rule works on the parse
+//! tree, not tokens, so a struct-literal initializer key
+//! (`FleetReport { retries: 0, … }`) does **not** count as coverage —
+//! only a field-access read (`report.retries`) does. Reads are chased
+//! transitively through same-crate helper calls, so `render` referencing
+//! `generated_tokens` via `self.throughput_tok_s()` counts.
+//!
+//! Scope: structs named `*Report` / `*Stats` with numeric fields, in
+//! sim-state crates. A struct is checked against a path only if the
+//! crate actually has such a path for it — a merge path is any non-test
+//! fn whose name contains `merge` and whose signature or impl type
+//! mentions the struct; a render path is any fn named `render` likewise.
+//! Structs embedded in another tracked struct (e.g. `ReplicaStats`
+//! inside `FleetReport`) inherit the container's paths: a wholesale
+//! read of the container field (`merged.replicas.extend(…)`) covers
+//! their merge, but render must still read each field individually.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::{WorkspaceRule, SIM_STATE_CRATES};
+use crate::findings::Finding;
+use crate::parser::Expr;
+use crate::source::SourceFile;
+
+/// Rule instance.
+pub struct S001;
+
+/// Exact primitive numeric types a tracked counter may have.
+const NUMERIC: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// One non-test function, digested for reachability analysis.
+struct FnInfo {
+    /// Function name.
+    name: String,
+    /// Words that "mention" a type: signature tokens plus the impl type.
+    mentions: BTreeSet<String>,
+    /// Every identifier the body references (callees for the BFS).
+    idents: BTreeSet<String>,
+    /// Field names the body *reads* (`x.field`; struct-literal keys are
+    /// deliberately absent).
+    field_reads: BTreeSet<String>,
+}
+
+/// One tracked struct.
+struct Target {
+    /// Struct name.
+    name: String,
+    /// File it is defined in (index into the crate's file list).
+    file_ix: usize,
+    /// Numeric fields: (name, line, col).
+    numeric_fields: Vec<(String, u32, u32)>,
+    /// All field (name, type) pairs — for containment detection.
+    all_fields: Vec<(String, String)>,
+}
+
+/// Digests every non-test fn of `file` into `fns`.
+fn collect_fns(file: &SourceFile, fns: &mut Vec<FnInfo>) {
+    file.tree.for_each_fn(&mut |f, self_ty| {
+        if file.in_test(f.tok_ix) {
+            return;
+        }
+        let mut mentions: BTreeSet<String> = f.sig.split_whitespace().map(str::to_string).collect();
+        if let Some(ty) = self_ty {
+            mentions.insert(ty.to_string());
+        }
+        let mut idents = BTreeSet::new();
+        let mut field_reads = BTreeSet::new();
+        for stmt in &f.body {
+            stmt.walk(&mut |e| match e {
+                Expr::Ident { name, .. } => {
+                    idents.insert(name.clone());
+                }
+                Expr::Path { segs, .. } => {
+                    idents.extend(segs.iter().cloned());
+                }
+                Expr::Method { name, .. } => {
+                    idents.insert(name.clone());
+                }
+                Expr::Field { name, .. } => {
+                    field_reads.insert(name.clone());
+                }
+                _ => {}
+            });
+        }
+        fns.push(FnInfo {
+            name: f.name.clone(),
+            mentions,
+            idents,
+            field_reads,
+        });
+    });
+}
+
+/// Field reads reachable from `roots` through same-crate calls.
+fn reachable_reads(
+    fns: &[FnInfo],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    roots: &[usize],
+) -> BTreeSet<String> {
+    let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+    let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+    let mut reads = BTreeSet::new();
+    while let Some(ix) = queue.pop_front() {
+        reads.extend(fns[ix].field_reads.iter().cloned());
+        for id in &fns[ix].idents {
+            if let Some(callees) = by_name.get(id.as_str()) {
+                for &c in callees {
+                    if seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+    reads
+}
+
+/// Sorted, comma-joined fn names — deterministic no matter the file
+/// iteration order.
+fn name_list(fns: &[FnInfo], ixs: &[usize]) -> String {
+    let mut names: Vec<&str> = ixs.iter().map(|&i| fns[i].name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names.join(", ")
+}
+
+impl WorkspaceRule for S001 {
+    fn id(&self) -> &'static str {
+        "S001"
+    }
+
+    fn title(&self) -> &'static str {
+        "every numeric report/stats field must be read on its merge and render paths"
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        // Group file indexes by crate; only sim-state crates are tracked.
+        let mut crates: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (ix, f) in files.iter().enumerate() {
+            if SIM_STATE_CRATES.contains(&f.crate_name.as_str()) {
+                crates.entry(&f.crate_name).or_default().push(ix);
+            }
+        }
+
+        for file_ixs in crates.values() {
+            // -- index: every non-test fn in the crate, by name ----------
+            let mut fns: Vec<FnInfo> = Vec::new();
+            for &fix in file_ixs {
+                collect_fns(&files[fix], &mut fns);
+            }
+            let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+            for (i, f) in fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push(i);
+            }
+
+            // -- targets: *Report / *Stats structs with numeric fields ---
+            let mut targets: Vec<Target> = Vec::new();
+            for &fix in file_ixs {
+                let file = &files[fix];
+                file.tree.for_each_struct(&mut |s| {
+                    if !(s.name.ends_with("Report") || s.name.ends_with("Stats"))
+                        || file.in_test(s.tok_ix)
+                    {
+                        return;
+                    }
+                    let numeric_fields: Vec<(String, u32, u32)> = s
+                        .fields
+                        .iter()
+                        .filter(|f| NUMERIC.contains(&f.ty.as_str()))
+                        .map(|f| (f.name.clone(), f.line, f.col))
+                        .collect();
+                    if numeric_fields.is_empty() {
+                        return;
+                    }
+                    targets.push(Target {
+                        name: s.name.clone(),
+                        file_ix: fix,
+                        numeric_fields,
+                        all_fields: s
+                            .fields
+                            .iter()
+                            .map(|f| (f.name.clone(), f.ty.clone()))
+                            .collect(),
+                    });
+                });
+            }
+
+            // -- per-target paths ----------------------------------------
+            let merge_fns_of = |name: &str| -> Vec<usize> {
+                fns.iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.name.contains("merge") && f.mentions.contains(name))
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+            let render_fns_of = |name: &str| -> Vec<usize> {
+                fns.iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.name == "render" && f.mentions.contains(name))
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+
+            for target in &targets {
+                let own_merge = merge_fns_of(&target.name);
+                let own_render = render_fns_of(&target.name);
+
+                // Containers embedding this target (field whose type
+                // mentions the target name), with their own paths.
+                struct Container {
+                    field: String,
+                    merge: Vec<usize>,
+                    render: Vec<usize>,
+                }
+                let containers: Vec<Container> = targets
+                    .iter()
+                    .filter(|c| !std::ptr::eq(*c, target))
+                    .flat_map(|c| {
+                        c.all_fields
+                            .iter()
+                            .filter(|(_, ty)| ty.split_whitespace().any(|w| w == target.name))
+                            .map(|(fname, _)| Container {
+                                field: fname.clone(),
+                                merge: merge_fns_of(&c.name),
+                                render: render_fns_of(&c.name),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+
+                // Effective path roots.
+                let mut merge_roots = own_merge.clone();
+                let mut render_roots = own_render.clone();
+                for c in &containers {
+                    merge_roots.extend(&c.merge);
+                    render_roots.extend(&c.render);
+                }
+                merge_roots.sort_unstable();
+                merge_roots.dedup();
+                render_roots.sort_unstable();
+                render_roots.dedup();
+
+                let merge_reads = reachable_reads(&fns, &by_name, &merge_roots);
+                let render_reads = reachable_reads(&fns, &by_name, &render_roots);
+                // A wholesale read of the container field on the merge
+                // path (`merged.replicas.extend(…)`) conserves every
+                // embedded counter at once.
+                let merged_wholesale = containers
+                    .iter()
+                    .any(|c| !c.merge.is_empty() && merge_reads.contains(&c.field));
+
+                let file = &files[target.file_ix];
+                for (fname, line, col) in &target.numeric_fields {
+                    if !merge_roots.is_empty() && !merged_wholesale && !merge_reads.contains(fname)
+                    {
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line: *line,
+                            col: *col,
+                            matched: fname.clone(),
+                            message: format!(
+                                "numeric field `{}` of `{}` is never read on its merge path ({}) — a counter dropped from the fold reports zero for sharded runs",
+                                fname,
+                                target.name,
+                                name_list(&fns, &merge_roots),
+                            ),
+                        });
+                    }
+                    if !render_roots.is_empty() && !render_reads.contains(fname) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line: *line,
+                            col: *col,
+                            matched: fname.clone(),
+                            message: format!(
+                                "numeric field `{}` of `{}` is never read on its render path ({}) — an unrendered counter is invisible to operators",
+                                fname,
+                                target.name,
+                                name_list(&fns, &render_roots),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let mut out = Vec::new();
+        S001.check_workspace(&files, &mut out);
+        out
+    }
+
+    const MINI: &str = "
+        pub struct MiniReport {
+            pub label: String,
+            pub a_tokens: u64,
+            pub b_tokens: u64,
+        }
+        pub fn merge_minis(reports: &[MiniReport]) -> MiniReport {
+            let mut m = MiniReport { label: String::new(), a_tokens: 0, b_tokens: 0 };
+            for r in reports {
+                m.a_tokens += r.a_tokens;
+            }
+            m
+        }
+        impl MiniReport {
+            pub fn render(&self) -> String {
+                format!(\"{} {}\", self.a_tokens, self.b_tokens)
+            }
+        }
+    ";
+
+    #[test]
+    fn missed_merge_field_is_flagged_and_literal_keys_do_not_count() {
+        let out = run(&[("crates/cluster/src/mini.rs", MINI)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].matched, "b_tokens");
+        assert!(out[0].message.contains("merge path (merge_minis)"));
+    }
+
+    #[test]
+    fn missed_render_field_is_flagged() {
+        let src = MINI.replace(", self.b_tokens", "");
+        let src = src.replace("{} {}", "{}");
+        let out = run(&[("crates/cluster/src/mini.rs", &src)]);
+        let rendered: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.message.contains("render path"))
+            .collect();
+        assert_eq!(rendered.len(), 1, "{out:?}");
+        assert_eq!(rendered[0].matched, "b_tokens");
+    }
+
+    #[test]
+    fn transitive_reads_through_helpers_count() {
+        let src = "
+            pub struct SumReport { pub total_tokens: u64 }
+            fn tally(r: &SumReport) -> u64 { r.total_tokens }
+            pub fn merge_sums(rs: &[SumReport]) -> u64 {
+                rs.iter().map(tally).sum()
+            }
+        ";
+        assert!(run(&[("crates/cluster/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn embedded_structs_inherit_container_paths() {
+        let src = "
+            pub struct InnerStats { pub hits: u64, pub misses: u64 }
+            pub struct OuterReport { pub total: u64, pub inners: Vec<InnerStats> }
+            pub fn merge_outers(rs: Vec<OuterReport>) -> OuterReport {
+                let mut m = OuterReport { total: 0, inners: Vec::new() };
+                for r in rs {
+                    m.total += r.total;
+                    m.inners.extend(r.inners);
+                }
+                m
+            }
+            impl OuterReport {
+                pub fn render(&self) -> String {
+                    let mut s = format!(\"total={}\", self.total);
+                    for i in &self.inners {
+                        s += &format!(\" {}:{}\", i.hits, i.misses);
+                    }
+                    s
+                }
+            }
+        ";
+        assert!(
+            run(&[("crates/cluster/src/x.rs", src)]).is_empty(),
+            "wholesale extend covers embedded merge; per-field render covers render"
+        );
+
+        // Drop `i.misses` from render: only the render finding appears
+        // (merge stays covered by the wholesale `.inners` read).
+        let broken = src.replace(" {}:{}\", i.hits, i.misses", " {}\", i.hits");
+        let out = run(&[("crates/cluster/src/x.rs", &broken)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].matched, "misses");
+        assert!(out[0].message.contains("render path"));
+    }
+
+    #[test]
+    fn structs_without_merge_or_render_paths_are_skipped() {
+        let src = "pub struct LooseStats { pub count: u64 }";
+        assert!(run(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn non_sim_state_crates_and_test_code_are_skipped() {
+        assert!(run(&[("crates/bench/src/x.rs", MINI)]).is_empty());
+        let test_wrapped = format!("#[cfg(test)]\nmod tests {{ {MINI} }}");
+        assert!(run(&[("crates/cluster/src/x.rs", &test_wrapped)]).is_empty());
+    }
+
+    #[test]
+    fn paths_split_across_files_still_resolve() {
+        let metrics = "
+            pub struct TwoFileReport { pub events: u64 }
+            impl TwoFileReport {
+                pub fn render(&self) -> String { format!(\"{}\", self.events) }
+            }
+        ";
+        let shard = "
+            use crate::metrics::TwoFileReport;
+            pub fn merge_reports(rs: Vec<TwoFileReport>) -> TwoFileReport {
+                let mut m = TwoFileReport { events: 0 };
+                for r in rs { m.events += r.events; }
+                m
+            }
+        ";
+        let clean = run(&[
+            ("crates/cluster/src/metrics.rs", metrics),
+            ("crates/cluster/src/shard.rs", shard),
+        ]);
+        assert!(clean.is_empty(), "{clean:?}");
+
+        // Delete the merge line: the gate must fail, whichever file
+        // order the sources arrive in.
+        let broken = shard.replace(
+            "for r in rs { m.events += r.events; }",
+            "for r in rs { let _ = r; }",
+        );
+        for flip in [false, true] {
+            let mut srcs = vec![
+                ("crates/cluster/src/metrics.rs", metrics),
+                ("crates/cluster/src/shard.rs", broken.as_str()),
+            ];
+            if flip {
+                srcs.reverse();
+            }
+            let out = run(&srcs);
+            assert_eq!(out.len(), 1, "{out:?}");
+            assert_eq!(out[0].matched, "events");
+        }
+    }
+}

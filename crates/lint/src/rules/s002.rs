@@ -1,0 +1,132 @@
+//! S002 — no mixed-unit arithmetic or comparison.
+//!
+//! The paper's §III memory arithmetic and §IV counter models only hold if
+//! seconds stay seconds and bytes stay bytes. This rule infers units from
+//! the workspace's suffix convention (`_s`, `_bytes`, `_tokens`, `_hz`,
+//! …; see [`super::units`]) and flags any `+`, `-`, or comparison whose
+//! operands carry *different* units — adding a millisecond field to a
+//! second field, or comparing token counts against byte counts, is a
+//! silent factor-of-N accounting bug. Multiplication and division are
+//! exempt (they legitimately change dimension), as is arithmetic where
+//! either side's unit is unknown.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::parser::Expr;
+use crate::rules::units::unit_of;
+use crate::source::SourceFile;
+
+/// Operators that require like units on both sides.
+const UNIT_STRICT_OPS: &[&str] = &["+", "-", "<", "<=", ">", ">=", "==", "!="];
+
+/// Rule instance.
+pub struct S002;
+
+impl Rule for S002 {
+    fn id(&self) -> &'static str {
+        "S002"
+    }
+
+    fn title(&self) -> &'static str {
+        "no mixed-unit arithmetic: +/-/comparisons need like suffix units"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        file.tree.for_each_fn(&mut |f, _| {
+            for stmt in &f.body {
+                stmt.walk(&mut |e| {
+                    let Expr::Binary {
+                        op,
+                        lhs,
+                        rhs,
+                        line,
+                        col,
+                    } = e
+                    else {
+                        return;
+                    };
+                    if !UNIT_STRICT_OPS.contains(&op.as_str()) || file.line_in_test(*line) {
+                        return;
+                    }
+                    let (Some(lu), Some(ru)) = (unit_of(lhs), unit_of(rhs)) else {
+                        return;
+                    };
+                    if lu != ru {
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line: *line,
+                            col: *col,
+                            matched: op.clone(),
+                            message: format!(
+                                "mixed-unit `{op}`: left operand carries unit `{lu}`, right carries `{ru}` — convert one side explicitly or rename the identifier if the suffix is wrong"
+                            ),
+                        });
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        S002.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_mixed_addition_and_comparison() {
+        let src = "
+            fn bad(warm_s: f64, cold_ms: f64, sent_bytes: u64, got_tokens: u64) -> bool {
+                let total = warm_s + cold_ms;
+                total > 0.0 && sent_bytes < got_tokens
+            }
+        ";
+        let out = run("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].matched, "+");
+        assert!(out[0].message.contains("`s`") && out[0].message.contains("`ms`"));
+        assert_eq!(out[1].matched, "<");
+    }
+
+    #[test]
+    fn like_units_and_unknown_units_pass() {
+        let src = "
+            fn good(ttft_s: f64, tpot_s: f64, n: u64, makespan_s: f64) -> f64 {
+                let per_req_s = ttft_s + tpot_s * n as f64;
+                if per_req_s > makespan_s { per_req_s } else { makespan_s }
+            }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn division_changes_dimension_legitimately() {
+        let src = "fn rate(done_tokens: u64, busy_s: f64) -> f64 { done_tokens as f64 / busy_s }";
+        assert!(run("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let x = warm_s + cold_ms; }
+            }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_single_segment_names_carry_no_unit() {
+        // `s` (a scope handle) and `ms` alone must not be read as units.
+        let src = "fn f(s: u64, ms: u64) -> u64 { s + ms }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

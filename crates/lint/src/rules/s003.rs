@@ -1,0 +1,188 @@
+//! S003 — float reductions in sim-state crates must declare their
+//! iteration order.
+//!
+//! Float addition is not associative: `.sum::<f64>()` over an iterator
+//! gives bit-different totals if the source order ever changes, which is
+//! how "deterministic per seed" quietly stops being true. Any float
+//! `.sum()` / seeded `.fold()` in a sim-state crate must carry a
+//! `// lint:ordered: REASON` annotation stating *why* the source order
+//! is deterministic (a `Vec` in insertion order, a sorted slice, …).
+//! Min/max folds are exempt — those are order-insensitive.
+
+use super::{Rule, SIM_STATE_CRATES};
+use crate::findings::Finding;
+use crate::parser::Expr;
+use crate::rules::units::{is_float_unit, unit_of};
+use crate::source::SourceFile;
+
+/// Rule instance.
+pub struct S003;
+
+/// Final expression of a closure body (blocks yield their last statement).
+fn closure_tail(body: &Expr) -> &Expr {
+    match body {
+        Expr::Block(stmts) => stmts.last().unwrap_or(body),
+        other => other,
+    }
+}
+
+/// Whether a `.map(|x| …)` receiver projects to a float-unit quantity.
+fn maps_to_float_quantity(base: &Expr) -> bool {
+    let Expr::Method { name, args, .. } = base else {
+        return false;
+    };
+    if name != "map" {
+        return false;
+    }
+    let Some(Expr::Closure(body)) = args.first() else {
+        return false;
+    };
+    unit_of(closure_tail(body)).is_some_and(is_float_unit)
+}
+
+/// Whether a fold seed expression is float-typed.
+fn float_seed(seed: &Expr) -> bool {
+    match seed {
+        Expr::Number { text } => {
+            text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+        }
+        Expr::Path { segs, .. } => segs.first().is_some_and(|s| s == "f32" || s == "f64"),
+        Expr::Unary(inner) | Expr::Cast(inner) => float_seed(inner),
+        _ => false,
+    }
+}
+
+/// Whether a fold combiner is an order-insensitive min/max selector.
+fn min_max_combiner(comb: &Expr) -> bool {
+    let name = match comb {
+        Expr::Ident { name, .. } => name.as_str(),
+        Expr::Path { segs, .. } => segs.last().map_or("", String::as_str),
+        _ => return false,
+    };
+    name.ends_with("min") || name.ends_with("max")
+}
+
+impl Rule for S003 {
+    fn id(&self) -> &'static str {
+        "S003"
+    }
+
+    fn title(&self) -> &'static str {
+        "float sum/fold in sim-state crates needs a lint:ordered annotation"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !SIM_STATE_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        file.tree.for_each_fn(&mut |f, _| {
+            for stmt in &f.body {
+                stmt.walk(&mut |e| {
+                    let Expr::Method {
+                        base,
+                        name,
+                        turbofish,
+                        args,
+                        line,
+                        col,
+                    } = e
+                    else {
+                        return;
+                    };
+                    let is_float_reduction = match name.as_str() {
+                        "sum" => {
+                            turbofish.iter().any(|t| t == "f32" || t == "f64")
+                                || maps_to_float_quantity(base)
+                        }
+                        "fold" => {
+                            args.first().is_some_and(float_seed)
+                                && !args.get(1).is_some_and(min_max_combiner)
+                        }
+                        _ => false,
+                    };
+                    if !is_float_reduction
+                        || file.line_in_test(*line)
+                        || file.ordered_at(*line)
+                    {
+                        return;
+                    }
+                    out.push(Finding {
+                        rule: self.id(),
+                        path: file.path.clone(),
+                        line: *line,
+                        col: *col,
+                        matched: name.clone(),
+                        message: format!(
+                            "float `.{name}()` reduction: float addition is order-sensitive; add `// lint:ordered: <why the source iteration order is deterministic>` on this line (or the line above)"
+                        ),
+                    });
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        S003.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_turbofish_and_mapped_float_sums_and_float_folds() {
+        let src = "
+            fn totals(xs: &[Obs]) -> f64 {
+                let a = xs.iter().map(|o| o.ttft_s).sum::<f64>();
+                let b: f64 = xs.iter().map(|o| o.tpot_s).sum();
+                let peak = xs.iter().fold(0.0f32, |m, x| m.mul_add(1.0, x.v));
+                a + b + peak as f64
+            }
+        ";
+        let out = run("crates/cluster/src/x.rs", src);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[0].matched, "sum");
+        assert_eq!(out[2].matched, "fold");
+    }
+
+    #[test]
+    fn ordered_annotation_suppresses() {
+        let src = "
+            fn total(xs: &[Obs]) -> f64 {
+                // lint:ordered: replicas vec is in replica-id order
+                xs.iter().map(|o| o.busy_s).sum::<f64>()
+            }
+        ";
+        assert!(run("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn min_max_folds_and_integer_sums_pass() {
+        let src = "
+            fn f(xs: &[f64], ns: &[u64]) -> (f64, u64) {
+                let lo = xs.iter().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(0.0, f64::max);
+                let n: u64 = ns.iter().sum();
+                (lo + hi, n)
+            }
+        ";
+        assert!(run("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_sim_state_crates_and_tests_are_exempt() {
+        let src = "fn t(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+        let test_src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let s: f64 = xs.iter().map(|o| o.gap_s).sum::<f64>(); }
+            }
+        ";
+        assert!(run("crates/cluster/src/x.rs", test_src).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! S004 — no wildcard arms over the engine's evolving sum types.
+//!
+//! `SimError`, `FaultKind`, and the event types grow a variant almost
+//! every PR (chaos kinds, pipeline handoffs, KV preemptions). A `_ =>`
+//! arm in a match over one of these silently swallows every future
+//! variant — the compiler's exhaustiveness check, the one tool that
+//! forces each call site to decide what a new fault means, is opted out.
+//! In the engine crates every such match must name its variants (binding
+//! arms like `other =>` are fine: they still read as deliberate).
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::parser::Expr;
+use crate::source::SourceFile;
+
+/// Crates whose dispatch logic must stay exhaustive.
+const ENGINE_CRATES: &[&str] = &["cluster", "core"];
+
+/// Sum types that grow variants regularly.
+const DRIFT_TYPES: &[&str] = &["SimError", "FaultKind", "Event", "EventKind"];
+
+/// Rule instance.
+pub struct S004;
+
+/// Collects identifier names mentioned by an expression (for scrutinees).
+fn expr_idents(e: &Expr, out: &mut Vec<String>) {
+    e.walk(&mut |n| match n {
+        Expr::Ident { name, .. } => out.push(name.clone()),
+        Expr::Path { segs, .. } => out.extend(segs.iter().cloned()),
+        Expr::Method { name, .. } | Expr::Field { name, .. } => out.push(name.clone()),
+        _ => {}
+    });
+}
+
+impl Rule for S004 {
+    fn id(&self) -> &'static str {
+        "S004"
+    }
+
+    fn title(&self) -> &'static str {
+        "no `_ =>` arms over SimError/FaultKind/Event in engine crates"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !ENGINE_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        file.tree.for_each_fn(&mut |f, _| {
+            for stmt in &f.body {
+                stmt.walk(&mut |e| {
+                    let Expr::Match(m) = e else {
+                        return;
+                    };
+                    let mut mentioned = Vec::new();
+                    expr_idents(&m.scrutinee, &mut mentioned);
+                    for arm in &m.arms {
+                        mentioned.extend(arm.pat_idents.iter().cloned());
+                    }
+                    let Some(ty) = DRIFT_TYPES
+                        .iter()
+                        .find(|t| mentioned.iter().any(|id| id == *t))
+                    else {
+                        return;
+                    };
+                    for arm in &m.arms {
+                        if !arm.wildcard || file.line_in_test(arm.line) {
+                            continue;
+                        }
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line: arm.line,
+                            col: arm.col,
+                            matched: "_".into(),
+                            message: format!(
+                                "`_ =>` arm in a match over `{ty}`: new variants get swallowed silently — name the variants (or bind `other =>` and handle it explicitly)"
+                            ),
+                        });
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        S004.check(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wildcard_over_drift_type() {
+        let src = "
+            fn classify(e: &SimError) -> u32 {
+                match e {
+                    SimError::QueueFull { .. } => 1,
+                    _ => 0,
+                }
+            }
+        ";
+        let out = run("crates/cluster/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].matched, "_");
+        assert!(out[0].message.contains("SimError"));
+    }
+
+    #[test]
+    fn named_arms_and_binding_arms_pass() {
+        let src = "
+            fn classify(k: FaultKind) -> u32 {
+                match k {
+                    FaultKind::Crash => 1,
+                    FaultKind::Slowdown { .. } => 2,
+                    other => cost_of(other),
+                }
+            }
+        ";
+        assert!(run("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn matches_over_other_types_may_use_wildcards() {
+        let src = "
+            fn bucket(n: u64) -> &'static str {
+                match n {
+                    0 => \"idle\",
+                    _ => \"busy\",
+                }
+            }
+        ";
+        assert!(run("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_engine_crates_are_exempt() {
+        let src = "
+            fn classify(e: &SimError) -> u32 {
+                match e { SimError::QueueFull { .. } => 1, _ => 0 }
+            }
+        ";
+        assert!(run("crates/workload/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Unit-of-measure inference over the simplified expression tree.
+//!
+//! The workspace's naming convention makes quantities self-describing:
+//! `makespan_s`, `upi_bytes`, `goodput_tokens`, `clock_hz`. This module
+//! turns that convention into a checkable type system — an expression's
+//! unit is inferred from identifier suffixes and propagated through the
+//! operators that preserve it. Shared by S002 (mixed-unit arithmetic)
+//! and S003 (float-quantity reductions).
+
+use crate::parser::Expr;
+
+/// Canonical unit inferred from a snake-case suffix. Different magnitudes
+/// of the same dimension are distinct on purpose: adding `_ms` to `_s`
+/// is exactly the bug class this exists to catch.
+pub(crate) fn canonical_unit(suffix: &str) -> Option<&'static str> {
+    Some(match suffix {
+        "s" | "sec" | "secs" | "seconds" => "s",
+        "ms" => "ms",
+        "us" => "us",
+        "ns" => "ns",
+        "bytes" => "bytes",
+        "kb" => "kb",
+        "mb" => "mb",
+        "gb" => "gb",
+        "kib" => "kib",
+        "mib" => "mib",
+        "gib" => "gib",
+        "tok" | "toks" | "tokens" => "tokens",
+        "cycles" => "cycles",
+        "hz" => "hz",
+        "khz" => "khz",
+        "mhz" => "mhz",
+        "ghz" => "ghz",
+        "bps" => "bps",
+        "kbps" => "kbps",
+        "mbps" => "mbps",
+        "gbps" => "gbps",
+        "flops" => "flops",
+        _ => return None,
+    })
+}
+
+/// Units that denote float-valued physical quantities (time and rates) —
+/// the classes whose reductions S003 cares about.
+pub(crate) fn is_float_unit(unit: &str) -> bool {
+    matches!(
+        unit,
+        "s" | "ms"
+            | "us"
+            | "ns"
+            | "hz"
+            | "khz"
+            | "mhz"
+            | "ghz"
+            | "bps"
+            | "kbps"
+            | "mbps"
+            | "gbps"
+            | "flops"
+    )
+}
+
+/// Unit carried by a snake-case name, judged by its final segment. A
+/// name must have at least two segments (`gap_s` yes, bare `s` no) so
+/// loop variables and closure parameters never acquire units.
+pub(crate) fn name_unit(name: &str) -> Option<&'static str> {
+    let lower = name.to_ascii_lowercase();
+    let (head, last) = lower.rsplit_once('_')?;
+    if head.is_empty() {
+        return None;
+    }
+    canonical_unit(last)
+}
+
+/// Methods that return a value in the same unit as their receiver.
+const UNIT_PRESERVING: &[&str] = &[
+    "max", "min", "abs", "clamp", "clone", "copied", "round", "floor", "ceil",
+];
+
+/// Infers the unit of `e`, or `None` when it is unit-less or unknowable.
+pub(crate) fn unit_of(e: &Expr) -> Option<&'static str> {
+    match e {
+        Expr::Ident { name, .. } | Expr::Field { name, .. } => name_unit(name),
+        Expr::Path { segs, .. } => name_unit(segs.last()?),
+        Expr::Method { base, name, .. } => {
+            if UNIT_PRESERVING.contains(&name.as_str()) {
+                unit_of(base)
+            } else {
+                name_unit(name)
+            }
+        }
+        Expr::Call { callee, .. } => unit_of(callee),
+        Expr::Index { base, .. } => unit_of(base),
+        Expr::Unary(inner) | Expr::Cast(inner) => unit_of(inner),
+        Expr::Binary { op, lhs, rhs, .. } if op == "+" || op == "-" => {
+            let (l, r) = (unit_of(lhs), unit_of(rhs));
+            if l == r {
+                l
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::tokenizer::tokenize;
+
+    fn expr_unit(src: &str) -> Option<&'static str> {
+        let t = parse(&tokenize(&format!("fn f() {{ {src} }}")).tokens);
+        let mut unit = None;
+        t.for_each_fn(&mut |f, _| {
+            if let Some(e) = f.body.first() {
+                unit = unit_of(e);
+            }
+        });
+        unit
+    }
+
+    #[test]
+    fn suffixes_give_units() {
+        assert_eq!(expr_unit("gap_s"), Some("s"));
+        assert_eq!(expr_unit("self.upi_bytes"), Some("bytes"));
+        assert_eq!(expr_unit("TP_ALLREDUCE_SW_S"), Some("s"));
+        assert_eq!(expr_unit("goodput_tokens"), Some("tokens"));
+        assert_eq!(expr_unit("s"), None, "single segment carries no unit");
+        assert_eq!(expr_unit("index"), None);
+    }
+
+    #[test]
+    fn operators_propagate_units() {
+        assert_eq!(expr_unit("ttft_s + tpot_s"), Some("s"));
+        assert_eq!(expr_unit("-(warm_s)"), Some("s"));
+        assert_eq!(expr_unit("cold_s as f32"), Some("s"));
+        assert_eq!(expr_unit("a_s.max(b_s)"), Some("s"));
+        assert_eq!(expr_unit("mean_gap_s(xs)"), Some("s"));
+        assert_eq!(expr_unit("a_s * b_s"), None, "products change dimension");
+        assert_eq!(expr_unit("a_s / b_s"), None);
+    }
+}

@@ -1,7 +1,9 @@
 //! A lexed source file annotated with everything rules need: workspace
-//! position (crate, binary-ness), test-code spans, and inline suppressions.
+//! position (crate, binary-ness), test-code spans, inline suppressions,
+//! and the simplified parse tree the semantic S-rules walk.
 
-use crate::tokenizer::{tokenize, AllowDirective, Token, TokenKind};
+use crate::parser::{parse, ParseTree};
+use crate::tokenizer::{tokenize, AllowDirective, OrderedDirective, Token, TokenKind};
 
 /// A file prepared for rule checking.
 #[derive(Debug, Clone)]
@@ -19,8 +21,12 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Inline `lint:allow` directives.
     pub allows: Vec<AllowDirective>,
+    /// Inline `lint:ordered` annotations (S003 exemptions).
+    pub ordered: Vec<OrderedDirective>,
     /// Source lines (for snippet extraction and allowlist matching).
     pub lines: Vec<String>,
+    /// Simplified item tree (see [`crate::parser`]) for semantic rules.
+    pub tree: ParseTree,
     /// Half-open token-index ranges lexically inside `#[cfg(test)]` /
     /// `#[test]` items.
     test_ranges: Vec<(usize, usize)>,
@@ -37,13 +43,16 @@ impl SourceFile {
             file == "main.rs" || path.contains("/bin/")
         };
         let test_ranges = find_test_ranges(&stream.tokens);
+        let tree = parse(&stream.tokens);
         SourceFile {
             path: path.to_string(),
             crate_name,
             is_bin,
             tokens: stream.tokens,
             allows: stream.allows,
+            ordered: stream.ordered,
             lines: text.lines().map(str::to_string).collect(),
+            tree,
             test_ranges,
         }
     }
@@ -72,6 +81,26 @@ impl SourceFile {
                 || (a.line + 1 == line && !self.tokens.iter().any(|t| t.line == a.line));
             covers && a.rules.iter().any(|r| r == rule)
         })
+    }
+
+    /// Whether a `lint:ordered` annotation covers `line` — same placement
+    /// contract as [`Self::inline_allowed`]: trailing the line itself, or
+    /// alone on the line directly above.
+    #[must_use]
+    pub fn ordered_at(&self, line: u32) -> bool {
+        self.ordered.iter().any(|o| {
+            o.line == line || (o.line + 1 == line && !self.tokens.iter().any(|t| t.line == o.line))
+        })
+    }
+
+    /// Whether any token on `line` (1-based) is inside test code. Lines
+    /// with no tokens are not test code.
+    #[must_use]
+    pub fn line_in_test(&self, line: u32) -> bool {
+        let start = self.tokens.partition_point(|t| t.line < line);
+        self.tokens
+            .get(start)
+            .is_some_and(|t| t.line == line && self.in_test(start))
     }
 }
 
@@ -246,5 +275,23 @@ mod tests {
         assert!(f.inline_allowed("P001", 3));
         assert!(!f.inline_allowed("P001", 4));
         assert!(!f.inline_allowed("D001", 2));
+    }
+
+    #[test]
+    fn ordered_at_covers_same_and_next_line() {
+        let src = "// lint:ordered: Vec order\nlet a: f64 = xs.iter().sum();\nlet b: f64 = ys.iter().sum(); // lint:ordered: slice order\nlet c: f64 = zs.iter().sum();\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        assert!(f.ordered_at(2));
+        assert!(f.ordered_at(3));
+        assert!(!f.ordered_at(4));
+    }
+
+    #[test]
+    fn line_in_test_tracks_token_ranges() {
+        let src = "pub fn lib() -> u32 { 1 }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        assert!(!f.line_in_test(1));
+        assert!(!f.line_in_test(2)); // blank line: no tokens
+        assert!(f.line_in_test(6));
     }
 }

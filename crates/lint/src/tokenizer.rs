@@ -10,7 +10,9 @@
 //!
 //! Comments are not discarded: any comment containing a
 //! `lint:allow(RULE, ...)` directive is surfaced to the rule engine as an
-//! inline suppression (see [`AllowDirective`]).
+//! inline suppression (see [`AllowDirective`]), and any comment containing
+//! `lint:ordered: REASON` is surfaced as an ordered-reduction annotation
+//! (see [`OrderedDirective`], consumed by rule S003).
 
 /// Lexical class of a [`Token`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +58,27 @@ pub struct AllowDirective {
     pub rules: Vec<String>,
 }
 
-/// Output of [`tokenize`]: the token stream plus inline suppressions.
+/// An inline `lint:ordered: REASON` annotation found in a comment.
+///
+/// Marks a float reduction whose source iteration order is deterministic
+/// by construction, exempting it from rule S003. The reason is mandatory:
+/// a directive without one is ignored (and therefore fails the gate,
+/// keeping the annotation self-documenting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// Output of [`tokenize`]: the token stream plus inline directives.
 #[derive(Debug, Clone, Default)]
 pub struct TokenStream {
     /// Tokens in source order.
     pub tokens: Vec<Token>,
     /// Inline `lint:allow` directives in source order.
     pub allows: Vec<AllowDirective>,
+    /// Inline `lint:ordered` annotations in source order.
+    pub ordered: Vec<OrderedDirective>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -88,6 +104,19 @@ fn parse_allow(comment: &str) -> Option<Vec<String>> {
     } else {
         Some(rules)
     }
+}
+
+/// Whether a comment body carries a `lint:ordered: REASON` annotation
+/// with a non-empty reason.
+fn parse_ordered(comment: &str) -> bool {
+    let Some(at) = comment.find("lint:ordered:") else {
+        return false;
+    };
+    let reason = comment[at + "lint:ordered:".len()..].trim();
+    // Block comments may close on the same line; don't count `*/` as a
+    // reason on its own.
+    let reason = reason.trim_end_matches("*/").trim();
+    !reason.is_empty()
 }
 
 /// Character cursor with 1-based line/column tracking.
@@ -153,6 +182,9 @@ pub fn tokenize(text: &str) -> TokenStream {
                     if let Some(rules) = parse_allow(&body) {
                         out.allows.push(AllowDirective { line, rules });
                     }
+                    if parse_ordered(&body) {
+                        out.ordered.push(OrderedDirective { line });
+                    }
                 }
                 Some('*') => {
                     cur.bump();
@@ -174,6 +206,9 @@ pub fn tokenize(text: &str) -> TokenStream {
                     }
                     if let Some(rules) = parse_allow(&body) {
                         out.allows.push(AllowDirective { line, rules });
+                    }
+                    if parse_ordered(&body) {
+                        out.ordered.push(OrderedDirective { line });
                     }
                 }
                 Some('=') => {
@@ -538,6 +573,18 @@ mod tests {
         assert_eq!(ts.allows[0].rules, vec!["P001"]);
         assert_eq!(ts.allows[0].line, 2);
         assert_eq!(ts.allows[1].rules, vec!["D001", "D002"]);
+    }
+
+    #[test]
+    fn ordered_directives_require_a_reason() {
+        let src = "
+            let a: f64 = xs.iter().sum(); // lint:ordered: slice order is insertion order
+            let b: f64 = ys.iter().sum(); // lint:ordered:
+            /* lint:ordered: block form reason */
+        ";
+        let ts = tokenize(src);
+        let lines: Vec<u32> = ts.ordered.iter().map(|o| o.line).collect();
+        assert_eq!(lines, vec![2, 4], "reason-less directive must be ignored");
     }
 
     #[test]

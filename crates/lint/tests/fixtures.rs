@@ -82,6 +82,82 @@ fn u001_fixture_triggers() {
 }
 
 #[test]
+fn s001_fixture_triggers_exactly_on_uncovered_counters() {
+    let text = include_str!("../fixtures/s001.rs");
+    let report = lint_sources(
+        [("crates/cluster/src/fixture.rs", text)],
+        &Allowlist::default(),
+    );
+    let s001: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "S001")
+        .collect();
+    assert_eq!(s001.len(), 2, "{s001:?}");
+    let mut matched: Vec<&str> = s001.iter().map(|f| f.matched.as_str()).collect();
+    matched.sort_unstable();
+    assert_eq!(matched, vec!["busy_s", "dropped"]);
+    assert!(
+        s001.iter().any(|f| f.message.contains("merge path")),
+        "{s001:?}"
+    );
+    assert!(
+        s001.iter().any(|f| f.message.contains("render path")),
+        "{s001:?}"
+    );
+
+    // Outside the sim-state crates the same source is not S001's business.
+    let elsewhere = lint_sources(
+        [("crates/lint/src/fixture.rs", text)],
+        &Allowlist::default(),
+    );
+    assert_eq!(
+        elsewhere
+            .findings
+            .iter()
+            .filter(|f| f.rule == "S001")
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn s002_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/s002.rs"),
+    );
+    // s+ms add, bytes-vs-tokens compare, hz-minus-s.
+    assert_eq!(count(&f, "S002"), 3, "{f:?}");
+}
+
+#[test]
+fn s003_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/s003.rs"),
+    );
+    // Turbofished float sum, mapped float sum, float-seeded fold. The
+    // annotated sum, the max fold and the integer sum stay clean.
+    assert_eq!(count(&f, "S003"), 3, "{f:?}");
+}
+
+#[test]
+fn s004_fixture_triggers() {
+    let f = lint_fixture(
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/s004.rs"),
+    );
+    assert_eq!(count(&f, "S004"), 1, "{f:?}");
+    // The same text outside the engine crates is out of scope.
+    let elsewhere = lint_fixture(
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/s004.rs"),
+    );
+    assert_eq!(count(&elsewhere, "S004"), 0);
+}
+
+#[test]
 fn clean_fixture_is_clean_in_the_strictest_scope() {
     let f = lint_fixture(
         "crates/core/src/fixture.rs",
@@ -146,6 +222,93 @@ fn workspace_is_clean_under_checked_in_allowlist() {
         "stale allowlist entries: {:?}",
         report.stale_allows
     );
+}
+
+/// S001 findings over the real cluster sources, for the mutation tests.
+fn s001_over(shard_text: &str, metrics_text: &str) -> Vec<Finding> {
+    lint_sources(
+        [
+            ("crates/cluster/src/shard.rs", shard_text),
+            ("crates/cluster/src/metrics.rs", metrics_text),
+        ],
+        &Allowlist::default(),
+    )
+    .findings
+    .into_iter()
+    .filter(|f| f.rule == "S001")
+    .collect()
+}
+
+/// Drops every line containing `needle`, asserting at least one is hit.
+fn delete_lines(text: &str, needle: &str) -> String {
+    let out: String = text
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(
+        out.len(),
+        text.len(),
+        "mutation {needle:?} must delete a line"
+    );
+    out
+}
+
+/// The acceptance check for S001, run against the *real* sources: delete
+/// any one counter fold from `merge_reports` (or a counter read from
+/// `render`) and the gate must fail with exactly that field named. This
+/// is what makes counter coverage a regression test rather than a style
+/// opinion — a future `FleetReport` field that never reaches the fold is
+/// caught before it ships a zero.
+#[test]
+fn seeded_mutation_dropping_a_counter_from_merge_reports_fails_s001() {
+    let root = repo_root();
+    let shard = std::fs::read_to_string(root.join("crates/cluster/src/shard.rs"))
+        .expect("shard.rs readable");
+    let metrics = std::fs::read_to_string(root.join("crates/cluster/src/metrics.rs"))
+        .expect("metrics.rs readable");
+
+    assert!(
+        s001_over(&shard, &metrics).is_empty(),
+        "unmutated sources must be S001-clean"
+    );
+
+    let counters = [
+        "generated_tokens",
+        "goodput_tokens",
+        "wasted_tokens",
+        "retries",
+        "hedges",
+        "crashes",
+        "prefix_hit_tokens",
+        "preemptions",
+        "scale_ups",
+        "scale_downs",
+        "events_processed",
+        "peak_in_flight",
+        "pipeline_groups",
+        "pipeline_handoffs",
+    ];
+    for field in counters {
+        let mutated = delete_lines(&shard, &format!("merged.{field} += report.{field};"));
+        let f = s001_over(&mutated, &metrics);
+        assert_eq!(f.len(), 1, "dropping {field} fold: {f:?}");
+        assert_eq!(f[0].matched, field);
+        assert!(f[0].message.contains("merge path"), "{}", f[0].message);
+    }
+
+    // makespan_s folds via `.max`, not `+=` — same contract.
+    let mutated = delete_lines(&shard, "merged.makespan_s");
+    let f = s001_over(&mutated, &metrics);
+    assert_eq!(f.len(), 1, "dropping makespan fold: {f:?}");
+    assert_eq!(f[0].matched, "makespan_s");
+
+    // And the render path: un-rendering a counter is flagged too.
+    let mutated_metrics = delete_lines(&metrics, "self.events_processed,");
+    let f = s001_over(&shard, &mutated_metrics);
+    assert_eq!(f.len(), 1, "un-rendering events_processed: {f:?}");
+    assert_eq!(f[0].matched, "events_processed");
+    assert!(f[0].message.contains("render path"), "{}", f[0].message);
 }
 
 /// Findings output must be byte-identical across runs (and across file

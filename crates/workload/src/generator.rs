@@ -228,10 +228,12 @@ impl ArrivalTrace {
             return 0.0;
         }
         let gaps: Vec<f64> = self.arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        // lint:ordered: gaps is a Vec derived from arrivals, which are sorted by time
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         if mean == 0.0 {
             return 0.0;
         }
+        // lint:ordered: same sorted-gaps Vec as the mean above
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         var.sqrt() / mean
     }
